@@ -1,0 +1,80 @@
+(* The benchmark harness: first regenerates every table and figure of the
+   paper (the reproduction output recorded in EXPERIMENTS.md), then times
+   each experiment's kernel with Bechamel — one Test.make per table/figure
+   plus the core-algorithm micro-kernels. *)
+
+open Bechamel
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate all tables and figures *)
+
+let print_all_tables () =
+  print_endline "==================================================================";
+  print_endline " flowtrace: reproduction of every table and figure (DAC'18 paper)";
+  print_endline "==================================================================";
+  print_newline ();
+  List.iter
+    (fun (e : Registry.experiment) ->
+      List.iter Table_render.print (e.Registry.run ()))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timings *)
+
+let experiment_tests =
+  List.map
+    (fun (e : Registry.experiment) ->
+      Test.make ~name:e.Registry.id (Staged.stage (fun () -> ignore (e.Registry.run ()))))
+    Registry.all
+
+(* Core micro-kernels, timed on Scenario 1's interleaving. *)
+let kernel_tests =
+  let sc = Scenario.scenario1 in
+  let inter = Scenario.interleave sc in
+  [
+    Test.make ~name:"kernel_interleave"
+      (Staged.stage (fun () -> ignore (Scenario.interleave sc)));
+    Test.make ~name:"kernel_infogain_evaluator"
+      (Staged.stage (fun () -> ignore (Infogain.evaluator inter)));
+    Test.make ~name:"kernel_select_greedy"
+      (Staged.stage (fun () ->
+           ignore (Select.select ~strategy:Select.Greedy inter ~buffer_width:32)));
+    Test.make ~name:"kernel_select_exact"
+      (Staged.stage (fun () ->
+           ignore (Select.select ~strategy:Select.Exact inter ~buffer_width:32)));
+    Test.make ~name:"kernel_total_paths"
+      (Staged.stage (fun () -> ignore (Interleave.total_paths inter)));
+    Test.make ~name:"kernel_sim_run"
+      (Staged.stage (fun () -> ignore (Scenario.run_analysis ~seed:1 sc)));
+  ]
+
+let benchmark () =
+  let test = Test.make_grouped ~name:"flowtrace" (experiment_tests @ kernel_tests) in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort compare rows in
+  print_endline "== Bechamel timings (monotonic clock, ns per run) ==";
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with
+        | Some [ e ] -> Printf.sprintf "%12.0f ns" e
+        | Some es -> String.concat "," (List.map (Printf.sprintf "%.0f") es)
+        | None -> "n/a"
+      in
+      Printf.printf "%-40s %s\n" name est)
+    rows
+
+let () =
+  print_all_tables ();
+  print_newline ();
+  benchmark ()

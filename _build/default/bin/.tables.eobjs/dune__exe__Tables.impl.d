@@ -1,0 +1,1 @@
+bin/tables.ml: Array Flowtrace_experiments List Printf Registry String Sys Table_render

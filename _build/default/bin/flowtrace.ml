@@ -1,0 +1,297 @@
+(* The flowtrace command-line tool.
+
+   Subcommands:
+     select      select trace messages for flows in a spec file
+     interleave  report the interleaved flow of a spec file
+     localize    count executions consistent with an observed trace
+     tables      regenerate the paper's tables and figures
+     scenarios   show the built-in OpenSPARC T2 scenarios *)
+
+open Cmdliner
+open Flowtrace_core
+
+let load_flows path =
+  try Ok (Spec_parser.parse_file path) with
+  | Spec_parser.Parse_error e ->
+      Error (Printf.sprintf "%s:%d: %s" path e.Spec_parser.line e.Spec_parser.message)
+  | Sys_error m -> Error m
+
+let interleave_of path counts =
+  match load_flows path with
+  | Error m -> Error m
+  | Ok [] -> Error "no flows in file"
+  | Ok flows -> (
+      let find name = List.find_opt (fun f -> String.equal f.Flow.name name) flows in
+      let instances =
+        match counts with
+        | [] -> List.mapi (fun i f -> { Interleave.flow = f; index = i + 1 }) flows
+        | counts ->
+            let next = ref 0 in
+            List.concat_map
+              (fun (name, n) ->
+                match find name with
+                | None -> []
+                | Some f ->
+                    List.init n (fun _ ->
+                        incr next;
+                        { Interleave.flow = f; index = !next }))
+              counts
+      in
+      if instances = [] then Error "instance specification matches no flow"
+      else
+        try Ok (Interleave.make instances) with
+        | Interleave.Not_legally_indexed m | Interleave.Message_clash m -> Error m
+        | Interleave.Too_large n -> Error (Printf.sprintf "interleaving exceeds %d states" n))
+
+(* --- arguments ----------------------------------------------------- *)
+
+let spec_file =
+  let doc = "Flow specification file (see the README for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc)
+
+let width =
+  let doc = "Trace buffer width in bits." in
+  Arg.(value & opt int 32 & info [ "w"; "width" ] ~docv:"BITS" ~doc)
+
+let strategy =
+  let doc = "Candidate search strategy: $(b,exact), $(b,exact-maximal) or $(b,greedy)." in
+  let strategy_conv =
+    Arg.enum
+      [ ("exact", Select.Exact); ("exact-maximal", Select.Exact_maximal); ("greedy", Select.Greedy) ]
+  in
+  Arg.(value & opt strategy_conv Select.Exact & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let no_pack =
+  let doc = "Disable Step-3 packing of leftover buffer bits." in
+  Arg.(value & flag & info [ "no-pack" ] ~doc)
+
+let instances =
+  let doc =
+    "Instance counts as $(b,FLOW=N) (repeatable). Default: one instance of every flow in the \
+     file."
+  in
+  let inst_conv =
+    let parse s =
+      match String.split_on_char '=' s with
+      | [ name; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> Ok (name, n)
+          | _ -> Error (`Msg "expected FLOW=N with positive N"))
+      | _ -> Error (`Msg "expected FLOW=N")
+    in
+    Arg.conv (parse, fun ppf (n, c) -> Format.fprintf ppf "%s=%d" n c)
+  in
+  Arg.(value & opt_all inst_conv [] & info [ "i"; "instances" ] ~docv:"FLOW=N" ~doc)
+
+let trace_arg =
+  let doc = "Observed trace: whitespace-separated indexed messages like $(b,1:ReqE 2:GntE)." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      Printf.eprintf "flowtrace: %s\n" m;
+      exit 1
+
+(* --- commands ------------------------------------------------------ *)
+
+let select_cmd =
+  let run path counts width strategy no_pack =
+    let inter = or_die (interleave_of path counts) in
+    let r = Select.select ~strategy ~pack:(not no_pack) inter ~buffer_width:width in
+    Format.printf "%a@." Select.pp_result r
+  in
+  let doc = "Select trace messages for the flows of a spec file." in
+  Cmd.v (Cmd.info "select" ~doc)
+    Term.(const run $ spec_file $ instances $ width $ strategy $ no_pack)
+
+let interleave_cmd =
+  let run path counts =
+    let inter = or_die (interleave_of path counts) in
+    Format.printf "%a@." Stats.pp (Stats.compute inter);
+    Format.printf "message pool: %s@."
+      (String.concat ", " (List.map Message.to_string (Interleave.messages inter)))
+  in
+  let doc = "Report the interleaved flow of a spec file." in
+  Cmd.v (Cmd.info "interleave" ~doc) Term.(const run $ spec_file $ instances)
+
+let localize_cmd =
+  let run path counts trace width strategy =
+    let inter = or_die (interleave_of path counts) in
+    let sel = Select.select ~strategy inter ~buffer_width:width in
+    let observed =
+      List.filter_map
+        (fun tok ->
+          if tok = "" then None
+          else
+            match String.index_opt tok ':' with
+            | Some i ->
+                let inst = int_of_string (String.sub tok 0 i) in
+                let base = String.sub tok (i + 1) (String.length tok - i - 1) in
+                Some (Indexed.make base inst)
+            | None -> or_die (Error (Printf.sprintf "bad indexed message %S (want IDX:NAME)" tok)))
+        (String.split_on_char ' ' trace)
+    in
+    let selected b = Select.is_observable sel b in
+    let total = Interleave.total_paths inter in
+    let consistent =
+      Localize.consistent_paths ~semantics:Localize.Prefix inter ~selected ~observed
+    in
+    Format.printf "selection: %s@." (String.concat ", " (Select.selected_names sel));
+    Format.printf "consistent executions: %d of %d (%.4f%%)@." consistent total
+      (100.0 *. float_of_int consistent /. float_of_int (max 1 total))
+  in
+  let doc = "Count executions prefix-consistent with an observed trace." in
+  Cmd.v (Cmd.info "localize" ~doc)
+    Term.(const run $ spec_file $ instances $ trace_arg $ width $ strategy)
+
+let tables_cmd =
+  let ids =
+    let doc = "Experiment ids to run (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run ids =
+    let module R = Flowtrace_experiments.Registry in
+    let module T = Flowtrace_experiments.Table_render in
+    let ids = if ids = [] then R.ids else ids in
+    List.iter
+      (fun id ->
+        match R.find id with
+        | Some e -> List.iter T.print (e.R.run ())
+        | None ->
+            Printf.eprintf "unknown experiment %s; available: %s\n" id (String.concat " " R.ids);
+            exit 1)
+      ids
+  in
+  let doc = "Regenerate the paper's tables and figures." in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ ids)
+
+let explain_cmd =
+  let run path counts width strategy =
+    let inter = or_die (interleave_of path counts) in
+    let r = Select.select ~strategy inter ~buffer_width:width in
+    Format.printf "%a@.@." Select.pp_result r;
+    List.iter
+      (fun c -> Format.printf "%a@." Select.pp_contribution c)
+      (Select.explain inter r)
+  in
+  let doc = "Rank every message of a spec file by information contribution." in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ spec_file $ instances $ width $ strategy)
+
+let simulate_cmd =
+  let open Flowtrace_soc in
+  let scenario_arg =
+    let doc = "T2 usage scenario id (1-3)." in
+    Arg.(value & opt int 1 & info [ "scenario" ] ~docv:"ID" ~doc)
+  in
+  let bug_arg =
+    let doc = "Catalog bug id to inject (repeatable)." in
+    Arg.(value & opt_all int [] & info [ "bug" ] ~docv:"ID" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Workload rounds (one instance of each flow per round)." in
+    Arg.(value & opt int 20 & info [ "rounds" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Workload seed." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Save the packet trace to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run scenario bugs rounds seed out =
+    let sc = try Scenario.by_id scenario with Invalid_argument m -> or_die (Error m) in
+    let bugs =
+      List.map
+        (fun id ->
+          try Flowtrace_bug.Catalog.by_id id with Invalid_argument m -> or_die (Error m))
+        bugs
+    in
+    let config = { Scenario.default_run with Scenario.rounds; seed } in
+    let outcome = Scenario.run ~config ~mutators:(Flowtrace_bug.Inject.mutators bugs) sc in
+    Format.printf "%s: %d packets, %d completed, %d hung, %d failures, %d cycles@."
+      sc.Scenario.name
+      (List.length outcome.Sim.packets)
+      (List.length outcome.Sim.completed)
+      (List.length outcome.Sim.hung)
+      (List.length outcome.Sim.failures)
+      outcome.Sim.end_cycle;
+    List.iter
+      (fun (f : Sim.failure) -> Format.printf "  [%d] %s at %s@." f.Sim.f_cycle f.Sim.f_desc f.Sim.f_ip)
+      outcome.Sim.failures;
+    (match Flowtrace_bug.Inject.symptom_of outcome with
+    | Flowtrace_bug.Inject.No_symptom -> ()
+    | s -> Format.printf "symptom: %s@." (Flowtrace_bug.Inject.symptom_to_string s));
+    match out with
+    | None -> ()
+    | Some file ->
+        Trace_io.save file outcome.Sim.packets;
+        Format.printf "trace written to %s@." file
+  in
+  let doc = "Simulate a T2 usage scenario, optionally with injected bugs." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ scenario_arg $ bug_arg $ rounds_arg $ seed_arg $ out_arg)
+
+let debug_cmd =
+  let case_arg =
+    let doc = "Case study id (1-5)." in
+    Arg.(value & opt int 1 & info [ "case" ] ~docv:"ID" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Workload rounds." in
+    Arg.(value & opt int 40 & info [ "rounds" ] ~doc)
+  in
+  let run case rounds =
+    let open Flowtrace_debug in
+    let cs = try Case_study.by_id case with Invalid_argument m -> or_die (Error m) in
+    Report.print (Case_study.run ~rounds cs)
+  in
+  let doc = "Run a T2 debugging case study and print the session report." in
+  Cmd.v (Cmd.info "debug" ~doc) Term.(const run $ case_arg $ rounds_arg)
+
+let dot_cmd =
+  let out =
+    let doc = "Write DOT to $(docv) instead of stdout." in
+    Cmdliner.Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let interleaved =
+    let doc = "Export the interleaving of the instances instead of each flow." in
+    Cmdliner.Arg.(value & flag & info [ "interleaved" ] ~doc)
+  in
+  let run path counts interleaved out =
+    let dot =
+      if interleaved then Dot.of_interleave (or_die (interleave_of path counts))
+      else String.concat "\n" (List.map Dot.of_flow (or_die (load_flows path)))
+    in
+    match out with
+    | None -> print_string dot
+    | Some file ->
+        let oc = open_out file in
+        output_string oc dot;
+        close_out oc
+  in
+  let doc = "Export flows (or their interleaving) as Graphviz DOT." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ spec_file $ instances $ interleaved $ out)
+
+let scenarios_cmd =
+  let run () =
+    let open Flowtrace_soc in
+    List.iter
+      (fun sc ->
+        let inter = Scenario.interleave sc in
+        Format.printf "%s: flows %s@." sc.Scenario.name
+          (String.concat ", " sc.Scenario.flow_names);
+        Format.printf "  %a@." Interleave.pp inter;
+        Format.printf "  messages: %s@."
+          (String.concat ", " (List.map Message.to_string (Scenario.messages sc))))
+      Scenario.all
+  in
+  let doc = "Show the built-in OpenSPARC T2 usage scenarios." in
+  Cmd.v (Cmd.info "scenarios" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "application-level hardware trace message selection" in
+  let info = Cmd.info "flowtrace" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd ]))

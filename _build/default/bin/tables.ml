@@ -1,0 +1,14 @@
+(* Print the reproduced tables/figures; with arguments, only those ids. *)
+
+open Flowtrace_experiments
+
+let () =
+  let ids = match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> Registry.ids in
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some e -> List.iter Table_render.print (e.Registry.run ())
+      | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" id (String.concat " " Registry.ids);
+          exit 1)
+    ids

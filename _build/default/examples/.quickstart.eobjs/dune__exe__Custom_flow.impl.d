@@ -1,0 +1,1 @@
+examples/custom_flow.ml: Flow Flowtrace_core Format Interleave List Select Spec_parser

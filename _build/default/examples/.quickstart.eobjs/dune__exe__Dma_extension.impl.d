@@ -1,0 +1,1 @@
+examples/dma_extension.ml: Flow Flowtrace_core Flowtrace_soc Format Interleave List Localize Packet Select Sim Stats String T2_ext

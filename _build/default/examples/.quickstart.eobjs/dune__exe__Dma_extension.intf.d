@@ -1,0 +1,1 @@
+examples/dma_extension.mli:

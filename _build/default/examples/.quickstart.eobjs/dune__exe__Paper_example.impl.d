@@ -1,0 +1,1 @@
+examples/paper_example.ml: Combination Coverage Flow Flowtrace_core Format Indexed Infogain Interleave List Localize Select String Toy

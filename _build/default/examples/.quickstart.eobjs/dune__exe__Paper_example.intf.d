@@ -1,0 +1,1 @@
+examples/paper_example.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Execution Flow Flowtrace_core Format Interleave Localize Message Rng Select

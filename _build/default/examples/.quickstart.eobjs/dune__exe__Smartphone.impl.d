@@ -1,0 +1,1 @@
+examples/smartphone.ml: Dot Execution Flow Flowtrace_core Format Indexed Interleave List Localize Message Rng Select String

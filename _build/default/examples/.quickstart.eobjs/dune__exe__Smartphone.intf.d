@@ -1,0 +1,1 @@
+examples/smartphone.mli:

@@ -1,0 +1,1 @@
+examples/soc_debug.ml: Bug Case_study Cause Flowtrace_bug Flowtrace_core Flowtrace_debug Flowtrace_soc Format Inject List Scenario Select Session String

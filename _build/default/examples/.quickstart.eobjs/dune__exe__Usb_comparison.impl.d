@@ -1,0 +1,1 @@
+examples/usb_comparison.ml: Flowtrace_baseline Flowtrace_netlist Flowtrace_usb Format List Netlist Sigset Srr Usb_compare Usb_design

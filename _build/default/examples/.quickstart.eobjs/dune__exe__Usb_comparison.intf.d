@@ -1,0 +1,1 @@
+examples/usb_comparison.mli:

@@ -1,0 +1,1 @@
+lib/baseline/ff_graph.ml: Array Flowtrace_netlist Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/baseline/ff_graph.mli: Flowtrace_netlist Hashtbl Netlist

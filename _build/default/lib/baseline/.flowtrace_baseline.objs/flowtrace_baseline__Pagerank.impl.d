@@ -1,0 +1,1 @@
+lib/baseline/pagerank.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/baseline/prnet.ml: Array Ff_graph List Pagerank

@@ -1,0 +1,1 @@
+lib/baseline/prnet.mli: Flowtrace_netlist Netlist

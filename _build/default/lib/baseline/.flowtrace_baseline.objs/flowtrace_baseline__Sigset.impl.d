@@ -1,0 +1,1 @@
+lib/baseline/sigset.ml: Array Ff_graph Float Flowtrace_core Flowtrace_netlist List Netlist Rng Srr

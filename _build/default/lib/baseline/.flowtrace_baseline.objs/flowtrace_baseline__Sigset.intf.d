@@ -1,0 +1,1 @@
+lib/baseline/sigset.mli: Flowtrace_core Flowtrace_netlist Netlist Rng Srr

@@ -1,0 +1,33 @@
+open Flowtrace_netlist
+
+(* The flip-flop dependency graph shared by both baselines: node i is the
+   i-th FF of the netlist; an edge a -> b means FF a feeds combinationally
+   into the D input of FF b (a's value influences b's next state). *)
+
+type t = {
+  ff_net : int array;  (* node index -> FF q-net id *)
+  index_of : (int, int) Hashtbl.t;  (* FF q-net id -> node index *)
+  succ : int list array;  (* a -> FFs whose next state depends on a *)
+  pred : int list array;  (* b -> FFs feeding b *)
+}
+
+let build netlist =
+  let ffs = Array.of_list netlist.Netlist.ffs in
+  let n = Array.length ffs in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i net -> Hashtbl.replace index_of net i) ffs;
+  let succ = Array.make n [] and pred = Array.make n [] in
+  Array.iteri
+    (fun bi bnet ->
+      List.iter
+        (fun anet ->
+          match Hashtbl.find_opt index_of anet with
+          | Some ai ->
+              succ.(ai) <- bi :: succ.(ai);
+              pred.(bi) <- ai :: pred.(bi)
+          | None -> ())
+        (Netlist.ff_dependencies netlist bnet))
+    ffs;
+  { ff_net = ffs; index_of; succ; pred }
+
+let n t = Array.length t.ff_net

@@ -1,0 +1,17 @@
+open Flowtrace_netlist
+
+(** Flip-flop dependency graph: an edge [a -> b] when FF [a] feeds
+    combinationally into the D input of FF [b]. Shared substrate for the
+    SigSeT and PRNet baselines. *)
+
+type t = {
+  ff_net : int array;  (** node index -> FF q-net id *)
+  index_of : (int, int) Hashtbl.t;  (** FF q-net id -> node index *)
+  succ : int list array;
+  pred : int list array;
+}
+
+val build : Netlist.t -> t
+
+(** Number of flip-flops. *)
+val n : t -> int

@@ -1,0 +1,32 @@
+(* Standard PageRank by power iteration, with dangling-node mass spread
+   uniformly. Generic over graphs with dense integer nodes. *)
+
+let compute ?(damping = 0.85) ?(iterations = 100) ?(epsilon = 1e-10) ~n ~out_edges () =
+  if n = 0 then [||]
+  else begin
+    let rank = Array.make n (1.0 /. float_of_int n) in
+    let next = Array.make n 0.0 in
+    let out_degree = Array.map List.length out_edges in
+    let iter = ref 0 in
+    let delta = ref infinity in
+    while !iter < iterations && !delta > epsilon do
+      Array.fill next 0 n 0.0;
+      let dangling = ref 0.0 in
+      for v = 0 to n - 1 do
+        if out_degree.(v) = 0 then dangling := !dangling +. rank.(v)
+        else begin
+          let share = rank.(v) /. float_of_int out_degree.(v) in
+          List.iter (fun w -> next.(w) <- next.(w) +. share) out_edges.(v)
+        end
+      done;
+      let base = ((1.0 -. damping) +. (damping *. !dangling)) /. float_of_int n in
+      delta := 0.0;
+      for v = 0 to n - 1 do
+        let nv = base +. (damping *. next.(v)) in
+        delta := !delta +. Float.abs (nv -. rank.(v));
+        rank.(v) <- nv
+      done;
+      incr iter
+    done;
+    rank
+  end

@@ -1,0 +1,14 @@
+(** PageRank by power iteration.
+
+    Dangling nodes spread their mass uniformly; the result sums to 1
+    (within floating-point error). *)
+
+(** [compute ~n ~out_edges ()] ranks nodes [0..n-1]. *)
+val compute :
+  ?damping:float ->
+  ?iterations:int ->
+  ?epsilon:float ->
+  n:int ->
+  out_edges:int list array ->
+  unit ->
+  float array

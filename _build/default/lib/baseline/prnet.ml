@@ -1,0 +1,34 @@
+(* PageRank-centrality trace signal selection, after the method the paper
+   compares against as "PRNet" [7]: rank flip-flops by structural
+   importance in the state dependency graph and trace the top ranks under
+   the bit budget.
+
+   Link orientation follows the web analogy used in [7]: every FF "cites"
+   the FFs it depends on, so rank accumulates on registers that many other
+   registers read — hub state such as counters, mode registers and shared
+   datapath registers. *)
+
+type selection = {
+  ranked : (int * float) list;  (* FF q-net, rank; descending *)
+  selected : int list;  (* FF q-nets chosen under the budget *)
+  budget : int;
+}
+
+let rank netlist =
+  let g = Ff_graph.build netlist in
+  (* edge b -> a when a feeds b: dependents cite their sources *)
+  let ranks = Pagerank.compute ~n:(Ff_graph.n g) ~out_edges:g.Ff_graph.pred () in
+  let pairs = Array.to_list (Array.mapi (fun i r -> (g.Ff_graph.ff_net.(i), r)) ranks) in
+  List.sort
+    (fun (na, ra) (nb, rb) ->
+      match compare rb ra with 0 -> compare na nb | c -> c)
+    pairs
+
+let select netlist ~budget =
+  if budget <= 0 then invalid_arg "Prnet.select: budget must be positive";
+  let ranked = rank netlist in
+  let rec take acc left = function
+    | [] -> List.rev acc
+    | (net, _) :: rest -> if left = 0 then List.rev acc else take (net :: acc) (left - 1) rest
+  in
+  { ranked; selected = take [] budget ranked; budget }

@@ -1,0 +1,21 @@
+open Flowtrace_netlist
+
+(** PageRank-based trace signal selection (the "PRNet" baseline of
+    Section 5.4, after [7]).
+
+    Flip-flops are ranked by PageRank over the state dependency graph
+    (each FF citing the FFs it reads); the top-ranked bits fill the trace
+    budget. *)
+
+type selection = {
+  ranked : (int * float) list;  (** (FF q-net, rank), descending *)
+  selected : int list;  (** FF q-nets chosen under the budget *)
+  budget : int;
+}
+
+(** [rank netlist] ranks every flip-flop, descending, ties by net id. *)
+val rank : Netlist.t -> (int * float) list
+
+(** [select netlist ~budget] traces the [budget] top-ranked flip-flop
+    bits. *)
+val select : Netlist.t -> budget:int -> selection

@@ -1,0 +1,88 @@
+(* SRR-driven greedy trace signal selection, after the method the paper
+   compares against as "SigSeT" [2] (Basu & Mishra, VLSI Design 2011).
+
+   Each round adds the flip-flop with the best marginal restorability
+   estimate: how much not-yet-covered state its value helps pin down, one
+   combinational step away in each temporal direction (its D-cone sources
+   backward, its dependents forward), discounted by gate invertibility.
+   After the greedy phase the real SRR of the chosen set is measured with
+   simulated restoration ({!Srr}). Like all SRR methods, the score favours
+   internal hub registers (counters, shift registers, CRC state) over
+   interface registers — the behaviour Table 4 demonstrates. *)
+
+open Flowtrace_core
+open Flowtrace_netlist
+
+type selection = {
+  selected : int list;  (* FF q-nets, selection order *)
+  budget : int;
+  srr : Srr.result;  (* measured on a probe window *)
+}
+
+(* Invertibility weight of the path from FF [a] to FF [b]'s D input:
+   crude structural estimate — 1 / (1 + #gates on the cone) so shallow,
+   tightly coupled registers count more, as their values restore with
+   higher probability. *)
+let coupling netlist b =
+  let cone = Netlist.fanin_cone netlist b in
+  let gates =
+    List.length
+      (List.filter
+         (fun id ->
+           match (Netlist.node netlist id).Netlist.kind with
+           | Netlist.Input | Netlist.Const _ | Netlist.Ff_q -> false
+           | _ -> true)
+         cone)
+  in
+  1.0 /. (1.0 +. float_of_int gates)
+
+let select ?(cycles = 48) ?(rng = Rng.create 1) netlist ~budget =
+  if budget <= 0 then invalid_arg "Sigset.select: budget must be positive";
+  let g = Ff_graph.build netlist in
+  let n = Ff_graph.n g in
+  let weight = Array.map (fun net -> coupling netlist net) g.Ff_graph.ff_net in
+  let covered = Array.make n false in
+  let chosen = Array.make n false in
+  let selected = ref [] in
+  let indegree = Array.map (fun preds -> float_of_int (List.length preds)) g.Ff_graph.pred in
+  let marginal i =
+    if chosen.(i) then neg_infinity
+    else begin
+      let score = ref (if covered.(i) then 0.0 else 1.0) in
+      (* Forward restorability: i helps pin dependent j's next state only
+         together with j's other sources, so its share of j is divided by
+         j's in-degree — single-source chains (shift registers, LFSRs)
+         score full marks, widely-fed control state much less. *)
+      List.iter
+        (fun j -> if not covered.(j) then score := !score +. (weight.(j) /. Float.max 1.0 indegree.(j)))
+        g.Ff_graph.succ.(i);
+      (* Backward restorability: justifying i's own D cone pins its
+         sources, with the same sharing argument. *)
+      List.iter
+        (fun j ->
+          if not covered.(j) then score := !score +. (weight.(i) /. Float.max 1.0 indegree.(i)))
+        g.Ff_graph.pred.(i);
+      !score
+    end
+  in
+  let budget = min budget n in
+  for _ = 1 to budget do
+    let best = ref (-1) and best_score = ref neg_infinity in
+    for i = 0 to n - 1 do
+      let s = marginal i in
+      if s > !best_score then begin
+        best := i;
+        best_score := s
+      end
+    done;
+    if !best >= 0 then begin
+      chosen.(!best) <- true;
+      covered.(!best) <- true;
+      List.iter (fun j -> covered.(j) <- true) g.Ff_graph.succ.(!best);
+      List.iter (fun j -> covered.(j) <- true) g.Ff_graph.pred.(!best);
+      selected := g.Ff_graph.ff_net.(!best) :: !selected
+    end
+  done;
+  let selected = List.rev !selected in
+  let srr = Srr.evaluate ~rng netlist ~traced:selected ~cycles in
+  { selected; budget; srr }

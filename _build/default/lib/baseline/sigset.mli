@@ -1,0 +1,20 @@
+(** SRR-driven greedy trace signal selection (the "SigSeT" baseline of
+    Section 5.4, after Basu & Mishra [2]).
+
+    Greedily picks flip-flops by marginal restorability estimate over the
+    state dependency graph, then measures the real SRR of the chosen set
+    with simulated restoration. Favours internal hub registers over
+    interface registers — the limitation Table 4 exposes. *)
+
+open Flowtrace_core
+open Flowtrace_netlist
+
+type selection = {
+  selected : int list;  (** FF q-nets in selection order *)
+  budget : int;
+  srr : Srr.result;  (** measured on a probe window *)
+}
+
+(** [select netlist ~budget] picks [budget] flip-flop bits. [cycles]
+    (default 48) sizes the SRR probe window; [rng] drives its stimulus. *)
+val select : ?cycles:int -> ?rng:Rng.t -> Netlist.t -> budget:int -> selection

@@ -1,0 +1,1 @@
+lib/bug/bug.ml: Flowtrace_soc Format Packet Sim String

@@ -1,0 +1,1 @@
+lib/bug/bug.mli: Flowtrace_soc Format Packet Sim

@@ -1,0 +1,1 @@
+lib/bug/catalog.ml: Bug Flowtrace_soc List Option Packet Printf String

@@ -1,0 +1,1 @@
+lib/bug/catalog.mli: Bug

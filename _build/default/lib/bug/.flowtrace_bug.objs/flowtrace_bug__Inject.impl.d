@@ -1,0 +1,1 @@
+lib/bug/inject.ml: Bug Flowtrace_soc List Packet Printf Scenario Sim String

@@ -1,0 +1,1 @@
+lib/bug/inject.mli: Bug Flowtrace_soc Packet Scenario Sim

@@ -1,0 +1,1 @@
+lib/bug/trace_diff.ml: Flowtrace_soc List Map Option Packet String

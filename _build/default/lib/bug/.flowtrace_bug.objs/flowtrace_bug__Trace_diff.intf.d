@@ -1,0 +1,1 @@
+lib/bug/trace_diff.mli: Flowtrace_soc Packet

@@ -1,0 +1,47 @@
+(* Bug models: localized behavioural mutations of one IP, triggered by rare
+   payload patterns so symptoms take hundreds of observed messages to
+   manifest — matching the subtlety profile of Table 2 (industrial
+   communication bugs and the Stanford QED bug models). *)
+
+open Flowtrace_soc
+
+type category = Control | Data
+
+let category_to_string = function Control -> "Control" | Data -> "Data"
+
+type effect =
+  | Drop  (* message swallowed inside the buggy IP: hang symptom *)
+  | Corrupt of { field : string; xor_mask : int }  (* payload corruption *)
+  | Force of { field : string; value : int }  (* field stuck at a value *)
+  | Duplicate  (* message delivered twice (QED bug model) *)
+  | Delay of { cycles : int }  (* message held up inside the IP *)
+
+type t = {
+  id : int;
+  ip : string;  (* the buggy IP block *)
+  depth : int;  (* hierarchical depth from the top (Table 2) *)
+  category : category;
+  description : string;
+  target_msg : string;  (* the interface message the mutation acts on *)
+  trigger : Packet.t -> bool;  (* rare activation condition *)
+  effect : effect;
+}
+
+let applies bug (p : Packet.t) = String.equal p.Packet.msg bug.target_msg && bug.trigger p
+
+let apply_effect bug (p : Packet.t) =
+  match bug.effect with
+  | Drop -> Sim.Swallow
+  | Corrupt { field; xor_mask } ->
+      Sim.Deliver (Packet.with_field p field (Packet.field_exn p field lxor xor_mask))
+  | Force { field; value } -> Sim.Deliver (Packet.with_field p field value)
+  | Duplicate -> Sim.Replay p
+  | Delay { cycles } -> Sim.Stall (p, cycles)
+
+(* The simulator mutator realizing this bug. *)
+let mutator bug : Sim.t -> Packet.t -> Sim.action =
+ fun _sim p -> if applies bug p then apply_effect bug p else Sim.Deliver p
+
+let pp ppf b =
+  Format.fprintf ppf "bug %d [%s, depth %d, %s] on %s: %s" b.id b.ip b.depth
+    (category_to_string b.category) b.target_msg b.description

@@ -1,0 +1,44 @@
+(** Bug models (Table 2).
+
+    A bug is a localized behavioural mutation of one IP's handling of one
+    interface message, guarded by a rare payload trigger so symptoms take
+    many observed messages and cycles to manifest. Effects follow the
+    paper's two bug sources (industrial communication bugs, QED bug
+    models): dropped messages (hangs), corrupted fields (bad data /
+    misrouting), and stuck fields (protocol violations). *)
+
+open Flowtrace_soc
+
+type category = Control | Data
+
+val category_to_string : category -> string
+
+type effect =
+  | Drop  (** message swallowed inside the buggy IP: hang symptom *)
+  | Corrupt of { field : string; xor_mask : int }
+  | Force of { field : string; value : int }
+  | Duplicate  (** message delivered twice (QED bug model) *)
+  | Delay of { cycles : int }  (** message held up inside the IP *)
+
+type t = {
+  id : int;
+  ip : string;
+  depth : int;  (** hierarchical depth from the top (Table 2) *)
+  category : category;
+  description : string;
+  target_msg : string;
+  trigger : Packet.t -> bool;
+  effect : effect;
+}
+
+(** [applies bug p] tests the target message and the trigger. *)
+val applies : t -> Packet.t -> bool
+
+(** [apply_effect bug p] realizes the effect on a packet the bug applies
+    to. *)
+val apply_effect : t -> Packet.t -> Sim.action
+
+(** The simulator mutator realizing this bug. *)
+val mutator : t -> Sim.t -> Packet.t -> Sim.action
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** The 14-bug catalog (Table 2 / Table 5).
+
+    Bug ids match the ones Table 5 references; bugs 1, 3, 8, 11 are the
+    four representative entries of Table 2. *)
+
+(** All 14 bugs, ascending by id. *)
+val bugs : Bug.t list
+
+val by_id : int -> Bug.t
+val ids : int list
+val n_bugs : int
+
+(** The representative bugs detailed in Table 2. *)
+val table2_ids : int list

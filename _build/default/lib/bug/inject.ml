@@ -1,0 +1,57 @@
+(* Installing bugs into a simulation and running golden/buggy pairs. *)
+
+open Flowtrace_soc
+
+let install sim bugs = List.iter (fun b -> Sim.add_mutator sim (Bug.mutator b)) bugs
+
+let mutators bugs = List.map Bug.mutator bugs
+
+(* Golden and buggy runs of the same scenario workload (same seed, same
+   instance schedule): the only difference is the installed bugs, so trace
+   divergence is attributable to them. *)
+let golden_vs_buggy ?config scenario bugs =
+  let golden = Scenario.run ?config ~mutators:[] scenario in
+  let buggy = Scenario.run ?config ~mutators:(mutators bugs) scenario in
+  (golden, buggy)
+
+(* First symptom of a buggy run: an explicit scoreboard failure, or a hang
+   (an instance that never reached its stop state). *)
+type symptom =
+  | Failure of Sim.failure
+  | Hang of { flow : string; inst : int }
+  | No_symptom
+
+let symptom_of (outcome : Sim.outcome) =
+  match outcome.Sim.failures with
+  | f :: _ -> Failure f
+  | [] -> (
+      match outcome.Sim.hung with
+      | (flow, inst) :: _ -> Hang { flow; inst }
+      | [] -> No_symptom)
+
+let symptom_to_string = function
+  | Failure f -> Printf.sprintf "%s (at %s, cycle %d)" f.Sim.f_desc f.Sim.f_ip f.Sim.f_cycle
+  | Hang { flow; inst } -> Printf.sprintf "HANG: flow %s instance %d never completed" flow inst
+  | No_symptom -> "no symptom"
+
+(* The message through which a symptom is first observed, used as the
+   debug session's starting point. *)
+let symptom_message outcome =
+  match symptom_of outcome with
+  | Failure f ->
+      (* the last packet delivered to the failing IP before the failure *)
+      let before =
+        List.filter
+          (fun (p : Packet.t) -> p.Packet.cycle <= f.Sim.f_cycle && String.equal p.Packet.dst f.Sim.f_ip)
+          outcome.Sim.packets
+      in
+      (match List.rev before with p :: _ -> Some p.Packet.msg | [] -> None)
+  | Hang { flow; inst } ->
+      (* the last message the hung instance did emit *)
+      let mine =
+        List.filter
+          (fun (p : Packet.t) -> String.equal p.Packet.flow flow && p.Packet.inst = inst)
+          outcome.Sim.packets
+      in
+      (match List.rev mine with p :: _ -> Some p.Packet.msg | [] -> None)
+  | No_symptom -> None

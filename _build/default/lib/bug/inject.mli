@@ -1,0 +1,27 @@
+(** Installing bugs into simulations; golden/buggy run pairs; symptom
+    extraction. *)
+
+open Flowtrace_soc
+
+val install : Sim.t -> Bug.t list -> unit
+val mutators : Bug.t list -> (Sim.t -> Packet.t -> Sim.action) list
+
+(** [golden_vs_buggy scenario bugs] runs the identical workload twice —
+    without and with the bugs — so trace divergence is attributable to
+    them. *)
+val golden_vs_buggy :
+  ?config:Scenario.run_config -> Scenario.t -> Bug.t list -> Sim.outcome * Sim.outcome
+
+type symptom =
+  | Failure of Sim.failure
+  | Hang of { flow : string; inst : int }
+  | No_symptom
+
+(** The first observable symptom: a scoreboard failure, else a hang. *)
+val symptom_of : Sim.outcome -> symptom
+
+val symptom_to_string : symptom -> string
+
+(** The message through which the symptom is first observed — the debug
+    session's starting point. *)
+val symptom_message : Sim.outcome -> string option

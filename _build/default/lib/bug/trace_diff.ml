@@ -1,0 +1,43 @@
+(* Golden-vs-buggy trace comparison: the basis of Table 5's bug-coverage
+   metric. A message is affected by a bug if its observed occurrences in
+   the buggy run differ from the golden run — in count, in order, or in
+   any payload field ("its value in an execution of the buggy design
+   differs from its value in an execution of the bug free design"). *)
+
+open Flowtrace_soc
+
+module SMap = Map.Make (String)
+
+(* Per message name, the ordered occurrence list: (instance, fields). *)
+let occurrences packets =
+  List.fold_left
+    (fun acc (p : Packet.t) ->
+      let key = p.Packet.msg in
+      let entry = (p.Packet.inst, List.sort compare p.Packet.fields) in
+      SMap.update key (function None -> Some [ entry ] | Some l -> Some (entry :: l)) acc)
+    SMap.empty packets
+  |> SMap.map List.rev
+
+let affected_messages ~golden ~buggy =
+  let g = occurrences golden and b = occurrences buggy in
+  let names =
+    List.sort_uniq String.compare (List.map fst (SMap.bindings g) @ List.map fst (SMap.bindings b))
+  in
+  List.filter
+    (fun name ->
+      let og = Option.value ~default:[] (SMap.find_opt name g) in
+      let ob = Option.value ~default:[] (SMap.find_opt name b) in
+      og <> ob)
+    names
+
+(* Bug coverage of a message (Table 5): the fraction of the injected bugs
+   that affect it, over a set of (bug id, affected message list) results. *)
+let bug_coverage ~n_bugs ~affected_by_bug msg =
+  let affecting =
+    List.filter (fun (_, msgs) -> List.exists (String.equal msg) msgs) affected_by_bug
+  in
+  (List.map fst affecting, float_of_int (List.length affecting) /. float_of_int n_bugs)
+
+(* Message importance: the paper defines a message as important when few
+   bugs affect it (it symptomizes subtle bugs); importance = 1/coverage. *)
+let importance coverage = if coverage <= 0.0 then infinity else 1.0 /. coverage

@@ -1,0 +1,18 @@
+(** Golden-vs-buggy trace comparison (the bug-coverage metric of
+    Section 5.5 / Table 5). *)
+
+open Flowtrace_soc
+
+(** [affected_messages ~golden ~buggy] lists the message names whose
+    occurrence sequences (instance tags and payload fields) differ between
+    the two runs. *)
+val affected_messages : golden:Packet.t list -> buggy:Packet.t list -> string list
+
+(** [bug_coverage ~n_bugs ~affected_by_bug msg] is the ids of the bugs
+    affecting [msg] and their fraction of all injected bugs. *)
+val bug_coverage :
+  n_bugs:int -> affected_by_bug:(int * string list) list -> string -> int list * float
+
+(** [importance coverage] is [1/coverage] — high for messages that
+    symptomize few, subtle bugs. *)
+val importance : float -> float

@@ -1,0 +1,1 @@
+lib/core/combination.ml: Array List Message String

@@ -1,0 +1,1 @@
+lib/core/combination.mli: Message

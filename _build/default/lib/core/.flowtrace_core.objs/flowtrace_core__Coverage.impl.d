@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Indexed Interleave List Message String

@@ -1,0 +1,1 @@
+lib/core/dag.ml: Array List Queue

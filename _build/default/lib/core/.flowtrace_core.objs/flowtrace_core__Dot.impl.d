@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Flow Indexed Interleave List Message Printf String

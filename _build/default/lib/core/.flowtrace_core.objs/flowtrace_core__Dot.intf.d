@@ -1,0 +1,1 @@
+lib/core/dot.mli: Flow Interleave

@@ -1,0 +1,1 @@
+lib/core/execution.ml: Indexed Interleave List Rng String

@@ -1,0 +1,1 @@
+lib/core/execution.mli: Indexed Interleave Rng

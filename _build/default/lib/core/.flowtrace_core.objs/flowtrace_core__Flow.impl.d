@@ -1,0 +1,1 @@
+lib/core/flow.ml: Format Hashtbl List Map Message Option Printf Queue Set String

@@ -1,0 +1,1 @@
+lib/core/flow_algebra.ml: Flow List Message Printf String

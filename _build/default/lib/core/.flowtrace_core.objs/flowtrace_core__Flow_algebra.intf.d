@@ -1,0 +1,1 @@
+lib/core/flow_algebra.mli: Flow Message

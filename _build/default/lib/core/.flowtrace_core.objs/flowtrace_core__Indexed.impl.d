@@ -1,0 +1,1 @@
+lib/core/indexed.ml: Format Hashtbl Int Map Printf Set String

@@ -1,0 +1,1 @@
+lib/core/indexed.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/core/infogain.ml: Array Dag Hashtbl Indexed Interleave List Message Option String

@@ -1,0 +1,1 @@
+lib/core/infogain.mli: Interleave Message

@@ -1,0 +1,1 @@
+lib/core/interleave.ml: Array Dag Flow Format Fun Hashtbl Indexed List Message Printf Queue String

@@ -1,0 +1,1 @@
+lib/core/interleave.mli: Flow Format Indexed Message

@@ -1,0 +1,1 @@
+lib/core/localize.ml: Array Dag Hashtbl Indexed Interleave List

@@ -1,0 +1,1 @@
+lib/core/localize.mli: Indexed Interleave

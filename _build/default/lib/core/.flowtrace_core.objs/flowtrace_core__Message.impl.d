@@ -1,0 +1,1 @@
+lib/core/message.ml: Format List Printf String

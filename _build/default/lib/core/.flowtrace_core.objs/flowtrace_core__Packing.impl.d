@@ -1,0 +1,1 @@
+lib/core/packing.ml: Float Infogain Interleave List Message String

@@ -1,0 +1,1 @@
+lib/core/packing.mli: Interleave Message

@@ -1,0 +1,1 @@
+lib/core/rng.ml: Array Float Int64 List

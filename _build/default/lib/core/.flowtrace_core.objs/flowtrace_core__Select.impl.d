@@ -1,0 +1,1 @@
+lib/core/select.ml: Combination Coverage Float Format Infogain Interleave List Message Packing String

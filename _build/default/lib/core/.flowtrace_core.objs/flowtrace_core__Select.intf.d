@@ -1,0 +1,1 @@
+lib/core/select.mli: Format Interleave Message Packing

@@ -1,0 +1,1 @@
+lib/core/spec_parser.ml: Buffer Flow List Message Printf String

@@ -1,0 +1,1 @@
+lib/core/spec_parser.mli: Flow

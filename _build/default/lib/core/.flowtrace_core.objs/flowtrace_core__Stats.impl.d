@@ -1,0 +1,1 @@
+lib/core/stats.ml: Dag Format Hashtbl Indexed Interleave List Option

@@ -1,0 +1,1 @@
+lib/core/stats.mli: Format Indexed Interleave

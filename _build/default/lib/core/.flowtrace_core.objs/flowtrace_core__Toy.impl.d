@@ -1,0 +1,1 @@
+lib/core/toy.ml: Flow Interleave Message

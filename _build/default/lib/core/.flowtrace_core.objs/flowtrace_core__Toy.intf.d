@@ -1,0 +1,1 @@
+lib/core/toy.mli: Flow Interleave

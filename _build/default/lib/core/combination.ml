@@ -1,0 +1,60 @@
+(* Step 1: enumerate candidate message combinations under the trace-buffer
+   width constraint (Section 3.1).
+
+   The search sorts messages by ascending width and prunes branches whose
+   remaining minimum width cannot fit, so it only visits feasible subsets.
+   [Too_many] guards against combinatorial blow-up; large scenarios should
+   use the greedy strategy in {!Select}. *)
+
+exception Too_many of int
+
+let default_limit = 1_000_000
+
+let enumerate ?(limit = default_limit) messages ~width =
+  if width <= 0 then invalid_arg "Combination.enumerate: width must be positive";
+  let ms = List.sort (fun a b -> compare (Message.trace_width a) (Message.trace_width b)) messages in
+  let arr = Array.of_list ms in
+  let n = Array.length arr in
+  let count = ref 0 in
+  let results = ref [] in
+  let rec go i remaining acc =
+    if i = n then begin
+      if acc <> [] then begin
+        incr count;
+        if !count > limit then raise (Too_many limit);
+        results := List.rev acc :: !results
+      end
+    end
+    else begin
+      (* skip arr.(i) *)
+      go (i + 1) remaining acc;
+      (* take arr.(i) if it fits; messages are width-sorted so if this one
+         does not fit, none of the rest do either *)
+      let w = Message.trace_width arr.(i) in
+      if w <= remaining then go (i + 1) (remaining - w) (arr.(i) :: acc)
+    end
+  in
+  go 0 width [];
+  !results
+
+(* Keep only combinations that are maximal under inclusion among those that
+   fit. Because information gain is monotone in the message set, a maximal
+   combination always scores at least as high as any of its subsets; the
+   exact-maximal strategy uses this to shrink the candidate list. *)
+let maximal_only combos =
+  let name_set combo =
+    List.sort_uniq String.compare (List.map (fun m -> m.Message.name) combo)
+  in
+  let with_sets = List.map (fun c -> (c, name_set c)) combos in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  List.filter_map
+    (fun (c, s) ->
+      let dominated =
+        List.exists (fun (_, s') -> List.length s' > List.length s && subset s s') with_sets
+      in
+      if dominated then None else Some c)
+    with_sets
+
+let count messages ~width = List.length (enumerate ~limit:max_int messages ~width)
+
+let fits messages ~width = Message.total_width messages <= width

@@ -1,0 +1,29 @@
+(** Step 1: candidate message combinations under the buffer-width
+    constraint (Section 3.1, Definition 6).
+
+    A message combination is an unordered set of messages; its total bit
+    width is the sum of member widths. Only combinations whose total width
+    fits the trace buffer are candidates for Step 2. *)
+
+(** Raised by {!enumerate} when more than [limit] combinations fit. *)
+exception Too_many of int
+
+val default_limit : int
+
+(** [enumerate messages ~width] lists every non-empty subset of [messages]
+    whose total width is at most [width]. Raises {!Too_many} past [limit]
+    (default 1,000,000) results. *)
+val enumerate : ?limit:int -> Message.t list -> width:int -> Message.t list list
+
+(** [maximal_only combos] drops combinations strictly included in another
+    candidate. Since information gain is monotone in the message set, the
+    best maximal candidate is a best candidate overall. Quadratic — apply
+    to modest candidate lists only. *)
+val maximal_only : Message.t list list -> Message.t list list
+
+(** [count messages ~width] is the number of fitting combinations (the
+    paper's running example: 6 of 7 for the coherence flow at width 2). *)
+val count : Message.t list -> width:int -> int
+
+(** [fits messages ~width] checks Definition 6's constraint. *)
+val fits : Message.t list -> width:int -> bool

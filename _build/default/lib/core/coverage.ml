@@ -1,0 +1,24 @@
+(* Flow specification coverage (Definition 7): the fraction of interleaved
+   flow states that are "visible", i.e. reached by a transition labeled with
+   a selected (indexed) message. *)
+
+let visible_states inter ~selected =
+  let seen = Array.make (Interleave.n_states inter) false in
+  List.iter
+    (fun (e : Interleave.edge) ->
+      if selected e.Interleave.e_msg.Indexed.base then seen.(e.Interleave.e_dst) <- true)
+    (Interleave.edges inter);
+  let acc = ref [] in
+  for s = Interleave.n_states inter - 1 downto 0 do
+    if seen.(s) then acc := s :: !acc
+  done;
+  !acc
+
+let compute inter ~selected =
+  let n = Interleave.n_states inter in
+  if n = 0 then 0.0
+  else float_of_int (List.length (visible_states inter ~selected)) /. float_of_int n
+
+let of_combination inter combo =
+  let names = List.map (fun (m : Message.t) -> m.Message.name) combo in
+  compute inter ~selected:(fun base -> List.exists (String.equal base) names)

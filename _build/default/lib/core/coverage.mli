@@ -1,0 +1,19 @@
+(** Flow specification coverage (Definition 7).
+
+    For a message, the {e visible states} are the product states reached on
+    transitions labeled with (any indexed instance of) that message. The
+    coverage of a message combination is the size of the union of visible
+    states over its messages, as a fraction of all reachable product
+    states. The paper's example: coverage of [{ReqE, GntE}] over Figure 2's
+    interleaving is [11/15 = 0.7333]. *)
+
+(** [visible_states inter ~selected] lists the product states reached by an
+    edge whose base message is accepted by [selected]. *)
+val visible_states : Interleave.t -> selected:(string -> bool) -> int list
+
+(** [compute inter ~selected] is the coverage fraction in [0, 1]. *)
+val compute : Interleave.t -> selected:(string -> bool) -> float
+
+(** [of_combination inter combo] is the coverage of an explicit message
+    list. *)
+val of_combination : Interleave.t -> Message.t list -> float

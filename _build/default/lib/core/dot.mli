@@ -1,0 +1,13 @@
+(** Graphviz (DOT) export.
+
+    Initial states render as double circles, stop states as double
+    octagons, atomic states shaded. *)
+
+(** [of_flow f] is a DOT digraph of the flow. *)
+val of_flow : Flow.t -> string
+
+(** [of_interleave inter] is a DOT digraph of the interleaving;
+    [selected] highlights the traced messages' edges in red (the paper's
+    Figure 2 styling). Raises [Invalid_argument] past [max_states]
+    (default 500) states. *)
+val of_interleave : ?max_states:int -> ?selected:(string -> bool) -> Interleave.t -> string

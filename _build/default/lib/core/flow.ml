@@ -1,0 +1,163 @@
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type transition = { t_src : string; t_msg : string; t_dst : string }
+
+type t = {
+  name : string;
+  states : string list;
+  initial : string list;
+  stop : string list;
+  atomic : string list;
+  messages : Message.t list;
+  transitions : transition list;
+}
+
+exception Invalid of string * string list
+
+let transition t_src t_msg t_dst = { t_src; t_msg; t_dst }
+
+let message t name = List.find_opt (fun m -> String.equal m.Message.name name) t.messages
+
+let message_exn t name =
+  match message t name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Flow.message_exn: %s has no message %s" t.name name)
+
+let successors t s = List.filter (fun tr -> String.equal tr.t_src s) t.transitions
+
+let predecessors t s = List.filter (fun tr -> String.equal tr.t_dst s) t.transitions
+
+let is_stop t s = List.exists (String.equal s) t.stop
+let is_atomic t s = List.exists (String.equal s) t.atomic
+let is_initial t s = List.exists (String.equal s) t.initial
+
+(* Reachability over the transition graph restricted to [edges]. *)
+let reachable_from starts edges =
+  let adj =
+    List.fold_left
+      (fun acc (a, b) ->
+        SMap.update a (function None -> Some [ b ] | Some l -> Some (b :: l)) acc)
+      SMap.empty edges
+  in
+  let rec go seen = function
+    | [] -> seen
+    | s :: rest ->
+        if SSet.mem s seen then go seen rest
+        else
+          let nexts = Option.value ~default:[] (SMap.find_opt s adj) in
+          go (SSet.add s seen) (nexts @ rest)
+  in
+  go SSet.empty starts
+
+(* Cycle detection by iterated removal of sources (Kahn). *)
+let is_dag states edges =
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace indeg s 0) states;
+  List.iter
+    (fun (_, b) ->
+      match Hashtbl.find_opt indeg b with
+      | Some d -> Hashtbl.replace indeg b (d + 1)
+      | None -> ())
+    edges;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun s d -> if d = 0 then Queue.add s queue) indeg;
+  let removed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    incr removed;
+    List.iter
+      (fun (a, b) ->
+        if String.equal a s then begin
+          let d = Hashtbl.find indeg b - 1 in
+          Hashtbl.replace indeg b d;
+          if d = 0 then Queue.add b queue
+        end)
+      edges
+  done;
+  !removed = List.length states
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let states = SSet.of_list t.states in
+  if t.name = "" then err "flow has an empty name";
+  if t.states = [] then err "flow %s has no states" t.name;
+  if List.length (List.sort_uniq String.compare t.states) <> List.length t.states then
+    err "flow %s has duplicate state names" t.name;
+  if t.initial = [] then err "flow %s has no initial state" t.name;
+  if t.stop = [] then err "flow %s has no stop state" t.name;
+  let check_subset what l =
+    List.iter (fun s -> if not (SSet.mem s states) then err "flow %s: %s state %s undeclared" t.name what s) l
+  in
+  check_subset "initial" t.initial;
+  check_subset "stop" t.stop;
+  check_subset "atomic" t.atomic;
+  List.iter
+    (fun s ->
+      if List.exists (String.equal s) t.atomic then
+        err "flow %s: state %s is both stop and atomic (Sp ∩ Atom must be empty)" t.name s)
+    t.stop;
+  let msg_names = List.map (fun m -> m.Message.name) t.messages in
+  if List.length (List.sort_uniq String.compare msg_names) <> List.length msg_names then
+    err "flow %s has duplicate message names" t.name;
+  List.iter
+    (fun tr ->
+      if not (SSet.mem tr.t_src states) then err "flow %s: transition from undeclared state %s" t.name tr.t_src;
+      if not (SSet.mem tr.t_dst states) then err "flow %s: transition to undeclared state %s" t.name tr.t_dst;
+      if not (List.exists (String.equal tr.t_msg) msg_names) then
+        err "flow %s: transition uses undeclared message %s" t.name tr.t_msg)
+    t.transitions;
+  (* Graph checks only consider edges between declared states; edges using
+     undeclared states were already reported above. *)
+  let edges =
+    List.filter_map
+      (fun tr ->
+        if SSet.mem tr.t_src states && SSet.mem tr.t_dst states then Some (tr.t_src, tr.t_dst)
+        else None)
+      t.transitions
+  in
+  if not (is_dag t.states edges) then err "flow %s is not a DAG" t.name;
+  List.iter
+    (fun s ->
+      if is_stop t s && successors t s <> [] then
+        err "flow %s: stop state %s has outgoing transitions" t.name s)
+    t.states;
+  (* Every state must be reachable from an initial state and must reach a
+     stop state; otherwise executions can strand (Definition 2 requires every
+     execution to end in a stop state). *)
+  let fwd = reachable_from t.initial edges in
+  let bwd = reachable_from t.stop (List.map (fun (a, b) -> (b, a)) edges) in
+  List.iter
+    (fun s ->
+      if not (SSet.mem s fwd) then err "flow %s: state %s unreachable from initial states" t.name s;
+      if not (SSet.mem s bwd) then err "flow %s: state %s cannot reach a stop state" t.name s)
+    t.states;
+  match !errs with [] -> Ok () | es -> Error (List.rev es)
+
+let make ~name ~states ~initial ~stop ?(atomic = []) ~messages ~transitions () =
+  let t = { name; states; initial; stop; atomic; messages; transitions } in
+  match validate t with Ok () -> t | Error es -> raise (Invalid (name, es))
+
+let n_states t = List.length t.states
+let n_messages t = List.length t.messages
+
+(* All maximal executions (paths from an initial to a stop state) as message
+   sequences. Exponential in general; used on small flows and guarded by
+   [limit]. *)
+let executions ?(limit = 1_000_000) t =
+  let count = ref 0 in
+  let rec go s acc =
+    if !count > limit then failwith "Flow.executions: limit exceeded";
+    if is_stop t s then begin
+      incr count;
+      [ List.rev acc ]
+    end
+    else
+      List.concat_map (fun tr -> go tr.t_dst (tr.t_msg :: acc)) (successors t s)
+  in
+  List.concat_map (fun s0 -> go s0 []) t.initial
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>flow %s (%d states, %d messages, %d transitions)@]" t.name
+    (n_states t) (n_messages t) (List.length t.transitions)

@@ -1,0 +1,77 @@
+(** Flows: transaction-level protocol specifications (Definition 1).
+
+    A flow is a directed acyclic graph [⟨S, S0, Sp, E, δ, Atom⟩]: flow
+    states, initial states, stop states, messages, a transition relation
+    labeled with messages, and a mutex set of {e atomic} states. An
+    execution (Definition 2) alternates states and messages and ends in a
+    stop state; its trace is the message sequence.
+
+    [make] validates the structural invariants the paper assumes implicitly
+    plus the ones executions need to be well defined:
+    - the transition graph is a DAG,
+    - [Sp ∩ Atom = ∅] (Definition 1),
+    - stop states have no successors,
+    - every state is reachable from an initial state and reaches a stop
+      state (so no execution strands, and atomic states can always be
+      exited). *)
+
+type transition = private { t_src : string; t_msg : string; t_dst : string }
+
+type t = private {
+  name : string;
+  states : string list;
+  initial : string list;
+  stop : string list;
+  atomic : string list;
+  messages : Message.t list;
+  transitions : transition list;
+}
+
+(** Raised by [make] with the flow name and the list of violated
+    invariants. *)
+exception Invalid of string * string list
+
+(** [transition src msg dst] builds a transition labeled with message name
+    [msg]. *)
+val transition : string -> string -> string -> transition
+
+(** [make ~name ~states ~initial ~stop ?atomic ~messages ~transitions ()]
+    builds and validates a flow. Raises {!Invalid} when any invariant is
+    violated. *)
+val make :
+  name:string ->
+  states:string list ->
+  initial:string list ->
+  stop:string list ->
+  ?atomic:string list ->
+  messages:Message.t list ->
+  transitions:transition list ->
+  unit ->
+  t
+
+(** [validate t] re-checks all invariants, returning the violations. *)
+val validate : t -> (unit, string list) result
+
+(** [message t name] looks up a declared message by name. *)
+val message : t -> string -> Message.t option
+
+(** [message_exn t name] is [message] or [Invalid_argument]. *)
+val message_exn : t -> string -> Message.t
+
+(** [successors t s] is the list of transitions leaving [s]. *)
+val successors : t -> string -> transition list
+
+(** [predecessors t s] is the list of transitions entering [s]. *)
+val predecessors : t -> string -> transition list
+
+val is_stop : t -> string -> bool
+val is_atomic : t -> string -> bool
+val is_initial : t -> string -> bool
+val n_states : t -> int
+val n_messages : t -> int
+
+(** [executions t] enumerates the traces of all executions of the single
+    flow (message-name sequences). Raises [Failure] past [limit] paths. *)
+val executions : ?limit:int -> t -> string list list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+(* Composition operators over flows: build larger protocol specifications
+   from validated pieces. All operators re-validate through Flow.make, so
+   composites inherit every structural invariant. *)
+
+open Flow
+
+let mem l s = List.exists (String.equal s) l
+
+(* Fresh state names: prefix every state with a tag when the two operand
+   flows collide (distinct tags even for self-composition). *)
+let prefix_states ~tag (f : Flow.t) =
+  let p s = tag ^ ":" ^ s in
+  Flow.make ~name:f.name ~states:(List.map p f.states) ~initial:(List.map p f.initial)
+    ~stop:(List.map p f.stop) ~atomic:(List.map p f.atomic) ~messages:f.messages
+    ~transitions:(List.map (fun tr -> Flow.transition (p tr.t_src) tr.t_msg (p tr.t_dst)) f.transitions)
+    ()
+
+let states_collide (f : Flow.t) (g : Flow.t) = List.exists (mem g.states) f.states
+
+let disambiguate f g =
+  if states_collide f g then
+    (prefix_states ~tag:(f.name ^ "#1") f, prefix_states ~tag:(g.name ^ "#2") g)
+  else (f, g)
+
+(* Messages of the two operands, deduplicated by name; a same-name message
+   must agree on width or the composition is rejected. *)
+let merge_messages (f : Flow.t) (g : Flow.t) =
+  List.fold_left
+    (fun acc (m : Message.t) ->
+      match List.find_opt (Message.equal_name m) acc with
+      | None -> acc @ [ m ]
+      | Some m' ->
+          if m'.Message.width <> m.Message.width then
+            invalid_arg
+              (Printf.sprintf "Flow_algebra: message %s has widths %d and %d" m.Message.name
+                 m'.Message.width m.Message.width)
+          else acc)
+    f.messages g.messages
+
+(* [sequence ~name f g]: run [f] to completion, then [g]. Every stop state
+   of [f] is fused with every initial state of [g] by bridging [f]'s
+   incoming-to-stop transitions onto [g]'s initial states; single-initial
+   [g] keeps the construction simple and covers the practical cases. *)
+let sequence ~name f g =
+  let f, g = disambiguate f g in
+  let g0 =
+    match g.initial with
+    | [ s ] -> s
+    | _ -> invalid_arg "Flow_algebra.sequence: second flow must have a single initial state"
+  in
+  let states = List.filter (fun s -> not (mem f.stop s)) f.states @ g.states in
+  let transitions =
+    List.map
+      (fun tr ->
+        if mem f.stop tr.t_dst then Flow.transition tr.t_src tr.t_msg g0 else tr)
+      f.transitions
+    @ g.transitions
+  in
+  Flow.make ~name ~states ~initial:f.initial ~stop:g.stop ~atomic:(f.atomic @ g.atomic)
+    ~messages:(merge_messages f g) ~transitions ()
+
+(* [choice ~name f g]: either behaviour, decided at the first message.
+   Both operands must have a single initial state, which are fused. *)
+let choice ~name f g =
+  let f, g = disambiguate f g in
+  let f0, g0 =
+    match (f.initial, g.initial) with
+    | [ a ], [ b ] -> (a, b)
+    | _ -> invalid_arg "Flow_algebra.choice: operands must have single initial states"
+  in
+  let init = "choice:" ^ f0 in
+  let rename_g s = if String.equal s g0 then init else s in
+  let states =
+    (init :: List.filter (fun s -> not (String.equal s f0)) f.states)
+    @ List.filter (fun s -> not (String.equal s g0)) g.states
+  in
+  let ren_f s = if String.equal s f0 then init else s in
+  let transitions =
+    List.map (fun tr -> Flow.transition (ren_f tr.t_src) tr.t_msg (ren_f tr.t_dst)) f.transitions
+    @ List.map
+        (fun tr -> Flow.transition (rename_g tr.t_src) tr.t_msg (rename_g tr.t_dst))
+        g.transitions
+  in
+  Flow.make ~name ~states ~initial:[ init ] ~stop:(f.stop @ g.stop) ~atomic:(f.atomic @ g.atomic)
+    ~messages:(merge_messages f g) ~transitions ()
+
+(* [relabel ~name ~subst f]: rename messages (e.g. to instantiate a flow
+   template against a concrete interface). [subst] maps old names to new
+   messages, which must preserve widths. *)
+let relabel ~name ~subst (f : Flow.t) =
+  let substitute (m : Message.t) =
+    match List.assoc_opt m.Message.name subst with
+    | None -> m
+    | Some (m' : Message.t) ->
+        if m'.Message.width <> m.Message.width then
+          invalid_arg
+            (Printf.sprintf "Flow_algebra.relabel: %s -> %s changes width" m.Message.name
+               m'.Message.name)
+        else m'
+  in
+  let messages = List.map substitute f.messages in
+  let msg_name old =
+    match List.assoc_opt old subst with Some m -> m.Message.name | None -> old
+  in
+  Flow.make ~name ~states:f.states ~initial:f.initial ~stop:f.stop ~atomic:f.atomic ~messages
+    ~transitions:(List.map (fun tr -> Flow.transition tr.t_src (msg_name tr.t_msg) tr.t_dst) f.transitions)
+    ()

@@ -1,0 +1,19 @@
+(** Composition operators over flows.
+
+    Build larger protocol specifications from validated pieces; every
+    composite goes back through {!Flow.make}, so all structural invariants
+    (DAG, reachability, stop/atomic discipline) are re-checked. *)
+
+(** [sequence ~name f g] runs [f] to completion, then [g] ([g] must have a
+    single initial state). Raises [Invalid_argument] on width clashes or
+    [Flow.Invalid] if the composite violates an invariant. *)
+val sequence : name:string -> Flow.t -> Flow.t -> Flow.t
+
+(** [choice ~name f g] behaves as either operand, decided by the first
+    message (both operands need single initial states). *)
+val choice : name:string -> Flow.t -> Flow.t -> Flow.t
+
+(** [relabel ~name ~subst f] renames messages via [subst] (old name to new
+    message, widths preserved) — instantiate a flow template against a
+    concrete interface. *)
+val relabel : name:string -> subst:(string * Message.t) list -> Flow.t -> Flow.t

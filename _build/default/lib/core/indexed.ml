@@ -1,0 +1,28 @@
+type t = { base : string; inst : int }
+
+let make base inst =
+  if inst < 0 then invalid_arg "Indexed.make: negative instance index";
+  { base; inst }
+
+let compare a b =
+  match Int.compare a.inst b.inst with 0 -> String.compare a.base b.base | c -> c
+
+let equal a b = a.inst = b.inst && String.equal a.base b.base
+
+let to_string a = Printf.sprintf "%d:%s" a.inst a.base
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let hash a = Hashtbl.hash (a.base, a.inst)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

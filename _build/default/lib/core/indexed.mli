@@ -1,0 +1,21 @@
+(** Indexed messages (Definition 3).
+
+    An indexed message [⟨m, i⟩] tags a message name with the index of the
+    flow instance that emitted it, distinguishing concurrent instances of
+    the same flow (the paper's formalization of hardware {e tagging}).
+    Rendered as ["i:m"], e.g. ["1:ReqE"]. *)
+
+type t = { base : string;  (** message name *) inst : int  (** flow-instance index *) }
+
+(** [make base inst] builds an indexed message; [inst] must be
+    non-negative. *)
+val make : string -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

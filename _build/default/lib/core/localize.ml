@@ -1,0 +1,98 @@
+(* Path localization (Section 5.2): given the trace observed through the
+   selected messages, how many executions of the interleaved flow remain
+   consistent with it?
+
+   A path is consistent with observation [o] when the projection of its
+   message sequence onto the selected base messages equals [o] (exact
+   semantics) or has [o] as a prefix (prefix semantics, for mid-execution
+   localization as in the paper's Figure 2 narrative). Counting is a DP
+   over (product state, observation position); the interleaved flow is a
+   DAG so memoization terminates. *)
+
+type semantics = Exact | Prefix | Suffix
+
+(* Forward DP for Exact/Prefix: f(state, pos) counts path suffixes from
+   [state] to a stop whose projection consumes obs[pos..] (Exact) or at
+   least reaches its end (Prefix). *)
+let forward_count ~semantics inter ~selected ~obs =
+  let len = Array.length obs in
+  let memo : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let rec count s pos =
+    match Hashtbl.find_opt memo (s, pos) with
+    | Some v -> v
+    | None ->
+        let v =
+          if Interleave.is_stop inter s then if pos = len then 1 else 0
+          else
+            List.fold_left
+              (fun acc (msg, dst) ->
+                let base = msg.Indexed.base in
+                if selected base then
+                  if pos < len then
+                    if Indexed.equal msg obs.(pos) then Dag.sat_add acc (count dst (pos + 1))
+                    else acc
+                  else
+                    match semantics with
+                    | Exact -> acc
+                    | Prefix | Suffix ->
+                        (* observation exhausted: any continuation matches *)
+                        Dag.sat_add acc (count dst pos)
+                else Dag.sat_add acc (count dst pos))
+              0 (Interleave.out_edges inter s)
+        in
+        Hashtbl.replace memo (s, pos) v;
+        v
+  in
+  List.fold_left (fun acc s0 -> Dag.sat_add acc (count s0 0)) 0 (Interleave.initials inter)
+
+(* Backward DP for Suffix — the wrapped-trace-buffer case, where only the
+   LAST entries survive: g(state, pos) counts path prefixes from an
+   initial state to [state] whose projection still has obs[0..pos) left to
+   have produced, i.e. walking edges backward consumes the observation
+   from its end. *)
+let backward_count inter ~selected ~obs =
+  let len = Array.length obs in
+  let memo : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let is_initial =
+    let set = Hashtbl.create 4 in
+    List.iter (fun s -> Hashtbl.replace set s ()) (Interleave.initials inter);
+    fun s -> Hashtbl.mem set s
+  in
+  (* pos = number of trailing observation entries already matched *)
+  let rec count s pos =
+    match Hashtbl.find_opt memo (s, pos) with
+    | Some v -> v
+    | None ->
+        let v =
+          let here = if is_initial s && pos = len then 1 else 0 in
+          List.fold_left
+            (fun acc (msg, src) ->
+              let base = msg.Indexed.base in
+              if selected base then
+                if pos < len then
+                  if Indexed.equal msg obs.(len - 1 - pos) then
+                    Dag.sat_add acc (count src (pos + 1))
+                  else acc
+                else (* everything matched; earlier selected messages were
+                        overwritten by wrap-around *)
+                  Dag.sat_add acc (count src pos)
+              else Dag.sat_add acc (count src pos))
+            here (Interleave.in_edges inter s)
+        in
+        Hashtbl.replace memo (s, pos) v;
+        v
+  in
+  List.fold_left (fun acc s -> Dag.sat_add acc (count s 0)) 0 (Interleave.stops inter)
+
+let consistent_paths ?(semantics = Exact) inter ~selected ~observed =
+  let obs = Array.of_list observed in
+  match semantics with
+  | Exact | Prefix -> forward_count ~semantics inter ~selected ~obs
+  | Suffix -> backward_count inter ~selected ~obs
+
+let fraction ?semantics inter ~selected ~observed =
+  let total = Interleave.total_paths inter in
+  if total = 0 then 0.0
+  else
+    float_of_int (consistent_paths ?semantics inter ~selected ~observed)
+    /. float_of_int total

@@ -1,0 +1,33 @@
+(** Path localization (Section 5.2).
+
+    Given an interleaved flow, the set of traced (selected) base messages
+    and the observed trace — the sequence of indexed messages that appeared
+    in the trace buffer — count how many executions remain consistent.
+    Localization is that count over the total number of executions; Table 3
+    reports it as a percentage ("paths needed to explore"). *)
+
+(** [Exact]: a path matches when its projection onto the selected messages
+    equals the observation (completed executions). [Prefix]: the
+    projection merely starts with the observation (mid-execution
+    localization). [Suffix]: the projection ends with the observation —
+    the wrapped-trace-buffer case, where only the last entries survive
+    overwriting. *)
+type semantics = Exact | Prefix | Suffix
+
+(** [consistent_paths inter ~selected ~observed] counts (saturating)
+    consistent initial-to-stop paths. [selected] accepts base message
+    names; [observed] is the trace-buffer content in order. *)
+val consistent_paths :
+  ?semantics:semantics ->
+  Interleave.t ->
+  selected:(string -> bool) ->
+  observed:Indexed.t list ->
+  int
+
+(** [fraction] is {!consistent_paths} over {!Interleave.total_paths}. *)
+val fraction :
+  ?semantics:semantics ->
+  Interleave.t ->
+  selected:(string -> bool) ->
+  observed:Indexed.t list ->
+  float

@@ -1,0 +1,54 @@
+type subgroup = { sg_name : string; sg_width : int }
+
+type t = {
+  name : string;
+  width : int;
+  beats : int;  (* cycles the message is streamed over; footnote 2 *)
+  src : string;
+  dst : string;
+  subgroups : subgroup list;
+}
+
+let make ?(src = "?") ?(dst = "?") ?(subgroups = []) ?(beats = 1) name width =
+  if name = "" then invalid_arg "Message.make: empty name";
+  if width <= 0 then invalid_arg (Printf.sprintf "Message.make: %s has width %d" name width);
+  if beats < 1 || beats > width then
+    invalid_arg (Printf.sprintf "Message.make: %s has %d beats for width %d" name beats width);
+  List.iter
+    (fun sg ->
+      if sg.sg_width <= 0 || sg.sg_width >= width then
+        invalid_arg
+          (Printf.sprintf "Message.make: subgroup %s.%s width %d not in (0, %d)" name sg.sg_name
+             sg.sg_width width))
+    subgroups;
+  let names = List.map (fun sg -> sg.sg_name) subgroups in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg (Printf.sprintf "Message.make: duplicate subgroup names in %s" name);
+  { name; width; beats; src; dst; subgroups }
+
+let subgroup name width =
+  if width <= 0 then invalid_arg "Message.subgroup: width must be positive";
+  { sg_name = name; sg_width = width }
+
+let width m = m.width
+
+(* Bits the message occupies in the trace buffer per cycle: a multi-cycle
+   message streamed over [beats] cycles needs only its per-beat width
+   (the paper's footnote 2). *)
+let trace_width m = (m.width + m.beats - 1) / m.beats
+
+let total_width ms = List.fold_left (fun acc m -> acc + trace_width m) 0 ms
+
+let compare_by_name a b = String.compare a.name b.name
+
+let equal_name a b = String.equal a.name b.name
+
+let find_subgroup m name = List.find_opt (fun sg -> String.equal sg.sg_name name) m.subgroups
+
+let qualified_subgroup_name m sg = m.name ^ "." ^ sg.sg_name
+
+let pp ppf m =
+  if m.beats = 1 then Format.fprintf ppf "%s<%d>" m.name m.width
+  else Format.fprintf ppf "%s<%dx%d>" m.name (trace_width m) m.beats
+
+let to_string m = Format.asprintf "%a" pp m

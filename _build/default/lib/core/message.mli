@@ -1,0 +1,60 @@
+(** Messages: the alphabet of flows.
+
+    A message is a named assignment to the interface signals of a hardware
+    IP, abstracted as a pair [(content, width)] per Section 2 of the paper.
+    Width is the number of bits the message occupies in the trace buffer.
+    Messages additionally carry their source and destination IP (used to
+    derive legal IP pairs during debugging) and an optional list of
+    {e subgroups} — named bit-fields that Step 3 of the selection algorithm
+    may pack individually (e.g. OpenSPARC T2's 20-bit [dmusiidata] with its
+    6-bit [cputhreadid] field). *)
+
+(** A packable bit-field of a wider message. *)
+type subgroup = private { sg_name : string; sg_width : int }
+
+type t = private {
+  name : string;  (** unique within a usage scenario *)
+  width : int;  (** total bit width; must be positive *)
+  beats : int;  (** cycles the message streams over (footnote 2); >= 1 *)
+  src : string;  (** source IP name, ["?"] when unknown *)
+  dst : string;  (** destination IP name, ["?"] when unknown *)
+  subgroups : subgroup list;  (** packable sub-fields, strictly narrower *)
+}
+
+(** [make name width] builds a message. Raises [Invalid_argument] when the
+    name is empty, the width is not positive, [beats] is outside
+    [1, width], a subgroup is as wide as the message, or subgroup names
+    collide. *)
+val make :
+  ?src:string -> ?dst:string -> ?subgroups:subgroup list -> ?beats:int -> string -> int -> t
+
+(** [subgroup name width] builds a subgroup descriptor. *)
+val subgroup : string -> int -> subgroup
+
+(** [width m] is [m.width]. *)
+val width : t -> int
+
+(** [trace_width m] is the bits [m] occupies in the trace buffer per
+    cycle: [ceil (width / beats)] — footnote 2's rule for multi-cycle
+    messages. *)
+val trace_width : t -> int
+
+(** [total_width ms] is the summed per-cycle trace width of a message
+    combination (Definition 6 with footnote 2). *)
+val total_width : t list -> int
+
+(** Total order on message names. *)
+val compare_by_name : t -> t -> int
+
+(** [equal_name a b] compares by name only. *)
+val equal_name : t -> t -> bool
+
+(** [find_subgroup m name] looks up a subgroup of [m] by name. *)
+val find_subgroup : t -> string -> subgroup option
+
+(** [qualified_subgroup_name m sg] is ["m.sg"], the display name used in
+    selection results. *)
+val qualified_subgroup_name : t -> subgroup -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,101 @@
+(* Step 3: pack the leftover trace-buffer bits with subgroups of wider
+   messages (Section 3.3).
+
+   A subgroup is a named bit-field of a message that did not (fully) fit in
+   the buffer, e.g. OpenSPARC T2's 6-bit [cputhreadid] inside the 20-bit
+   [dmusiidata]. Packing greedily adds the subgroup that maximizes the
+   information gain of the selection-in-union-with-it, until nothing fits.
+
+   With [scale_partial = false] (the paper's formulation) a packed subgroup
+   contributes its parent's full information term: observing any slice of
+   the interface register reveals the transition's occurrence. With
+   [scale_partial = true] the term is scaled by the fraction of parent bits
+   captured so far — an ablation knob discussed in DESIGN.md. *)
+
+type packed = { p_parent : Message.t; p_sub : Message.subgroup }
+
+let qualified p = Message.qualified_subgroup_name p.p_parent p.p_sub
+
+(* Gain of [selected] plus packed subgroups, under the chosen scaling. *)
+let gain_with inter ~scale_partial ~selected ~packs =
+  let full = List.map (fun (m : Message.t) -> m.Message.name) selected in
+  let partial : (string * float) list =
+    (* accumulated captured fraction per parent, capped at 1 *)
+    List.fold_left
+      (fun acc p ->
+        let name = p.p_parent.Message.name in
+        let frac =
+          float_of_int p.p_sub.Message.sg_width /. float_of_int p.p_parent.Message.width
+        in
+        match List.assoc_opt name acc with
+        | Some f -> (name, Float.min 1.0 (f +. frac)) :: List.remove_assoc name acc
+        | None -> (name, Float.min 1.0 frac) :: acc)
+      [] packs
+  in
+  let weight base =
+    if List.exists (String.equal base) full then 1.0
+    else
+      match List.assoc_opt base partial with
+      | Some f -> if scale_partial then f else 1.0
+      | None -> 0.0
+  in
+  Infogain.compute_weighted inter ~weight
+
+let pack inter ~selected ~gain:_ ~bits_used ~buffer_width ~scale_partial =
+  let selected_names = List.map (fun (m : Message.t) -> m.Message.name) selected in
+  let rec go packs bits =
+    let leftover = buffer_width - bits in
+    if leftover <= 0 then (packs, bits)
+    else
+      (* Candidate subgroups: fields of messages not already fully selected,
+         not already packed, narrow enough for the leftover bits. *)
+      let candidates =
+        List.concat_map
+          (fun (m : Message.t) ->
+            if List.exists (String.equal m.Message.name) selected_names then []
+            else
+              List.filter_map
+                (fun sg ->
+                  let p = { p_parent = m; p_sub = sg } in
+                  if sg.Message.sg_width <= leftover
+                     && not (List.exists (fun p' -> String.equal (qualified p') (qualified p)) packs)
+                  then Some p
+                  else None)
+                m.Message.subgroups)
+          (Interleave.messages inter)
+      in
+      match candidates with
+      | [] -> (packs, bits)
+      | _ ->
+          let scored =
+            List.map
+              (fun p -> (p, gain_with inter ~scale_partial ~selected ~packs:(p :: packs)))
+              candidates
+          in
+          let current = gain_with inter ~scale_partial ~selected ~packs in
+          let best =
+            List.fold_left
+              (fun acc (p, g) ->
+                match acc with
+                | None -> Some (p, g)
+                | Some (p', g') ->
+                    if
+                      g -. g' > 1e-12
+                      || (Float.abs (g -. g') <= 1e-12
+                         && (p.p_sub.Message.sg_width > p'.p_sub.Message.sg_width
+                            || (p.p_sub.Message.sg_width = p'.p_sub.Message.sg_width
+                               && String.compare (qualified p) (qualified p') < 0)))
+                    then Some (p, g)
+                    else acc)
+              None scored
+          in
+          (match best with
+          | Some (p, g) when g >= current -. 1e-12 ->
+              (* Gains are monotone, so any candidate keeps g >= current;
+                 ties prefer the widest subgroup to maximize utilization. *)
+              go (p :: packs) (bits + p.p_sub.Message.sg_width)
+          | _ -> (packs, bits))
+  in
+  let packs, bits = go [] bits_used in
+  let final_gain = gain_with inter ~scale_partial ~selected ~packs in
+  (List.rev packs, final_gain, bits)

@@ -1,0 +1,32 @@
+(** Step 3: packing leftover trace-buffer bits with message subgroups
+    (Section 3.3).
+
+    Greedily adds the subgroup (a named bit-field of a message that was not
+    selected whole) that maximizes the information gain of the union, until
+    no subgroup fits the leftover width. Table 3's "WP" columns measure the
+    benefit. *)
+
+(** A packed subgroup: the parent message and the chosen bit-field. *)
+type packed = { p_parent : Message.t; p_sub : Message.subgroup }
+
+(** [qualified p] is the display name ["parent.sub"]. *)
+val qualified : packed -> string
+
+(** [gain_with inter ~scale_partial ~selected ~packs] is the information
+    gain of the full messages [selected] together with packed subgroups
+    [packs]. When [scale_partial] each subgroup's term is scaled by the
+    captured fraction of parent bits; otherwise (the paper's formulation)
+    a subgroup contributes the parent's full term. *)
+val gain_with :
+  Interleave.t -> scale_partial:bool -> selected:Message.t list -> packs:packed list -> float
+
+(** [pack inter ~selected ~gain ~bits_used ~buffer_width ~scale_partial]
+    runs Step 3 and returns [(packs, final_gain, final_bits_used)]. *)
+val pack :
+  Interleave.t ->
+  selected:Message.t list ->
+  gain:float ->
+  bits_used:int ->
+  buffer_width:int ->
+  scale_partial:bool ->
+  packed list * float * int

@@ -1,0 +1,45 @@
+(* Deterministic splitmix64 generator. Simulations, workloads and tests all
+   draw from this so that every experiment is reproducible from a seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod n
+
+let float t bound = Float.of_int (bits t) /. Float.of_int (1 lsl 62) *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_arr: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = create (Int64.to_int (next_int64 t))

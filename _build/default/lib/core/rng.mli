@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library — workload generation,
+    execution sampling, debug-session message ordering — takes one of these
+    so that experiments are exactly reproducible from an integer seed. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [int t n] draws uniformly from [0, n). Raises [Invalid_argument] if
+    [n <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] draws uniformly from [0, bound). *)
+val float : t -> float -> float
+
+(** [bool t] draws a fair coin flip. *)
+val bool : t -> bool
+
+(** [pick t xs] draws a uniformly random element of [xs]. Raises
+    [Invalid_argument] on the empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [pick_arr t a] draws a uniformly random element of [a]. *)
+val pick_arr : t -> 'a array -> 'a
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives an independent generator, advancing [t]. *)
+val split : t -> t

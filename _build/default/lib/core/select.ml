@@ -1,0 +1,174 @@
+(* The full message-selection pipeline: Step 1 (enumeration), Step 2
+   (mutual-information maximization), Step 3 (packing) — Section 3. *)
+
+type strategy = Exact | Exact_maximal | Greedy
+
+type result = {
+  messages : Message.t list;
+  packed : Packing.packed list;
+  gain : float;
+  coverage : float;
+  bits_used : int;
+  buffer_width : int;
+}
+
+let utilization r =
+  if r.buffer_width = 0 then 0.0 else float_of_int r.bits_used /. float_of_int r.buffer_width
+
+let selected_names r =
+  List.map (fun m -> m.Message.name) r.messages @ List.map Packing.qualified r.packed
+
+(* Base names whose transitions are observable given the selection; packed
+   subgroups expose their parent's transitions (the field is a slice of the
+   same interface register, so its occurrence is visible). *)
+let observable_bases r =
+  List.sort_uniq String.compare
+    (List.map (fun m -> m.Message.name) r.messages
+    @ List.map (fun p -> p.Packing.p_parent.Message.name) r.packed)
+
+let is_observable r base = List.exists (String.equal base) (observable_bases r)
+
+(* Deterministic comparison for Step-2 ties: higher gain first, then more
+   bits (the paper's secondary objective is maximal buffer utilization),
+   then lexicographically smaller name list. *)
+let better (gain_a, bits_a, names_a) (gain_b, bits_b, names_b) =
+  if gain_a -. gain_b > 1e-12 then true
+  else if gain_b -. gain_a > 1e-12 then false
+  else if bits_a <> bits_b then bits_a > bits_b
+  else names_a < names_b
+
+let combo_key combo = List.sort String.compare (List.map (fun m -> m.Message.name) combo)
+
+let step2 inter candidates =
+  match candidates with
+  | [] -> invalid_arg "Select.step2: no candidate combinations"
+  | first :: rest ->
+      let ev = Infogain.evaluator inter in
+      let score combo = (Infogain.eval ev combo, Message.total_width combo, combo_key combo) in
+      let best_combo, best_score =
+        List.fold_left
+          (fun (bc, bs) c ->
+            let s = score c in
+            if better s bs then (c, s) else (bc, bs))
+          (first, score first) rest
+      in
+      let gain, _, _ = best_score in
+      (best_combo, gain)
+
+let greedy inter ~buffer_width =
+  let ev = Infogain.evaluator inter in
+  let pool = Interleave.messages inter in
+  let rec go selected remaining pool =
+    let candidates =
+      List.filter (fun (m : Message.t) -> Message.trace_width m <= remaining) pool
+    in
+    match candidates with
+    | [] -> List.rev selected
+    | _ ->
+        (* best marginal gain; ties to the narrower message, then name *)
+        let best =
+          List.fold_left
+            (fun acc m ->
+              let g = Infogain.eval_base ev m.Message.name in
+              match acc with
+              | None -> Some (m, g)
+              | Some (m', g') ->
+                  if
+                    g -. g' > 1e-12
+                    || (Float.abs (g -. g') <= 1e-12
+                       && (Message.trace_width m < Message.trace_width m'
+                          || (Message.trace_width m = Message.trace_width m'
+                             && String.compare m.Message.name m'.Message.name < 0)))
+                  then Some (m, g)
+                  else acc)
+            None candidates
+        in
+        (match best with
+        | None -> List.rev selected
+        | Some (m, _) ->
+            go (m :: selected)
+              (remaining - Message.trace_width m)
+              (List.filter (fun m' -> not (Message.equal_name m m')) pool))
+  in
+  go [] buffer_width pool
+
+let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) inter ~buffer_width =
+  match strategy with
+  | Greedy ->
+      let combo = greedy inter ~buffer_width in
+      if combo = [] then invalid_arg "Select: no message fits the trace buffer";
+      let gain = Infogain.of_combination inter combo in
+      (combo, gain)
+  | Exact | Exact_maximal ->
+      let candidates = Combination.enumerate ~limit (Interleave.messages inter) ~width:buffer_width in
+      if candidates = [] then invalid_arg "Select: no message fits the trace buffer";
+      let candidates =
+        match strategy with Exact_maximal -> Combination.maximal_only candidates | _ -> candidates
+      in
+      step2 inter candidates
+
+let select ?strategy ?limit ?(pack = true) ?(scale_partial = false) inter ~buffer_width =
+  let combo, gain = step1_step2 ?strategy ?limit inter ~buffer_width in
+  let bits = Message.total_width combo in
+  let packed, gain, bits =
+    if pack then
+      Packing.pack inter ~selected:combo ~gain ~bits_used:bits ~buffer_width ~scale_partial
+    else ([], gain, bits)
+  in
+  let observable =
+    List.sort_uniq String.compare
+      (List.map (fun (m : Message.t) -> m.Message.name) combo
+      @ List.map (fun p -> p.Packing.p_parent.Message.name) packed)
+  in
+  let coverage =
+    Coverage.compute inter ~selected:(fun base -> List.exists (String.equal base) observable)
+  in
+  { messages = combo; packed; gain; coverage; bits_used = bits; buffer_width }
+
+let pp_result ppf r =
+  let packed_names = List.map Packing.qualified r.packed in
+  Format.fprintf ppf
+    "@[<v>selected: %s@,packed: %s@,gain: %.4f  coverage: %.2f%%  utilization: %.2f%% (%d/%d bits)@]"
+    (String.concat ", " (List.map (fun m -> m.Message.name) r.messages))
+    (if packed_names = [] then "-" else String.concat ", " packed_names)
+    r.gain (100.0 *. r.coverage) (100.0 *. utilization r) r.bits_used r.buffer_width
+
+(* Per-message breakdown of the selection decision: each pool message's
+   own information term, per-cycle bit cost and gain density — the
+   "why was this traced?" report. *)
+type contribution = {
+  co_message : Message.t;
+  co_gain : float;
+  co_bits : int;
+  co_density : float;  (* gain per trace-buffer bit *)
+  co_selected : bool;
+  co_packed : bool;  (* observed only through packed subgroups *)
+}
+
+let explain inter r =
+  let ev = Infogain.evaluator inter in
+  let fully m = List.exists (Message.equal_name m) r.messages in
+  let packed_parent (m : Message.t) =
+    List.exists (fun p -> String.equal p.Packing.p_parent.Message.name m.Message.name) r.packed
+  in
+  let contributions =
+    List.map
+      (fun (m : Message.t) ->
+        let g = Infogain.eval_base ev m.Message.name in
+        let bits = Message.trace_width m in
+        {
+          co_message = m;
+          co_gain = g;
+          co_bits = bits;
+          co_density = g /. float_of_int bits;
+          co_selected = fully m;
+          co_packed = (not (fully m)) && packed_parent m;
+        })
+      (Interleave.messages inter)
+  in
+  List.sort (fun a b -> compare b.co_gain a.co_gain) contributions
+
+let pp_contribution ppf c =
+  Format.fprintf ppf "%-16s gain %.4f  bits %2d  density %.4f  %s" c.co_message.Message.name
+    c.co_gain c.co_bits c.co_density
+    (if c.co_selected then "SELECTED" else if c.co_packed then "packed" else "-")

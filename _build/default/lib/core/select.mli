@@ -1,0 +1,75 @@
+(** The full message-selection pipeline (Section 3): Step 1 candidate
+    enumeration under the buffer-width constraint, Step 2 mutual-information
+    maximization, Step 3 packing of leftover bits with message subgroups. *)
+
+(** Candidate search strategy for Steps 1-2:
+    - [Exact]: enumerate every fitting combination and score each (the
+      paper's formulation);
+    - [Exact_maximal]: enumerate, then keep only inclusion-maximal fitting
+      combinations — sound because gain is monotone, and cheaper to score;
+    - [Greedy]: iteratively add the message with the best precomputed gain
+      term that still fits; O(n) gain evaluations, for large scenarios. *)
+type strategy = Exact | Exact_maximal | Greedy
+
+(** Outcome of a selection run. [bits_used / buffer_width] is the
+    trace-buffer utilization reported in Table 3. *)
+type result = {
+  messages : Message.t list;  (** fully selected messages (Step 2) *)
+  packed : Packing.packed list;  (** packed subgroups (Step 3) *)
+  gain : float;  (** information gain of the final selection *)
+  coverage : float;  (** flow specification coverage, Definition 7 *)
+  bits_used : int;
+  buffer_width : int;
+}
+
+(** [utilization r] is [bits_used / buffer_width] in [0, 1]. *)
+val utilization : result -> float
+
+(** Display names of everything selected, subgroups qualified as
+    ["parent.sub"]. *)
+val selected_names : result -> string list
+
+(** Base message names whose transitions are observable under [r] —
+    fully selected messages plus parents of packed subgroups. *)
+val observable_bases : result -> string list
+
+(** [is_observable r base] tests membership in {!observable_bases}. *)
+val is_observable : result -> string -> bool
+
+(** [step2 inter candidates] scores every candidate and returns the best
+    with its gain. Ties break deterministically: more bits (utilization is
+    the paper's secondary objective), then lexicographic. Raises
+    [Invalid_argument] on an empty candidate list. *)
+val step2 : Interleave.t -> Message.t list list -> Message.t list * float
+
+(** [select inter ~buffer_width] runs the pipeline. [pack] (default true)
+    enables Step 3; [scale_partial] (default false — the paper's
+    formulation) scales packed subgroup contributions by captured bit
+    fraction; [limit] bounds Step-1 enumeration. Raises [Invalid_argument]
+    when no message fits the buffer. *)
+val select :
+  ?strategy:strategy ->
+  ?limit:int ->
+  ?pack:bool ->
+  ?scale_partial:bool ->
+  Interleave.t ->
+  buffer_width:int ->
+  result
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Per-message breakdown of the selection decision. *)
+type contribution = {
+  co_message : Message.t;
+  co_gain : float;  (** the message's own information term *)
+  co_bits : int;  (** per-cycle trace width *)
+  co_density : float;  (** gain per trace-buffer bit *)
+  co_selected : bool;
+  co_packed : bool;  (** observed only through packed subgroups *)
+}
+
+(** [explain inter r] ranks the whole message pool by information term —
+    the "why was this traced?" report. *)
+val explain : Interleave.t -> result -> contribution list
+
+val pp_contribution : Format.formatter -> contribution -> unit

@@ -1,0 +1,164 @@
+(* A small text format for flow specifications, so the CLI and examples can
+   load scenarios from files. One directive per line:
+
+     flow <name>
+     state <name> [init] [stop] [atomic]
+     msg <name> <width> [from <ip>] [to <ip>] [sub <name> <width>]...
+     trans <src-state> <msg> <dst-state>
+
+   '#' starts a comment. A file may contain several flows; each [flow]
+   directive starts a new one. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let error line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type builder = {
+  mutable b_name : string;
+  mutable b_states : string list;
+  mutable b_initial : string list;
+  mutable b_stop : string list;
+  mutable b_atomic : string list;
+  mutable b_messages : Message.t list;
+  mutable b_transitions : Flow.transition list;
+}
+
+let new_builder name =
+  {
+    b_name = name;
+    b_states = [];
+    b_initial = [];
+    b_stop = [];
+    b_atomic = [];
+    b_messages = [];
+    b_transitions = [];
+  }
+
+let finish b =
+  try
+    Ok
+      (Flow.make ~name:b.b_name ~states:(List.rev b.b_states) ~initial:(List.rev b.b_initial)
+         ~stop:(List.rev b.b_stop) ~atomic:(List.rev b.b_atomic)
+         ~messages:(List.rev b.b_messages)
+         ~transitions:(List.rev b.b_transitions)
+         ())
+  with Flow.Invalid (_, errs) -> Error errs
+
+let parse_int lineno s =
+  match int_of_string_opt s with Some n -> n | None -> error lineno "expected an integer, got %S" s
+
+let parse_msg_args lineno name width rest =
+  let src = ref "?" and dst = ref "?" and subs = ref [] and beats = ref 1 in
+  let rec go = function
+    | [] -> ()
+    | "from" :: ip :: rest ->
+        src := ip;
+        go rest
+    | "to" :: ip :: rest ->
+        dst := ip;
+        go rest
+    | "beats" :: n :: rest ->
+        beats := parse_int lineno n;
+        go rest
+    | "sub" :: sname :: swidth :: rest ->
+        subs := Message.subgroup sname (parse_int lineno swidth) :: !subs;
+        go rest
+    | tok :: _ -> error lineno "unexpected token %S in msg directive" tok
+  in
+  go rest;
+  try Message.make ~src:!src ~dst:!dst ~subgroups:(List.rev !subs) ~beats:!beats name width
+  with Invalid_argument m -> error lineno "%s" m
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let flows = ref [] in
+  let current = ref None in
+  let finish_current lineno =
+    match !current with
+    | None -> ()
+    | Some b -> (
+        match finish b with
+        | Ok f -> flows := f :: !flows
+        | Error errs -> error lineno "invalid flow %s: %s" b.b_name (String.concat "; " errs))
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = match String.index_opt line '#' with Some j -> String.sub line 0 j | None -> line in
+      let tokens =
+        List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line))
+      in
+      match tokens with
+      | [] -> ()
+      | "flow" :: [ name ] ->
+          finish_current lineno;
+          current := Some (new_builder name)
+      | "flow" :: _ -> error lineno "flow directive takes exactly one name"
+      | directive :: args -> (
+          match !current with
+          | None -> error lineno "%s directive before any flow directive" directive
+          | Some b -> (
+              match (directive, args) with
+              | "state", name :: flags ->
+                  b.b_states <- name :: b.b_states;
+                  List.iter
+                    (function
+                      | "init" -> b.b_initial <- name :: b.b_initial
+                      | "stop" -> b.b_stop <- name :: b.b_stop
+                      | "atomic" -> b.b_atomic <- name :: b.b_atomic
+                      | f -> error lineno "unknown state flag %S" f)
+                    flags
+              | "state", [] -> error lineno "state directive needs a name"
+              | "msg", name :: width :: rest ->
+                  b.b_messages <- parse_msg_args lineno name (parse_int lineno width) rest :: b.b_messages
+              | "msg", _ -> error lineno "msg directive needs a name and a width"
+              | "trans", [ src; msg; dst ] ->
+                  b.b_transitions <- Flow.transition src msg dst :: b.b_transitions
+              | "trans", _ -> error lineno "trans directive takes <src> <msg> <dst>"
+              | d, _ -> error lineno "unknown directive %S" d)))
+    lines;
+  finish_current (List.length lines);
+  List.rev !flows
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let print_flow (f : Flow.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "flow %s\n" f.Flow.name);
+  List.iter
+    (fun s ->
+      let flags =
+        (if Flow.is_initial f s then " init" else "")
+        ^ (if Flow.is_stop f s then " stop" else "")
+        ^ if Flow.is_atomic f s then " atomic" else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "state %s%s\n" s flags))
+    f.Flow.states;
+  List.iter
+    (fun (m : Message.t) ->
+      let subs =
+        String.concat ""
+          (List.map
+             (fun sg -> Printf.sprintf " sub %s %d" sg.Message.sg_name sg.Message.sg_width)
+             m.Message.subgroups)
+      in
+      let beats = if m.Message.beats = 1 then "" else Printf.sprintf " beats %d" m.Message.beats in
+      Buffer.add_string buf
+        (Printf.sprintf "msg %s %d from %s to %s%s%s\n" m.Message.name m.Message.width m.Message.src
+           m.Message.dst beats subs))
+    f.Flow.messages;
+  List.iter
+    (fun (tr : Flow.transition) ->
+      Buffer.add_string buf
+        (Printf.sprintf "trans %s %s %s\n" tr.Flow.t_src tr.Flow.t_msg tr.Flow.t_dst))
+    f.Flow.transitions;
+  Buffer.contents buf
+
+let print_flows fs = String.concat "\n" (List.map print_flow fs)

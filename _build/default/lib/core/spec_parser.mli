@@ -1,0 +1,29 @@
+(** Text format for flow specifications.
+
+    One directive per line; ['#'] starts a comment:
+    {v
+    flow <name>
+    state <name> [init] [stop] [atomic]
+    msg <name> <width> [from <ip>] [to <ip>] [beats <n>] [sub <name> <width>]...
+    trans <src-state> <msg> <dst-state>
+    v}
+    A file may define several flows. [print_flow] inverts [parse_string]
+    up to formatting (round-trip tested). *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+(** [parse_string text] parses every flow in [text]. Raises {!Parse_error}
+    with a line number on malformed input, including flows that fail
+    {!Flow.validate}. *)
+val parse_string : string -> Flow.t list
+
+(** [parse_file path] reads and parses a file. *)
+val parse_file : string -> Flow.t list
+
+(** [print_flow f] renders a flow in the same format. *)
+val print_flow : Flow.t -> string
+
+(** [print_flows fs] renders several flows separated by blank lines. *)
+val print_flows : Flow.t list -> string

@@ -1,0 +1,14 @@
+(** Descriptive statistics of an interleaved flow. *)
+
+type t = {
+  st_states : int;
+  st_edges : int;
+  st_paths : int;  (** total executions (saturating) *)
+  st_longest : int;  (** longest execution, in messages *)
+  st_branching : float;  (** mean out-degree over non-stop states *)
+  st_entropy_bound : float;  (** [ln |S|] — the ceiling on information gain *)
+  st_occurrences : (Indexed.t * int) list;  (** edge counts, descending *)
+}
+
+val compute : Interleave.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(** The paper's running example (Figures 1-2). *)
+
+(** The toy cache-coherence flow: states [n → w → c → d] on messages
+    [ReqE, GntE, Ack] (each 1 bit), with [c] atomic. *)
+val cache_coherence : Flow.t
+
+(** [two_instances ()] is the interleaving of two legally indexed instances
+    (Figure 2): 15 reachable product states, 18 edges. *)
+val two_instances : unit -> Interleave.t
+
+(** A variant with a wide payload message ([GntData], 8 bits, subgroups
+    [way]/[line]) for exercising Step-3 packing. *)
+val cache_coherence_wide : Flow.t

@@ -1,0 +1,1 @@
+lib/debug/case_study.ml: Catalog Flowtrace_bug Flowtrace_soc List Printf Scenario Session

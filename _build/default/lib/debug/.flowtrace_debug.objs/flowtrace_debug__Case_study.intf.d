@@ -1,0 +1,1 @@
+lib/debug/case_study.mli: Bug Flowtrace_bug Flowtrace_soc Scenario Session

@@ -1,0 +1,1 @@
+lib/debug/cause.mli:

@@ -1,0 +1,1 @@
+lib/debug/evidence.ml: Flowtrace_bug Flowtrace_core Flowtrace_soc Hashtbl List Message Packet Scenario Select Sim String

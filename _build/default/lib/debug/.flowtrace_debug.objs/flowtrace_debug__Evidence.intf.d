@@ -1,0 +1,1 @@
+lib/debug/evidence.mli: Flowtrace_bug Flowtrace_core Flowtrace_soc Scenario Select Sim

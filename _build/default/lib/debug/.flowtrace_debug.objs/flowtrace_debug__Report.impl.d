@@ -1,0 +1,1 @@
+lib/debug/report.ml: Buffer Cause Evidence Flowtrace_bug Flowtrace_core Flowtrace_soc Inject List Printf Select Session String

@@ -1,0 +1,1 @@
+lib/debug/report.mli: Session

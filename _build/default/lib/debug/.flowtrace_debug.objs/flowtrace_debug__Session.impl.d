@@ -1,0 +1,1 @@
+lib/debug/session.ml: Array Cause Evidence Flow Flowtrace_bug Flowtrace_core Flowtrace_soc Hashtbl Inject List Message Rng Scenario Select Sim String T2

@@ -1,0 +1,1 @@
+lib/debug/session.mli: Bug Cause Evidence Flowtrace_bug Flowtrace_core Flowtrace_soc Inject Scenario Select

@@ -1,0 +1,14 @@
+(** The five debugging case studies (Tables 3 and 6): a usage scenario
+    paired with one activated catalog bug and a workload seed. *)
+
+open Flowtrace_soc
+open Flowtrace_bug
+
+type t = { cs_id : int; scenario : Scenario.t; bug_id : int; seed : int }
+
+val all : t list
+val by_id : int -> t
+val bug : t -> Bug.t
+
+(** [run cs] drives the full debug session for the case study. *)
+val run : ?buffer_width:int -> ?rounds:int -> t -> Session.t

@@ -1,0 +1,370 @@
+(* Potential architectural root causes per usage scenario (Table 1's last
+   column: 9, 8 and 9 causes; Table 7 shows three representatives for
+   Scenario 1).
+
+   Each cause carries elimination/implication rules over debugger-visible
+   evidence. [Exonerate_if_flow_healthy] is symptom-triage knowledge (the
+   regression harness reports pass/fail per flow); the message rules fire
+   when the corresponding traced message is investigated. *)
+
+type rule =
+  | Exonerate_if_seen_ok of string  (* message observed, count and content match golden *)
+  | Exonerate_if_counts_ok of string  (* occurrence counts match golden (content not needed) *)
+  | Exonerate_if_absent of string  (* message missing implies this cause is impossible *)
+  | Exonerate_if_flow_healthy of string  (* the flow this cause would break passed *)
+  | Implicate_if_absent of string
+  | Implicate_if_corrupt of string
+
+type t = {
+  c_id : int;
+  c_ip : string;  (* IP block the cause lives in *)
+  c_desc : string;
+  c_implication : string;  (* potential implication, as in Table 7 *)
+  c_rules : rule list;
+}
+
+let rule_message = function
+  | Exonerate_if_seen_ok m | Exonerate_if_counts_ok m | Exonerate_if_absent m
+  | Implicate_if_absent m | Implicate_if_corrupt m ->
+      Some m
+  | Exonerate_if_flow_healthy _ -> None
+
+(* --- Scenario 1: PIOR + PIOW + Mondo (9 causes) ------------------------- *)
+
+let scenario1 =
+  [
+    {
+      c_id = 1;
+      c_ip = "SIU";
+      c_desc = "Mondo request forwarded from DMU to SIU's bypass queue instead of ordered queue";
+      c_implication = "Mondo interrupt not serviced";
+      c_rules =
+        [
+          Implicate_if_absent "siincu";
+          Exonerate_if_absent "dmusiidata";
+          Exonerate_if_counts_ok "siincu";
+          Exonerate_if_flow_healthy "Mon";
+        ];
+    };
+    {
+      c_id = 2;
+      c_ip = "DMU";
+      c_desc = "Invalid Mondo payload forwarded to NCU from DMU via SIU";
+      c_implication = "Interrupt assigned to wrong CPU ID and Thread ID";
+      c_rules =
+        [
+          Implicate_if_corrupt "siincu";
+          Implicate_if_corrupt "dmusiidata";
+          Exonerate_if_absent "dmusiidata";
+          Exonerate_if_seen_ok "siincu";
+          Exonerate_if_flow_healthy "Mon";
+        ];
+    };
+    {
+      c_id = 3;
+      c_ip = "DMU";
+      c_desc = "Non-generation of Mondo interrupt by DMU";
+      c_implication = "Computing thread fetches operand from wrong memory location";
+      c_rules =
+        [
+          Implicate_if_absent "dmusiidata";
+          Exonerate_if_counts_ok "dmusiidata";
+          Exonerate_if_flow_healthy "Mon";
+        ];
+    };
+    {
+      c_id = 4;
+      c_ip = "DMU";
+      c_desc = "PIO read completion credit not returned by DMU";
+      c_implication = "NCU stalls issuing further PIO reads";
+      c_rules =
+        [
+          Implicate_if_absent "piordack";
+          Exonerate_if_counts_ok "piordack";
+          Exonerate_if_flow_healthy "PIOR";
+        ];
+    };
+    {
+      c_id = 5;
+      c_ip = "DMU";
+      c_desc = "Wrong PIO write credit accounting in DMU";
+      c_implication = "NCU write credit pool drains, blocking PIO writes";
+      c_rules =
+        [
+          Implicate_if_corrupt "piowcrd";
+          Exonerate_if_seen_ok "piowcrd";
+          Exonerate_if_flow_healthy "PIOW";
+        ];
+    };
+    {
+      c_id = 6;
+      c_ip = "NCU";
+      c_desc = "PIO write request malformed by NCU egress logic";
+      c_implication = "Write commits to a wrong device register";
+      c_rules =
+        [
+          Implicate_if_corrupt "piowreq";
+          Exonerate_if_seen_ok "piowreq";
+          Exonerate_if_flow_healthy "PIOW";
+        ];
+    };
+    {
+      c_id = 7;
+      c_ip = "DMU";
+      c_desc = "PIO read return data corrupted on the DMU-NCU path";
+      c_implication = "Computing thread fetches operand from wrong memory location";
+      c_rules =
+        [
+          Implicate_if_corrupt "dmuncurd";
+          Exonerate_if_seen_ok "dmuncurd";
+          Exonerate_if_flow_healthy "PIOR";
+        ];
+    };
+    {
+      c_id = 8;
+      c_ip = "SIU";
+      c_desc = "SIU arbiter starves the Mondo requestor of its grant";
+      c_implication = "Mondo interrupt delivery delayed indefinitely";
+      c_rules =
+        [
+          Implicate_if_absent "grant";
+          Exonerate_if_counts_ok "grant";
+          Exonerate_if_absent "reqtot";
+          Exonerate_if_flow_healthy "Mon";
+        ];
+    };
+    {
+      c_id = 9;
+      c_ip = "NCU";
+      c_desc = "Corrupted interrupt handling table / wrong dequeue logic in NCU";
+      c_implication = "Serviced interrupt acknowledged as nack or re-delivered";
+      c_rules =
+        [
+          Implicate_if_corrupt "mondoacknack";
+          Exonerate_if_seen_ok "mondoacknack";
+          Exonerate_if_absent "siincu";
+          Exonerate_if_flow_healthy "Mon";
+        ];
+    };
+  ]
+
+(* --- Scenario 2: NCUU + NCUD + Mondo (8 causes) -------------------------- *)
+
+let scenario2 =
+  [
+    {
+      c_id = 1;
+      c_ip = "SIU";
+      c_desc = "Upstream payload corrupted crossing the SIU-NCU interface";
+      c_implication = "CPU receives a malformed upstream request";
+      c_rules =
+        [
+          Implicate_if_corrupt "siincu";
+          Exonerate_if_seen_ok "siincu";
+          Exonerate_if_flow_healthy "NCUU";
+        ];
+    };
+    {
+      c_id = 2;
+      c_ip = "NCU";
+      c_desc = "NCU forward path corrupts the CPU request payload towards CCX";
+      c_implication = "Malformed CPU request from Cache Crossbar viewpoint";
+      c_rules =
+        [
+          Implicate_if_corrupt "ncucpx";
+          Exonerate_if_seen_ok "ncucpx";
+          Exonerate_if_flow_healthy "NCUU";
+        ];
+    };
+    {
+      c_id = 3;
+      c_ip = "CCX";
+      c_desc = "Crossbar acknowledge dropped under load";
+      c_implication = "Upstream requestor hangs awaiting completion";
+      c_rules =
+        [
+          Implicate_if_absent "cpxack";
+          Exonerate_if_counts_ok "cpxack";
+          Exonerate_if_flow_healthy "NCUU";
+        ];
+    };
+    {
+      c_id = 4;
+      c_ip = "NCU";
+      c_desc = "Erroneous CPU request decoding logic of NCU on the downstream path";
+      c_implication = "Memory controller receives a wrong command";
+      c_rules =
+        [
+          Implicate_if_corrupt "ncumcu";
+          Exonerate_if_seen_ok "ncumcu";
+          Exonerate_if_flow_healthy "NCUD";
+        ];
+    };
+    {
+      c_id = 5;
+      c_ip = "MCU";
+      c_desc = "Memory controller misinterprets a well-formed CPU request";
+      c_implication = "Wrong DRAM operation issued";
+      c_rules =
+        [
+          Implicate_if_corrupt "ncumcu";
+          Exonerate_if_seen_ok "ncumcu";
+          Exonerate_if_flow_healthy "NCUD";
+        ];
+    };
+    {
+      c_id = 6;
+      c_ip = "DMU";
+      c_desc = "Wrong construction of the Mondo Unit Control Block in DMU";
+      c_implication = "Interrupt assigned to wrong CPU ID and Thread ID";
+      c_rules =
+        [
+          Implicate_if_corrupt "dmusiidata";
+          Exonerate_if_seen_ok "dmusiidata";
+          Exonerate_if_flow_healthy "Mon";
+        ];
+    };
+    {
+      c_id = 7;
+      c_ip = "DMU";
+      c_desc = "DMU interrupt mapping table corrupted";
+      c_implication = "Interrupt assigned to wrong CPU ID and Thread ID";
+      c_rules =
+        [
+          Implicate_if_corrupt "dmusiidata";
+          Exonerate_if_seen_ok "dmusiidata";
+          Exonerate_if_flow_healthy "Mon";
+        ];
+    };
+    {
+      c_id = 8;
+      c_ip = "NCU";
+      c_desc = "Erroneous interrupt dequeue logic after interrupt is serviced";
+      c_implication = "Serviced interrupt acknowledged as nack";
+      c_rules =
+        [
+          Implicate_if_corrupt "mondoacknack";
+          Exonerate_if_seen_ok "mondoacknack";
+          Exonerate_if_absent "siincu";
+          Exonerate_if_flow_healthy "Mon";
+        ];
+    };
+  ]
+
+(* --- Scenario 3: PIOR + PIOW + NCUU + NCUD (9 causes) -------------------- *)
+
+let scenario3 =
+  [
+    {
+      c_id = 1;
+      c_ip = "NCU";
+      c_desc = "PIO write request malformed by NCU egress logic";
+      c_implication = "Write commits to a wrong device register";
+      c_rules =
+        [
+          Implicate_if_corrupt "piowreq";
+          Exonerate_if_seen_ok "piowreq";
+          Exonerate_if_flow_healthy "PIOW";
+        ];
+    };
+    {
+      c_id = 2;
+      c_ip = "DMU";
+      c_desc = "DMU write-address decode error (write commits to a wrong location)";
+      c_implication = "Subsequent reads observe stale or foreign data";
+      c_rules = [ Exonerate_if_flow_healthy "PIOW" ];
+    };
+    {
+      c_id = 3;
+      c_ip = "DMU";
+      c_desc = "Wrong credit identifier returned on PIO write completion";
+      c_implication = "NCU write credit pool corrupted";
+      c_rules =
+        [
+          Implicate_if_corrupt "piowcrd";
+          Exonerate_if_seen_ok "piowcrd";
+          Exonerate_if_flow_healthy "PIOW";
+        ];
+    };
+    {
+      c_id = 4;
+      c_ip = "DMU";
+      c_desc = "Wrong command generation on the DMU-PIU read path";
+      c_implication = "Read serviced from a wrong device address";
+      c_rules =
+        [
+          Implicate_if_corrupt "dmupiord";
+          Exonerate_if_seen_ok "dmupiord";
+          Exonerate_if_flow_healthy "PIOR";
+        ];
+    };
+    {
+      c_id = 5;
+      c_ip = "PIU";
+      c_desc = "Read data corrupted on the PIU return path";
+      c_implication = "Computing thread fetches a wrong operand";
+      c_rules =
+        [
+          Implicate_if_corrupt "piurdata";
+          Exonerate_if_seen_ok "piurdata";
+          Exonerate_if_flow_healthy "PIOR";
+        ];
+    };
+    {
+      c_id = 6;
+      c_ip = "DMU";
+      c_desc = "PIO read return corrupted on the DMU-NCU path";
+      c_implication = "Computing thread fetches a wrong operand";
+      c_rules =
+        [
+          Implicate_if_corrupt "dmuncurd";
+          Exonerate_if_seen_ok "dmuncurd";
+          Exonerate_if_flow_healthy "PIOR";
+        ];
+    };
+    {
+      c_id = 7;
+      c_ip = "SIU";
+      c_desc = "Upstream payload corrupted crossing the SIU-NCU interface";
+      c_implication = "CPU receives a malformed upstream request";
+      c_rules =
+        [
+          Implicate_if_corrupt "siincu";
+          Exonerate_if_seen_ok "siincu";
+          Exonerate_if_flow_healthy "NCUU";
+        ];
+    };
+    {
+      c_id = 8;
+      c_ip = "CCX";
+      c_desc = "Crossbar acknowledge dropped under load";
+      c_implication = "Upstream requestor hangs awaiting completion";
+      c_rules =
+        [
+          Implicate_if_absent "cpxack";
+          Exonerate_if_counts_ok "cpxack";
+          Exonerate_if_flow_healthy "NCUU";
+        ];
+    };
+    {
+      c_id = 9;
+      c_ip = "MCU";
+      c_desc = "Erroneous decoding of CPU requests in the memory controller";
+      c_implication = "Wrong DRAM operation issued";
+      c_rules =
+        [
+          Implicate_if_corrupt "ncumcu";
+          Exonerate_if_seen_ok "ncumcu";
+          Exonerate_if_flow_healthy "NCUD";
+        ];
+    };
+  ]
+
+let for_scenario id =
+  match id with
+  | 1 -> scenario1
+  | 2 -> scenario2
+  | 3 -> scenario3
+  | _ -> invalid_arg (Printf.sprintf "Cause.for_scenario: %d" id)
+
+let count id = List.length (for_scenario id)

@@ -1,0 +1,35 @@
+(** Potential architectural root causes per usage scenario (Table 1's
+    "potential root causes" column: 9, 8 and 9; Table 7 shows three
+    representatives for Scenario 1). *)
+
+type rule =
+  | Exonerate_if_seen_ok of string
+  | Exonerate_if_counts_ok of string
+      (** occurrence counts match golden — confirmable even through packed
+          subgroups *)
+  | Exonerate_if_absent of string
+  | Exonerate_if_flow_healthy of string
+      (** symptom-triage knowledge: the flow this cause would break
+          passed its regression checks *)
+  | Implicate_if_absent of string
+  | Implicate_if_corrupt of string
+
+type t = {
+  c_id : int;
+  c_ip : string;
+  c_desc : string;
+  c_implication : string;
+  c_rules : rule list;
+}
+
+(** The traced message a rule keys on ([None] for flow-health rules). *)
+val rule_message : rule -> string option
+
+val scenario1 : t list
+val scenario2 : t list
+val scenario3 : t list
+
+(** [for_scenario id] is the cause catalog of scenario [id] (1..3). *)
+val for_scenario : int -> t list
+
+val count : int -> int

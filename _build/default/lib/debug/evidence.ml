@@ -1,0 +1,105 @@
+(* What the debugger can actually see: per-message observations derived
+   from the trace buffer content of the buggy run, compared against the
+   golden run of the same workload, plus the regression harness's
+   pass/fail verdict per flow. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+
+type msg_evidence = {
+  me_msg : string;
+  me_src : string;
+  me_dst : string;
+  me_observable : bool;  (* recorded by the trace buffer under the selection *)
+  me_seen : int;  (* occurrences in the buggy run *)
+  me_golden : int;  (* occurrences in the golden run *)
+  me_payload_visible : bool;  (* full message in the buffer, not just a subgroup *)
+  me_corrupt : bool;  (* some occurrence deviates from golden payloads *)
+}
+
+type t = {
+  messages : msg_evidence list;
+  unhealthy_flows : string list;  (* flows with a hang or a failure *)
+  symptom : Flowtrace_bug.Inject.symptom;
+}
+
+(* Per message, the per-instance occurrence sequences — robust against
+   cross-instance reordering, which bugs cause legitimately. *)
+let occurrence_map packets =
+  let tbl : (string, (int * (string * int) list) list ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (p : Packet.t) ->
+      let entry = (p.Packet.inst, List.sort compare p.Packet.fields) in
+      match Hashtbl.find_opt tbl p.Packet.msg with
+      | Some r -> r := entry :: !r
+      | None -> Hashtbl.replace tbl p.Packet.msg (ref [ entry ]))
+    packets;
+  tbl
+
+let normalized tbl msg =
+  match Hashtbl.find_opt tbl msg with
+  | None -> []
+  | Some r -> List.stable_sort (fun (i, _) (j, _) -> compare i j) (List.rev !r)
+
+let build ~(selection : Select.result) ~(scenario : Scenario.t)
+    ~(golden : Sim.outcome) ~(buggy : Sim.outcome) =
+  let g = occurrence_map golden.Sim.packets in
+  let b = occurrence_map buggy.Sim.packets in
+  let fully_selected name =
+    List.exists (fun (m : Message.t) -> String.equal m.Message.name name) selection.Select.messages
+  in
+  let messages =
+    List.map
+      (fun (m : Message.t) ->
+        let og = normalized g m.Message.name and ob = normalized b m.Message.name in
+        {
+          me_msg = m.Message.name;
+          me_src = m.Message.src;
+          me_dst = m.Message.dst;
+          me_observable = Select.is_observable selection m.Message.name;
+          me_seen = List.length ob;
+          me_golden = List.length og;
+          me_payload_visible = fully_selected m.Message.name;
+          (* Payload comparison needs the full message in the buffer; a
+             message observed only through packed subgroups yields
+             occurrence counts but not content deviations. *)
+          me_corrupt =
+            fully_selected m.Message.name && og <> ob && List.length og = List.length ob;
+        })
+      (Scenario.messages scenario)
+  in
+  let unhealthy_flows =
+    List.sort_uniq String.compare
+      (List.map fst buggy.Sim.hung
+      @ List.map (fun (f : Sim.failure) -> f.Sim.f_flow) buggy.Sim.failures)
+  in
+  { messages; unhealthy_flows; symptom = Flowtrace_bug.Inject.symptom_of buggy }
+
+let for_message t msg = List.find_opt (fun e -> String.equal e.me_msg msg) t.messages
+
+(* Observation predicates used by cause rules. All require observability:
+   the debugger cannot reason from messages it never traced. *)
+(* Full exoneration needs the payload confirmed, which packed-subgroup
+   observation cannot do. *)
+let seen_ok t msg =
+  match for_message t msg with
+  | Some e ->
+      e.me_observable && e.me_payload_visible && e.me_seen = e.me_golden && not e.me_corrupt
+  | None -> false
+
+(* Occurrence counts match golden — confirmable even through packed
+   subgroups, and enough to refute pure-absence causes. *)
+let counts_ok t msg =
+  match for_message t msg with
+  | Some e -> e.me_observable && e.me_seen = e.me_golden
+  | None -> false
+
+let absent t msg =
+  match for_message t msg with
+  | Some e -> e.me_observable && e.me_seen < e.me_golden
+  | None -> false
+
+let corrupt t msg =
+  match for_message t msg with Some e -> e.me_observable && e.me_corrupt | None -> false
+
+let flow_healthy t flow = not (List.exists (String.equal flow) t.unhealthy_flows)

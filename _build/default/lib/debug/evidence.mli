@@ -1,0 +1,53 @@
+(** Debugger-visible observations.
+
+    Per-message evidence derived from the trace-buffer content of a buggy
+    run compared against the golden run of the same workload, plus the
+    regression harness's pass/fail verdict per flow. Observability is
+    honest: predicates only fire for messages the selection actually
+    traces, and payload deviations are visible only for fully selected
+    messages (packed subgroups yield occurrence counts, not content). *)
+
+open Flowtrace_core
+open Flowtrace_soc
+
+type msg_evidence = {
+  me_msg : string;
+  me_src : string;
+  me_dst : string;
+  me_observable : bool;
+  me_seen : int;
+  me_golden : int;
+  me_payload_visible : bool;
+  me_corrupt : bool;
+}
+
+type t = {
+  messages : msg_evidence list;
+  unhealthy_flows : string list;
+  symptom : Flowtrace_bug.Inject.symptom;
+}
+
+val build :
+  selection:Select.result ->
+  scenario:Scenario.t ->
+  golden:Sim.outcome ->
+  buggy:Sim.outcome ->
+  t
+
+val for_message : t -> string -> msg_evidence option
+
+(** Observed with golden-matching count and content. *)
+val seen_ok : t -> string -> bool
+
+(** Occurrence counts match golden (confirmable through packed
+    subgroups); refutes pure-absence causes. *)
+val counts_ok : t -> string -> bool
+
+(** Expected occurrences missing. *)
+val absent : t -> string -> bool
+
+(** Content deviates from golden. *)
+val corrupt : t -> string -> bool
+
+(** No hang and no failure among the flow's instances. *)
+val flow_healthy : t -> string -> bool

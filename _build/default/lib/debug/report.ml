@@ -1,0 +1,51 @@
+(* Human-readable rendering of a debugging session, in the shape of the
+   paper's Section 5.7 case-study narrative: symptom, selection, step-wise
+   elimination, verdict. *)
+
+open Flowtrace_core
+open Flowtrace_bug
+
+let render (s : Session.t) =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+  add "=== debug session: %s ===" s.Session.scenario.Flowtrace_soc.Scenario.name;
+  add "symptom: %s" (Inject.symptom_to_string s.Session.symptom);
+  add "selection (%d-bit buffer): %s" s.Session.selection.Select.buffer_width
+    (String.concat ", " (Select.selected_names s.Session.selection));
+  add "";
+  add "evidence (observable messages):";
+  List.iter
+    (fun e ->
+      if e.Evidence.me_observable then
+        add "  %-14s seen %d/%d%s%s" e.Evidence.me_msg e.Evidence.me_seen e.Evidence.me_golden
+          (if e.Evidence.me_corrupt then "  CORRUPT" else "")
+          (if e.Evidence.me_payload_visible then "" else "  (occurrence counts only)"))
+    s.Session.evidence.Evidence.messages;
+  add "";
+  add "investigation (%d legal IP pairs, %d potential root causes):"
+    (List.length s.Session.legal_pairs)
+    s.Session.causes_total;
+  List.iter
+    (fun st ->
+      add "  %-14s %3d occurrences -> %d pairs, %d causes remain" st.Session.st_msg
+        st.Session.st_entries st.Session.st_pairs_remaining st.Session.st_causes_remaining)
+    s.Session.steps;
+  add "";
+  (match s.Session.plausible with
+  | [] -> add "verdict: every catalogued cause exonerated — symptom unexplained"
+  | causes ->
+      add "verdict (%d plausible cause%s, %.1f%% pruned):" (List.length causes)
+        (if List.length causes > 1 then "s" else "")
+        (100.0 *. Session.pruned_fraction s);
+      List.iter
+        (fun (c : Cause.t) ->
+          add "  [%s] %s%s" c.Cause.c_ip c.Cause.c_desc
+            (if List.memq c s.Session.implicated then "  (implicated by evidence)" else "");
+          add "        implication: %s" c.Cause.c_implication)
+        causes);
+  add "investigated %d messages across %d of %d legal IP pairs"
+    s.Session.messages_investigated s.Session.pairs_investigated
+    (List.length s.Session.legal_pairs);
+  Buffer.contents buf
+
+let print s = print_string (render s)

@@ -1,0 +1,5 @@
+(** Human-readable rendering of a debugging session, in the shape of the
+    paper's Section 5.7 case-study narrative. *)
+
+val render : Session.t -> string
+val print : Session.t -> unit

@@ -1,0 +1,200 @@
+(* A debugging session (Section 5.6): starting from the bug symptom,
+   investigate traced messages one at a time — pseudo-randomly, guided by
+   the participating flows — and progressively eliminate candidate legal
+   IP pairs and candidate root causes.
+
+   Produces the measurements behind Table 6 (pairs/messages investigated,
+   root-caused function), Figure 6 (elimination curves) and Figure 7
+   (cause pruning distribution). *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_bug
+
+type step = {
+  st_msg : string;
+  st_entries : int;  (* trace-buffer occurrences examined for this message *)
+  st_pairs_remaining : int;
+  st_causes_remaining : int;
+}
+
+type t = {
+  scenario : Scenario.t;
+  selection : Select.result;
+  evidence : Evidence.t;
+  symptom : Inject.symptom;
+  causes_total : int;
+  plausible : Cause.t list;
+  implicated : Cause.t list;
+  steps : step list;
+  legal_pairs : (string * string) list;
+  pairs_investigated : int;
+  messages_investigated : int;  (* total trace-buffer entries examined *)
+}
+
+(* Legal IP pairs of a scenario: distinct (src, dst) with a message between
+   them (Section 5.6). *)
+let legal_pairs scenario =
+  List.sort_uniq compare
+    (List.map (fun (m : Message.t) -> (m.Message.src, m.Message.dst)) (Scenario.messages scenario))
+
+(* Investigation order: backtrack from the symptom message through its
+   flow (reverse flow order), then the remaining observable messages in a
+   seed-determined shuffle — "pseudo-random and guided by the
+   participating flows". *)
+let investigation_order ~rng ~scenario ~selection ~symptom_flow ~symptom_msg =
+  let observable =
+    List.filter
+      (fun (m : Message.t) -> Select.is_observable selection m.Message.name)
+      (Scenario.messages scenario)
+  in
+  let names = List.map (fun (m : Message.t) -> m.Message.name) observable in
+  let flow_msgs =
+    match symptom_flow with
+    | Some fname ->
+        let f = T2.flow_by_name fname in
+        (* reverse flow order: last-emitted message first *)
+        let in_flow = List.map (fun (m : Message.t) -> m.Message.name) f.Flow.messages in
+        let rev = List.rev in_flow in
+        (* rotate so the symptom message comes first when known *)
+        let rotated =
+          match symptom_msg with
+          | Some sm when List.mem sm rev ->
+              let rec rot = function
+                | [] -> []
+                | x :: rest when String.equal x sm -> x :: rest
+                | _ :: rest -> rot rest
+              in
+              rot rev @ List.filter (fun m -> not (List.mem m (rot rev))) rev
+          | _ -> rev
+        in
+        List.filter (fun m -> List.mem m names) rotated
+    | None -> []
+  in
+  let rest = List.filter (fun m -> not (List.mem m flow_msgs)) names in
+  let rest_arr = Array.of_list rest in
+  Rng.shuffle rng rest_arr;
+  flow_msgs @ Array.to_list rest_arr
+
+type cause_state = { cause : Cause.t; mutable alive : bool; mutable implicated_ : bool }
+
+(* Apply the flow-health triage rules (the regression harness's pass/fail
+   verdict is available before any trace entry is examined). *)
+let triage evidence causes =
+  List.iter
+    (fun cs ->
+      if cs.alive then
+        List.iter
+          (fun rule ->
+            match rule with
+            | Cause.Exonerate_if_flow_healthy flow ->
+                if Evidence.flow_healthy evidence flow then cs.alive <- false
+            | _ -> ())
+          cs.cause.Cause.c_rules)
+    causes
+
+(* Apply the message rules of all alive causes that key on [msg]. *)
+let investigate evidence causes msg =
+  List.iter
+    (fun cs ->
+      if cs.alive then
+        List.iter
+          (fun rule ->
+            match (rule, Cause.rule_message rule) with
+            | _, Some m when not (String.equal m msg) -> ()
+            | Cause.Exonerate_if_seen_ok m, _ ->
+                if Evidence.seen_ok evidence m then cs.alive <- false
+            | Cause.Exonerate_if_counts_ok m, _ ->
+                if Evidence.counts_ok evidence m then cs.alive <- false
+            | Cause.Exonerate_if_absent m, _ ->
+                if Evidence.absent evidence m then cs.alive <- false
+            | Cause.Implicate_if_absent m, _ ->
+                if Evidence.absent evidence m then cs.implicated_ <- true
+            | Cause.Implicate_if_corrupt m, _ ->
+                if Evidence.corrupt evidence m then cs.implicated_ <- true
+            | Cause.Exonerate_if_flow_healthy _, _ -> ())
+          cs.cause.Cause.c_rules)
+    causes
+
+let run ?(seed = 1) ?(rounds = Scenario.default_run.Scenario.rounds) ~scenario ~bugs
+    ~buffer_width () =
+  let config = { Scenario.default_run with Scenario.seed; rounds } in
+  let golden, buggy = Inject.golden_vs_buggy ~config scenario bugs in
+  let inter = Scenario.interleave scenario in
+  let selection = Select.select ~strategy:Select.Greedy inter ~buffer_width in
+  let evidence = Evidence.build ~selection ~scenario ~golden ~buggy in
+  let symptom = evidence.Evidence.symptom in
+  let symptom_flow =
+    match symptom with
+    | Inject.Failure f -> Some f.Sim.f_flow
+    | Inject.Hang { flow; _ } -> Some flow
+    | Inject.No_symptom -> None
+  in
+  let symptom_msg = Inject.symptom_message buggy in
+  let rng = Rng.create (seed + 31337) in
+  let order = investigation_order ~rng ~scenario ~selection ~symptom_flow ~symptom_msg in
+  let causes =
+    List.map (fun c -> { cause = c; alive = true; implicated_ = false })
+      (Cause.for_scenario scenario.Scenario.id)
+  in
+  triage evidence causes;
+  let pairs_total = legal_pairs scenario in
+  (* candidate pairs: a pair is exonerated once a message across it is
+     investigated and found consistent with the golden run *)
+  let pair_alive = Hashtbl.create 16 in
+  List.iter (fun pr -> Hashtbl.replace pair_alive pr true) pairs_total;
+  let alive_pairs () = Hashtbl.fold (fun _ v acc -> if v then acc + 1 else acc) pair_alive 0 in
+  let alive_causes () = List.length (List.filter (fun cs -> cs.alive) causes) in
+  let steps = ref [] in
+  let pairs_touched = Hashtbl.create 16 in
+  let entries_total = ref 0 in
+  let continue_ = ref true in
+  List.iter
+    (fun msg ->
+      if !continue_ then begin
+        investigate evidence causes msg;
+        let ev = Evidence.for_message evidence msg in
+        let entries =
+          match ev with
+          | Some e -> max e.Evidence.me_seen e.Evidence.me_golden
+          | None -> 0
+        in
+        entries_total := !entries_total + entries;
+        (match ev with
+        | Some e ->
+            Hashtbl.replace pairs_touched (e.Evidence.me_src, e.Evidence.me_dst) true;
+            if Evidence.seen_ok evidence msg then
+              Hashtbl.replace pair_alive (e.Evidence.me_src, e.Evidence.me_dst) false
+        | None -> ());
+        steps :=
+          {
+            st_msg = msg;
+            st_entries = entries;
+            st_pairs_remaining = alive_pairs ();
+            st_causes_remaining = alive_causes ();
+          }
+          :: !steps;
+        (* stop once every remaining cause is positively implicated *)
+        let alive = List.filter (fun cs -> cs.alive) causes in
+        if alive <> [] && List.for_all (fun cs -> cs.implicated_) alive then continue_ := false
+      end)
+    order;
+  {
+    scenario;
+    selection;
+    evidence;
+    symptom;
+    causes_total = List.length causes;
+    plausible = List.filter_map (fun cs -> if cs.alive then Some cs.cause else None) causes;
+    implicated =
+      List.filter_map (fun cs -> if cs.alive && cs.implicated_ then Some cs.cause else None) causes;
+    steps = List.rev !steps;
+    legal_pairs = pairs_total;
+    pairs_investigated = Hashtbl.length pairs_touched;
+    messages_investigated = !entries_total;
+  }
+
+let pruned_fraction t =
+  if t.causes_total = 0 then 0.0
+  else
+    float_of_int (t.causes_total - List.length t.plausible) /. float_of_int t.causes_total

@@ -1,0 +1,49 @@
+(** Debugging sessions (Section 5.6).
+
+    Starting from the bug symptom, investigate traced messages one at a
+    time — pseudo-randomly, guided by the participating flows — and
+    progressively eliminate candidate legal IP pairs and root causes.
+    Produces the measurements behind Table 6, Figure 6 and Figure 7. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_bug
+
+type step = {
+  st_msg : string;
+  st_entries : int;  (** trace-buffer occurrences examined at this step *)
+  st_pairs_remaining : int;
+  st_causes_remaining : int;
+}
+
+type t = {
+  scenario : Scenario.t;
+  selection : Select.result;
+  evidence : Evidence.t;
+  symptom : Inject.symptom;
+  causes_total : int;
+  plausible : Cause.t list;  (** causes surviving elimination *)
+  implicated : Cause.t list;  (** survivors with positive evidence *)
+  steps : step list;
+  legal_pairs : (string * string) list;
+  pairs_investigated : int;
+  messages_investigated : int;
+}
+
+(** Distinct (src, dst) IP pairs carrying a message of the scenario. *)
+val legal_pairs : Scenario.t -> (string * string) list
+
+(** [run ~scenario ~bugs ~buffer_width ()] executes golden and buggy runs
+    of the same workload, selects trace messages, builds evidence and
+    drives the elimination session. Deterministic given [seed]. *)
+val run :
+  ?seed:int ->
+  ?rounds:int ->
+  scenario:Scenario.t ->
+  bugs:Bug.t list ->
+  buffer_width:int ->
+  unit ->
+  t
+
+(** Fraction of candidate root causes pruned (Figure 7). *)
+val pruned_fraction : t -> float

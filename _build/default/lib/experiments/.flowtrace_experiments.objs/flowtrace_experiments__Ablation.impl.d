@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Flowtrace_core Flowtrace_soc Infogain List Message Packing Printf Scenario Select String Sys Table_render

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Combination Coverage Flowtrace_core Flowtrace_soc Infogain List Printf Scenario Table_render

@@ -1,0 +1,1 @@
+lib/experiments/fig5.mli: Flowtrace_soc Scenario Table_render

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Case_study Flowtrace_debug List Printf Session Table_render

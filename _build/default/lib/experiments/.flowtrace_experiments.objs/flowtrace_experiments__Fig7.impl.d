@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Case_study Float Flowtrace_debug List Printf Session Table_render

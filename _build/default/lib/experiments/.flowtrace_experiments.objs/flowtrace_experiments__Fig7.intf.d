@@ -1,0 +1,1 @@
+lib/experiments/fig7.mli: Table_render

@@ -1,0 +1,1 @@
+lib/experiments/intro_recon.ml: Flowtrace_usb List Table_render Usb_monitors

@@ -1,0 +1,1 @@
+lib/experiments/intro_recon.mli: Table_render

@@ -1,0 +1,1 @@
+lib/experiments/iscas_scale.ml: Benchmarks Flowtrace_baseline Flowtrace_netlist List Netlist Printf Sigset Srr Sys Table_render

@@ -1,0 +1,1 @@
+lib/experiments/iscas_scale.mli: Table_render

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Fig5 Fig6 Fig7 Intro_recon Iscas_scale List Scalability String Table1 Table2 Table3 Table4 Table5 Table6 Table7 Table_render

@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: Flowtrace_baseline Flowtrace_core Flowtrace_netlist Flowtrace_usb List Netlist Printf Select Sigset Sys Table_render Usb_design Usb_flows

@@ -1,0 +1,1 @@
+lib/experiments/scalability.mli: Table_render

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Cause Flow Flowtrace_core Flowtrace_debug Flowtrace_soc List Printf Scenario String T2 Table_render

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Bug Catalog Flowtrace_bug List Printf Table_render

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Case_study Flowtrace_bug Flowtrace_core Flowtrace_debug Flowtrace_soc Inject List Localize Packet Printf Scenario Select Sim Table_render

@@ -1,0 +1,1 @@
+lib/experiments/table3.mli: Case_study Flowtrace_core Flowtrace_debug Flowtrace_soc Interleave Select Sim Table_render

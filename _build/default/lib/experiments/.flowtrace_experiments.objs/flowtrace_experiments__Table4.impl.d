@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Flowtrace_usb List Table_render Usb_compare Usb_design

@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Bug Catalog Flowtrace_bug Flowtrace_core Flowtrace_soc Inject List Message Printf Scenario Select Sim String T2 Table_render Trace_diff

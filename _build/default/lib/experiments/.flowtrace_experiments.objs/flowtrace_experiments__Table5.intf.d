@@ -1,0 +1,1 @@
+lib/experiments/table5.mli: Table_render

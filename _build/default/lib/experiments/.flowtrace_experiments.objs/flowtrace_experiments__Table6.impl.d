@@ -1,0 +1,1 @@
+lib/experiments/table6.ml: Case_study Cause Flowtrace_debug Flowtrace_soc List Printf Scenario Session String Table_render

@@ -1,0 +1,1 @@
+lib/experiments/table6.mli: Flowtrace_debug Table_render

@@ -1,0 +1,1 @@
+lib/experiments/table7.ml: Cause Flowtrace_core Flowtrace_debug Flowtrace_soc List Printf Scenario Select String Table_render

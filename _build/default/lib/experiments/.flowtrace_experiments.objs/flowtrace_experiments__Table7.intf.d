@@ -1,0 +1,1 @@
+lib/experiments/table7.mli: Table_render

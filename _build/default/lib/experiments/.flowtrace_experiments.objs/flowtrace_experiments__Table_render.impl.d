@@ -1,0 +1,1 @@
+lib/experiments/table_render.ml: Array Buffer Float List Printf String

@@ -1,0 +1,12 @@
+(** Design-choice ablations (not in the paper): Step-2 search strategy,
+    Step-3 packing variants, trace-buffer width sweep. *)
+
+val strategy_table : unit -> Table_render.t
+val packing_table : unit -> Table_render.t
+val width_sweep_table : unit -> Table_render.t
+
+(** Uniform (paper) vs path-frequency state prior. *)
+val prior_table : unit -> Table_render.t
+
+(** All three ablation tables. *)
+val run : unit -> Table_render.t list

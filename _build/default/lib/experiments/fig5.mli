@@ -1,0 +1,14 @@
+(** Figure 5: correlation between information gain and flow specification
+    coverage over Step-1 candidates, per scenario. *)
+
+open Flowtrace_soc
+
+(** All candidate (gain, coverage) points at the given width, sorted by
+    gain. *)
+val points : ?buffer_width:int -> Scenario.t -> (float * float) list
+
+(** Decile-averaged series, Spearman rank correlation over the full
+    cloud, and the candidate count. *)
+val series : Scenario.t -> (float * float) list * float * int
+
+val run : unit -> Table_render.t list

@@ -1,0 +1,38 @@
+(* Figure 6: per investigated trace message, the cumulative elimination of
+   (a) candidate legal IP pairs and (b) candidate root causes. *)
+
+open Flowtrace_debug
+
+let run () =
+  List.map
+    (fun (cs : Case_study.t) ->
+      let s = Case_study.run cs in
+      let pairs_total = List.length s.Session.legal_pairs in
+      let causes_total = s.Session.causes_total in
+      let _, rows =
+        List.fold_left
+          (fun (msgs_cum, acc) st ->
+            let msgs_cum = msgs_cum + st.Session.st_entries in
+            let row =
+              [
+                st.Session.st_msg;
+                string_of_int msgs_cum;
+                string_of_int (pairs_total - st.Session.st_pairs_remaining);
+                string_of_int (causes_total - st.Session.st_causes_remaining);
+              ]
+            in
+            (msgs_cum, row :: acc))
+          (0, []) s.Session.steps
+      in
+      Table_render.make
+        ~title:
+          (Printf.sprintf "Figure 6 (case study %d): eliminations per investigated trace message"
+             cs.Case_study.cs_id)
+        ~notes:
+          [
+            Printf.sprintf "of %d legal IP pairs and %d candidate root causes" pairs_total
+              causes_total;
+          ]
+        ~header:[ "Investigated"; "Cum. messages"; "IP pairs eliminated"; "Causes eliminated" ]
+        (List.rev rows))
+    Case_study.all

@@ -1,0 +1,4 @@
+(** Figure 6: cumulative elimination of candidate IP pairs and root causes
+    per investigated trace message, one table per case study. *)
+
+val run : unit -> Table_render.t list

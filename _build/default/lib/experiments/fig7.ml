@@ -1,0 +1,29 @@
+(* Figure 7: plausible vs pruned root causes per case study. *)
+
+open Flowtrace_debug
+
+let run () =
+  let data = List.map (fun cs -> (cs, Case_study.run cs)) Case_study.all in
+  let rows =
+    List.map
+      (fun ((cs : Case_study.t), (s : Session.t)) ->
+        let plausible = List.length s.Session.plausible in
+        [
+          string_of_int cs.Case_study.cs_id;
+          string_of_int plausible;
+          string_of_int (s.Session.causes_total - plausible);
+          Table_render.pct (Session.pruned_fraction s);
+          Table_render.bar (Session.pruned_fraction s);
+        ])
+      data
+  in
+  let avg =
+    List.fold_left (fun a (_, s) -> a +. Session.pruned_fraction s) 0.0 data
+    /. float_of_int (List.length data)
+  in
+  let mx = List.fold_left (fun a (_, s) -> Float.max a (Session.pruned_fraction s)) 0.0 data in
+  Table_render.make ~title:"Figure 7: root-cause pruning per case study"
+    ~notes:
+      [ Printf.sprintf "average pruned %s, max %s" (Table_render.pct avg) (Table_render.pct mx) ]
+    ~header:[ "Case study"; "Plausible causes"; "Pruned causes"; "Pruned %"; "Pruned" ]
+    rows

@@ -1,0 +1,3 @@
+(** Figure 7: plausible vs pruned root causes per case study. *)
+
+val run : unit -> Table_render.t

@@ -1,0 +1,33 @@
+(* The Section 1 experiment: "existing signal selection techniques could
+   reconstruct no more than 26% of required interface messages across
+   various design blocks. Analyzing at the application level provides our
+   method the context to select 100% of the messages required for debug."
+
+   Each method's 32 traced bits go through state restoration; a message
+   occurrence counts as reconstructed when its trigger edge and full
+   payload become known (see Signal_monitor). *)
+
+open Flowtrace_usb
+
+let run () =
+  let results = Usb_monitors.reconstruction () in
+  let rows =
+    List.map
+      (fun (r : Usb_monitors.recon_result) ->
+        [
+          r.Usb_monitors.label;
+          string_of_int r.Usb_monitors.reconstructed;
+          string_of_int r.Usb_monitors.total;
+          Table_render.pct r.Usb_monitors.ratio;
+        ])
+      results
+  in
+  Table_render.make
+    ~title:"Section 1 claim: interface-message reconstruction from 32 traced bits (USB)"
+    ~notes:
+      [
+        "a message occurrence is reconstructed when restoration pins its trigger edge and payload";
+        "paper: SRR-based selection reconstructs no more than 26%; application level selects 100%";
+      ]
+    ~header:[ "Method"; "Reconstructed"; "Occurrences"; "Ratio" ]
+    rows

@@ -1,0 +1,4 @@
+(** The Section 1 claim: interface-message reconstruction from 32 traced
+    bits, per selection method, on the USB design. *)
+
+val run : unit -> Table_render.t

@@ -1,0 +1,4 @@
+(** Ablation E: SRR-greedy selection on ISCAS89-scale benchmark circuits —
+    the regime prior signal-selection work reports on. *)
+
+val run : unit -> Table_render.t

@@ -1,0 +1,37 @@
+(* Every reproduced table and figure, addressable by id. *)
+
+type experiment = { id : string; description : string; run : unit -> Table_render.t list }
+
+let all =
+  [
+    { id = "table1"; description = "usage scenarios and participating flows"; run = (fun () -> [ Table1.run () ]) };
+    { id = "table2"; description = "representative injected bugs"; run = (fun () -> [ Table2.run () ]) };
+    {
+      id = "table3";
+      description = "utilization, FSP coverage, path localization (WP/WoP)";
+      run = (fun () -> [ Table3.run () ]);
+    };
+    { id = "table4"; description = "USB: SigSeT vs PRNet vs InfoGain"; run = (fun () -> [ Table4.run () ]) };
+    { id = "table5"; description = "bug coverage and message importance"; run = (fun () -> [ Table5.run () ]) };
+    { id = "table6"; description = "root causes and debugging statistics"; run = (fun () -> [ Table6.run () ]) };
+    { id = "table7"; description = "representative potential root causes"; run = (fun () -> [ Table7.run () ]) };
+    { id = "fig5"; description = "information gain vs coverage correlation"; run = Fig5.run };
+    { id = "fig6"; description = "eliminations per investigated message"; run = Fig6.run };
+    { id = "fig7"; description = "root-cause pruning distribution"; run = (fun () -> [ Fig7.run () ]) };
+    {
+      id = "intro";
+      description = "Section 1 message-reconstruction claim (USB)";
+      run = (fun () -> [ Intro_recon.run () ]);
+    };
+    {
+      id = "ablations";
+      description = "design-choice ablations + scalability (not in paper)";
+      run = (fun () -> Ablation.run () @ [ Scalability.run (); Iscas_scale.run () ]);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+
+let ids = List.map (fun e -> e.id) all
+
+let run_all () = List.concat_map (fun e -> e.run ()) all

@@ -1,0 +1,14 @@
+(** Every reproduced table and figure, addressable by id. *)
+
+type experiment = {
+  id : string;  (** e.g. ["table3"], ["fig5"], ["intro"], ["ablations"] *)
+  description : string;
+  run : unit -> Table_render.t list;
+}
+
+val all : experiment list
+val find : string -> experiment option
+val ids : string list
+
+(** Run every experiment, concatenating the tables. *)
+val run_all : unit -> Table_render.t list

@@ -1,0 +1,5 @@
+(** Ablation D: selection cost vs gate-level design size — the paper's
+    scalability argument (SRR-based selection could not be applied to the
+    T2 at all; flow-level selection is constant in implementation size). *)
+
+val run : unit -> Table_render.t

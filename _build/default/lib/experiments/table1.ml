@@ -1,0 +1,37 @@
+(* Table 1: usage scenarios, participating flows (annotated with state and
+   message counts), participating IPs, and potential root causes. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_debug
+
+let flow_annotation name =
+  let f = T2.flow_by_name name in
+  Printf.sprintf "(%d,%d)" (Flow.n_states f) (Flow.n_messages f)
+
+let run () =
+  let header =
+    "Usage scenario"
+    :: List.map (fun f -> Printf.sprintf "%s %s" f.Flow.name (flow_annotation f.Flow.name)) T2.flows
+    @ [ "Participating IPs"; "Root causes" ]
+  in
+  let rows =
+    List.map
+      (fun sc ->
+        sc.Scenario.name
+        :: List.map
+             (fun (f : Flow.t) ->
+               if List.mem f.Flow.name sc.Scenario.flow_names then "yes" else "-")
+             T2.flows
+        @ [
+            String.concat "," (Scenario.participating_ips sc);
+            string_of_int (Cause.count sc.Scenario.id);
+          ])
+      Scenario.all
+  in
+  Table_render.make ~title:"Table 1: usage scenarios and participating flows"
+    ~notes:
+      [
+        "flows annotated with (#states, #messages); 'Participating IPs' derived from messages";
+      ]
+    ~header rows

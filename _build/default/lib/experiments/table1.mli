@@ -1,0 +1,7 @@
+(** Table 1: usage scenarios, participating flows, IPs and root-cause
+    counts. *)
+
+(** Annotation "(#states, #messages)" for a T2 flow. *)
+val flow_annotation : string -> string
+
+val run : unit -> Table_render.t

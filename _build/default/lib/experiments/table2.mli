@@ -1,0 +1,3 @@
+(** Table 2: the four representative injected bugs. *)
+
+val run : unit -> Table_render.t

@@ -1,0 +1,25 @@
+(** Table 3: trace buffer utilization, flow specification coverage and
+    path localization for the five case studies, with and without Step-3
+    packing (32-bit buffer, greedy search as in the paper's large-scale
+    runs). *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_debug
+
+val buffer_width : int
+
+(** The with-packing / without-packing selection pair of a scenario. *)
+type selection_pair = { wp : Select.result; wop : Select.result }
+
+val selections : Interleave.t -> selection_pair
+
+(** Prefix-consistency fraction of a buggy analysis-scale execution's
+    observed trace under a selection. *)
+val localization : Interleave.t -> Select.result -> Sim.outcome -> float
+
+type row = { cs : Case_study.t; sel : selection_pair; loc_wp : float; loc_wop : float }
+
+val case_study_row : Case_study.t -> row
+val rows : unit -> row list
+val run : unit -> Table_render.t

@@ -1,0 +1,3 @@
+(** Table 4: SigSeT vs PRNet vs information gain on the USB design. *)
+
+val run : unit -> Table_render.t

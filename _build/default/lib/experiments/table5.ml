@@ -1,0 +1,69 @@
+(* Table 5: selection of important messages. For each of the 16 T2
+   messages: which bugs affect it (golden-vs-buggy diff over all three
+   scenarios), its bug coverage and importance, and whether/where the
+   selection traces it. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_bug
+
+let rounds = 15
+
+(* Messages affected by each bug, unioned across the scenarios that
+   exercise the bug's flows. *)
+let affected_by_bug () =
+  List.map
+    (fun (b : Bug.t) ->
+      let affected =
+        List.concat_map
+          (fun sc ->
+            let config = { Scenario.default_run with Scenario.rounds } in
+            let golden, buggy = Inject.golden_vs_buggy ~config sc [ b ] in
+            Trace_diff.affected_messages ~golden:golden.Sim.packets ~buggy:buggy.Sim.packets)
+          Scenario.all
+      in
+      (b.Bug.id, List.sort_uniq String.compare affected))
+    Catalog.bugs
+
+(* Scenarios in which the greedy 32-bit selection traces a message (fully
+   or via a packed subgroup). *)
+let selected_in () =
+  List.map
+    (fun sc ->
+      let sel =
+        Select.select ~strategy:Select.Greedy (Scenario.interleave sc) ~buffer_width:32
+      in
+      (sc.Scenario.id, sel))
+    Scenario.all
+
+let run () =
+  let by_bug = affected_by_bug () in
+  let sels = selected_in () in
+  let rows =
+    List.mapi
+      (fun i (m : Message.t) ->
+        let name = m.Message.name in
+        let ids, coverage = Trace_diff.bug_coverage ~n_bugs:Catalog.n_bugs ~affected_by_bug:by_bug name in
+        let scenarios =
+          List.filter_map
+            (fun (id, sel) -> if Select.is_observable sel name then Some (string_of_int id) else None)
+            sels
+        in
+        [
+          Printf.sprintf "m%d=%s" (i + 1) name;
+          (if ids = [] then "-" else String.concat "," (List.map string_of_int ids));
+          (if coverage = 0.0 then "-" else Table_render.f2 coverage);
+          (if coverage = 0.0 then "-" else Table_render.f2 (Trace_diff.importance coverage));
+          (if scenarios = [] then "N" else "Y");
+          (if scenarios = [] then "-" else String.concat "," scenarios);
+        ])
+      T2.all_messages
+  in
+  Table_render.make ~title:"Table 5: bug coverage, importance and selection of the 16 T2 messages"
+    ~notes:
+      [
+        Printf.sprintf "bug coverage = #affecting bugs / %d; importance = 1 / coverage" Catalog.n_bugs;
+        "'Selected' = traced (fully or packed) by the greedy 32-bit selection of some scenario";
+      ]
+    ~header:[ "Message"; "Affecting bug IDs"; "Bug coverage"; "Importance"; "Selected"; "Scenarios" ]
+    rows

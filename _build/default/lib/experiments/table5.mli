@@ -1,0 +1,8 @@
+(** Table 5: bug coverage, importance and selection of the 16 T2
+    messages. *)
+
+(** Per bug, the messages its injection affects (golden-vs-buggy diff
+    across all scenarios). *)
+val affected_by_bug : unit -> (int * string list) list
+
+val run : unit -> Table_render.t

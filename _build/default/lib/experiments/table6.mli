@@ -1,0 +1,7 @@
+(** Table 6: diagnosed root causes and debugging statistics for the five
+    case studies. *)
+
+(** The five case studies with their completed debug sessions. *)
+val sessions : unit -> (Flowtrace_debug.Case_study.t * Flowtrace_debug.Session.t) list
+
+val run : unit -> Table_render.t

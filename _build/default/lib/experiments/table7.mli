@@ -1,0 +1,4 @@
+(** Table 7: representative potential root causes for the Scenario 1
+    Mondo case study, with the traced messages. *)
+
+val run : unit -> Table_render.t

@@ -1,0 +1,83 @@
+(* Plain-text rendering shared by every experiment driver: aligned ASCII
+   tables plus (for the figures) numeric series. *)
+
+type t = { title : string; notes : string list; header : string list; rows : string list list }
+
+let make ?(notes = []) ~title ~header rows = { title; notes; header; rows }
+
+let pct f = Printf.sprintf "%.2f%%" (100.0 *. f)
+let f2 f = Printf.sprintf "%.2f" f
+let f4 f = Printf.sprintf "%.4f" f
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let w = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > w.(i) then w.(i) <- String.length cell))
+    all;
+  w
+
+let to_string t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  List.iter (fun n -> Buffer.add_string buf ("   " ^ n ^ "\n")) t.notes;
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (w.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.header;
+  Buffer.add_string buf (String.make (Array.fold_left (fun a x -> a + x + 2) (-2) w) '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row t.rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t); print_newline ()
+
+(* ASCII bar for figure-style tables: [bar ~width 0.6] fills 60%. *)
+let bar ?(width = 24) fraction =
+  let f = Float.max 0.0 (Float.min 1.0 fraction) in
+  let filled = int_of_float (Float.round (f *. float_of_int width)) in
+  String.concat ""
+    (List.init width (fun i -> if i < filled then "#" else "."))
+
+(* Spearman rank correlation, for the Figure 5 monotonicity claim. *)
+let spearman xs ys =
+  let n = List.length xs in
+  if n < 2 || n <> List.length ys then nan
+  else begin
+    (* ties receive their average rank, the standard Spearman treatment *)
+    let rank vals =
+      let indexed = List.mapi (fun i v -> (v, i)) vals in
+      let sorted = Array.of_list (List.sort compare indexed) in
+      let ranks = Array.make n 0.0 in
+      let i = ref 0 in
+      while !i < n do
+        let j = ref !i in
+        while !j + 1 < n && fst sorted.(!j + 1) = fst sorted.(!i) do incr j done;
+        let avg = float_of_int (!i + !j + 2) /. 2.0 in
+        for k = !i to !j do
+          ranks.(snd sorted.(k)) <- avg
+        done;
+        i := !j + 1
+      done;
+      ranks
+    in
+    let rx = rank xs and ry = rank ys in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+    let mx = mean rx and my = mean ry in
+    let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let a = rx.(i) -. mx and b = ry.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b)
+    done;
+    if !dx = 0.0 || !dy = 0.0 then nan else !num /. sqrt (!dx *. !dy)
+  end

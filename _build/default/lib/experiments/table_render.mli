@@ -1,0 +1,19 @@
+(** Plain-text rendering shared by the experiment drivers. *)
+
+type t = { title : string; notes : string list; header : string list; rows : string list list }
+
+val make : ?notes:string list -> title:string -> header:string list -> string list list -> t
+
+(** Format a fraction as a percentage with two decimals. *)
+val pct : float -> string
+
+val f2 : float -> string
+val f4 : float -> string
+val to_string : t -> string
+val print : t -> unit
+
+(** [bar fraction] renders an ASCII bar, e.g. ["########........"]. *)
+val bar : ?width:int -> float -> string
+
+(** Spearman rank correlation (Figure 5's monotonicity measure). *)
+val spearman : float list -> float list -> float

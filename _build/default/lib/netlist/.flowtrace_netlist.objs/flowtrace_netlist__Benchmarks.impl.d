@@ -1,0 +1,1 @@
+lib/netlist/benchmarks.ml: Array Builder List Printf

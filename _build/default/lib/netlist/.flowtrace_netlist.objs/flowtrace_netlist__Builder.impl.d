@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array Hashtbl List Netlist Printf

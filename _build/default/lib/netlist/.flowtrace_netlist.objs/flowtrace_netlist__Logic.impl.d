@@ -1,0 +1,1 @@
+lib/netlist/logic.ml: Format List

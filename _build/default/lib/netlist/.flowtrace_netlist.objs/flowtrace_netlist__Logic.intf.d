@@ -1,0 +1,1 @@
+lib/netlist/logic.mli: Format

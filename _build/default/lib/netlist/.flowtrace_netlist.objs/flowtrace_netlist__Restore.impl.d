@@ -1,0 +1,1 @@
+lib/netlist/restore.ml: Array List Logic Netlist

@@ -1,0 +1,1 @@
+lib/netlist/restore.mli: Logic Netlist

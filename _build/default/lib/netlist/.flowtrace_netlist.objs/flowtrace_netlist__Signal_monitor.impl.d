@@ -1,0 +1,1 @@
+lib/netlist/signal_monitor.ml: Array List Logic Netlist Printf Restore String

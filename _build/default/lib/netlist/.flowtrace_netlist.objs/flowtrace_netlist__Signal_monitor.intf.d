@@ -1,0 +1,1 @@
+lib/netlist/signal_monitor.mli: Netlist Restore

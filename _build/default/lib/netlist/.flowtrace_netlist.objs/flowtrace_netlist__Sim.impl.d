@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array Flowtrace_core Hashtbl List Netlist Rng

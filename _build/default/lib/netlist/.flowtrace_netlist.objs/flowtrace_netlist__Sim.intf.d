@@ -1,0 +1,1 @@
+lib/netlist/sim.mli: Flowtrace_core Netlist Rng

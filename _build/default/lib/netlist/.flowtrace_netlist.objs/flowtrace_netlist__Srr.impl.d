@@ -1,0 +1,1 @@
+lib/netlist/srr.ml: Flowtrace_core List Netlist Printf Restore Rng Sim

@@ -1,0 +1,1 @@
+lib/netlist/srr.mli: Flowtrace_core Netlist Rng

@@ -1,0 +1,103 @@
+(* ISCAS89-scale benchmark circuits. Prior trace-signal-selection work is
+   demonstrated on circuits of this size (tens to hundreds of flip-flops);
+   the paper's Section 1 argues the OpenSPARC T2 is orders of magnitude
+   beyond them and that high SRR at this scale says nothing about
+   application-level message observability. These circuits give the
+   baselines a home turf to be measured on. *)
+
+(* The ISCAS89 s27 benchmark, written out gate for gate: 4 inputs, 3
+   flip-flops (G5, G6, G7), 10 gates, output G17. *)
+let s27 () =
+  let b = Builder.create () in
+  let g0 = Builder.input b "G0" in
+  let g1 = Builder.input b "G1" in
+  let g2 = Builder.input b "G2" in
+  let g3 = Builder.input b "G3" in
+  let g5 = Builder.ff_forward b ~name:"G5" () in
+  let g6 = Builder.ff_forward b ~name:"G6" () in
+  let g7 = Builder.ff_forward b ~name:"G7" () in
+  let g14 = Builder.not_ b ~name:"G14" g0 in
+  let g8 = Builder.and_ b ~name:"G8" [ g14; g6 ] in
+  let g12 = Builder.nor b ~name:"G12" [ g1; g7 ] in
+  let g15 = Builder.or_ b ~name:"G15" [ g12; g8 ] in
+  let g16 = Builder.or_ b ~name:"G16" [ g3; g8 ] in
+  let g9 = Builder.nand b ~name:"G9" [ g16; g15 ] in
+  let g11 = Builder.nor b ~name:"G11" [ g5; g9 ] in
+  let g10 = Builder.nor b ~name:"G10" [ g14; g11 ] in
+  let g13 = Builder.nor b ~name:"G13" [ g2; g12 ] in
+  let g17 = Builder.not_ b ~name:"G17" g11 in
+  Builder.connect b g5 g10;
+  Builder.connect b g6 g11;
+  Builder.connect b g7 g13;
+  Builder.output b g17;
+  Builder.finish b
+
+(* A [stages]-deep, [width]-wide register pipeline with a little mixing
+   logic per stage — the classic high-SRR structure. *)
+let pipeline ~stages ~width () =
+  if stages < 1 || width < 1 then invalid_arg "Benchmarks.pipeline";
+  let b = Builder.create () in
+  let inputs = Builder.input_bus b "din" width in
+  let _ =
+    List.fold_left
+      (fun (prev, stage) () ->
+        let regs = Builder.reg_bank b (Printf.sprintf "st%d" stage) width in
+        let prev_arr = Array.of_list prev in
+        List.iteri
+          (fun i q ->
+            let mix =
+              if i = 0 then prev_arr.(0)
+              else Builder.xor b [ prev_arr.(i); prev_arr.(i - 1) ]
+            in
+            Builder.connect b q mix)
+          regs;
+        (regs, stage + 1))
+      (inputs, 0)
+      (List.init stages (fun _ -> ()))
+    |> fun (last, _) -> List.iter (Builder.output b) last
+  in
+  Builder.finish b
+
+(* A maximal-length-ish LFSR: every bit restorable from any other over
+   time — the structure on which SRR metrics shine brightest. *)
+let lfsr ~width () =
+  if width < 2 then invalid_arg "Benchmarks.lfsr";
+  let b = Builder.create () in
+  let qs = Builder.reg_bank b "lfsr" width in
+  let arr = Array.of_list qs in
+  let fb = Builder.xor b [ arr.(width - 1); arr.(width / 2) ] in
+  Array.iteri (fun i q -> Builder.connect b q (if i = 0 then fb else arr.(i - 1))) arr;
+  Builder.output b arr.(width - 1);
+  Builder.finish b
+
+(* [n] independent [width]-bit counters sharing one enable. *)
+let counter_bank ~n ~width () =
+  if n < 1 || width < 1 then invalid_arg "Benchmarks.counter_bank";
+  let b = Builder.create () in
+  let enable = Builder.input b "enable" in
+  for k = 0 to n - 1 do
+    let qs = Builder.reg_bank b (Printf.sprintf "cnt%d" k) width in
+    let _ =
+      List.fold_left
+        (fun carry q ->
+          Builder.connect b q (Builder.xor b [ q; carry ]);
+          Builder.and_ b [ q; carry ])
+        enable qs
+    in
+    ()
+  done;
+  (match Builder.reg_bank b "done_flag" 1 with
+  | [ q ] ->
+      Builder.connect b q enable;
+      Builder.output b q
+  | _ -> assert false);
+  Builder.finish b
+
+(* The suite used by the scale experiment: name, circuit. *)
+let suite () =
+  [
+    ("s27", s27 ());
+    ("pipeline16x4", pipeline ~stages:16 ~width:4 ());
+    ("lfsr32", lfsr ~width:32 ());
+    ("counters8x8", counter_bank ~n:8 ~width:8 ());
+  ]

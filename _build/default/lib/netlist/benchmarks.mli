@@ -1,0 +1,19 @@
+(** ISCAS89-scale benchmark circuits — the scale prior trace-signal
+    selection work is demonstrated on (Section 1's contrast with the
+    OpenSPARC T2). *)
+
+(** The ISCAS89 s27 benchmark, gate for gate (3 flip-flops). *)
+val s27 : unit -> Netlist.t
+
+(** A register pipeline with per-stage mixing — classic high-SRR
+    structure. *)
+val pipeline : stages:int -> width:int -> unit -> Netlist.t
+
+(** A linear feedback shift register. *)
+val lfsr : width:int -> unit -> Netlist.t
+
+(** [n] independent counters sharing one enable. *)
+val counter_bank : n:int -> width:int -> unit -> Netlist.t
+
+(** The named suite used by the scale experiment. *)
+val suite : unit -> (string * Netlist.t) list

@@ -1,0 +1,134 @@
+(* Imperative netlist construction. Net ids are handed out sequentially;
+   nodes live in a growable array so forward flip-flop declarations can be
+   connected in O(1); [finish] freezes the arrays and checks
+   well-formedness. *)
+
+let placeholder = { Netlist.kind = Netlist.Input; fanin = []; name = "" }
+
+type t = {
+  mutable nodes : Netlist.node array;
+  mutable count : int;
+  mutable inputs : int list;
+  mutable outputs : int list;
+  mutable ffs : int list;
+  mutable signals : (string * int list) list;
+  by_name : (string, int) Hashtbl.t;
+  mutable fresh : int;
+}
+
+let create () =
+  {
+    nodes = Array.make 64 placeholder;
+    count = 0;
+    inputs = [];
+    outputs = [];
+    ffs = [];
+    signals = [];
+    by_name = Hashtbl.create 64;
+    fresh = 0;
+  }
+
+let fresh_name b prefix =
+  b.fresh <- b.fresh + 1;
+  Printf.sprintf "_%s%d" prefix b.fresh
+
+let grow b =
+  if b.count = Array.length b.nodes then begin
+    let nodes = Array.make (2 * b.count) placeholder in
+    Array.blit b.nodes 0 nodes 0 b.count;
+    b.nodes <- nodes
+  end
+
+let add b kind fanin name =
+  if Hashtbl.mem b.by_name name then
+    invalid_arg (Printf.sprintf "Builder: duplicate net name %s" name);
+  grow b;
+  let id = b.count in
+  b.nodes.(id) <- { Netlist.kind; fanin; name };
+  b.count <- b.count + 1;
+  Hashtbl.replace b.by_name name id;
+  id
+
+let input b name =
+  let id = add b Netlist.Input [] name in
+  b.inputs <- id :: b.inputs;
+  id
+
+let const b v = add b (Netlist.Const v) [] (fresh_name b (if v then "one" else "zero"))
+
+let gate b kind ?name fanin =
+  let name = match name with Some n -> n | None -> fresh_name b "n" in
+  add b kind fanin name
+
+let buf b ?name x = gate b Netlist.Buf ?name [ x ]
+let not_ b ?name x = gate b Netlist.Not ?name [ x ]
+let and_ b ?name xs = gate b Netlist.And ?name xs
+let or_ b ?name xs = gate b Netlist.Or ?name xs
+let nand b ?name xs = gate b Netlist.Nand ?name xs
+let nor b ?name xs = gate b Netlist.Nor ?name xs
+let xor b ?name xs = gate b Netlist.Xor ?name xs
+let mux b ?name ~sel ~a ~b:data_b () = gate b Netlist.Mux ?name [ sel; a; data_b ]
+
+let ff b ?name d =
+  let name = match name with Some n -> n | None -> fresh_name b "ff" in
+  let id = add b Netlist.Ff_q [ d ] name in
+  b.ffs <- id :: b.ffs;
+  id
+
+(* A flip-flop whose D net does not exist yet; connect it later. *)
+let ff_forward b ?name () =
+  let name = match name with Some n -> n | None -> fresh_name b "ff" in
+  let id = add b Netlist.Ff_q [ -1 ] name in
+  b.ffs <- id :: b.ffs;
+  id
+
+let connect b q d =
+  match b.nodes.(q).Netlist.kind with
+  | Netlist.Ff_q -> b.nodes.(q) <- { (b.nodes.(q)) with Netlist.fanin = [ d ] }
+  | _ -> invalid_arg "Builder.connect: not a flip-flop"
+
+let output b id = b.outputs <- id :: b.outputs
+
+let register_signal b name nets =
+  if List.mem_assoc name b.signals then
+    invalid_arg (Printf.sprintf "Builder: duplicate signal %s" name);
+  b.signals <- (name, nets) :: b.signals
+
+(* An n-bit register bank named [name]; bits are registered as a signal
+   group and returned LSB first with D nets to be connected later. *)
+let reg_bank b name width =
+  let qs = List.init width (fun i -> ff_forward b ~name:(Printf.sprintf "%s_%d" name i) ()) in
+  register_signal b name qs;
+  qs
+
+(* An n-bit input bus registered as a signal group, LSB first. *)
+let input_bus b name width =
+  let nets = List.init width (fun i -> input b (Printf.sprintf "%s_%d" name i)) in
+  register_signal b name nets;
+  nets
+
+let finish b =
+  let nodes = Array.sub b.nodes 0 b.count in
+  Array.iteri
+    (fun id nd ->
+      List.iter
+        (fun f ->
+          if f < 0 || f >= Array.length nodes then
+            invalid_arg
+              (Printf.sprintf "Builder.finish: net %s (%d) has a dangling fanin (%d)"
+                 nd.Netlist.name id f))
+        nd.Netlist.fanin)
+    nodes;
+  let t =
+    {
+      Netlist.nodes;
+      inputs = List.rev b.inputs;
+      outputs = List.rev b.outputs;
+      ffs = List.rev b.ffs;
+      signals = List.rev b.signals;
+      by_name = b.by_name;
+    }
+  in
+  (* raises on combinational cycles *)
+  ignore (Netlist.comb_topo t);
+  t

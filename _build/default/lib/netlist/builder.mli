@@ -1,0 +1,57 @@
+(** Imperative construction of {!Netlist.t} values.
+
+    Net ids are returned as they are created. Flip-flops may be declared
+    before their D logic exists ({!ff_forward} + {!connect}) so register
+    banks with feedback are easy to express. [finish] validates fanins and
+    checks the combinational graph is acyclic. *)
+
+type t
+
+val create : unit -> t
+
+(** [input b name] declares a primary input. *)
+val input : t -> string -> int
+
+(** [const b v] is a constant driver. *)
+val const : t -> bool -> int
+
+val buf : t -> ?name:string -> int -> int
+val not_ : t -> ?name:string -> int -> int
+val and_ : t -> ?name:string -> int list -> int
+val or_ : t -> ?name:string -> int list -> int
+val nand : t -> ?name:string -> int list -> int
+val nor : t -> ?name:string -> int list -> int
+val xor : t -> ?name:string -> int list -> int
+
+(** [mux b ~sel ~a ~b] selects [a] when [sel=0], [b] when [sel=1]. *)
+val mux : t -> ?name:string -> sel:int -> a:int -> b:int -> unit -> int
+
+(** [ff b d] is a flip-flop with D net [d]; returns the Q net. *)
+val ff : t -> ?name:string -> int -> int
+
+(** [ff_forward b ()] allocates a flip-flop whose D is {!connect}ed
+    later. *)
+val ff_forward : t -> ?name:string -> unit -> int
+
+(** [connect b q d] sets the D net of forward-declared flip-flop [q]. *)
+val connect : t -> int -> int -> unit
+
+(** [output b id] marks a net as a primary output. *)
+val output : t -> int -> unit
+
+(** [register_signal b name nets] groups nets (LSB first) under a signal
+    name, the unit the Table 4 comparison reports on. *)
+val register_signal : t -> string -> int list -> unit
+
+(** [reg_bank b name width] declares [width] forward flip-flops named
+    [name_0 … name_{w-1}], registers them as a signal, and returns their Q
+    nets LSB first. *)
+val reg_bank : t -> string -> int -> int list
+
+(** [input_bus b name width] declares an input bus registered as a
+    signal. *)
+val input_bus : t -> string -> int -> int list
+
+(** Freeze into an immutable netlist. Raises [Invalid_argument] on dangling
+    fanins and [Failure] on combinational cycles. *)
+val finish : t -> Netlist.t

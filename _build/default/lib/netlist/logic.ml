@@ -1,0 +1,42 @@
+(* Three-valued logic for state restoration: 0, 1, or unknown (X).
+   Forward propagation uses controlling values (an AND with any 0 input is
+   0 even if other inputs are X); backward justification inverts gates when
+   the output together with all-but-one inputs pins the remaining input. *)
+
+type v = Zero | One | X
+
+let to_char = function Zero -> '0' | One -> '1' | X -> 'x'
+let of_bool b = if b then One else Zero
+let equal a b = a = b
+let is_known = function X -> false | _ -> true
+
+let not_ = function Zero -> One | One -> Zero | X -> X
+
+let and2 a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | _ -> X
+
+let or2 a b =
+  match (a, b) with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | _ -> X
+
+let xor2 a b =
+  match (a, b) with
+  | X, _ | _, X -> X
+  | One, One | Zero, Zero -> Zero
+  | _ -> One
+
+let and_n = List.fold_left and2 One
+let or_n = List.fold_left or2 Zero
+let xor_n = List.fold_left xor2 Zero
+
+(* 2-to-1 multiplexer: sel=0 -> a, sel=1 -> b. When sel is X the output is
+   known only if both data inputs agree. *)
+let mux sel a b =
+  match sel with Zero -> a | One -> b | X -> if is_known a && equal a b then a else X
+
+let pp ppf v = Format.pp_print_char ppf (to_char v)

@@ -1,0 +1,21 @@
+(** Three-valued logic (0/1/X) for gate evaluation and state restoration. *)
+
+type v = Zero | One | X
+
+val to_char : v -> char
+val of_bool : bool -> v
+val equal : v -> v -> bool
+val is_known : v -> bool
+val not_ : v -> v
+val and2 : v -> v -> v
+val or2 : v -> v -> v
+val xor2 : v -> v -> v
+val and_n : v list -> v
+val or_n : v list -> v
+val xor_n : v list -> v
+
+(** [mux sel a b] is [a] when [sel=0], [b] when [sel=1]; with an unknown
+    select the output is known only when both data inputs agree. *)
+val mux : v -> v -> v -> v
+
+val pp : Format.formatter -> v -> unit

@@ -1,0 +1,115 @@
+(* Gate-level netlists: the substrate the SRR and PageRank baselines
+   operate on. Nets are dense integer ids; every net is driven either by a
+   primary input, a gate, or a flip-flop output. *)
+
+type kind =
+  | Input
+  | Const of bool
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Mux  (* fanin = [sel; a; b] *)
+  | Ff_q  (* flip-flop output; fanin = [d] *)
+
+type node = { kind : kind; fanin : int list; name : string }
+
+type t = {
+  nodes : node array;
+  inputs : int list;
+  outputs : int list;
+  ffs : int list;  (* net ids of Ff_q nodes *)
+  signals : (string * int list) list;  (* named multi-bit signal groups *)
+  by_name : (string, int) Hashtbl.t;
+}
+
+let n_nets t = Array.length t.nodes
+let node t id = t.nodes.(id)
+let name t id = t.nodes.(id).name
+let is_ff t id = t.nodes.(id).kind = Ff_q
+let ff_d t id = match t.nodes.(id) with { kind = Ff_q; fanin = [ d ]; _ } -> d | _ -> invalid_arg "Netlist.ff_d"
+
+let find t nm = Hashtbl.find_opt t.by_name nm
+
+let find_exn t nm =
+  match find t nm with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Netlist.find_exn: no net named %s" nm)
+
+let signal t nm = List.assoc_opt nm t.signals
+
+let signal_exn t nm =
+  match signal t nm with
+  | Some nets -> nets
+  | None -> invalid_arg (Printf.sprintf "Netlist.signal_exn: no signal named %s" nm)
+
+(* Topological order of the combinational graph. FF outputs, inputs and
+   constants are sources; an FF's D input is a sink. Used by the
+   simulator's per-cycle evaluation. *)
+let comb_topo t =
+  let n = n_nets t in
+  let indeg = Array.make n 0 in
+  let succ = Array.make n [] in
+  Array.iteri
+    (fun id nd ->
+      match nd.kind with
+      | Input | Const _ | Ff_q -> ()
+      | _ ->
+          List.iter
+            (fun src ->
+              succ.(src) <- id :: succ.(src);
+              indeg.(id) <- indeg.(id) + 1)
+            nd.fanin)
+    t.nodes;
+  let queue = Queue.create () in
+  Array.iteri (fun id d -> if d = 0 then Queue.add id queue) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    incr count;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      succ.(id)
+  done;
+  if !count <> n then failwith "Netlist.comb_topo: combinational cycle";
+  List.rev !order
+
+(* Transitive fanin cone of a net, stopping at sequential/primary
+   boundaries (FF outputs, inputs, constants are included but not
+   traversed through). *)
+let fanin_cone t id =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match t.nodes.(id).kind with
+      | Input | Const _ | Ff_q -> ()
+      | _ -> List.iter go t.nodes.(id).fanin
+    end
+  in
+  (match t.nodes.(id).kind with Ff_q -> go (ff_d t id) | _ -> List.iter go t.nodes.(id).fanin);
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+(* FFs whose value feeds (combinationally) into the D input of [ff]. *)
+let ff_dependencies t ff =
+  List.filter (fun id -> is_ff t id) (fanin_cone t ff)
+
+let stats t =
+  let gates =
+    Array.fold_left
+      (fun acc nd -> match nd.kind with Input | Const _ | Ff_q -> acc | _ -> acc + 1)
+      0 t.nodes
+  in
+  (List.length t.inputs, gates, List.length t.ffs)
+
+let pp ppf t =
+  let ins, gates, ffs = stats t in
+  Format.fprintf ppf "netlist: %d inputs, %d gates, %d FFs, %d signals" ins gates ffs
+    (List.length t.signals)

@@ -1,0 +1,63 @@
+(** Gate-level netlists: the substrate for the SRR (SigSeT) and PageRank
+    (PRNet) baseline signal-selection methods of Section 5.4.
+
+    Nets carry dense integer ids. Every net is driven by a primary input, a
+    constant, a combinational gate, or a flip-flop output ([Ff_q], whose
+    single fanin is its D net). Build instances with {!Builder}. *)
+
+type kind =
+  | Input
+  | Const of bool
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Mux  (** fanin = [[sel; a; b]] *)
+  | Ff_q  (** flip-flop output; fanin = [[d]] *)
+
+type node = { kind : kind; fanin : int list; name : string }
+
+type t = {
+  nodes : node array;
+  inputs : int list;
+  outputs : int list;
+  ffs : int list;
+  signals : (string * int list) list;  (** named multi-bit signal groups *)
+  by_name : (string, int) Hashtbl.t;
+}
+
+val n_nets : t -> int
+val node : t -> int -> node
+val name : t -> int -> string
+val is_ff : t -> int -> bool
+
+(** [ff_d t q] is the D net of flip-flop output [q]. *)
+val ff_d : t -> int -> int
+
+val find : t -> string -> int option
+val find_exn : t -> string -> int
+
+(** [signal t name] is the net group registered under [name] (LSB first). *)
+val signal : t -> string -> int list option
+
+val signal_exn : t -> string -> int list
+
+(** Topological order of the combinational graph (FF outputs, inputs and
+    constants are sources). Raises [Failure] on a combinational cycle. *)
+val comb_topo : t -> int list
+
+(** Transitive combinational fanin cone of a net; includes but does not
+    traverse through FF outputs, inputs and constants. For an FF output the
+    cone of its D net is returned. *)
+val fanin_cone : t -> int -> int list
+
+(** FFs feeding combinationally into the D input of [ff]. *)
+val ff_dependencies : t -> int -> int list
+
+(** [(inputs, gates, ffs)] counts. *)
+val stats : t -> int * int * int
+
+val pp : Format.formatter -> t -> unit

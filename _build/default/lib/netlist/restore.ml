@@ -1,0 +1,159 @@
+(* State restoration: given traced flip-flop values over a window of
+   cycles, infer as many other state values as possible by forward
+   propagation (3-valued gate evaluation) and backward justification
+   (inverting gates whose output and all-but-one inputs are known),
+   iterating across gates and cycles to a fixpoint.
+
+   This is the engine behind the State Restoration Ratio metric that
+   SRR-based selection methods such as SigSeT optimize. *)
+
+open Logic
+
+exception Contradiction of { cycle : int; net : int }
+
+type grid = v array array (* [cycle].[net] *)
+
+let make_grid ~cycles ~nets = Array.init cycles (fun _ -> Array.make nets X)
+
+let set grid ~cycle ~net value changed =
+  match grid.(cycle).(net) with
+  | X ->
+      if is_known value then begin
+        grid.(cycle).(net) <- value;
+        changed := true
+      end
+  | old -> if is_known value && not (equal old value) then raise (Contradiction { cycle; net })
+
+(* Forward evaluation of one gate with 3-valued inputs. *)
+let eval_fwd (nd : Netlist.node) (value : int -> v) =
+  match nd.Netlist.kind with
+  | Netlist.Input | Netlist.Ff_q -> X
+  | Netlist.Const b -> of_bool b
+  | Netlist.Buf -> value (List.hd nd.Netlist.fanin)
+  | Netlist.Not -> not_ (value (List.hd nd.Netlist.fanin))
+  | Netlist.And -> and_n (List.map value nd.Netlist.fanin)
+  | Netlist.Or -> or_n (List.map value nd.Netlist.fanin)
+  | Netlist.Nand -> not_ (and_n (List.map value nd.Netlist.fanin))
+  | Netlist.Nor -> not_ (or_n (List.map value nd.Netlist.fanin))
+  | Netlist.Xor -> xor_n (List.map value nd.Netlist.fanin)
+  | Netlist.Mux -> (
+      match nd.Netlist.fanin with
+      | [ sel; a; b ] -> mux (value sel) (value a) (value b)
+      | _ -> invalid_arg "Restore: malformed mux")
+
+(* Backward justification: knowing the output (and some inputs), pin the
+   remaining inputs when the gate function forces them. Returns a list of
+   (net, value) implications. *)
+let justify (nd : Netlist.node) out (value : int -> v) =
+  let all_forced forced = List.map (fun f -> (f, forced)) nd.Netlist.fanin in
+  let last_unknown target_when_rest rest_value =
+    (* e.g. AND out=0: if all inputs but one are 1, the odd one out is 0 *)
+    let unknowns = List.filter (fun f -> not (is_known (value f))) nd.Netlist.fanin in
+    let rest_ok =
+      List.for_all
+        (fun f -> (not (is_known (value f))) || equal (value f) rest_value)
+        nd.Netlist.fanin
+    in
+    match unknowns with [ u ] when rest_ok -> [ (u, target_when_rest) ] | _ -> []
+  in
+  match (nd.Netlist.kind, out) with
+  | (Netlist.Input | Netlist.Ff_q | Netlist.Const _), _ -> []
+  | _, X -> []
+  | Netlist.Buf, v -> [ (List.hd nd.Netlist.fanin, v) ]
+  | Netlist.Not, v -> [ (List.hd nd.Netlist.fanin, not_ v) ]
+  | Netlist.And, One | Netlist.Nand, Zero -> all_forced One
+  | Netlist.And, Zero | Netlist.Nand, One -> last_unknown Zero One
+  | Netlist.Or, Zero | Netlist.Nor, One -> all_forced Zero
+  | Netlist.Or, One | Netlist.Nor, Zero -> last_unknown One Zero
+  | Netlist.Xor, v ->
+      let unknowns = List.filter (fun f -> not (is_known (value f))) nd.Netlist.fanin in
+      (match unknowns with
+      | [ u ] ->
+          let parity =
+            List.fold_left
+              (fun acc f -> if f = u then acc else xor2 acc (value f))
+              Zero nd.Netlist.fanin
+          in
+          [ (u, xor2 v parity) ]
+      | _ -> [])
+  | Netlist.Mux, v -> (
+      match nd.Netlist.fanin with
+      | [ sel; a; b ] -> (
+          match value sel with
+          | Zero -> [ (a, v) ]
+          | One -> [ (b, v) ]
+          | X ->
+              (* If one branch is known and disagrees with the output, the
+                 select is pinned and the other branch carries the value. *)
+              if is_known (value a) && not (equal (value a) v) then [ (sel, One); (b, v) ]
+              else if is_known (value b) && not (equal (value b) v) then [ (sel, Zero); (a, v) ]
+              else [])
+      | _ -> invalid_arg "Restore: malformed mux")
+
+let fixpoint netlist (grid : grid) =
+  let cycles = Array.length grid in
+  let topo = Netlist.comb_topo netlist in
+  let rev_topo = List.rev topo in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for c = 0 to cycles - 1 do
+      let value net = grid.(c).(net) in
+      (* forward: gates in topological order, plus FF q from previous d *)
+      List.iter
+        (fun id ->
+          let nd = Netlist.node netlist id in
+          match nd.Netlist.kind with
+          | Netlist.Input -> ()
+          | Netlist.Ff_q ->
+              if c > 0 then set grid ~cycle:c ~net:id grid.(c - 1).(Netlist.ff_d netlist id) changed
+          | _ -> set grid ~cycle:c ~net:id (eval_fwd nd value) changed)
+        topo;
+      (* backward: justify gate inputs in reverse topological order, plus
+         FF d at the previous cycle from a known q here *)
+      List.iter
+        (fun id ->
+          let nd = Netlist.node netlist id in
+          match nd.Netlist.kind with
+          | Netlist.Input -> ()
+          | Netlist.Ff_q ->
+              if c > 0 then set grid ~cycle:(c - 1) ~net:(Netlist.ff_d netlist id) grid.(c).(id) changed
+          | _ ->
+              List.iter
+                (fun (net, v) -> set grid ~cycle:c ~net v changed)
+                (justify nd grid.(c).(id) value))
+        rev_topo
+    done
+  done
+
+(* Restore from a trace of the given FF nets over the full window. The
+   initial all-zero power-on state is NOT assumed known (matching the
+   post-silicon setting where the window starts mid-execution). *)
+let from_trace netlist ~traced ~truth =
+  let cycles = Array.length truth in
+  let grid = make_grid ~cycles ~nets:(Netlist.n_nets netlist) in
+  for c = 0 to cycles - 1 do
+    List.iter (fun net -> grid.(c).(net) <- of_bool truth.(c).(net)) traced
+  done;
+  fixpoint netlist grid;
+  grid
+
+let known_count grid nets =
+  Array.fold_left
+    (fun acc row -> acc + List.fold_left (fun a net -> if is_known row.(net) then a + 1 else a) 0 nets)
+    0 grid
+
+(* Every restored (known) value must agree with the simulation truth;
+   violated only by a bug in the restoration rules. Exposed for tests. *)
+let consistent_with_truth grid truth nets =
+  let ok = ref true in
+  Array.iteri
+    (fun c row ->
+      List.iter
+        (fun net ->
+          match row.(net) with
+          | X -> ()
+          | v -> if not (equal v (of_bool truth.(c).(net))) then ok := false)
+        nets)
+    grid;
+  !ok

@@ -1,0 +1,33 @@
+(** State restoration over a trace window.
+
+    Given the values of a traced subset of flip-flops across a window of
+    cycles, infer other state values by forward 3-valued propagation and
+    backward justification, iterated across gates, flip-flops and cycles to
+    a fixpoint. This is the engine behind the State Restoration Ratio (SRR)
+    metric optimized by the paper's comparison baselines ([2], [7]). *)
+
+(** Raised when an implied value conflicts with an already-known one —
+    impossible for traces produced by a consistent simulation. *)
+exception Contradiction of { cycle : int; net : int }
+
+(** [grid.(cycle).(net)] is the restored knowledge about a net. *)
+type grid = Logic.v array array
+
+val make_grid : cycles:int -> nets:int -> grid
+
+(** [fixpoint netlist grid] propagates knowledge in place until nothing
+    more can be inferred. *)
+val fixpoint : Netlist.t -> grid -> unit
+
+(** [from_trace netlist ~traced ~truth] seeds a grid with the truth values
+    of the [traced] nets at every cycle and runs {!fixpoint}. The power-on
+    state is not assumed known (the window starts mid-execution, as in
+    post-silicon debug). *)
+val from_trace : Netlist.t -> traced:int list -> truth:bool array array -> grid
+
+(** [known_count grid nets] counts known (net, cycle) pairs among [nets]. *)
+val known_count : grid -> int list -> int
+
+(** [consistent_with_truth grid truth nets] checks every known value
+    against the simulation — a soundness oracle for tests. *)
+val consistent_with_truth : grid -> bool array array -> int list -> bool

@@ -1,0 +1,88 @@
+(* Signal-to-message monitors (the paper's Figure 4): the bridge between
+   RTL-level signal activity and application-level flow messages.
+
+   A monitor spec names the 1-bit trigger signal whose rising edge marks a
+   message occurrence and the signal groups captured as its payload. Run
+   over a simulation history the monitors produce the message stream the
+   selection pipeline reasons about; run over a {!Restore.grid} they
+   decide which occurrences a gate-level trace selection can actually
+   *reconstruct* — the Section 1 experiment showing SRR-selected signals
+   recover only a fraction of the messages use-case debugging needs. *)
+
+type spec = {
+  sm_message : string;  (* the flow message this monitor emits *)
+  sm_trigger : string;  (* 1-bit signal whose rising edge marks an occurrence *)
+  sm_payload : string list;  (* signal groups captured as the payload *)
+}
+
+type occurrence = { oc_cycle : int; oc_message : string; oc_payload : (string * int) list }
+
+let spec ?(payload = []) ~message ~trigger () =
+  { sm_message = message; sm_trigger = trigger; sm_payload = payload }
+
+let trigger_net netlist s =
+  match Netlist.signal netlist s.sm_trigger with
+  | Some [ net ] -> net
+  | Some _ -> invalid_arg (Printf.sprintf "Signal_monitor: trigger %s is not 1 bit" s.sm_trigger)
+  | None -> (
+      match Netlist.find netlist s.sm_trigger with
+      | Some net -> net
+      | None -> invalid_arg (Printf.sprintf "Signal_monitor: no signal %s" s.sm_trigger))
+
+let group_value netlist history cycle group =
+  List.fold_left
+    (fun (acc, bit) net -> ((acc lor if history.(cycle).(net) then 1 lsl bit else 0), bit + 1))
+    (0, 0) (Netlist.signal_exn netlist group)
+  |> fst
+
+(* All message occurrences in a simulation history, chronological.
+   A rising edge needs a 0 at the previous cycle, so cycle 0 never
+   triggers (the window starts mid-execution). *)
+let observe netlist specs history =
+  let cycles = Array.length history in
+  let occs = ref [] in
+  for c = 1 to cycles - 1 do
+    List.iter
+      (fun s ->
+        let t = trigger_net netlist s in
+        if history.(c).(t) && not (history.(c - 1).(t)) then
+          occs :=
+            {
+              oc_cycle = c;
+              oc_message = s.sm_message;
+              oc_payload = List.map (fun g -> (g, group_value netlist history c g)) s.sm_payload;
+            }
+            :: !occs)
+      specs
+  done;
+  List.rev !occs
+
+(* Can the occurrence be reconstructed from a restoration grid? The
+   debugger must (a) see the rising edge — the trigger bit known at both
+   cycles — and (b) decode the payload — every payload bit known at the
+   occurrence cycle. *)
+let reconstructable netlist specs (grid : Restore.grid) (occ : occurrence) =
+  match List.find_opt (fun s -> String.equal s.sm_message occ.oc_message) specs with
+  | None -> false
+  | Some s ->
+      let t = trigger_net netlist s in
+      let known cycle net = Logic.is_known grid.(cycle).(net) in
+      occ.oc_cycle > 0
+      && known occ.oc_cycle t
+      && known (occ.oc_cycle - 1) t
+      && List.for_all
+           (fun g -> List.for_all (known occ.oc_cycle) (Netlist.signal_exn netlist g))
+           s.sm_payload
+
+(* The reconstruction ratio of a gate-level trace selection: simulate,
+   restore from the traced FFs, and count the message occurrences the
+   restored knowledge can decode. *)
+let reconstruction_ratio netlist specs ~traced ~truth =
+  let occs = observe netlist specs truth in
+  if occs = [] then (0, 0, 0.0)
+  else begin
+    let grid = Restore.from_trace netlist ~traced ~truth in
+    let ok = List.filter (reconstructable netlist specs grid) occs in
+    let n = List.length occs and k = List.length ok in
+    (k, n, float_of_int k /. float_of_int n)
+  end

@@ -1,0 +1,34 @@
+(** Signal-to-message monitors (the paper's Figure 4).
+
+    Convert signal-level activity into application-level flow messages: a
+    rising edge of the trigger signal marks one occurrence, and the named
+    signal groups are captured as its payload. Over a {!Restore.grid} the
+    same specs decide which occurrences a gate-level trace selection can
+    reconstruct — the Section 1 experiment behind "existing signal
+    selection techniques could reconstruct no more than 26% of required
+    interface messages". *)
+
+type spec = {
+  sm_message : string;
+  sm_trigger : string;  (** 1-bit signal whose rising edge marks an occurrence *)
+  sm_payload : string list;  (** signal groups captured as payload *)
+}
+
+type occurrence = { oc_cycle : int; oc_message : string; oc_payload : (string * int) list }
+
+val spec : ?payload:string list -> message:string -> trigger:string -> unit -> spec
+
+(** [observe netlist specs history] extracts all message occurrences from
+    a simulation history, chronological. Raises [Invalid_argument] for
+    unknown or non-1-bit trigger signals. *)
+val observe : Netlist.t -> spec list -> bool array array -> occurrence list
+
+(** [reconstructable netlist specs grid occ]: the trigger edge is visible
+    (trigger bit known at both cycles) and every payload bit is known at
+    the occurrence cycle. *)
+val reconstructable : Netlist.t -> spec list -> Restore.grid -> occurrence -> bool
+
+(** [reconstruction_ratio netlist specs ~traced ~truth] is
+    [(reconstructed, total, ratio)] for a traced FF set. *)
+val reconstruction_ratio :
+  Netlist.t -> spec list -> traced:int list -> truth:bool array array -> int * int * float

@@ -1,0 +1,65 @@
+(* Two-valued cycle-accurate simulation: the ground truth against which
+   state restoration is scored. *)
+
+open Flowtrace_core
+
+let eval_gate (nd : Netlist.node) (value : int -> bool) =
+  match nd.Netlist.kind with
+  | Netlist.Input | Netlist.Ff_q -> invalid_arg "Sim.eval_gate: not a gate"
+  | Netlist.Const v -> v
+  | Netlist.Buf -> value (List.hd nd.Netlist.fanin)
+  | Netlist.Not -> not (value (List.hd nd.Netlist.fanin))
+  | Netlist.And -> List.for_all value nd.Netlist.fanin
+  | Netlist.Or -> List.exists value nd.Netlist.fanin
+  | Netlist.Nand -> not (List.for_all value nd.Netlist.fanin)
+  | Netlist.Nor -> not (List.exists value nd.Netlist.fanin)
+  | Netlist.Xor -> List.fold_left (fun acc f -> acc <> value f) false nd.Netlist.fanin
+  | Netlist.Mux -> (
+      match nd.Netlist.fanin with
+      | [ sel; a; b ] -> if value sel then value b else value a
+      | _ -> invalid_arg "Sim: malformed mux")
+
+(* One combinational evaluation: given FF state and input values, compute
+   every net. [ff_state] maps FF q-net id to its current value. *)
+let eval_cycle netlist ~topo ~ff_state ~input_value =
+  let n = Netlist.n_nets netlist in
+  let values = Array.make n false in
+  List.iter
+    (fun id ->
+      let nd = Netlist.node netlist id in
+      match nd.Netlist.kind with
+      | Netlist.Input -> values.(id) <- input_value id
+      | Netlist.Ff_q -> values.(id) <- ff_state id
+      | _ -> values.(id) <- eval_gate nd (fun f -> values.(f)))
+    topo;
+  values
+
+(* Run [cycles] cycles from the all-zero FF state with pseudo-random
+   primary inputs. Returns the value of every net at every cycle. *)
+let run ?(rng = Rng.create 1) netlist ~cycles =
+  let topo = Netlist.comb_topo netlist in
+  let n = Netlist.n_nets netlist in
+  let state = Array.make n false in
+  let history = Array.make cycles [||] in
+  for c = 0 to cycles - 1 do
+    let inputs = Hashtbl.create 16 in
+    List.iter (fun id -> Hashtbl.replace inputs id (Rng.bool rng)) netlist.Netlist.inputs;
+    let values =
+      eval_cycle netlist ~topo
+        ~ff_state:(fun id -> state.(id))
+        ~input_value:(fun id -> Hashtbl.find inputs id)
+    in
+    history.(c) <- values;
+    (* clock edge: every FF captures its D value *)
+    List.iter (fun q -> state.(q) <- values.(Netlist.ff_d netlist q)) netlist.Netlist.ffs
+  done;
+  history
+
+(* Convenience: read a signal group's value at a cycle as an integer,
+   LSB first. *)
+let signal_value netlist history ~cycle ~signal =
+  let nets = Netlist.signal_exn netlist signal in
+  List.fold_left
+    (fun (acc, bit) net -> ((acc lor if history.(cycle).(net) then 1 lsl bit else 0), bit + 1))
+    (0, 0) nets
+  |> fst

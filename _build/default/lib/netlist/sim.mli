@@ -1,0 +1,16 @@
+(** Two-valued cycle-accurate netlist simulation.
+
+    Provides the ground-truth executions that state restoration
+    ({!Restore}) is scored against, with deterministic pseudo-random
+    primary inputs. *)
+
+open Flowtrace_core
+
+(** [run ~rng netlist ~cycles] simulates from the all-zero flip-flop state
+    with random inputs; result.(c).(net) is the value of [net] during
+    cycle [c] (flip-flop outputs hold their pre-edge value). *)
+val run : ?rng:Rng.t -> Netlist.t -> cycles:int -> bool array array
+
+(** [signal_value netlist history ~cycle ~signal] packs a signal group into
+    an integer, LSB first. *)
+val signal_value : Netlist.t -> bool array array -> cycle:int -> signal:string -> int

@@ -1,0 +1,38 @@
+(* The State Restoration Ratio: restored-plus-traced state bits over traced
+   state bits, measured on a simulated window. SRR-based selection methods
+   pick the flip-flop set maximizing this ratio. *)
+
+open Flowtrace_core
+
+type result = {
+  traced : int list;  (* FF q-nets that were traced *)
+  cycles : int;
+  traced_bits : int;
+  known_state_bits : int;  (* known (FF, cycle) pairs incl. traced *)
+  total_state_bits : int;
+  srr : float;  (* known / traced *)
+  state_coverage : float;  (* known / total *)
+}
+
+let evaluate ?(rng = Rng.create 1) netlist ~traced ~cycles =
+  if traced = [] then invalid_arg "Srr.evaluate: empty traced set";
+  List.iter
+    (fun net ->
+      if not (Netlist.is_ff netlist net) then
+        invalid_arg (Printf.sprintf "Srr.evaluate: net %d is not a flip-flop" net))
+    traced;
+  let truth = Sim.run ~rng netlist ~cycles in
+  let grid = Restore.from_trace netlist ~traced ~truth in
+  let ffs = netlist.Netlist.ffs in
+  let known = Restore.known_count grid ffs in
+  let traced_bits = List.length traced * cycles in
+  let total = List.length ffs * cycles in
+  {
+    traced;
+    cycles;
+    traced_bits;
+    known_state_bits = known;
+    total_state_bits = total;
+    srr = float_of_int known /. float_of_int traced_bits;
+    state_coverage = float_of_int known /. float_of_int total;
+  }

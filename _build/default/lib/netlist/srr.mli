@@ -1,0 +1,23 @@
+(** State Restoration Ratio (SRR) measurement.
+
+    SRR = (number of flip-flop state bits known after restoration,
+    including the traced ones) / (number of traced state bits), evaluated
+    over a simulated window with deterministic random inputs. The metric
+    the gate-level baselines of Section 5.4 optimize. *)
+
+open Flowtrace_core
+
+type result = {
+  traced : int list;
+  cycles : int;
+  traced_bits : int;
+  known_state_bits : int;
+  total_state_bits : int;
+  srr : float;
+  state_coverage : float;  (** known state bits / all state bits *)
+}
+
+(** [evaluate netlist ~traced ~cycles] simulates, restores from the traced
+    flip-flops and scores. Raises [Invalid_argument] if [traced] is empty
+    or contains a non-flip-flop net. *)
+val evaluate : ?rng:Rng.t -> Netlist.t -> traced:int list -> cycles:int -> result

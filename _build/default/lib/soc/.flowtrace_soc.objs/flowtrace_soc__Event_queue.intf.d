@@ -1,0 +1,1 @@
+lib/soc/event_queue.mli:

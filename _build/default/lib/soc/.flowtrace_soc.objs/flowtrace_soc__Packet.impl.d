@@ -1,0 +1,1 @@
+lib/soc/packet.ml: Flowtrace_core Indexed List Printf String

@@ -1,0 +1,1 @@
+lib/soc/packet.mli: Flowtrace_core Indexed

@@ -1,0 +1,1 @@
+lib/soc/scenario.ml: Flow Flowtrace_core Hashtbl Interleave List Message Printf Rng Sim String T2

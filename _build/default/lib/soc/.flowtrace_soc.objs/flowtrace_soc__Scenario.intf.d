@@ -1,0 +1,1 @@
+lib/soc/scenario.mli: Flow Flowtrace_core Interleave Message Packet Sim

@@ -1,0 +1,1 @@
+lib/soc/sim.ml: Array Event_queue Flow Flowtrace_core Hashtbl List Message Option Packet Printf Rng String

@@ -1,0 +1,1 @@
+lib/soc/sim.mli: Flow Flowtrace_core Hashtbl Message Packet Rng

@@ -1,0 +1,1 @@
+lib/soc/t2.ml: Array Flow Flowtrace_core Hashtbl List Message Packet Printf Rng Sim String

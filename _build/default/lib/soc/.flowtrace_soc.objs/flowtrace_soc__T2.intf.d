@@ -1,0 +1,1 @@
+lib/soc/t2.mli: Flow Flowtrace_core Message Rng Sim

@@ -1,0 +1,1 @@
+lib/soc/t2_ext.ml: Array Flow Flowtrace_core Interleave List Message Packet Rng Sim T2

@@ -1,0 +1,1 @@
+lib/soc/t2_ext.mli: Flow Flowtrace_core Interleave Packet Rng Sim

@@ -1,0 +1,1 @@
+lib/soc/trace_buffer.ml: Flowtrace_core Indexed List Message Packet Packing Select String

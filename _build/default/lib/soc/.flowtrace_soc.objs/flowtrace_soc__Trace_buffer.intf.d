@@ -1,0 +1,1 @@
+lib/soc/trace_buffer.mli: Flowtrace_core Indexed Packet Select

@@ -1,0 +1,1 @@
+lib/soc/trace_io.mli: Packet

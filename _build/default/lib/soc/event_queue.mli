@@ -1,0 +1,21 @@
+(** Deterministic binary-heap event queue.
+
+    Events at the same time pop in insertion order, so simulator runs are
+    exactly reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push q ~at payload] schedules an event. Raises [Invalid_argument] on a
+    negative time. *)
+val push : 'a t -> at:int -> 'a -> unit
+
+(** [pop q] removes the earliest event (earliest time, then earliest
+    insertion). *)
+val pop : 'a t -> (int * 'a) option
+
+(** Time of the earliest event without removing it. *)
+val peek_time : 'a t -> int option

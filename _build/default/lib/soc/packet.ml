@@ -1,0 +1,29 @@
+(* An observed inter-IP transaction: one flow message instance with its
+   payload fields, as seen by a monitor at the IP interface. *)
+
+open Flowtrace_core
+
+type t = {
+  cycle : int;
+  flow : string;
+  inst : int;  (* flow instance index — the hardware tag *)
+  msg : string;
+  src : string;
+  dst : string;
+  fields : (string * int) list;
+}
+
+let indexed p = Indexed.make p.msg p.inst
+
+let field p name = List.assoc_opt name p.fields
+
+let field_exn p name =
+  match field p name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Packet.field_exn: %s has no field %s" p.msg name)
+
+let with_field p name v = { p with fields = (name, v) :: List.remove_assoc name p.fields }
+
+let to_string p =
+  Printf.sprintf "[%d] %d:%s %s->%s {%s}" p.cycle p.inst p.msg p.src p.dst
+    (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) p.fields))

@@ -1,0 +1,29 @@
+(** Observed inter-IP transactions.
+
+    The System-Verilog monitors of the paper's Figure 4 convert RTL signal
+    activity into flow messages; our simulator's monitors produce these
+    packets directly — one per message occurrence, carrying the flow
+    instance tag and named payload fields. *)
+
+open Flowtrace_core
+
+type t = {
+  cycle : int;
+  flow : string;
+  inst : int;  (** flow instance index — the hardware tag *)
+  msg : string;
+  src : string;
+  dst : string;
+  fields : (string * int) list;
+}
+
+(** The indexed message this packet realizes. *)
+val indexed : t -> Indexed.t
+
+val field : t -> string -> int option
+val field_exn : t -> string -> int
+
+(** [with_field p name v] sets or replaces a payload field. *)
+val with_field : t -> string -> int -> t
+
+val to_string : t -> string

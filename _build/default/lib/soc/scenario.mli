@@ -1,0 +1,51 @@
+(** The three usage scenarios of Table 1.
+
+    Each scenario names its participating flows and is usable at two
+    scales: a fixed analysis-scale instance set whose interleaving is
+    materialized for selection/coverage/localization, and simulation-scale
+    runs with many instances for the debugging case studies. *)
+
+open Flowtrace_core
+
+type t = {
+  id : int;
+  name : string;
+  flow_names : string list;
+  paper_ips : string list;  (** the key IPs Table 1 lists *)
+  analysis_counts : (string * int) list;
+}
+
+val scenario1 : t
+val scenario2 : t
+val scenario3 : t
+val all : t list
+val by_id : int -> t
+
+val flows : t -> Flow.t list
+
+(** Deduplicated message pool (what Step 1 enumerates). *)
+val messages : t -> Message.t list
+
+(** IPs touched by the scenario's messages (a superset of [paper_ips]). *)
+val participating_ips : t -> string list
+
+(** Analysis-scale legally indexed instances, globally uniquely indexed. *)
+val analysis_instances : t -> Interleave.instance list
+
+(** Materialize the interleaved flow of {!analysis_instances}. *)
+val interleave : ?max_states:int -> t -> Interleave.t
+
+type run_config = { seed : int; rounds : int; spacing : int }
+
+val default_run : run_config
+
+(** [prepare ?config ?mutators t] builds a simulation-scale sim without
+    running it. *)
+val prepare : ?config:run_config -> ?mutators:(Sim.t -> Packet.t -> Sim.action) list -> t -> Sim.t
+
+(** Full-size run for the debugging case studies. *)
+val run : ?config:run_config -> ?mutators:(Sim.t -> Packet.t -> Sim.action) list -> t -> Sim.outcome
+
+(** Analysis-scale run over exactly {!analysis_instances}: the packet log
+    is one execution of the materialized interleaving. *)
+val run_analysis : ?seed:int -> ?mutators:(Sim.t -> Packet.t -> Sim.action) list -> t -> Sim.outcome

@@ -1,0 +1,281 @@
+(* The transaction-level SoC simulator.
+
+   Flow instances execute their specification DAGs directly: firing a
+   transition emits the labeling message as a packet between the declared
+   source and destination IPs, with payload fields produced by a
+   platform-semantics callback (see {!T2}) and per-channel latency folded
+   into the inter-message delay. State advances atomically at fire time, so
+   the chronological packet log of a run is — by construction — a path of
+   the interleaved flow of the participating instances, which is what lets
+   flow-level localization consume simulator traces directly.
+
+   The Atom mutex is enforced operationally: an instance may fire only
+   while every other instance sits outside its atomic states; blocked
+   instances retry a few cycles later (the atomic instance itself is never
+   blocked, so progress is guaranteed).
+
+   Bug injection hooks in as packet mutators (see {!Flowtrace_bug.Inject}):
+   a mutator may corrupt payload fields, misroute, or drop a packet
+   entirely — a dropped packet strands its instance, the hang symptom. *)
+
+open Flowtrace_core
+
+type channel = {
+  ch_src : string;
+  ch_dst : string;
+  ch_latency : int;
+  mutable ch_traffic : int;
+  mutable ch_busy_until : int;  (* serialization: one packet in flight at a time *)
+}
+
+type failure = { f_cycle : int; f_ip : string; f_flow : string; f_desc : string }
+
+(* What a mutator decides about an outgoing packet. *)
+type action =
+  | Deliver of Packet.t  (* possibly rewritten *)
+  | Swallow  (* lost inside the buggy IP: the instance hangs *)
+  | Replay of Packet.t  (* delivered twice (QED-style duplication) *)
+  | Stall of Packet.t * int  (* delivered after extra cycles of delay *)
+
+type config = { seed : int; max_cycles : int; mem_size : int }
+
+let default_config = { seed = 1; max_cycles = 1_000_000; mem_size = 1024 }
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  queue : event Event_queue.t;
+  channels : (string * string, channel) Hashtbl.t;
+  memory : int array;  (* simple global memory model (PIO space) *)
+  state : (string, int) Hashtbl.t;  (* platform scratch state (tables, credits) *)
+  mutable cycle : int;
+  mutable log : Packet.t list;  (* reversed chronological packet log *)
+  mutable failures : failure list;
+  mutable mutators : (t -> Packet.t -> action) list;
+  mutable instances : instance list;
+  mutable fired : int;
+}
+
+and instance = {
+  i_flow : Flow.t;
+  i_index : int;
+  i_start : int;
+  i_env : (string, int) Hashtbl.t;
+  i_rng : Rng.t;
+      (* private stream: a bug stalling one instance must not perturb the
+         random choices of the others, or golden-vs-buggy diffs would blame
+         every message on every bug *)
+  mutable i_state : string;
+  mutable i_done : bool;
+  mutable i_stuck : bool;
+}
+
+and event = Fire of instance
+
+and semantics = {
+  payload : t -> instance -> Message.t -> (string * int) list;
+      (* fields of an outgoing message *)
+  on_deliver : t -> instance -> Packet.t -> string option;
+      (* receiver-side validity check; [Some desc] records a failure *)
+  gate : t -> instance -> Message.t -> bool;
+      (* flow-control: may this message be sent now? (e.g. credits) *)
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    rng = Rng.create config.seed;
+    queue = Event_queue.create ();
+    channels = Hashtbl.create 16;
+    memory = Array.make config.mem_size 0;
+    state = Hashtbl.create 16;
+    cycle = 0;
+    log = [];
+    failures = [];
+    mutators = [];
+    instances = [];
+    fired = 0;
+  }
+
+let add_channel t ~src ~dst ~latency =
+  if Hashtbl.mem t.channels (src, dst) then
+    invalid_arg (Printf.sprintf "Sim.add_channel: duplicate channel %s->%s" src dst);
+  Hashtbl.replace t.channels (src, dst)
+    { ch_src = src; ch_dst = dst; ch_latency = latency; ch_traffic = 0; ch_busy_until = 0 }
+
+let channel t ~src ~dst = Hashtbl.find_opt t.channels (src, dst)
+
+let add_mutator t m = t.mutators <- t.mutators @ [ m ]
+
+let env_get inst key = Option.value ~default:0 (Hashtbl.find_opt inst.i_env key)
+let env_set inst key v = Hashtbl.replace inst.i_env key v
+
+let state_get t key = Option.value ~default:0 (Hashtbl.find_opt t.state key)
+let state_set t key v = Hashtbl.replace t.state key v
+
+let fail t ~ip ~flow ~desc =
+  t.failures <- { f_cycle = t.cycle; f_ip = ip; f_flow = flow; f_desc = desc } :: t.failures
+
+let add_instance t ~flow ~index ~start ~env =
+  if List.exists (fun i -> String.equal i.i_flow.Flow.name flow.Flow.name && i.i_index = index) t.instances
+  then invalid_arg "Sim.add_instance: duplicate (flow, index) — not legally indexed";
+  let inst =
+    {
+      i_flow = flow;
+      i_index = index;
+      i_start = start;
+      i_env = Hashtbl.of_seq (List.to_seq env);
+      i_rng = Rng.create ((t.config.seed * 1_000_003) + (index * 7919));
+      i_state = (match flow.Flow.initial with s :: _ -> s | [] -> assert false);
+      i_done = false;
+      i_stuck = false;
+    }
+  in
+  t.instances <- t.instances @ [ inst ];
+  Event_queue.push t.queue ~at:start (Fire inst);
+  inst
+
+(* [`Blocked] when a live instance holds an atomic state; [`Deadlocked]
+   when the only atomic holders are stuck instances (a dropped message
+   inside an atomic section) — then the blocked instance can never run. *)
+let atomic_holders t inst =
+  let holders =
+    List.filter
+      (fun other ->
+        other != inst && (not other.i_done)
+        && t.cycle >= other.i_start
+        && Flow.is_atomic other.i_flow other.i_state)
+      t.instances
+  in
+  if holders = [] then `Free
+  else if List.for_all (fun h -> h.i_stuck) holders then `Deadlocked
+  else `Blocked
+
+let fire sem t inst =
+  if not (inst.i_done || inst.i_stuck) then begin
+    match atomic_holders t inst with
+    | `Blocked ->
+        (* blocked by the Atom mutex; the atomic instance will move on *)
+        Event_queue.push t.queue ~at:(t.cycle + 2) (Fire inst)
+    | `Deadlocked -> inst.i_stuck <- true
+    | `Free -> (
+      (* flow control: only transitions whose message the platform allows
+         right now (credit available, queue not full) are choosable *)
+      let all = Flow.successors inst.i_flow inst.i_state in
+      let open_ =
+        List.filter (fun (tr : Flow.transition) -> sem.gate t inst (Flow.message_exn inst.i_flow tr.Flow.t_msg)) all
+      in
+      match (all, open_) with
+      | [], _ -> inst.i_stuck <- true (* cannot happen in validated flows *)
+      | _, [] ->
+          (* backpressured: retry once resources free up *)
+          Event_queue.push t.queue ~at:(t.cycle + 4) (Fire inst)
+      | _, succs ->
+          let tr = Rng.pick inst.i_rng succs in
+          let msg = Flow.message_exn inst.i_flow tr.Flow.t_msg in
+          let fields = sem.payload t inst msg in
+          let packet =
+            {
+              Packet.cycle = t.cycle;
+              flow = inst.i_flow.Flow.name;
+              inst = inst.i_index;
+              msg = msg.Message.name;
+              src = msg.Message.src;
+              dst = msg.Message.dst;
+              fields;
+            }
+          in
+          (* fold mutators; Swallow is terminal, delays accumulate, a
+             replay survives further rewriting of the packet *)
+          let mutated =
+            List.fold_left
+              (fun acc m ->
+                match acc with
+                | Swallow -> Swallow
+                | Deliver p -> m t p
+                | Replay p -> (
+                    match m t p with
+                    | Deliver p' -> Replay p'
+                    | other -> other)
+                | Stall (p, d) -> (
+                    match m t p with
+                    | Deliver p' -> Stall (p', d)
+                    | Stall (p', d') -> Stall (p', d + d')
+                    | other -> other))
+              (Deliver packet) t.mutators
+          in
+          (match mutated with
+          | Swallow ->
+              (* the message was swallowed inside the buggy IP: the flow
+                 instance hangs waiting for it *)
+              inst.i_stuck <- true
+          | Deliver p | Replay p | Stall (p, _) ->
+              let extra = match mutated with Stall (_, d) -> d | _ -> 0 in
+              t.log <- p :: t.log;
+              if (match mutated with Replay _ -> true | _ -> false) then
+                t.log <- { p with Packet.cycle = p.Packet.cycle } :: t.log;
+              t.fired <- t.fired + 1;
+              (* Channel serialization: a link carries one packet at a
+                 time, so a busy link stretches the effective latency —
+                 contention shows up as increased inter-message delay. *)
+              let latency =
+                match channel t ~src:p.Packet.src ~dst:p.Packet.dst with
+                | Some ch ->
+                    ch.ch_traffic <- ch.ch_traffic + 1;
+                    let start = max t.cycle ch.ch_busy_until in
+                    ch.ch_busy_until <- start + ch.ch_latency;
+                    start + ch.ch_latency - t.cycle
+                | None -> 1
+              in
+              (match sem.on_deliver t inst p with
+              | Some desc -> fail t ~ip:p.Packet.dst ~flow:p.Packet.flow ~desc
+              | None -> ());
+              (* a replayed packet is processed twice by the receiver *)
+              (match mutated with
+              | Replay _ -> (
+                  match sem.on_deliver t inst p with
+                  | Some desc -> fail t ~ip:p.Packet.dst ~flow:p.Packet.flow ~desc
+                  | None -> ())
+              | _ -> ());
+              inst.i_state <- tr.Flow.t_dst;
+              if Flow.is_stop inst.i_flow inst.i_state then inst.i_done <- true
+              else
+                let think = 1 + Rng.int inst.i_rng 12 in
+                Event_queue.push t.queue ~at:(t.cycle + latency + extra + think) (Fire inst)))
+  end
+
+let run sem t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Event_queue.pop t.queue with
+    | None -> continue_ := false
+    | Some (at, Fire inst) ->
+        if at > t.config.max_cycles then continue_ := false
+        else begin
+          t.cycle <- at;
+          fire sem t inst
+        end
+  done
+
+type outcome = {
+  packets : Packet.t list;  (* chronological *)
+  completed : (string * int) list;
+  hung : (string * int) list;
+  failures : failure list;
+  end_cycle : int;
+}
+
+let outcome t =
+  {
+    packets = List.rev t.log;
+    completed =
+      List.filter_map (fun i -> if i.i_done then Some (i.i_flow.Flow.name, i.i_index) else None) t.instances;
+    hung =
+      List.filter_map
+        (fun i -> if not i.i_done then Some (i.i_flow.Flow.name, i.i_index) else None)
+        t.instances;
+    failures = List.rev t.failures;
+    end_cycle = t.cycle;
+  }
+
+let memory t = t.memory

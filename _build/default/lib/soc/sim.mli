@@ -1,0 +1,109 @@
+(** The transaction-level SoC simulator.
+
+    Flow instances execute their specification DAGs directly: firing a
+    transition emits the labeling message as a {!Packet.t} between the
+    declared IPs, with payload fields produced by platform semantics (see
+    {!T2}). State advances atomically at fire time, so the chronological
+    packet log of a run is by construction a path of the interleaved flow
+    of the participating instances — flow-level localization can consume
+    simulator traces directly.
+
+    The Atom mutex is enforced operationally: an instance fires only while
+    every other live instance is outside its atomic states; if the only
+    atomic holders are stuck (a message was dropped inside an atomic
+    section), waiters are declared deadlocked.
+
+    Bug injection hooks in as packet mutators ({!add_mutator}): a mutator
+    may rewrite payload fields, redirect a packet, or swallow it ([None]),
+    stranding the instance — the hang symptom. *)
+
+open Flowtrace_core
+
+type channel = {
+  ch_src : string;
+  ch_dst : string;
+  ch_latency : int;
+  mutable ch_traffic : int;
+  mutable ch_busy_until : int;  (** links serialize: one packet in flight *)
+}
+type failure = { f_cycle : int; f_ip : string; f_flow : string; f_desc : string }
+
+(** A mutator's decision about an outgoing packet. *)
+type action =
+  | Deliver of Packet.t  (** possibly rewritten *)
+  | Swallow  (** lost inside the buggy IP: the instance hangs *)
+  | Replay of Packet.t  (** delivered twice (QED-style duplication) *)
+  | Stall of Packet.t * int  (** delivered after extra delay cycles *)
+
+type config = { seed : int; max_cycles : int; mem_size : int }
+
+val default_config : config
+
+type t
+
+(** One executing flow instance. *)
+type instance = {
+  i_flow : Flow.t;
+  i_index : int;
+  i_start : int;
+  i_env : (string, int) Hashtbl.t;  (** instance-local variables *)
+  i_rng : Rng.t;  (** private stream so bugs perturb only their instance *)
+  mutable i_state : string;
+  mutable i_done : bool;
+  mutable i_stuck : bool;
+}
+
+type event = Fire of instance
+
+(** Platform semantics: payload generation for outgoing messages,
+    receiver-side validity checks, and flow-control gating ([gate] false
+    means the message cannot be sent yet — the instance retries; a
+    depleted credit pool backpressures its flows). *)
+type semantics = {
+  payload : t -> instance -> Message.t -> (string * int) list;
+  on_deliver : t -> instance -> Packet.t -> string option;
+  gate : t -> instance -> Message.t -> bool;
+}
+
+val create : ?config:config -> unit -> t
+
+(** [add_channel t ~src ~dst ~latency] declares a point-to-point link; its
+    latency adds to the inter-message delay of flows crossing it. *)
+val add_channel : t -> src:string -> dst:string -> latency:int -> unit
+
+val channel : t -> src:string -> dst:string -> channel option
+
+(** Mutators run in registration order on every emitted packet. *)
+val add_mutator : t -> (t -> Packet.t -> action) -> unit
+
+val env_get : instance -> string -> int
+val env_set : instance -> string -> int -> unit
+
+(** Platform scratch state (interrupt tables, credit pools, ...). *)
+val state_get : t -> string -> int
+val state_set : t -> string -> int -> unit
+
+(** Record a failure observed by an IP (e.g. ["FAIL: Bad Trap"]). *)
+val fail : t -> ip:string -> flow:string -> desc:string -> unit
+
+(** The global PIO memory model. *)
+val memory : t -> int array
+
+(** [add_instance t ~flow ~index ~start ~env] enrolls a legally indexed
+    instance starting at cycle [start]. Raises [Invalid_argument] on a
+    duplicate (flow, index). *)
+val add_instance :
+  t -> flow:Flow.t -> index:int -> start:int -> env:(string * int) list -> instance
+
+(** Run to completion (or [max_cycles]). Deterministic given the seed. *)
+val run : semantics -> t -> unit
+
+type outcome = {
+  packets : Packet.t list;  (** chronological monitor log *)
+  completed : (string * int) list;
+  hung : (string * int) list;  (** instances that never reached a stop state *)
+  failures : failure list;
+  end_cycle : int;
+}
+
+val outcome : t -> outcome

@@ -1,0 +1,321 @@
+(* The OpenSPARC T2 platform model: IP topology (Figure 3), the five
+   system-level flows of Table 1 — PIO Read, PIO Write, NCU Upstream, NCU
+   Downstream, Mondo Interrupt — and their payload semantics.
+
+   Message names follow the ones the paper itself prints (Table 7):
+   [reqtot], [grant], [dmusiidata] with its [cputhreadid] sub-field,
+   [siincu], [mondoacknack], [piowcrd]. State/message counts per flow match
+   Table 1's annotations: PIOR (6,5), PIOW (3,2), NCUU (4,3), NCUD (3,2),
+   Mon (6,5). The five flows share exactly one message ([siincu], the
+   SIU-to-NCU interface register used by both the Mondo and the upstream
+   path), leaving 16 distinct messages — the m1..m16 of Table 5.
+
+   Payload semantics implement a scoreboard in the style of the fc1_all_T2
+   regression testbench: PIO reads check returned data against the memory
+   image, PIO writes check commit and credit return, Mondo interrupts check
+   CPU/thread routing, upstream/downstream requests check decode fidelity.
+   A violated check records a failure such as "FAIL: Bad Trap" — the bug
+   symptoms the debug sessions of Section 5.6 start from. *)
+
+open Flowtrace_core
+
+(* --- IPs and interconnect ---------------------------------------------- *)
+
+(* (name, hierarchical depth from top — Table 2's "bug depth") *)
+let ips =
+  [ ("SPC", 2); ("CCX", 2); ("NCU", 3); ("DMU", 4); ("SIU", 3); ("PIU", 4); ("MCU", 3) ]
+
+let ip_depth name =
+  match List.assoc_opt name ips with Some d -> d | None -> invalid_arg ("T2.ip_depth: " ^ name)
+
+let channels =
+  [
+    ("NCU", "DMU", 8);
+    ("DMU", "NCU", 8);
+    ("DMU", "PIU", 6);
+    ("PIU", "DMU", 6);
+    ("DMU", "SIU", 4);
+    ("SIU", "DMU", 4);
+    ("SIU", "NCU", 5);
+    ("NCU", "CCX", 3);
+    ("CCX", "NCU", 3);
+    ("NCU", "MCU", 7);
+    ("MCU", "NCU", 7);
+  ]
+
+let install_channels sim =
+  List.iter (fun (src, dst, latency) -> Sim.add_channel sim ~src ~dst ~latency) channels
+
+(* --- flows -------------------------------------------------------------- *)
+
+let msg = Message.make
+let sub = Message.subgroup
+
+(* PIO Read (6 states, 5 messages): NCU -> DMU -> PIU and back. *)
+let pior =
+  Flow.make ~name:"PIOR"
+    ~states:[ "p_idle"; "p_req"; "p_fwd"; "p_data"; "p_ret"; "p_done" ]
+    ~initial:[ "p_idle" ] ~stop:[ "p_done" ] ~atomic:[ "p_data" ]
+    ~messages:
+      [
+        msg ~src:"NCU" ~dst:"DMU" ~subgroups:[ sub "pioaddrlo" 4 ] "piordreq" 11;
+        msg ~src:"DMU" ~dst:"PIU" "dmupiord" 7;
+        msg ~src:"PIU" ~dst:"DMU" ~subgroups:[ sub "rddata" 8; sub "rdtag" 4; sub "rdvld" 2 ] "piurdata" 17;
+        msg ~src:"DMU" ~dst:"NCU" ~subgroups:[ sub "rdstat" 3 ] "dmuncurd" 13;
+        msg ~src:"NCU" ~dst:"DMU" "piordack" 3;
+      ]
+    ~transitions:
+      [
+        Flow.transition "p_idle" "piordreq" "p_req";
+        Flow.transition "p_req" "dmupiord" "p_fwd";
+        Flow.transition "p_fwd" "piurdata" "p_data";
+        Flow.transition "p_data" "dmuncurd" "p_ret";
+        Flow.transition "p_ret" "piordack" "p_done";
+      ]
+    ()
+
+(* PIO Write (3 states, 2 messages): posted write plus credit return. *)
+let piow =
+  Flow.make ~name:"PIOW"
+    ~states:[ "w_idle"; "w_req"; "w_done" ]
+    ~initial:[ "w_idle" ] ~stop:[ "w_done" ]
+    ~messages:
+      [
+        msg ~src:"NCU" ~dst:"DMU" ~subgroups:[ sub "pioaddr" 10; sub "piodata" 8; sub "piocrd" 3 ] "piowreq" 19;
+        msg ~src:"DMU" ~dst:"NCU" "piowcrd" 5;
+      ]
+    ~transitions:
+      [ Flow.transition "w_idle" "piowreq" "w_req"; Flow.transition "w_req" "piowcrd" "w_done" ]
+    ()
+
+(* NCU Upstream (4 states, 3 messages): SIU -> NCU -> CCX. *)
+let ncuu =
+  Flow.make ~name:"NCUU"
+    ~states:[ "u_idle"; "u_req"; "u_fwd"; "u_done" ]
+    ~initial:[ "u_idle" ] ~stop:[ "u_done" ]
+    ~messages:
+      [
+        msg ~src:"SIU" ~dst:"NCU" ~subgroups:[ sub "ncutag" 6 ] "siincu" 15;
+        msg ~src:"NCU" ~dst:"CCX" "ncucpx" 11;
+        msg ~src:"CCX" ~dst:"NCU" "cpxack" 3;
+      ]
+    ~transitions:
+      [
+        Flow.transition "u_idle" "siincu" "u_req";
+        Flow.transition "u_req" "ncucpx" "u_fwd";
+        Flow.transition "u_fwd" "cpxack" "u_done";
+      ]
+    ()
+
+(* NCU Downstream (3 states, 2 messages): CCX -> NCU -> MCU. *)
+let ncud =
+  Flow.make ~name:"NCUD"
+    ~states:[ "d_idle"; "d_req"; "d_done" ]
+    ~initial:[ "d_idle" ] ~stop:[ "d_done" ]
+    ~messages:
+      [ msg ~src:"CCX" ~dst:"NCU" "cpxncu" 11; msg ~src:"NCU" ~dst:"MCU" "ncumcu" 9 ]
+    ~transitions:
+      [ Flow.transition "d_idle" "cpxncu" "d_req"; Flow.transition "d_req" "ncumcu" "d_done" ]
+    ()
+
+(* Mondo Interrupt (6 states, 5 messages): DMU -> SIU -> NCU -> DMU. *)
+let mondo =
+  Flow.make ~name:"Mon"
+    ~states:[ "m_idle"; "m_req"; "m_gnt"; "m_data"; "m_fwd"; "m_done" ]
+    ~initial:[ "m_idle" ] ~stop:[ "m_done" ] ~atomic:[ "m_data" ]
+    ~messages:
+      [
+        msg ~src:"DMU" ~dst:"SIU" "reqtot" 5;
+        msg ~src:"SIU" ~dst:"DMU" "grant" 2;
+        msg ~src:"DMU" ~dst:"SIU"
+          ~subgroups:[ sub "cputhreadid" 6; sub "mondoaddr" 8; sub "mondovld" 1 ]
+          "dmusiidata" 20;
+        msg ~src:"SIU" ~dst:"NCU" ~subgroups:[ sub "ncutag" 6 ] "siincu" 15;
+        msg ~src:"NCU" ~dst:"DMU" "mondoacknack" 3;
+      ]
+    ~transitions:
+      [
+        Flow.transition "m_idle" "reqtot" "m_req";
+        Flow.transition "m_req" "grant" "m_gnt";
+        Flow.transition "m_gnt" "dmusiidata" "m_data";
+        Flow.transition "m_data" "siincu" "m_fwd";
+        Flow.transition "m_fwd" "mondoacknack" "m_done";
+      ]
+    ()
+
+let flows = [ pior; piow; ncuu; ncud; mondo ]
+
+let flow_by_name name =
+  match List.find_opt (fun f -> String.equal f.Flow.name name) flows with
+  | Some f -> f
+  | None -> invalid_arg ("T2.flow_by_name: " ^ name)
+
+(* All 16 distinct messages, in a stable order (Table 5's m1..m16). *)
+let all_messages =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun f ->
+      List.filter_map
+        (fun (m : Message.t) ->
+          if Hashtbl.mem seen m.Message.name then None
+          else begin
+            Hashtbl.replace seen m.Message.name ();
+            Some m
+          end)
+        f.Flow.messages)
+    flows
+
+(* --- payload semantics --------------------------------------------------- *)
+
+let key_of ~cpuid ~threadid = (cpuid lsl 3) lor threadid
+
+(* Deterministic non-uniform memory image so reads from a wrong address
+   almost surely return wrong data. *)
+let init_memory mem =
+  Array.iteri (fun i _ -> mem.(i) <- (i * 2654435761) land 0xFF) mem
+
+(* PIO write credits: NCU holds a finite pool; a request consumes one at
+   send time and the completion's piowcrd returns it. A depleted pool
+   backpressures further writes — the credit mechanism the paper's
+   [piowcrd] message exists to track. *)
+let write_credit_pool = 3
+
+let credit_key = "ncu_wr_credits"
+
+let gate t _inst (m : Message.t) =
+  match m.Message.name with
+  | "piowreq" -> Sim.state_get t credit_key > 0
+  | _ -> true
+
+let payload t inst (m : Message.t) =
+  let g = Sim.env_get inst in
+  let mem = Sim.memory t in
+  let addr = g "addr" land (Array.length mem - 1) in
+  match m.Message.name with
+  | "piordreq" -> [ ("addr", g "addr") ]
+  | "dmupiord" ->
+      (* capture the architecturally expected read value at request time *)
+      Sim.env_set inst "expected" mem.(addr);
+      [ ("addr", g "addr") ]
+  | "piurdata" ->
+      let served = g "served_addr" land (Array.length mem - 1) in
+      [ ("data", mem.(served)); ("tag", g "served_addr" land 0xF) ]
+  | "dmuncurd" -> [ ("data", g "rdata") ]
+  | "piordack" -> [ ("crd", g "crd") ]
+  | "piowreq" ->
+      (* consume a write credit at send time *)
+      Sim.state_set t credit_key (Sim.state_get t credit_key - 1);
+      [ ("addr", g "addr"); ("data", g "data"); ("crd", g "crd") ]
+  | "piowcrd" -> [ ("crd", g "wr_crd") ]
+  | "reqtot" -> [ ("cnt", 1) ]
+  | "grant" -> [ ("gnt", 1) ]
+  | "dmusiidata" ->
+      [ ("cpuid", g "cpuid"); ("threadid", g "threadid"); ("payload", g "mondo_payload") ]
+  | "siincu" ->
+      if String.equal inst.Sim.i_flow.Flow.name "Mon" then [ ("payload", g "fwd_payload") ]
+      else [ ("payload", g "payload") ]
+  | "mondoacknack" -> [ ("ack", (if g "rx_key_set" = 1 then 1 else 0)) ]
+  | "ncucpx" -> [ ("payload", g "rx_payload") ]
+  | "cpxack" -> [ ("ack", 1) ]
+  | "cpxncu" -> [ ("cmd", g "cmd") ]
+  | "ncumcu" -> [ ("cmd", g "rx_cmd") ]
+  | other -> invalid_arg ("T2.payload: unknown message " ^ other)
+
+let on_deliver t inst (p : Packet.t) =
+  let g = Sim.env_get inst in
+  let s = Sim.env_set inst in
+  let f = Packet.field_exn in
+  let mem = Sim.memory t in
+  let mask = Array.length mem - 1 in
+  match p.Packet.msg with
+  | "piordreq" -> None
+  | "dmupiord" ->
+      s "served_addr" (f p "addr");
+      None
+  | "piurdata" ->
+      s "rdata" (f p "data");
+      None
+  | "dmuncurd" ->
+      if f p "data" <> g "expected" then
+        Some
+          (Printf.sprintf "FAIL: Bad Trap — PIO read %d:%d returned %d, expected %d"
+             p.Packet.inst (g "addr") (f p "data") (g "expected"))
+      else None
+  | "piordack" -> if f p "crd" <> g "crd" then Some "FAIL: PIO read credit mismatch" else None
+  | "piowreq" ->
+      (* the write commits inside DMU *)
+      mem.(f p "addr" land mask) <- f p "data";
+      s "wr_crd" (f p "crd");
+      None
+  | "piowcrd" ->
+      Sim.state_set t credit_key (Sim.state_get t credit_key + 1);
+      if f p "crd" <> g "crd" then Some "FAIL: PIO write credit mismatch"
+      else if mem.(g "addr" land mask) <> g "data" then
+        Some (Printf.sprintf "FAIL: PIO write to %d did not commit" (g "addr"))
+      else None
+  | "reqtot" -> None
+  | "grant" -> None
+  | "dmusiidata" ->
+      s "fwd_payload" (key_of ~cpuid:(f p "cpuid") ~threadid:(f p "threadid"));
+      None
+  | "siincu" ->
+      if String.equal p.Packet.flow "Mon" then begin
+        let expected = key_of ~cpuid:(g "cpuid") ~threadid:(g "threadid") in
+        let got = f p "payload" in
+        Sim.state_set t (Printf.sprintf "int:%d" got) 1;
+        s "rx_key_set" 1;
+        if got <> expected then
+          Some
+            (Printf.sprintf "FAIL: Mondo interrupt routed to CPU/Thread %d, expected %d" got
+               expected)
+        else None
+      end
+      else begin
+        s "rx_payload" (f p "payload");
+        None
+      end
+  | "mondoacknack" ->
+      if f p "ack" <> 1 then Some "FAIL: Mondo interrupt nacked after service" else None
+  | "ncucpx" ->
+      if f p "payload" <> g "payload" then
+        Some "FAIL: malformed CPU request from NCU to Cache Crossbar"
+      else None
+  | "cpxack" -> None
+  | "cpxncu" ->
+      s "rx_cmd" (f p "cmd");
+      None
+  | "ncumcu" ->
+      if f p "cmd" <> g "cmd" then
+        Some "FAIL: erroneous decoding of CPU request in memory controller"
+      else None
+  | other -> invalid_arg ("T2.on_deliver: unknown message " ^ other)
+
+let semantics = { Sim.payload; on_deliver; gate }
+
+(* Instance-local environment for a fresh instance of [flow], drawn from
+   [rng]. The [slot] spreads PIO addresses so concurrent instances never
+   collide on memory locations (collisions would be false sharing, not a
+   bug symptom). *)
+let fresh_env ~rng ~slot (flow : Flow.t) =
+  match flow.Flow.name with
+  | "PIOR" -> [ ("addr", 512 + (slot land 255)); ("crd", 1 + Rng.int rng 15) ]
+  | "PIOW" ->
+      [
+        ("addr", 256 + (slot land 255));
+        ("data", Rng.int rng 256);
+        ("crd", 1 + Rng.int rng 15);
+      ]
+  | "Mon" ->
+      [
+        ("cpuid", Rng.int rng 8);
+        ("threadid", Rng.int rng 8);
+        ("mondo_payload", Rng.int rng 256);
+      ]
+  | "NCUU" -> [ ("payload", Rng.int rng 4096) ]
+  | "NCUD" -> [ ("cmd", Rng.int rng 1024) ]
+  | other -> invalid_arg ("T2.fresh_env: unknown flow " ^ other)
+
+let install sim =
+  install_channels sim;
+  Sim.state_set sim credit_key write_credit_pool;
+  init_memory (Sim.memory sim)

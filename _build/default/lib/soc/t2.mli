@@ -1,0 +1,50 @@
+(** The OpenSPARC T2 platform model (Figure 3 / Table 1).
+
+    Five system-level flows with the paper's message vocabulary — PIO Read
+    (6 states, 5 messages), PIO Write (3,2), NCU Upstream (4,3), NCU
+    Downstream (3,2), Mondo Interrupt (6,5) — over the IP set
+    SPC/CCX/NCU/DMU/SIU/PIU/MCU, plus the payload semantics and scoreboard
+    checks that turn injected bugs into observable symptoms ("FAIL: Bad
+    Trap", hangs, credit mismatches, misrouted interrupts). *)
+
+open Flowtrace_core
+
+(** (IP name, hierarchical depth from top — Table 2's "bug depth"). *)
+val ips : (string * int) list
+
+val ip_depth : string -> int
+
+(** (src, dst, latency) point-to-point links of Figure 3. *)
+val channels : (string * string * int) list
+
+val pior : Flow.t
+val piow : Flow.t
+val ncuu : Flow.t
+val ncud : Flow.t
+val mondo : Flow.t
+
+val flows : Flow.t list
+val flow_by_name : string -> Flow.t
+
+(** The 16 distinct messages across all five flows ([siincu] is shared
+    between Mondo and NCU Upstream) — Table 5's m1..m16. *)
+val all_messages : Message.t list
+
+(** [key_of ~cpuid ~threadid] packs the Mondo routing key (the
+    [cputhreadid] sub-field's value). *)
+val key_of : cpuid:int -> threadid:int -> int
+
+(** The NCU's PIO write credit pool size; [piowreq] consumes a credit at
+    send time, [piowcrd] returns it, an empty pool backpressures writes. *)
+val write_credit_pool : int
+
+(** Payload generation + scoreboard checks for all 16 messages, plus
+    credit gating. *)
+val semantics : Sim.semantics
+
+(** Instance-local variables for a fresh instance: PIO addresses are
+    slot-spread so concurrent instances never collide on memory. *)
+val fresh_env : rng:Rng.t -> slot:int -> Flow.t -> (string * int) list
+
+(** [install sim] declares the channels and initializes the memory image. *)
+val install : Sim.t -> unit

@@ -1,0 +1,30 @@
+(** Extension flows beyond the paper's five: DMA read and DMA write
+    through PIU/DMU/SIU, with a fourth (extension-only) usage scenario
+    racing them against PIO traffic. Kept out of {!T2.flows} so the
+    paper's 16-message inventory stays intact. *)
+
+open Flowtrace_core
+
+(** DMA read: 5 states, 4 messages, atomic return transfer. *)
+val dmar : Flow.t
+
+(** DMA write: 4 states, 3 messages. *)
+val dmaw : Flow.t
+
+val flows : Flow.t list
+
+(** T2 semantics extended with the DMA vocabulary (delegates to {!T2} for
+    the paper's messages). *)
+val semantics : Sim.semantics
+
+val fresh_env : rng:Rng.t -> slot:int -> Flow.t -> (string * int) list
+
+(** The extension scenario's flows: PIOR, PIOW, DMAR, DMAW. *)
+val scenario_flows : Flow.t list
+
+val analysis_instances : unit -> Interleave.instance list
+val interleave : unit -> Interleave.t
+
+(** Analysis-scale run over the extension scenario. *)
+val run_analysis :
+  ?seed:int -> ?mutators:(Sim.t -> Packet.t -> Sim.action) list -> unit -> Sim.outcome

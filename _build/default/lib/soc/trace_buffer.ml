@@ -1,0 +1,74 @@
+(* The on-chip trace buffer: a circular buffer of entries, each capturing
+   the bits of one selected message occurrence. Messages outside the
+   selection are invisible; packed subgroups capture only their own bits of
+   the parent message's payload. *)
+
+open Flowtrace_core
+
+type entry = { e_cycle : int; e_imsg : Indexed.t; e_bits : int; e_partial : bool }
+
+type t = {
+  width : int;  (* bits per entry *)
+  depth : int;  (* number of entries retained *)
+  selection : Select.result;
+  mutable entries : entry list;  (* reversed chronological *)
+  mutable recorded : int;
+  mutable dropped : int;  (* overwritten by wrap-around *)
+}
+
+let create ~depth (selection : Select.result) =
+  if depth <= 0 then invalid_arg "Trace_buffer.create: depth must be positive";
+  {
+    width = selection.Select.buffer_width;
+    depth;
+    selection;
+    entries = [];
+    recorded = 0;
+    dropped = 0;
+  }
+
+(* Bits captured for a base message under the selection: full width when
+   fully selected, the packed subgroup widths when only packed. *)
+let captured_bits sel base =
+  let full =
+    List.exists (fun (m : Message.t) -> String.equal m.Message.name base) sel.Select.messages
+  in
+  if full then
+    let m = List.find (fun (m : Message.t) -> String.equal m.Message.name base) sel.Select.messages in
+    Some (Message.trace_width m, false)
+  else
+    let packed =
+      List.filter
+        (fun p -> String.equal p.Packing.p_parent.Message.name base)
+        sel.Select.packed
+    in
+    match packed with
+    | [] -> None
+    | ps ->
+        Some (List.fold_left (fun acc p -> acc + p.Packing.p_sub.Message.sg_width) 0 ps, true)
+
+let record t (p : Packet.t) =
+  match captured_bits t.selection p.Packet.msg with
+  | None -> ()
+  | Some (bits, partial) ->
+      let entry =
+        { e_cycle = p.Packet.cycle; e_imsg = Packet.indexed p; e_bits = bits; e_partial = partial }
+      in
+      t.entries <- entry :: t.entries;
+      t.recorded <- t.recorded + 1;
+      if t.recorded - t.dropped > t.depth then begin
+        (* drop the oldest entry: circular-buffer wrap-around *)
+        t.entries <- (match List.rev t.entries with _ :: rest -> List.rev rest | [] -> []);
+        t.dropped <- t.dropped + 1
+      end
+
+let record_all t packets = List.iter (record t) packets
+
+let entries t = List.rev t.entries
+
+(* The observed trace, as localization consumes it. *)
+let observed t = List.map (fun e -> e.e_imsg) (entries t)
+
+let wrapped t = t.dropped > 0
+
+let stats t = (t.recorded, t.dropped)

@@ -1,0 +1,40 @@
+(** The on-chip trace buffer model.
+
+    A circular buffer of [depth] entries, [width] bits each, fed by the
+    monitors: only messages in the {!Flowtrace_core.Select.result} are
+    recorded; packed subgroups capture just their own bits of the parent
+    message (marked partial). *)
+
+open Flowtrace_core
+
+type entry = {
+  e_cycle : int;
+  e_imsg : Indexed.t;
+  e_bits : int;  (** bits captured for this occurrence *)
+  e_partial : bool;  (** true when only packed subgroups were captured *)
+}
+
+type t
+
+(** [create ~depth selection] sizes the buffer; entry width is the
+    selection's buffer width. *)
+val create : depth:int -> Select.result -> t
+
+(** [record t p] appends the packet if its message is observable under the
+    selection; wrap-around drops the oldest entry. *)
+val record : t -> Packet.t -> unit
+
+val record_all : t -> Packet.t list -> unit
+
+(** Chronological retained entries. *)
+val entries : t -> entry list
+
+(** The observed indexed-message trace, as {!Flowtrace_core.Localize}
+    consumes it. *)
+val observed : t -> Indexed.t list
+
+(** Whether wrap-around discarded history. *)
+val wrapped : t -> bool
+
+(** [(recorded, dropped)] counters. *)
+val stats : t -> int * int

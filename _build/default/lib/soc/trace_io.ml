@@ -1,0 +1,80 @@
+(* Text serialization of packet traces, so monitor logs can be saved,
+   diffed and replayed through the CLI. One packet per line:
+
+     <cycle> <flow> <inst> <msg> <src> <dst> k=v,k=v,...
+
+   '#' starts a comment; a lone '-' stands for an empty field list. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let err line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let print_packet (p : Packet.t) =
+  let fields =
+    match p.Packet.fields with
+    | [] -> "-"
+    | fs -> String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fs)
+  in
+  Printf.sprintf "%d %s %d %s %s %s %s" p.Packet.cycle p.Packet.flow p.Packet.inst p.Packet.msg
+    p.Packet.src p.Packet.dst fields
+
+let print packets =
+  "# flowtrace trace v1\n" ^ String.concat "\n" (List.map print_packet packets) ^ "\n"
+
+let parse_fields lineno = function
+  | "-" -> []
+  | s ->
+      List.map
+        (fun kv ->
+          match String.split_on_char '=' kv with
+          | [ k; v ] -> (
+              match int_of_string_opt v with
+              | Some v -> (k, v)
+              | None -> err lineno "bad field value %S" kv)
+          | _ -> err lineno "bad field %S" kv)
+        (String.split_on_char ',' s)
+
+let parse_line lineno line =
+  match List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line)) with
+  | [] -> None
+  | [ cycle; flow; inst; msg; src; dst; fields ] -> (
+      match (int_of_string_opt cycle, int_of_string_opt inst) with
+      | Some cycle, Some inst ->
+          Some
+            {
+              Packet.cycle;
+              flow;
+              inst;
+              msg;
+              src;
+              dst;
+              fields = parse_fields lineno fields;
+            }
+      | _ -> err lineno "bad cycle or instance number")
+  | _ -> err lineno "expected 7 fields"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let lineno = i + 1 in
+         let line =
+           match String.index_opt line '#' with Some j -> String.sub line 0 j | None -> line
+         in
+         match parse_line lineno line with None -> [] | Some p -> [ p ])
+       lines)
+
+let save path packets =
+  let oc = open_out path in
+  output_string oc (print packets);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text

@@ -1,0 +1,18 @@
+(** Text serialization of packet traces.
+
+    One packet per line — [cycle flow inst msg src dst k=v,k=v] — with
+    ['#'] comments; round-trips through {!print}/{!parse}. Lets monitor
+    logs be saved, diffed and replayed through the CLI. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val print_packet : Packet.t -> string
+val print : Packet.t list -> string
+
+(** Raises {!Parse_error} with a line number on malformed input. *)
+val parse : string -> Packet.t list
+
+val save : string -> Packet.t list -> unit
+val load : string -> Packet.t list

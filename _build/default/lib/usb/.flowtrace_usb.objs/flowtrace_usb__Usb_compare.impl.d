@@ -1,0 +1,1 @@
+lib/usb/usb_compare.ml: Coverage Flowtrace_baseline Flowtrace_core Flowtrace_netlist List Message Netlist Packing Prnet Select Sigset String Usb_design Usb_flows

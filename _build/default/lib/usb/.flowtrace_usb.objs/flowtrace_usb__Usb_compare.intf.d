@@ -1,0 +1,1 @@
+lib/usb/usb_compare.mli: Flowtrace_core Flowtrace_netlist Interleave Select Usb_design

@@ -1,0 +1,1 @@
+lib/usb/usb_design.ml: Array Builder Flowtrace_netlist Hashtbl List Netlist Printf

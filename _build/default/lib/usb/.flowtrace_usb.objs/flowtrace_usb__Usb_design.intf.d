@@ -1,0 +1,1 @@
+lib/usb/usb_design.mli: Flowtrace_netlist Netlist

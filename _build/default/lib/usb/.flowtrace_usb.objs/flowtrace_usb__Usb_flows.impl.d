@@ -1,0 +1,1 @@
+lib/usb/usb_flows.ml: Flow Flowtrace_core Interleave Message

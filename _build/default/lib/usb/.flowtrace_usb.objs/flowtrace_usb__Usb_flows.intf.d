@@ -1,0 +1,1 @@
+lib/usb/usb_flows.mli: Flow Flowtrace_core Interleave

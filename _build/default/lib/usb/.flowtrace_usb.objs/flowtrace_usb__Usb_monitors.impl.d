@@ -1,0 +1,1 @@
+lib/usb/usb_monitors.ml: Flowtrace_baseline Flowtrace_core Flowtrace_netlist Hashtbl List Netlist Prnet Rng Select Signal_monitor Sigset Sim Usb_design Usb_flows

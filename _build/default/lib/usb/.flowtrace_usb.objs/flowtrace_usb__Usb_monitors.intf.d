@@ -1,0 +1,1 @@
+lib/usb/usb_monitors.mli: Flowtrace_netlist Netlist Signal_monitor

@@ -1,0 +1,78 @@
+(* The Table 4 experiment: run SigSeT, PRNet and our information-gain
+   selection on the USB design with the same 32-bit budget, report which
+   interface signals each method captures, and score each method's
+   selection by flow specification coverage over the usage scenario. *)
+
+open Flowtrace_core
+open Flowtrace_netlist
+open Flowtrace_baseline
+
+type method_result = {
+  label : string;
+  status : (string * Usb_design.signal_status) list;  (* per interface signal *)
+  fsp_coverage : float;
+  bits_on_interface : int;
+  bits_total : int;
+}
+
+type comparison = { sigset : method_result; prnet : method_result; infogain : method_result }
+
+(* A message counts as observable for coverage only when every bit of the
+   matching interface register is traced (a partially traced register
+   cannot be decoded into a message). *)
+let coverage_of_status inter status =
+  let full =
+    List.filter_map (fun (name, st) -> if st = Usb_design.Full then Some name else None) status
+  in
+  Coverage.compute inter ~selected:(fun base -> List.mem base full)
+
+let interface_bits netlist selected =
+  let interface_nets =
+    List.concat_map
+      (fun (name, _) -> Netlist.signal_exn netlist name)
+      Usb_design.interface_signals
+  in
+  List.length (List.filter (fun n -> List.mem n interface_nets) selected)
+
+let of_ff_selection netlist inter label selected =
+  let status = Usb_design.status_of_selection netlist selected in
+  {
+    label;
+    status;
+    fsp_coverage = coverage_of_status inter status;
+    bits_on_interface = interface_bits netlist selected;
+    bits_total = List.length selected;
+  }
+
+let of_message_selection inter label (r : Select.result) =
+  (* every fully selected message covers its whole interface register *)
+  let names = List.map (fun (m : Message.t) -> m.Message.name) r.Select.messages in
+  let status =
+    List.map
+      (fun (name, _) ->
+        if List.mem name names then (name, Usb_design.Full)
+        else if
+          List.exists (fun p -> String.equal p.Packing.p_parent.Message.name name) r.Select.packed
+        then (name, Usb_design.Partial)
+        else (name, Usb_design.None_))
+      Usb_design.interface_signals
+  in
+  {
+    label;
+    status;
+    fsp_coverage = Coverage.compute inter ~selected:(fun b -> List.mem b names);
+    bits_on_interface = r.Select.bits_used;
+    bits_total = r.Select.bits_used;
+  }
+
+let run ?(budget = 32) () =
+  let netlist = Usb_design.build () in
+  let inter = Usb_flows.scenario () in
+  let sigset_sel = Sigset.select netlist ~budget in
+  let prnet_sel = Prnet.select netlist ~budget in
+  let ours = Select.select inter ~buffer_width:budget in
+  {
+    sigset = of_ff_selection netlist inter "SigSeT" sigset_sel.Sigset.selected;
+    prnet = of_ff_selection netlist inter "PRNet" prnet_sel.Prnet.selected;
+    infogain = of_message_selection inter "InfoGain" ours;
+  }

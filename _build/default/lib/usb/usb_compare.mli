@@ -1,0 +1,27 @@
+(** The Table 4 / Section 5.4 experiment: SigSeT vs PRNet vs information
+    gain on the USB design under the same trace-bit budget. *)
+
+open Flowtrace_core
+
+type method_result = {
+  label : string;
+  status : (string * Usb_design.signal_status) list;
+      (** per Table 4 interface signal: fully / partially / not selected *)
+  fsp_coverage : float;
+      (** flow specification coverage of the messages the selection can
+          actually decode (fully covered registers only) *)
+  bits_on_interface : int;
+  bits_total : int;
+}
+
+type comparison = { sigset : method_result; prnet : method_result; infogain : method_result }
+
+(** [of_ff_selection netlist inter label ffs] scores a gate-level FF
+    selection against the usage scenario. *)
+val of_ff_selection : Flowtrace_netlist.Netlist.t -> Interleave.t -> string -> int list -> method_result
+
+(** [of_message_selection inter label r] scores a flow-level selection. *)
+val of_message_selection : Interleave.t -> string -> Select.result -> method_result
+
+(** [run ~budget ()] runs all three methods (default 32-bit budget). *)
+val run : ?budget:int -> unit -> comparison

@@ -1,0 +1,245 @@
+(* A structural gate/flip-flop model of the OpenCores USB 2.0 function
+   core's four blocks (Table 4): UTMI line-speed interface, packet decoder,
+   packet assembler and protocol engine.
+
+   The model is synthetic but reproduces the structural features that
+   drive gate-level signal selection: the ten Table 4 interface signals are
+   register banks at block boundaries, surrounded by a much larger mass of
+   internal sequential state (sync shift registers, byte counters, CRC5 and
+   CRC16 LFSRs, frame counters, timeout counters) whose tight mutual
+   coupling gives it high restorability — which is exactly what lures
+   SRR-style selection away from the interface registers that application
+   level debugging needs. *)
+
+open Flowtrace_netlist
+
+(* Table 4's interface signals with their modeled widths. 30 bits total, so
+   a 32-bit trace buffer can hold all of them. *)
+let interface_signals =
+  [
+    ("rx_data", 8);
+    ("rx_valid", 1);
+    ("rx_data_valid", 1);
+    ("token_valid", 1);
+    ("rx_data_done", 1);
+    ("tx_data", 8);
+    ("tx_valid", 1);
+    ("send_token", 1);
+    ("token_pid_sel", 4);
+    ("data_pid_sel", 4);
+  ]
+
+let interface_signal_names = List.map fst interface_signals
+
+(* --- structural idioms ------------------------------------------------ *)
+
+(* n-bit synchronous counter with enable: classic high-restorability
+   structure (each bit depends only on lower bits and the enable). *)
+let counter b name width ~enable =
+  let qs = Builder.reg_bank b name width in
+  let _ =
+    List.fold_left
+      (fun carry q ->
+        Builder.connect b q (Builder.xor b [ q; carry ]);
+        Builder.and_ b [ q; carry ])
+      enable qs
+  in
+  qs
+
+(* n-bit shift register: restoring one bit restores the whole pipeline over
+   time. *)
+let shift_reg b name width ~din =
+  let qs = Builder.reg_bank b name width in
+  let _ = List.fold_left (fun prev q -> Builder.connect b q prev; q) din qs in
+  qs
+
+(* Galois LFSR used for CRC5/CRC16: feedback = msb xor din. *)
+let crc_lfsr b name width ~taps ~din ~enable =
+  let qs = Builder.reg_bank b name width in
+  let arr = Array.of_list qs in
+  let msb = arr.(width - 1) in
+  let feedback = Builder.and_ b [ Builder.xor b [ msb; din ]; enable ] in
+  Array.iteri
+    (fun i q ->
+      let shifted = if i = 0 then feedback else arr.(i - 1) in
+      let d = if List.mem i taps then Builder.xor b [ shifted; feedback ] else shifted in
+      Builder.connect b q d)
+    arr;
+  qs
+
+(* Small encoded state register: next state mixes current state bits with
+   control inputs through muxes. *)
+let state_reg b name width ~controls =
+  let qs = Builder.reg_bank b name width in
+  let arr = Array.of_list qs in
+  let ctrl = Array.of_list controls in
+  Array.iteri
+    (fun i q ->
+      let peer = arr.((i + 1) mod width) in
+      let c = ctrl.(i mod Array.length ctrl) in
+      Builder.connect b q (Builder.mux b ~sel:c ~a:peer ~b:(Builder.not_ b q) ()))
+    arr;
+  qs
+
+let xor_reduce b = function [] -> invalid_arg "xor_reduce" | xs -> Builder.xor b xs
+let and_all b xs = Builder.and_ b xs
+let or_all b xs = Builder.or_ b xs
+
+(* --- the design -------------------------------------------------------- *)
+
+(* Endpoint buffer block: the per-endpoint FIFOs, sequence state and CRC
+   pipelines that make up the bulk of the real core's sequential state.
+   Pure internal structure — high restorability, no interface registers —
+   exactly the mass that distracts SRR-style selection. *)
+let endpoint_block b ~index ~rx_bit ~enable =
+  let name s = Printf.sprintf "ep%d_%s" index s in
+  let fifo0 = shift_reg b (name "fifo0") 12 ~din:rx_bit in
+  let fifo1 = shift_reg b (name "fifo1") 12 ~din:(List.nth fifo0 11) in
+  let cnt = counter b (name "cnt") 6 ~enable in
+  let crc = crc_lfsr b (name "crc5") 5 ~taps:[ 0; 2 ] ~din:(List.nth fifo1 11) ~enable in
+  let st = state_reg b (name "state") 3 ~controls:[ enable; List.nth cnt 5; List.nth crc 4 ] in
+  ignore st
+
+let default_endpoints = 4
+
+let build ?(endpoints = default_endpoints) () =
+  let b = Builder.create () in
+
+  (* PHY-side primary inputs *)
+  let phy = Builder.input_bus b "phy_rx" 8 in
+  let phy_strobe = Builder.input b "phy_strobe" in
+  let line_state = Builder.input_bus b "phy_line_state" 2 in
+  let app_data = Builder.input_bus b "app_tx_data" 8 in
+  let app_req = Builder.input b "app_tx_req" in
+
+  (* ============ UTMI line-speed block ============ *)
+  (* sync detection shift register + speed counter: internal *)
+  let sync_shift = shift_reg b "utmi_sync_shift" 8 ~din:phy_strobe in
+  let sync_seen = and_all b [ List.nth sync_shift 7; List.nth sync_shift 6; phy_strobe ] in
+  let speed_cnt = counter b "utmi_speed_cnt" 4 ~enable:phy_strobe in
+  let ls_reg = shift_reg b "utmi_ls_reg" 2 ~din:(xor_reduce b line_state) in
+
+  (* interface: rx_data latches the phy bus when strobed; rx_valid follows
+     sync detection *)
+  let rx_data = Builder.reg_bank b "rx_data" 8 in
+  List.iter2
+    (fun q phy_bit -> Builder.connect b q (Builder.mux b ~sel:phy_strobe ~a:q ~b:phy_bit ()))
+    rx_data phy;
+  let rx_valid =
+    match Builder.reg_bank b "rx_valid" 1 with
+    | [ q ] ->
+        Builder.connect b q (or_all b [ sync_seen; and_all b [ q; phy_strobe ] ]);
+        q
+    | _ -> assert false
+  in
+
+  (* ============ Packet decoder ============ *)
+  let pid_shift = shift_reg b "dec_pid_shift" 8 ~din:(List.nth rx_data 0) in
+  let byte_cnt = counter b "dec_byte_cnt" 4 ~enable:rx_valid in
+  let crc5 = crc_lfsr b "dec_crc5" 5 ~taps:[ 0; 2 ] ~din:(List.nth rx_data 1) ~enable:rx_valid in
+  let crc16 =
+    crc_lfsr b "dec_crc16" 16 ~taps:[ 0; 2; 15 ] ~din:(xor_reduce b rx_data) ~enable:rx_valid
+  in
+  let dec_state = state_reg b "dec_state" 3 ~controls:[ rx_valid; sync_seen; phy_strobe ] in
+
+  let token_shape =
+    and_all b [ List.nth pid_shift 0; Builder.not_ b (List.nth pid_shift 1); rx_valid ]
+  in
+  let data_shape = and_all b [ List.nth pid_shift 1; rx_valid ] in
+  let crc5_ok = Builder.nor b (List.filteri (fun i _ -> i < 3) crc5) in
+  let crc16_ok = Builder.nor b (List.filteri (fun i _ -> i < 4) crc16) in
+
+  let reg1 b name d =
+    match Builder.reg_bank b name 1 with
+    | [ q ] ->
+        Builder.connect b q d;
+        q
+    | _ -> assert false
+  in
+  (* interface: packet decoder outputs *)
+  let rx_data_valid = reg1 b "rx_data_valid" (and_all b [ data_shape; List.nth dec_state 0 ]) in
+  let token_valid = reg1 b "token_valid" (and_all b [ token_shape; crc5_ok ]) in
+  let rx_data_done =
+    reg1 b "rx_data_done"
+      (and_all b [ crc16_ok; List.nth byte_cnt 3; Builder.not_ b rx_valid ])
+  in
+
+  (* ============ Protocol engine ============ *)
+  let frame_cnt = counter b "pe_frame_cnt" 11 ~enable:token_valid in
+  let timeout_cnt = counter b "pe_timeout_cnt" 8 ~enable:(Builder.not_ b rx_valid) in
+  let ep_state = state_reg b "pe_ep_state" 4 ~controls:[ token_valid; rx_data_done; app_req ] in
+  let mode_reg = shift_reg b "pe_mode" 3 ~din:(xor_reduce b [ token_valid; rx_data_valid ]) in
+
+  (* interface: token dispatch *)
+  let send_token =
+    reg1 b "send_token"
+      (and_all b [ token_valid; Builder.not_ b (List.nth timeout_cnt 7); List.nth ep_state 0 ])
+  in
+  let token_pid_sel = Builder.reg_bank b "token_pid_sel" 4 in
+  List.iteri
+    (fun i q ->
+      let src = List.nth dec_state (i mod 3) in
+      Builder.connect b q (Builder.mux b ~sel:token_valid ~a:q ~b:(Builder.xor b [ src; List.nth mode_reg (i mod 3) ]) ()))
+    token_pid_sel;
+  let data_pid_sel = Builder.reg_bank b "data_pid_sel" 4 in
+  List.iteri
+    (fun i q ->
+      let src = List.nth ep_state (i mod 4) in
+      Builder.connect b q (Builder.mux b ~sel:rx_data_done ~a:q ~b:src ()))
+    data_pid_sel;
+
+  (* ============ Packet assembler ============ *)
+  let tx_state = state_reg b "pa_tx_state" 3 ~controls:[ app_req; send_token; rx_data_done ] in
+  let tx_byte_cnt = counter b "pa_tx_byte_cnt" 4 ~enable:app_req in
+  let tx_crc16 =
+    crc_lfsr b "pa_tx_crc16" 16 ~taps:[ 0; 2; 15 ] ~din:(xor_reduce b app_data) ~enable:app_req
+  in
+  let tx_hold = shift_reg b "pa_tx_hold" 8 ~din:(List.nth app_data 0) in
+
+  (* interface: assembler outputs *)
+  let tx_data = Builder.reg_bank b "tx_data" 8 in
+  List.iteri
+    (fun i q ->
+      let src =
+        Builder.mux b ~sel:(List.nth tx_state 0) ~a:(List.nth app_data i)
+          ~b:(List.nth tx_crc16 i) ()
+      in
+      Builder.connect b q (Builder.mux b ~sel:app_req ~a:q ~b:src ()))
+    tx_data;
+  let tx_valid =
+    reg1 b "tx_valid"
+      (or_all b
+         [
+           and_all b [ app_req; List.nth tx_state 1 ];
+           and_all b [ send_token; Builder.not_ b (List.nth tx_byte_cnt 3) ];
+         ])
+  in
+
+  (* ============ Endpoint buffers ============ *)
+  for i = 0 to endpoints - 1 do
+    endpoint_block b ~index:i ~rx_bit:(List.nth rx_data (i mod 8)) ~enable:rx_data_valid
+  done;
+
+  (* primary outputs: the interface registers *)
+  List.iter (Builder.output b)
+    (tx_data @ [ tx_valid; send_token; rx_data_valid; token_valid; rx_data_done ]
+    @ token_pid_sel @ data_pid_sel);
+  ignore (speed_cnt, ls_reg, crc16, frame_cnt, tx_hold, byte_cnt);
+  ignore (rx_data_valid, rx_valid);
+  Builder.finish b
+
+(* Map a set of selected FF nets to per-signal selection status. *)
+type signal_status = Full | Partial | None_
+
+let status_of_selection netlist selected =
+  let sel = Hashtbl.create 64 in
+  List.iter (fun net -> Hashtbl.replace sel net ()) selected;
+  List.map
+    (fun (name, _) ->
+      let nets = Netlist.signal_exn netlist name in
+      let hit = List.length (List.filter (Hashtbl.mem sel) nets) in
+      let st = if hit = 0 then None_ else if hit = List.length nets then Full else Partial in
+      (name, st))
+    interface_signals
+
+let status_to_string = function Full -> "yes" | Partial -> "partial" | None_ -> "no"

@@ -1,0 +1,34 @@
+(** Structural model of the OpenCores USB 2.0 function core used for the
+    Section 5.4 / Table 4 baseline comparison.
+
+    Four blocks (UTMI line-speed, packet decoder, packet assembler,
+    protocol engine); the ten Table 4 interface signals are register banks
+    registered as netlist signal groups, embedded in a larger mass of
+    internal sequential state (shift registers, counters, CRC LFSRs) that
+    attracts SRR-style selection. *)
+
+open Flowtrace_netlist
+
+(** Table 4's interface signals with modeled widths (30 bits total). *)
+val interface_signals : (string * int) list
+
+val interface_signal_names : string list
+
+val default_endpoints : int
+
+(** [build ()] constructs the netlist, deterministic. [endpoints]
+    (default 4) sizes the internal endpoint-buffer blocks — pure internal
+    sequential state with no interface registers; more endpoints means the
+    same trace budget covers a smaller fraction of the design, as on the
+    real core. *)
+val build : ?endpoints:int -> unit -> Netlist.t
+
+(** Selection status of a signal group given a traced FF set. *)
+type signal_status = Full | Partial | None_
+
+(** [status_of_selection netlist selected] reports, per Table 4 interface
+    signal, whether the traced FF set covers it fully, partially or not at
+    all. *)
+val status_of_selection : Netlist.t -> int list -> (string * signal_status) list
+
+val status_to_string : signal_status -> string

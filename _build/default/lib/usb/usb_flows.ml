@@ -1,0 +1,55 @@
+(* The two system-level flows of the USB usage scenario (Section 5.4):
+   token reception through the decoder into the protocol engine, and data
+   transmission through the assembler. Message names and widths match the
+   interface registers of {!Usb_design}, so flow-level selection and
+   gate-level selection can be compared on the same vocabulary. *)
+
+open Flowtrace_core
+
+let msg = Message.make
+
+let token_receive =
+  Flow.make ~name:"usb_token_receive"
+    ~states:[ "idle"; "sync"; "pid"; "decoded"; "dispatched"; "done" ]
+    ~initial:[ "idle" ] ~stop:[ "done" ]
+    ~messages:
+      [
+        msg ~src:"utmi" ~dst:"decoder" "rx_valid" 1;
+        msg ~src:"utmi" ~dst:"decoder" "rx_data" 8;
+        msg ~src:"decoder" ~dst:"protocol" "token_valid" 1;
+        msg ~src:"protocol" ~dst:"assembler" "token_pid_sel" 4;
+        msg ~src:"protocol" ~dst:"assembler" "send_token" 1;
+      ]
+    ~transitions:
+      [
+        Flow.transition "idle" "rx_valid" "sync";
+        Flow.transition "sync" "rx_data" "pid";
+        Flow.transition "pid" "token_valid" "decoded";
+        Flow.transition "decoded" "token_pid_sel" "dispatched";
+        Flow.transition "dispatched" "send_token" "done";
+      ]
+    ()
+
+let data_transmit =
+  Flow.make ~name:"usb_data_transmit"
+    ~states:[ "ready"; "buffering"; "armed"; "selected"; "streaming"; "done" ]
+    ~initial:[ "ready" ] ~stop:[ "done" ]
+    ~messages:
+      [
+        msg ~src:"decoder" ~dst:"protocol" "rx_data_valid" 1;
+        msg ~src:"decoder" ~dst:"protocol" "rx_data_done" 1;
+        msg ~src:"protocol" ~dst:"assembler" "data_pid_sel" 4;
+        msg ~src:"assembler" ~dst:"utmi" "tx_valid" 1;
+        msg ~src:"assembler" ~dst:"utmi" "tx_data" 8;
+      ]
+    ~transitions:
+      [
+        Flow.transition "ready" "rx_data_valid" "buffering";
+        Flow.transition "buffering" "rx_data_done" "armed";
+        Flow.transition "armed" "data_pid_sel" "selected";
+        Flow.transition "selected" "tx_valid" "streaming";
+        Flow.transition "streaming" "tx_data" "done";
+      ]
+    ()
+
+let scenario () = Interleave.of_flows [ token_receive; data_transmit ]

@@ -1,0 +1,16 @@
+(** USB usage-scenario flows for the Section 5.4 comparison.
+
+    Two interleaved flows whose messages are the Table 4 interface
+    registers of {!Usb_design}, so flow-level (information-gain) and
+    gate-level (SRR/PageRank) selection compete on the same vocabulary. *)
+
+open Flowtrace_core
+
+(** Token reception: UTMI → packet decoder → protocol engine. *)
+val token_receive : Flow.t
+
+(** Data transmission: decoder → protocol engine → packet assembler. *)
+val data_transmit : Flow.t
+
+(** [scenario ()] interleaves one instance of each flow. *)
+val scenario : unit -> Interleave.t

@@ -1,0 +1,23 @@
+(** Figure 4 instantiated for the USB design, and the Section 1
+    message-reconstruction experiment.
+
+    The monitors convert interface-register activity into the flow
+    messages of {!Usb_flows}; [reconstruction] measures how many message
+    occurrences each selection method can decode from its traced bits
+    after state restoration (the paper: SRR methods reconstruct no more
+    than 26%, application-level selection 100%). *)
+
+open Flowtrace_netlist
+
+(** One monitor per {!Usb_flows} message. *)
+val specs : Signal_monitor.spec list
+
+(** [footprint netlist selected] is the FF set (trigger bits + payload
+    registers) the monitors of the selected messages watch. *)
+val footprint : Netlist.t -> (string -> bool) -> int list
+
+type recon_result = { label : string; reconstructed : int; total : int; ratio : float }
+
+(** [reconstruction ()] runs the experiment for SigSeT, PRNet and the
+    information-gain selection at a 32-bit budget. *)
+val reconstruction : ?cycles:int -> ?seed:int -> unit -> recon_result list

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Flow Flow_algebra Flowtrace_core Gen Interleave List Message QCheck QCheck_alcotest Select String

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Builder Ff_graph Float Flowtrace_baseline Flowtrace_core Flowtrace_netlist Gen Hashtbl List Netlist Pagerank Printf Prnet QCheck QCheck_alcotest Rng Sigset Srr

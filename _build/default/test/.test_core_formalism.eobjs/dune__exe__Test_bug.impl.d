@@ -1,0 +1,1 @@
+test/test_bug.ml: Alcotest Bug Catalog Flowtrace_bug Flowtrace_core Flowtrace_soc Inject List Message Packet Printf Scenario Sim String T2 Trace_diff

@@ -1,0 +1,1 @@
+test/test_core_formalism.ml: Alcotest Array Dag Flow Flowtrace_core Fun Gen Indexed List Message QCheck QCheck_alcotest Rng String Toy

@@ -1,0 +1,1 @@
+test/test_debug.ml: Alcotest Bug Case_study Catalog Cause Evidence Flowtrace_bug Flowtrace_core Flowtrace_debug Flowtrace_soc Inject List Message Printf Scenario Session String

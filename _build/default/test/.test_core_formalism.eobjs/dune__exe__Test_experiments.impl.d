@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Fig5 Float Flowtrace_bug Flowtrace_core Flowtrace_experiments Flowtrace_soc Lazy List Message Printf Registry Scenario Select String T2 Table3 Table5 Table_render

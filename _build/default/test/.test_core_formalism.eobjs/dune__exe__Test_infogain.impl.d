@@ -1,0 +1,1 @@
+test/test_infogain.ml: Alcotest Combination Float Flowtrace_core Gen Infogain Interleave List Message QCheck QCheck_alcotest Rng String Toy

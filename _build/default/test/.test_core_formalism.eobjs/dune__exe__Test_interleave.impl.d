@@ -1,0 +1,1 @@
+test/test_interleave.ml: Alcotest Execution Flow Flowtrace_core Gen Indexed Interleave List Message Printf QCheck QCheck_alcotest Rng Stats String Toy

@@ -1,0 +1,1 @@
+test/test_localize.ml: Alcotest Execution Flowtrace_core Gen Indexed Interleave List Localize Message QCheck QCheck_alcotest Rng String Toy

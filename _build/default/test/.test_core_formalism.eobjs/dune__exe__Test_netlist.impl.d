@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Benchmarks Builder Flowtrace_core Flowtrace_netlist Fun Gen List Logic Netlist Printf QCheck QCheck_alcotest Restore Rng Sim Srr

@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Combination Coverage Float Flow Flowtrace_core Hashtbl Indexed Infogain Interleave List Localize Option Select String Toy

@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Combination Float Flow Flowtrace_core Gen Interleave List Message Packing Printf QCheck QCheck_alcotest Select String Toy

@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Event_queue Flow Flowtrace_core Flowtrace_soc Fun Indexed Interleave List Localize Message Packet Printf Rng Scenario Select Sim String T2 Trace_buffer Trace_io

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Flow Flowtrace_core Gen List Message QCheck QCheck_alcotest Spec_parser String Toy

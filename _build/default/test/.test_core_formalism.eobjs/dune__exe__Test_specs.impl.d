@@ -1,0 +1,1 @@
+test/test_specs.ml: Alcotest Filename Flow Flowtrace_core Flowtrace_soc Flowtrace_usb Interleave List Spec_parser String Sys T2 T2_ext Toy

@@ -1,0 +1,1 @@
+test/test_t2_ext.ml: Alcotest Flow Flowtrace_core Flowtrace_soc List Localize Message Packet Printf Select Sim String T2 T2_ext

@@ -1,0 +1,1 @@
+test/test_t2_ext.mli:

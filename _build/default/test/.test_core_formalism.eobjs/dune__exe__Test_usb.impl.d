@@ -1,0 +1,1 @@
+test/test_usb.ml: Alcotest Array Flow Flowtrace_core Flowtrace_netlist Flowtrace_usb Interleave Lazy List Message Netlist Rng Sim String Usb_compare Usb_design Usb_flows

@@ -1,0 +1,150 @@
+(* Tests for the flow composition operators. *)
+
+open Flowtrace_core
+
+let mk name msgs trs states ~init ~stop =
+  Flow.make ~name ~states ~initial:[ init ] ~stop:[ stop ] ~messages:msgs ~transitions:trs ()
+
+let req =
+  mk "req"
+    [ Message.make "r" 2; Message.make "a" 1 ]
+    [ Flow.transition "i" "r" "m"; Flow.transition "m" "a" "d" ]
+    [ "i"; "m"; "d" ] ~init:"i" ~stop:"d"
+
+let resp =
+  mk "resp"
+    [ Message.make "x" 3 ]
+    [ Flow.transition "s" "x" "t" ]
+    [ "s"; "t" ] ~init:"s" ~stop:"t"
+
+(* ------------------------------------------------------------------ *)
+(* sequence *)
+
+let test_sequence_executions () =
+  let s = Flow_algebra.sequence ~name:"seq" req resp in
+  Alcotest.(check (list (list string))) "concatenated trace" [ [ "r"; "a"; "x" ] ] (Flow.executions s);
+  Alcotest.(check int) "states" (3 - 1 + 2) (Flow.n_states s);
+  Alcotest.(check int) "messages" 3 (Flow.n_messages s)
+
+let test_sequence_validates () =
+  match Flow.validate (Flow_algebra.sequence ~name:"seq" req resp) with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es)
+
+let test_sequence_same_flow_disambiguates () =
+  (* sequencing a flow with itself must prefix colliding state names *)
+  let s = Flow_algebra.sequence ~name:"twice" req req in
+  Alcotest.(check (list (list string))) "trace doubled" [ [ "r"; "a"; "r"; "a" ] ] (Flow.executions s)
+
+let test_sequence_width_clash () =
+  let bad =
+    mk "bad"
+      [ Message.make "r" 7 ]
+      [ Flow.transition "p" "r" "q" ]
+      [ "p"; "q" ] ~init:"p" ~stop:"q"
+  in
+  match Flow_algebra.sequence ~name:"clash" req bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected width clash"
+
+(* ------------------------------------------------------------------ *)
+(* choice *)
+
+let test_choice_executions () =
+  let c = Flow_algebra.choice ~name:"alt" req resp in
+  let traces = List.sort compare (Flow.executions c) in
+  Alcotest.(check (list (list string))) "both branches" [ [ "r"; "a" ]; [ "x" ] ] traces
+
+let test_choice_validates () =
+  match Flow.validate (Flow_algebra.choice ~name:"alt" req resp) with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es)
+
+let test_choice_interleaves () =
+  (* composites are ordinary flows: they interleave like any other *)
+  let c = Flow_algebra.choice ~name:"alt" req resp in
+  let inter = Interleave.of_flows [ c; c ] in
+  Alcotest.(check bool) "paths counted" true (Interleave.total_paths inter > 1)
+
+(* ------------------------------------------------------------------ *)
+(* relabel *)
+
+let test_relabel () =
+  let m' = Message.make ~src:"cpu" ~dst:"mem" "request_q" 2 in
+  let r = Flow_algebra.relabel ~name:"inst" ~subst:[ ("r", m') ] req in
+  Alcotest.(check (list (list string))) "renamed trace" [ [ "request_q"; "a" ] ] (Flow.executions r);
+  Alcotest.(check bool) "message replaced" true (Flow.message r "request_q" <> None);
+  Alcotest.(check bool) "old gone" true (Flow.message r "r" = None)
+
+let test_relabel_width_guard () =
+  let m' = Message.make "fat" 9 in
+  match Flow_algebra.relabel ~name:"bad" ~subst:[ ("r", m') ] req with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected width guard"
+
+let test_composites_select () =
+  (* end to end: a sequenced protocol goes through the selection pipeline *)
+  let s = Flow_algebra.sequence ~name:"seq" req resp in
+  let inter = Interleave.of_flows [ s; s ] in
+  let r = Select.select inter ~buffer_width:4 in
+  Alcotest.(check bool) "selection works" true (r.Select.gain > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties over random flows *)
+
+let prop_sequence_multiplies_executions =
+  QCheck.Test.make ~name:"|executions (seq f g)| = |f| * |g|" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let f = Gen.flow_of_seed seed in
+      let g = Gen.flow_of_seed (seed + 1) in
+      let s = Flow_algebra.sequence ~name:"s" f g in
+      List.length (Flow.executions ~limit:200_000 s)
+      = List.length (Flow.executions ~limit:100_000 f) * List.length (Flow.executions ~limit:100_000 g))
+
+let prop_choice_adds_executions =
+  QCheck.Test.make ~name:"|executions (choice f g)| = |f| + |g|" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let f = Gen.flow_of_seed seed in
+      let g = Gen.flow_of_seed (seed + 1) in
+      let c = Flow_algebra.choice ~name:"c" f g in
+      List.length (Flow.executions ~limit:200_000 c)
+      = List.length (Flow.executions ~limit:100_000 f) + List.length (Flow.executions ~limit:100_000 g))
+
+let prop_composites_validate =
+  QCheck.Test.make ~name:"composites re-validate" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let f = Gen.flow_of_seed seed in
+      let g = Gen.flow_of_seed (seed + 1) in
+      (match Flow.validate (Flow_algebra.sequence ~name:"s" f g) with Ok () -> true | Error _ -> false)
+      && match Flow.validate (Flow_algebra.choice ~name:"c" f g) with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "flow_algebra"
+    [
+      ( "sequence",
+        [
+          Alcotest.test_case "executions" `Quick test_sequence_executions;
+          Alcotest.test_case "validates" `Quick test_sequence_validates;
+          Alcotest.test_case "self-sequence" `Quick test_sequence_same_flow_disambiguates;
+          Alcotest.test_case "width clash" `Quick test_sequence_width_clash;
+        ] );
+      ( "choice",
+        [
+          Alcotest.test_case "executions" `Quick test_choice_executions;
+          Alcotest.test_case "validates" `Quick test_choice_validates;
+          Alcotest.test_case "interleaves" `Quick test_choice_interleaves;
+        ] );
+      ( "relabel",
+        [
+          Alcotest.test_case "rename" `Quick test_relabel;
+          Alcotest.test_case "width guard" `Quick test_relabel_width_guard;
+          Alcotest.test_case "composite selects" `Quick test_composites_select;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sequence_multiplies_executions; prop_choice_adds_executions; prop_composites_validate ]
+      );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the comparison baselines: PageRank, the FF dependency graph,
+   PRNet and SigSeT selection. *)
+
+open Flowtrace_core
+open Flowtrace_netlist
+open Flowtrace_baseline
+
+let feq = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* PageRank *)
+
+let test_pagerank_sums_to_one () =
+  let out = [| [ 1 ]; [ 2 ]; [ 0 ] |] in
+  let r = Pagerank.compute ~n:3 ~out_edges:out () in
+  feq "sum" 1.0 (Array.fold_left ( +. ) 0.0 r)
+
+let test_pagerank_cycle_uniform () =
+  let out = [| [ 1 ]; [ 2 ]; [ 0 ] |] in
+  let r = Pagerank.compute ~n:3 ~out_edges:out () in
+  feq "uniform a" (1.0 /. 3.0) r.(0);
+  feq "uniform b" (1.0 /. 3.0) r.(1)
+
+let test_pagerank_sink_gets_more () =
+  (* 0 -> 2, 1 -> 2: node 2 accumulates rank. *)
+  let out = [| [ 2 ]; [ 2 ]; [] |] in
+  let r = Pagerank.compute ~n:3 ~out_edges:out () in
+  Alcotest.(check bool) "2 highest" true (r.(2) > r.(0) && r.(2) > r.(1))
+
+let test_pagerank_empty () =
+  Alcotest.(check int) "empty" 0 (Array.length (Pagerank.compute ~n:0 ~out_edges:[||] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Star circuit: one hub register read by many leaf registers. *)
+
+let star ?(leaves = 6) () =
+  let b = Builder.create () in
+  let din = Builder.input b "din" in
+  let hub = Builder.ff b ~name:"hub" din in
+  let leaf_ffs =
+    List.init leaves (fun i ->
+        let x = Builder.input b (Printf.sprintf "x%d" i) in
+        Builder.ff b ~name:(Printf.sprintf "leaf%d" i) (Builder.and_ b [ hub; x ]))
+  in
+  List.iter (Builder.output b) leaf_ffs;
+  (Builder.finish b, hub, leaf_ffs)
+
+let test_ff_graph_star () =
+  let nl, hub, leaves = star () in
+  let g = Ff_graph.build nl in
+  let hub_idx = Hashtbl.find g.Ff_graph.index_of hub in
+  Alcotest.(check int) "hub feeds all leaves" (List.length leaves)
+    (List.length g.Ff_graph.succ.(hub_idx));
+  List.iter
+    (fun leaf ->
+      let i = Hashtbl.find g.Ff_graph.index_of leaf in
+      Alcotest.(check (list int)) "leaf depends on hub" [ hub_idx ] g.Ff_graph.pred.(i))
+    leaves
+
+let test_prnet_ranks_hub_first () =
+  let nl, _, _ = star () in
+  match Prnet.rank nl with
+  | (top, _) :: _ -> Alcotest.(check string) "hub on top" "hub" (Netlist.name nl top)
+  | [] -> Alcotest.fail "empty ranking"
+
+let test_prnet_budget () =
+  let nl, _, _ = star () in
+  let s = Prnet.select nl ~budget:3 in
+  Alcotest.(check int) "3 bits" 3 (List.length s.Prnet.selected)
+
+let test_prnet_budget_exceeds_ffs () =
+  let nl, _, _ = star ~leaves:2 () in
+  let s = Prnet.select nl ~budget:100 in
+  Alcotest.(check int) "all ffs" 3 (List.length s.Prnet.selected)
+
+let test_sigset_budget_and_hub () =
+  let nl, hub, _ = star () in
+  let s = Sigset.select nl ~budget:2 in
+  Alcotest.(check int) "2 bits" 2 (List.length s.Sigset.selected);
+  Alcotest.(check bool) "hub selected" true (List.mem hub s.Sigset.selected)
+
+let test_sigset_srr_valid () =
+  let nl, _, _ = star () in
+  let s = Sigset.select nl ~budget:2 in
+  Alcotest.(check bool) "srr >= 1" true (s.Sigset.srr.Srr.srr >= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_pagerank_sums_to_one =
+  QCheck.Test.make ~name:"pagerank always sums to 1" ~count:50
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 20 in
+      let out = Array.init n (fun _ -> List.init (Rng.int rng 4) (fun _ -> Rng.int rng n)) in
+      let r = Pagerank.compute ~n ~out_edges:out () in
+      Float.abs (Array.fold_left ( +. ) 0.0 r -. 1.0) < 1e-6)
+
+let prop_selections_deterministic =
+  QCheck.Test.make ~name:"baseline selections are deterministic" ~count:20
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let nl = Gen.random_netlist seed in
+      let p1 = (Prnet.select nl ~budget:4).Prnet.selected in
+      let p2 = (Prnet.select nl ~budget:4).Prnet.selected in
+      let s1 = (Sigset.select ~rng:(Rng.create 1) nl ~budget:4).Sigset.selected in
+      let s2 = (Sigset.select ~rng:(Rng.create 1) nl ~budget:4).Sigset.selected in
+      p1 = p2 && s1 = s2)
+
+let prop_budgets_respected =
+  QCheck.Test.make ~name:"selected bits never exceed the budget" ~count:20
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let nl = Gen.random_netlist seed in
+      List.for_all
+        (fun budget ->
+          List.length (Prnet.select nl ~budget).Prnet.selected <= budget
+          && List.length (Sigset.select nl ~budget).Sigset.selected <= budget)
+        [ 1; 3; 5 ])
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "pagerank",
+        [
+          Alcotest.test_case "sums to one" `Quick test_pagerank_sums_to_one;
+          Alcotest.test_case "cycle uniform" `Quick test_pagerank_cycle_uniform;
+          Alcotest.test_case "sink accumulates" `Quick test_pagerank_sink_gets_more;
+          Alcotest.test_case "empty graph" `Quick test_pagerank_empty;
+        ] );
+      ("ff_graph", [ Alcotest.test_case "star" `Quick test_ff_graph_star ]);
+      ( "prnet",
+        [
+          Alcotest.test_case "hub first" `Quick test_prnet_ranks_hub_first;
+          Alcotest.test_case "budget" `Quick test_prnet_budget;
+          Alcotest.test_case "budget exceeds ffs" `Quick test_prnet_budget_exceeds_ffs;
+        ] );
+      ( "sigset",
+        [
+          Alcotest.test_case "budget and hub" `Quick test_sigset_budget_and_hub;
+          Alcotest.test_case "srr valid" `Quick test_sigset_srr_valid;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pagerank_sums_to_one; prop_selections_deterministic; prop_budgets_respected ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for bug models, the catalog, injection and trace diffing. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_bug
+
+let test_catalog_size () = Alcotest.(check int) "14 bugs" 14 Catalog.n_bugs
+
+let test_catalog_ids_unique () =
+  Alcotest.(check int) "unique ids" 14 (List.length (List.sort_uniq compare Catalog.ids))
+
+let test_catalog_table5_ids_present () =
+  (* the bug ids Table 5 references *)
+  List.iter
+    (fun id -> Alcotest.(check bool) (Printf.sprintf "bug %d exists" id) true (List.mem id Catalog.ids))
+    [ 1; 8; 17; 18; 24; 29; 33; 34; 36 ]
+
+let test_catalog_targets_exist () =
+  (* every bug targets a declared T2 message of its IP's interfaces *)
+  List.iter
+    (fun (b : Bug.t) ->
+      let m =
+        List.find_opt
+          (fun (m : Message.t) -> String.equal m.Message.name b.Bug.target_msg)
+          T2.all_messages
+      in
+      match m with
+      | None -> Alcotest.failf "bug %d targets unknown message %s" b.Bug.id b.Bug.target_msg
+      | Some m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bug %d ip touches its message" b.Bug.id)
+            true
+            (String.equal m.Message.src b.Bug.ip || String.equal m.Message.dst b.Bug.ip))
+    Catalog.bugs
+
+let test_depth_matches_t2 () =
+  (* a bug's depth is that of the buggy sub-block, so it may sit one level
+     below or at its IP's depth (Table 2 lists DMU bugs at depths 3 and 4) *)
+  List.iter
+    (fun (b : Bug.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bug %d depth near its IP's" b.Bug.id)
+        true
+        (abs (T2.ip_depth b.Bug.ip - b.Bug.depth) <= 1))
+    Catalog.bugs
+
+let test_mutator_only_fires_on_target () =
+  let bug = Catalog.by_id 33 in
+  let p =
+    {
+      Packet.cycle = 0;
+      flow = "Mon";
+      inst = 1;
+      msg = "grant";
+      src = "SIU";
+      dst = "DMU";
+      fields = [ ("gnt", 1) ];
+    }
+  in
+  Alcotest.(check bool) "other messages pass through" true (Bug.applies bug p = false)
+
+let test_drop_effect () =
+  let bug = Catalog.by_id 33 in
+  let p =
+    {
+      Packet.cycle = 0;
+      flow = "Mon";
+      inst = 1;
+      msg = "dmusiidata";
+      src = "DMU";
+      dst = "SIU";
+      fields = [ ("cpuid", 6); ("threadid", 1); ("payload", 9) ];
+    }
+  in
+  Alcotest.(check bool) "applies" true (Bug.applies bug p);
+  Alcotest.(check bool) "dropped" true (Bug.apply_effect bug p = Flowtrace_soc.Sim.Swallow)
+
+let test_corrupt_effect () =
+  let bug = Catalog.by_id 8 in
+  let p =
+    {
+      Packet.cycle = 0;
+      flow = "Mon";
+      inst = 1;
+      msg = "dmusiidata";
+      src = "DMU";
+      dst = "SIU";
+      fields = [ ("cpuid", 2); ("threadid", 3); ("payload", 9) ];
+    }
+  in
+  match Bug.apply_effect bug p with
+  | Sim.Deliver p' -> Alcotest.(check int) "cpuid xored" (2 lxor 0x5) (Packet.field_exn p' "cpuid")
+  | _ -> Alcotest.fail "expected corruption, not drop"
+
+let test_duplicate_effect () =
+  let bug =
+    {
+      Bug.id = 99;
+      ip = "SIU";
+      depth = 3;
+      category = Bug.Control;
+      description = "grant duplicated by arbiter race";
+      target_msg = "grant";
+      trigger = (fun _ -> true);
+      effect = Bug.Duplicate;
+    }
+  in
+  let p =
+    { Packet.cycle = 0; flow = "Mon"; inst = 1; msg = "grant"; src = "SIU"; dst = "DMU";
+      fields = [ ("gnt", 1) ] }
+  in
+  (match Bug.apply_effect bug p with
+  | Sim.Replay _ -> ()
+  | _ -> Alcotest.fail "expected Replay");
+  (* end to end: the duplicated message shows up twice in the trace *)
+  let config = { Scenario.default_run with Scenario.rounds = 6 } in
+  let golden, buggy = Inject.golden_vs_buggy ~config Scenario.scenario1 [ bug ] in
+  let count msg (o : Sim.outcome) =
+    List.length (List.filter (fun (q : Packet.t) -> String.equal q.Packet.msg msg) o.Sim.packets)
+  in
+  Alcotest.(check bool) "more grants in buggy run" true (count "grant" buggy > count "grant" golden);
+  Alcotest.(check bool) "grant affected" true
+    (List.mem "grant" (Trace_diff.affected_messages ~golden:golden.Sim.packets ~buggy:buggy.Sim.packets))
+
+let test_delay_effect () =
+  let bug =
+    {
+      Bug.id = 98;
+      ip = "SIU";
+      depth = 3;
+      category = Bug.Control;
+      description = "grant starved for many cycles";
+      target_msg = "grant";
+      trigger = (fun _ -> true);
+      effect = Bug.Delay { cycles = 200 };
+    }
+  in
+  let config = { Scenario.default_run with Scenario.rounds = 6 } in
+  let golden, buggy = Inject.golden_vs_buggy ~config Scenario.scenario1 [ bug ] in
+  (* all flows still complete, later *)
+  Alcotest.(check int) "no hangs" 0 (List.length buggy.Sim.hung);
+  Alcotest.(check bool) "end cycle grows" true (buggy.Sim.end_cycle > golden.Sim.end_cycle)
+
+(* ------------------------------------------------------------------ *)
+(* Injection into full runs *)
+
+let small = { Scenario.default_run with Scenario.rounds = 12 }
+
+let test_golden_vs_buggy_divergence () =
+  let golden, buggy = Inject.golden_vs_buggy ~config:small Scenario.scenario1 [ Catalog.by_id 33 ] in
+  Alcotest.(check int) "golden clean" 0 (List.length golden.Sim.failures + List.length golden.Sim.hung);
+  let affected = Trace_diff.affected_messages ~golden:golden.Sim.packets ~buggy:buggy.Sim.packets in
+  Alcotest.(check bool) "dmusiidata affected" true (List.mem "dmusiidata" affected);
+  (* the bug is local: most PIO messages are untouched *)
+  Alcotest.(check bool) "piowreq unaffected" true (not (List.mem "piowreq" affected))
+
+let test_hang_symptom () =
+  let _, buggy = Inject.golden_vs_buggy ~config:small Scenario.scenario1 [ Catalog.by_id 33 ] in
+  match Inject.symptom_of buggy with
+  | Inject.Hang { flow; _ } -> Alcotest.(check string) "Mon hangs" "Mon" flow
+  | s -> Alcotest.failf "expected hang, got %s" (Inject.symptom_to_string s)
+
+let test_failure_symptom () =
+  let _, buggy = Inject.golden_vs_buggy ~config:small Scenario.scenario2 [ Catalog.by_id 8 ] in
+  match Inject.symptom_of buggy with
+  | Inject.Failure f ->
+      Alcotest.(check bool) "wrong routing failure" true
+        (String.length f.Sim.f_desc > 0 && String.equal f.Sim.f_flow "Mon")
+  | s -> Alcotest.failf "expected failure, got %s" (Inject.symptom_to_string s)
+
+let test_subtlety_messages_before_symptom () =
+  (* symptoms manifest only after many observed messages (Section 4) *)
+  let _, buggy =
+    Inject.golden_vs_buggy
+      ~config:{ Scenario.default_run with Scenario.rounds = 40 }
+      Scenario.scenario1
+      [ Catalog.by_id 33 ]
+  in
+  match Inject.symptom_of buggy with
+  | Inject.Hang { flow; inst } ->
+      let before =
+        List.filter
+          (fun (p : Packet.t) ->
+            not (String.equal p.Packet.flow flow && p.Packet.inst = inst))
+          buggy.Sim.packets
+      in
+      Alcotest.(check bool) "dozens of messages before the symptom" true (List.length before > 100)
+  | s -> Alcotest.failf "expected hang, got %s" (Inject.symptom_to_string s)
+
+let test_no_bugs_no_divergence () =
+  let golden, buggy = Inject.golden_vs_buggy ~config:small Scenario.scenario1 [] in
+  Alcotest.(check int) "no affected messages" 0
+    (List.length (Trace_diff.affected_messages ~golden:golden.Sim.packets ~buggy:buggy.Sim.packets))
+
+let test_bug_coverage_denominator () =
+  let affected_by_bug = [ (1, [ "a"; "b" ]); (2, [ "b" ]); (3, [ "c" ]) ] in
+  let ids, cov = Trace_diff.bug_coverage ~n_bugs:14 ~affected_by_bug "b" in
+  Alcotest.(check (list int)) "bug ids" [ 1; 2 ] ids;
+  Alcotest.(check (float 1e-9)) "coverage 2/14" (2.0 /. 14.0) cov;
+  Alcotest.(check (float 1e-3)) "importance" 7.0 (Trace_diff.importance cov)
+
+let () =
+  Alcotest.run "bug"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "size" `Quick test_catalog_size;
+          Alcotest.test_case "unique ids" `Quick test_catalog_ids_unique;
+          Alcotest.test_case "Table 5 ids" `Quick test_catalog_table5_ids_present;
+          Alcotest.test_case "targets exist" `Quick test_catalog_targets_exist;
+          Alcotest.test_case "depths match T2" `Quick test_depth_matches_t2;
+        ] );
+      ( "effects",
+        [
+          Alcotest.test_case "only target" `Quick test_mutator_only_fires_on_target;
+          Alcotest.test_case "drop" `Quick test_drop_effect;
+          Alcotest.test_case "corrupt" `Quick test_corrupt_effect;
+          Alcotest.test_case "duplicate" `Quick test_duplicate_effect;
+          Alcotest.test_case "delay" `Quick test_delay_effect;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "divergence is local" `Quick test_golden_vs_buggy_divergence;
+          Alcotest.test_case "hang symptom" `Quick test_hang_symptom;
+          Alcotest.test_case "failure symptom" `Quick test_failure_symptom;
+          Alcotest.test_case "subtlety" `Quick test_subtlety_messages_before_symptom;
+          Alcotest.test_case "no bugs, no divergence" `Quick test_no_bugs_no_divergence;
+          Alcotest.test_case "bug coverage math" `Quick test_bug_coverage_denominator;
+        ] );
+    ]

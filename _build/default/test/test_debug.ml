@@ -1,0 +1,191 @@
+(* Tests for the root-cause analysis engine: evidence, cause catalogs and
+   debug sessions. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_bug
+open Flowtrace_debug
+
+(* ------------------------------------------------------------------ *)
+(* Cause catalogs *)
+
+let test_cause_counts_match_table1 () =
+  Alcotest.(check int) "scenario 1" 9 (Cause.count 1);
+  Alcotest.(check int) "scenario 2" 8 (Cause.count 2);
+  Alcotest.(check int) "scenario 3" 9 (Cause.count 3)
+
+let test_cause_rules_reference_scenario_messages () =
+  List.iter
+    (fun sc ->
+      let msgs = List.map (fun (m : Message.t) -> m.Message.name) (Scenario.messages sc) in
+      List.iter
+        (fun (c : Cause.t) ->
+          List.iter
+            (fun rule ->
+              match Cause.rule_message rule with
+              | Some m ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "s%d cause %d rule message %s declared" sc.Scenario.id
+                       c.Cause.c_id m)
+                    true (List.mem m msgs)
+              | None -> ())
+            c.Cause.c_rules)
+        (Cause.for_scenario sc.Scenario.id))
+    Scenario.all
+
+let test_cause_flows_reference_scenario_flows () =
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun (c : Cause.t) ->
+          List.iter
+            (fun rule ->
+              match rule with
+              | Cause.Exonerate_if_flow_healthy f ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "s%d cause %d flow %s participates" sc.Scenario.id c.Cause.c_id f)
+                    true
+                    (List.mem f sc.Scenario.flow_names)
+              | _ -> ())
+            c.Cause.c_rules)
+        (Cause.for_scenario sc.Scenario.id))
+    Scenario.all
+
+(* ------------------------------------------------------------------ *)
+(* Evidence *)
+
+let small_session ?(bug_ids = [ 33 ]) ?(seed = 11) scenario =
+  Session.run ~seed ~rounds:12 ~scenario ~bugs:(List.map Catalog.by_id bug_ids) ~buffer_width:32 ()
+
+let test_evidence_clean_run_all_ok () =
+  let s = small_session ~bug_ids:[] Scenario.scenario1 in
+  List.iter
+    (fun e ->
+      if e.Evidence.me_observable && e.Evidence.me_payload_visible then
+        Alcotest.(check bool) (e.Evidence.me_msg ^ " ok") true
+          (Evidence.seen_ok s.Session.evidence e.Evidence.me_msg))
+    s.Session.evidence.Evidence.messages
+
+let test_evidence_drop_shows_absent () =
+  let s = small_session ~bug_ids:[ 33 ] Scenario.scenario1 in
+  Alcotest.(check bool) "dmusiidata absent" true (Evidence.absent s.Session.evidence "dmusiidata");
+  Alcotest.(check bool) "Mon unhealthy" true
+    (not (Evidence.flow_healthy s.Session.evidence "Mon"));
+  Alcotest.(check bool) "PIOW healthy" true (Evidence.flow_healthy s.Session.evidence "PIOW")
+
+let test_evidence_unobservable_is_silent () =
+  let s = small_session ~bug_ids:[ 33 ] Scenario.scenario1 in
+  (* piordreq is never selected at width 32 in scenario 1 *)
+  match Evidence.for_message s.Session.evidence "piordreq" with
+  | Some e ->
+      Alcotest.(check bool) "not observable" false e.Evidence.me_observable;
+      Alcotest.(check bool) "no seen_ok" false (Evidence.seen_ok s.Session.evidence "piordreq");
+      Alcotest.(check bool) "no absent" false (Evidence.absent s.Session.evidence "piordreq")
+  | None -> Alcotest.fail "piordreq missing from evidence"
+
+(* ------------------------------------------------------------------ *)
+(* Sessions / case studies *)
+
+let test_cs1_roots_dmu_interrupt () =
+  let s = Case_study.run ~rounds:20 (Case_study.by_id 1) in
+  Alcotest.(check int) "one plausible cause" 1 (List.length s.Session.plausible);
+  match s.Session.plausible with
+  | [ c ] ->
+      Alcotest.(check string) "DMU" "DMU" c.Cause.c_ip;
+      Alcotest.(check bool) "non-generation" true
+        (String.length c.Cause.c_desc > 0
+        && String.equal c.Cause.c_desc "Non-generation of Mondo interrupt by DMU")
+  | _ -> Alcotest.fail "unexpected plausible set"
+
+let test_all_case_studies_keep_true_cause () =
+  (* soundness: the IP of the activated bug is always among the plausible
+     causes' IPs — elimination never exonerates the real culprit *)
+  List.iter
+    (fun cs ->
+      let s = Case_study.run ~rounds:20 cs in
+      let bug = Case_study.bug cs in
+      Alcotest.(check bool)
+        (Printf.sprintf "cs%d keeps %s" cs.Case_study.cs_id bug.Bug.ip)
+        true
+        (List.exists (fun c -> String.equal c.Cause.c_ip bug.Bug.ip) s.Session.plausible))
+    Case_study.all
+
+let test_pruning_is_substantial () =
+  List.iter
+    (fun cs ->
+      let s = Case_study.run ~rounds:20 cs in
+      Alcotest.(check bool)
+        (Printf.sprintf "cs%d prunes > 50%%" cs.Case_study.cs_id)
+        true
+        (Session.pruned_fraction s > 0.5))
+    Case_study.all
+
+let test_elimination_monotone () =
+  (* Figure 6: remaining pairs and causes never increase along the steps *)
+  List.iter
+    (fun cs ->
+      let s = Case_study.run ~rounds:20 cs in
+      let rec check prev_pairs prev_causes = function
+        | [] -> ()
+        | st :: rest ->
+            Alcotest.(check bool) "pairs monotone" true (st.Session.st_pairs_remaining <= prev_pairs);
+            Alcotest.(check bool) "causes monotone" true
+              (st.Session.st_causes_remaining <= prev_causes);
+            check st.Session.st_pairs_remaining st.Session.st_causes_remaining rest
+      in
+      check (List.length s.Session.legal_pairs) s.Session.causes_total s.Session.steps)
+    Case_study.all
+
+let test_sessions_deterministic () =
+  let a = Case_study.run ~rounds:12 (Case_study.by_id 2) in
+  let b = Case_study.run ~rounds:12 (Case_study.by_id 2) in
+  Alcotest.(check bool) "same steps" true (a.Session.steps = b.Session.steps);
+  Alcotest.(check int) "same plausible" (List.length a.Session.plausible)
+    (List.length b.Session.plausible)
+
+let test_clean_session_no_symptom () =
+  let s = small_session ~bug_ids:[] Scenario.scenario1 in
+  Alcotest.(check bool) "no symptom" true (s.Session.symptom = Inject.No_symptom)
+
+let test_legal_pairs () =
+  let pairs = Session.legal_pairs Scenario.scenario1 in
+  Alcotest.(check bool) "contains NCU->DMU" true (List.mem ("NCU", "DMU") pairs);
+  Alcotest.(check bool) "contains DMU->SIU" true (List.mem ("DMU", "SIU") pairs);
+  Alcotest.(check int) "unique" (List.length pairs)
+    (List.length (List.sort_uniq compare pairs))
+
+let test_messages_investigated_counts_entries () =
+  let s = Case_study.run ~rounds:20 (Case_study.by_id 1) in
+  let from_steps = List.fold_left (fun acc st -> acc + st.Session.st_entries) 0 s.Session.steps in
+  Alcotest.(check int) "totals agree" from_steps s.Session.messages_investigated;
+  Alcotest.(check bool) "tens of messages" true (s.Session.messages_investigated > 20)
+
+let () =
+  Alcotest.run "debug"
+    [
+      ( "causes",
+        [
+          Alcotest.test_case "Table 1 counts" `Quick test_cause_counts_match_table1;
+          Alcotest.test_case "rules reference scenario messages" `Quick
+            test_cause_rules_reference_scenario_messages;
+          Alcotest.test_case "flow rules reference scenario flows" `Quick
+            test_cause_flows_reference_scenario_flows;
+        ] );
+      ( "evidence",
+        [
+          Alcotest.test_case "clean run all ok" `Quick test_evidence_clean_run_all_ok;
+          Alcotest.test_case "drop shows absent" `Quick test_evidence_drop_shows_absent;
+          Alcotest.test_case "unobservable is silent" `Quick test_evidence_unobservable_is_silent;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "cs1 roots DMU interrupt" `Quick test_cs1_roots_dmu_interrupt;
+          Alcotest.test_case "true cause survives" `Quick test_all_case_studies_keep_true_cause;
+          Alcotest.test_case "substantial pruning" `Quick test_pruning_is_substantial;
+          Alcotest.test_case "elimination monotone" `Quick test_elimination_monotone;
+          Alcotest.test_case "deterministic" `Quick test_sessions_deterministic;
+          Alcotest.test_case "clean session" `Quick test_clean_session_no_symptom;
+          Alcotest.test_case "legal pairs" `Quick test_legal_pairs;
+          Alcotest.test_case "entries accounting" `Quick test_messages_investigated_counts_entries;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the experiment drivers: every table/figure renders, and the
+   headline claims of the paper hold in shape. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_experiments
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let test_render_alignment () =
+  let t = Table_render.make ~title:"t" ~header:[ "a"; "bb" ] [ [ "xxx"; "y" ]; [ "w"; "zzzz" ] ] in
+  let s = Table_render.to_string t in
+  let lines = String.split_on_char '\n' s in
+  (* all data lines share the same width *)
+  match lines with
+  | _title :: header :: sep :: r1 :: r2 :: _ ->
+      Alcotest.(check int) "row widths equal" (String.length r1) (String.length r2);
+      Alcotest.(check bool) "separator covers header" true (String.length sep >= String.length (String.trim header))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_pct () = Alcotest.(check string) "pct" "12.34%" (Table_render.pct 0.12341)
+
+let test_spearman_perfect () =
+  feq "increasing" 1.0 (Table_render.spearman [ 1.; 2.; 3.; 4. ] [ 10.; 20.; 30.; 40. ]);
+  feq "decreasing" (-1.0) (Table_render.spearman [ 1.; 2.; 3.; 4. ] [ 9.; 7.; 5.; 3. ])
+
+let test_spearman_degenerate () =
+  Alcotest.(check bool) "nan on constant" true
+    (Float.is_nan (Table_render.spearman [ 1.; 2. ] [ 5.; 5. ]))
+
+(* ------------------------------------------------------------------ *)
+(* Every registered experiment runs and renders *)
+
+let test_registry_ids_unique () =
+  Alcotest.(check int) "unique" (List.length Registry.ids)
+    (List.length (List.sort_uniq compare Registry.ids))
+
+let test_all_experiments_render () =
+  List.iter
+    (fun (e : Registry.experiment) ->
+      let tables = e.Registry.run () in
+      Alcotest.(check bool) (e.Registry.id ^ " produces tables") true (tables <> []);
+      List.iter
+        (fun t ->
+          let s = Table_render.to_string t in
+          Alcotest.(check bool) (e.Registry.id ^ " non-empty") true (String.length s > 40))
+        tables)
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Headline claims *)
+
+let table3_data = lazy (Table3.rows ())
+
+let test_table3_packing_helps () =
+  List.iter
+    (fun (r : Table3.row) ->
+      Alcotest.(check bool) "utilization WP >= WoP" true
+        (Select.utilization r.Table3.sel.Table3.wp >= Select.utilization r.Table3.sel.Table3.wop);
+      Alcotest.(check bool) "coverage WP >= WoP" true
+        (r.Table3.sel.Table3.wp.Select.coverage >= r.Table3.sel.Table3.wop.Select.coverage -. 1e-9);
+      Alcotest.(check bool) "localization WP <= WoP" true (r.Table3.loc_wp <= r.Table3.loc_wop +. 1e-12))
+    (Lazy.force table3_data)
+
+let test_table3_high_utilization () =
+  (* paper: up to 100%, average 98.96% *)
+  let rows = Lazy.force table3_data in
+  let avg =
+    List.fold_left (fun a (r : Table3.row) -> a +. Select.utilization r.Table3.sel.Table3.wp) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  Alcotest.(check bool) "avg utilization > 95%" true (avg > 0.95)
+
+let test_table3_localization_small () =
+  (* paper: no more than 6.11% of paths, with packing no more than 0.31% *)
+  List.iter
+    (fun (r : Table3.row) ->
+      Alcotest.(check bool) "WP localization below 1%" true (r.Table3.loc_wp < 0.01);
+      Alcotest.(check bool) "WoP localization below 7%" true (r.Table3.loc_wop < 0.07))
+    (Lazy.force table3_data)
+
+let test_fig5_monotone_correlation () =
+  (* paper: coverage increases monotonically with gain *)
+  List.iter
+    (fun sc ->
+      let _, rho, n = Fig5.series sc in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: rho > 0.8 over %d candidates" sc.Scenario.name n)
+        true (rho > 0.8))
+    Scenario.all
+
+let test_table5_coverage_grid () =
+  (* bug coverages are multiples of 1/14 and no message is affected by
+     more than a handful of bugs (paper: at most 4) *)
+  let by_bug = Table5.affected_by_bug () in
+  List.iter
+    (fun (m : Message.t) ->
+      let ids, cov = Flowtrace_bug.Trace_diff.bug_coverage ~n_bugs:14 ~affected_by_bug:by_bug m.Message.name in
+      Alcotest.(check bool) (m.Message.name ^ " few bugs") true (List.length ids <= 5);
+      feq (m.Message.name ^ " grid") (float_of_int (List.length ids) /. 14.0) cov)
+    T2.all_messages
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "pct" `Quick test_pct;
+          Alcotest.test_case "spearman perfect" `Quick test_spearman_perfect;
+          Alcotest.test_case "spearman degenerate" `Quick test_spearman_degenerate;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "unique ids" `Quick test_registry_ids_unique;
+          Alcotest.test_case "all render" `Slow test_all_experiments_render;
+        ] );
+      ( "claims",
+        [
+          Alcotest.test_case "packing helps" `Quick test_table3_packing_helps;
+          Alcotest.test_case "high utilization" `Quick test_table3_high_utilization;
+          Alcotest.test_case "localization small" `Quick test_table3_localization_small;
+          Alcotest.test_case "fig5 monotone" `Quick test_fig5_monotone_correlation;
+          Alcotest.test_case "table5 grid" `Quick test_table5_coverage_grid;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Tests for mutual information gain (Section 3.2): golden values, the
+   decomposition used by the evaluator, and monotonicity/non-negativity
+   properties the selection algorithm relies on. *)
+
+open Flowtrace_core
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_empty_selection_zero () =
+  feq "I(X;∅)=0" 0.0 (Infogain.compute (Toy.two_instances ()) ~selected:(fun _ -> false))
+
+let test_full_vs_subset () =
+  let inter = Toy.two_instances () in
+  let sub = Infogain.compute inter ~selected:(fun b -> b = "ReqE") in
+  let full = Infogain.compute inter ~selected:(fun _ -> true) in
+  Alcotest.(check bool) "monotone" true (full >= sub);
+  Alcotest.(check bool) "positive" true (sub > 0.0)
+
+let test_symmetry_of_toy_messages () =
+  (* In the coherence interleaving all three messages play symmetric roles:
+     singleton gains are equal. *)
+  let inter = Toy.two_instances () in
+  let g b = Infogain.compute inter ~selected:(String.equal b) in
+  feq "ReqE=GntE" (g "ReqE") (g "GntE");
+  feq "GntE=Ack" (g "GntE") (g "Ack")
+
+let test_evaluator_matches_compute () =
+  let inter = Toy.two_instances () in
+  let ev = Infogain.evaluator inter in
+  List.iter
+    (fun combo ->
+      feq
+        (String.concat "+" (List.map (fun m -> m.Message.name) combo))
+        (Infogain.of_combination inter combo)
+        (Infogain.eval ev combo))
+    (Combination.enumerate (Interleave.messages inter) ~width:3)
+
+let test_weight_linearity () =
+  let inter = Toy.two_instances () in
+  let full = Infogain.compute inter ~selected:(fun b -> b = "ReqE") in
+  let half = Infogain.compute_weighted inter ~weight:(fun b -> if b = "ReqE" then 0.5 else 0.0) in
+  feq "weight scales linearly" (full /. 2.0) half
+
+let test_additivity_over_messages () =
+  (* The gain decomposes as a sum of per-message terms. *)
+  let inter = Toy.two_instances () in
+  let g sel = Infogain.compute inter ~selected:sel in
+  feq "additive"
+    (g (fun b -> b = "ReqE" || b = "Ack"))
+    (g (String.equal "ReqE") +. g (String.equal "Ack"))
+
+(* ------------------------------------------------------------------ *)
+(* Properties over random interleavings *)
+
+let with_inter seed k = k (Gen.interleaving_of_seed seed)
+
+let prop_nonnegative =
+  QCheck.Test.make ~name:"gain is non-negative" ~count:80
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      with_inter seed (fun inter ->
+          let rng = Rng.create (seed + 1) in
+          let sel _ = Rng.bool rng in
+          (* randomized but fixed per call-order; evaluate once *)
+          let names =
+            List.filter_map
+              (fun (m : Message.t) -> if sel m.Message.name then Some m.Message.name else None)
+              (Interleave.messages inter)
+          in
+          Infogain.compute inter ~selected:(fun b -> List.mem b names) >= 0.0))
+
+let prop_monotone =
+  QCheck.Test.make ~name:"gain is monotone under adding messages" ~count:80
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      with_inter seed (fun inter ->
+          let rng = Rng.create (seed + 7) in
+          let all = List.map (fun (m : Message.t) -> m.Message.name) (Interleave.messages inter) in
+          let small = List.filter (fun _ -> Rng.bool rng) all in
+          let big = List.sort_uniq compare (small @ List.filter (fun _ -> Rng.bool rng) all) in
+          let g names = Infogain.compute inter ~selected:(fun b -> List.mem b names) in
+          g big >= g small -. 1e-9))
+
+let prop_evaluator_agrees =
+  QCheck.Test.make ~name:"evaluator agrees with direct computation" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      with_inter seed (fun inter ->
+          let ev = Infogain.evaluator inter in
+          let rng = Rng.create (seed + 13) in
+          let combo =
+            List.filter (fun _ -> Rng.bool rng) (Interleave.messages inter)
+          in
+          Float.abs (Infogain.eval ev combo -. Infogain.of_combination inter combo) < 1e-9))
+
+let prop_uniform_prior_matches_compute =
+  QCheck.Test.make ~name:"compute_with_prior(uniform) = compute" ~count:50
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      with_inter seed (fun inter ->
+          let sel b = String.length b mod 2 = 0 in
+          Float.abs
+            (Infogain.compute inter ~selected:sel
+            -. Infogain.compute_with_prior inter ~selected:sel
+                 ~prior:(Infogain.uniform_prior inter))
+          < 1e-9))
+
+let prop_visit_prior_normalized =
+  QCheck.Test.make ~name:"visit prior sums to 1" ~count:50
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      with_inter seed (fun inter ->
+          let prior = Infogain.visit_prior inter in
+          let sum = ref 0.0 in
+          for s = 0 to Interleave.n_states inter - 1 do
+            sum := !sum +. prior s
+          done;
+          Float.abs (!sum -. 1.0) < 1e-6))
+
+let prop_full_set_bounded_by_entropy =
+  QCheck.Test.make ~name:"gain bounded by ln |S|" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      with_inter seed (fun inter ->
+          let g = Infogain.compute inter ~selected:(fun _ -> true) in
+          g <= log (float_of_int (Interleave.n_states inter)) +. 1e-9))
+
+let () =
+  Alcotest.run "infogain"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty is zero" `Quick test_empty_selection_zero;
+          Alcotest.test_case "subset below full" `Quick test_full_vs_subset;
+          Alcotest.test_case "toy symmetry" `Quick test_symmetry_of_toy_messages;
+          Alcotest.test_case "evaluator matches" `Quick test_evaluator_matches_compute;
+          Alcotest.test_case "weight linearity" `Quick test_weight_linearity;
+          Alcotest.test_case "additivity" `Quick test_additivity_over_messages;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_nonnegative;
+            prop_monotone;
+            prop_evaluator_agrees;
+            prop_full_set_bounded_by_entropy;
+            prop_uniform_prior_matches_compute;
+            prop_visit_prior_normalized;
+          ]
+      );
+    ]

@@ -1,0 +1,154 @@
+(* End-to-end integration tests: the full pipeline from flow specification
+   through selection, simulation, trace capture, localization and
+   root-cause analysis, crossing every library boundary. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_bug
+open Flowtrace_debug
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline: spec text -> selection -> simulation -> buffer -> localize *)
+
+let test_spec_to_localization () =
+  (* start from the textual format, as a CLI user would *)
+  let flows =
+    Spec_parser.parse_string
+      {|flow ping
+state idle init
+state sent
+state ok stop
+msg ping 4 from a to b
+msg pong 4 from b to a
+trans idle ping sent
+trans sent pong ok
+|}
+  in
+  let f = List.hd flows in
+  let inter =
+    Interleave.make [ { Interleave.flow = f; index = 1 }; { Interleave.flow = f; index = 2 } ]
+  in
+  let sel = Select.select inter ~buffer_width:4 in
+  Alcotest.(check bool) "selects one message" true (List.length sel.Select.messages >= 1);
+  let path = Execution.random ~rng:(Rng.create 3) inter in
+  let selected = Select.is_observable sel in
+  let observed = Execution.project ~selected path.Execution.trace in
+  let frac = Localize.fraction inter ~selected ~observed in
+  Alcotest.(check bool) "localizes" true (frac > 0.0 && frac <= 1.0)
+
+let test_t2_sim_to_trace_buffer_to_localization () =
+  (* the full T2 path: scenario -> selection -> analysis simulation ->
+     trace buffer -> prefix localization *)
+  let sc = Scenario.scenario1 in
+  let inter = Scenario.interleave sc in
+  let sel = Select.select ~strategy:Select.Greedy inter ~buffer_width:32 in
+  let out = Scenario.run_analysis ~seed:21 sc in
+  let buf = Trace_buffer.create ~depth:4096 sel in
+  Trace_buffer.record_all buf out.Sim.packets;
+  let observed = Trace_buffer.observed buf in
+  Alcotest.(check bool) "buffer captured something" true (observed <> []);
+  let frac =
+    Localize.fraction ~semantics:Localize.Prefix inter
+      ~selected:(Select.is_observable sel) ~observed
+  in
+  Alcotest.(check bool) "sub-percent localization" true (frac > 0.0 && frac < 0.01)
+
+let test_wrapped_buffer_suffix_localization () =
+  (* a tiny buffer wraps; the surviving suffix still localizes under
+     Suffix semantics *)
+  let sc = Scenario.scenario1 in
+  let inter = Scenario.interleave sc in
+  let sel = Select.select ~strategy:Select.Greedy inter ~buffer_width:32 in
+  let out = Scenario.run_analysis ~seed:21 sc in
+  let buf = Trace_buffer.create ~depth:4 sel in
+  Trace_buffer.record_all buf out.Sim.packets;
+  Alcotest.(check bool) "wrapped" true (Trace_buffer.wrapped buf);
+  let observed = Trace_buffer.observed buf in
+  Alcotest.(check int) "only the tail survives" 4 (List.length observed);
+  let n =
+    Localize.consistent_paths ~semantics:Localize.Suffix inter
+      ~selected:(Select.is_observable sel) ~observed
+  in
+  Alcotest.(check bool) "ground truth consistent with the suffix" true (n >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Trace I/O round trip through a debug-style comparison *)
+
+let test_saved_trace_diff () =
+  let config = { Scenario.default_run with Scenario.rounds = 10 } in
+  let golden, buggy = Inject.golden_vs_buggy ~config Scenario.scenario1 [ Catalog.by_id 33 ] in
+  (* serialize both, re-parse, diff: same verdict as diffing in memory *)
+  let g = Trace_io.parse (Trace_io.print golden.Sim.packets) in
+  let b = Trace_io.parse (Trace_io.print buggy.Sim.packets) in
+  Alcotest.(check (list string)) "diff survives serialization"
+    (Trace_diff.affected_messages ~golden:golden.Sim.packets ~buggy:buggy.Sim.packets)
+    (Trace_diff.affected_messages ~golden:g ~buggy:b)
+
+(* ------------------------------------------------------------------ *)
+(* Full debug sessions under different selections *)
+
+let test_narrow_buffer_degrades_diagnosis () =
+  (* with an 8-bit buffer the selection sees far fewer messages; the
+     session must stay sound (true cause never exonerated) even though
+     pruning weakens *)
+  let cs = Case_study.by_id 1 in
+  let wide = Case_study.run ~rounds:20 cs in
+  let narrow =
+    Session.run ~seed:cs.Case_study.seed ~rounds:20 ~scenario:cs.Case_study.scenario
+      ~bugs:[ Case_study.bug cs ] ~buffer_width:8 ()
+  in
+  Alcotest.(check bool) "narrow keeps true cause" true
+    (List.exists (fun c -> String.equal c.Cause.c_ip "DMU") narrow.Session.plausible);
+  Alcotest.(check bool) "wide prunes at least as much" true
+    (List.length wide.Session.plausible <= List.length narrow.Session.plausible)
+
+let test_report_renders () =
+  let s = Case_study.run ~rounds:12 (Case_study.by_id 2) in
+  let text = Report.render s in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and m = String.length text in
+      let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+      Alcotest.(check bool) (needle ^ " in report") true (go 0))
+    [ "debug session"; "symptom:"; "verdict"; "investigated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across the whole stack *)
+
+let test_whole_stack_deterministic () =
+  let run () =
+    let s = Case_study.run ~rounds:15 (Case_study.by_id 3) in
+    Report.render s
+  in
+  Alcotest.(check string) "identical reports" (run ()) (run ())
+
+(* Bug interference: two active bugs still leave their scenario sessions
+   sound (plausible set non-empty and containing a buggy IP). *)
+let test_two_bugs_at_once () =
+  let s =
+    Session.run ~seed:5 ~rounds:25 ~scenario:Scenario.scenario1
+      ~bugs:[ Catalog.by_id 33; Catalog.by_id 29 ] ~buffer_width:32 ()
+  in
+  Alcotest.(check bool) "something plausible" true (s.Session.plausible <> []);
+  Alcotest.(check bool) "a DMU cause survives" true
+    (List.exists (fun c -> String.equal c.Cause.c_ip "DMU") s.Session.plausible)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "spec to localization" `Quick test_spec_to_localization;
+          Alcotest.test_case "t2 sim to localization" `Quick test_t2_sim_to_trace_buffer_to_localization;
+          Alcotest.test_case "wrapped buffer suffix" `Quick test_wrapped_buffer_suffix_localization;
+        ] );
+      ( "trace_io",
+        [ Alcotest.test_case "diff survives serialization" `Quick test_saved_trace_diff ] );
+      ( "debugging",
+        [
+          Alcotest.test_case "narrow buffer stays sound" `Quick test_narrow_buffer_degrades_diagnosis;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+          Alcotest.test_case "whole stack deterministic" `Quick test_whole_stack_deterministic;
+          Alcotest.test_case "two bugs at once" `Quick test_two_bugs_at_once;
+        ] );
+    ]

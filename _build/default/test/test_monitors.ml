@@ -1,0 +1,228 @@
+(* Tests for the signal-to-message monitor bridge (Figure 4), DOT export,
+   and multi-cycle messages (footnote 2). *)
+
+open Flowtrace_core
+open Flowtrace_netlist
+open Flowtrace_usb
+
+(* substring test without extra dependencies *)
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Signal monitors on a tiny hand-built circuit *)
+
+(* valid pulses when the input strobe fires; data latches the bus. *)
+let tiny () =
+  let b = Builder.create () in
+  let strobe = Builder.input b "strobe" in
+  let bus = Builder.input_bus b "bus" 4 in
+  let valid =
+    match Builder.reg_bank b "valid" 1 with
+    | [ q ] ->
+        Builder.connect b q strobe;
+        q
+    | _ -> assert false
+  in
+  let data = Builder.reg_bank b "data" 4 in
+  List.iter2
+    (fun q src -> Builder.connect b q (Builder.mux b ~sel:strobe ~a:q ~b:src ()))
+    data bus;
+  ignore valid;
+  Builder.finish b
+
+let specs =
+  [ Signal_monitor.spec ~message:"xfer" ~trigger:"valid" ~payload:[ "data" ] () ]
+
+let test_observe_rising_edges () =
+  let nl = tiny () in
+  let truth = Sim.run ~rng:(Rng.create 3) nl ~cycles:32 in
+  let occs = Signal_monitor.observe nl specs truth in
+  Alcotest.(check bool) "some occurrences" true (occs <> []);
+  (* each occurrence is a rising edge of valid *)
+  let valid = List.hd (Netlist.signal_exn nl "valid") in
+  List.iter
+    (fun (o : Signal_monitor.occurrence) ->
+      Alcotest.(check bool) "valid high" true truth.(o.Signal_monitor.oc_cycle).(valid);
+      Alcotest.(check bool) "valid was low" false truth.(o.Signal_monitor.oc_cycle - 1).(valid))
+    occs
+
+let test_observe_payload_values () =
+  let nl = tiny () in
+  let truth = Sim.run ~rng:(Rng.create 3) nl ~cycles:32 in
+  List.iter
+    (fun (o : Signal_monitor.occurrence) ->
+      match o.Signal_monitor.oc_payload with
+      | [ ("data", v) ] ->
+          Alcotest.(check int) "payload matches signal" v
+            (Sim.signal_value nl truth ~cycle:o.Signal_monitor.oc_cycle ~signal:"data")
+      | _ -> Alcotest.fail "expected one data payload")
+    (Signal_monitor.observe nl specs truth)
+
+let test_full_trace_reconstructs_everything () =
+  let nl = tiny () in
+  let truth = Sim.run ~rng:(Rng.create 4) nl ~cycles:32 in
+  let traced = nl.Netlist.ffs in
+  let k, n, ratio = Signal_monitor.reconstruction_ratio nl specs ~traced ~truth in
+  Alcotest.(check int) "all reconstructed" n k;
+  Alcotest.(check (float 1e-9)) "ratio 1" 1.0 ratio
+
+let test_untraced_reconstructs_nothing () =
+  let nl = tiny () in
+  let truth = Sim.run ~rng:(Rng.create 4) nl ~cycles:32 in
+  let occs = Signal_monitor.observe nl specs truth in
+  if occs <> [] then begin
+    let grid =
+      Restore.from_trace nl ~traced:[ List.hd (Netlist.signal_exn nl "valid") ] ~truth
+    in
+    (* tracing only valid: edges visible but payload unknown *)
+    List.iter
+      (fun o ->
+        Alcotest.(check bool) "payload unknown" false
+          (Signal_monitor.reconstructable nl specs grid o))
+      occs
+  end
+
+let test_bad_trigger_rejected () =
+  let nl = tiny () in
+  let bad = [ Signal_monitor.spec ~message:"m" ~trigger:"data" () ] in
+  let truth = Sim.run nl ~cycles:4 in
+  match Signal_monitor.observe nl bad truth with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on multi-bit trigger"
+
+(* ------------------------------------------------------------------ *)
+(* USB monitors + reconstruction experiment *)
+
+let test_usb_monitors_cover_all_messages () =
+  let flow_msgs =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (f : Flow.t) -> List.map (fun (m : Message.t) -> m.Message.name) f.Flow.messages)
+         [ Usb_flows.token_receive; Usb_flows.data_transmit ])
+  in
+  let monitored =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Signal_monitor.sm_message) Usb_monitors.specs)
+  in
+  Alcotest.(check (list string)) "every flow message has a monitor" flow_msgs monitored
+
+let test_usb_reconstruction_shape () =
+  (* the Section 1 claim: InfoGain reconstructs everything, SigSeT a small
+     fraction *)
+  match Usb_monitors.reconstruction () with
+  | [ sigset; _prnet; infogain ] ->
+      Alcotest.(check (float 1e-9)) "InfoGain 100%" 1.0 infogain.Usb_monitors.ratio;
+      Alcotest.(check bool) "SigSeT below 30%" true (sigset.Usb_monitors.ratio < 0.3);
+      Alcotest.(check bool) "occurrences exist" true (infogain.Usb_monitors.total > 20)
+  | _ -> Alcotest.fail "expected three methods"
+
+let test_footprint_is_interface_ffs () =
+  let nl = Usb_design.build () in
+  let fp = Usb_monitors.footprint nl (fun _ -> true) in
+  Alcotest.(check bool) "30 interface bits" true (List.length fp = 30);
+  List.iter
+    (fun net -> Alcotest.(check bool) "is FF" true (Netlist.is_ff nl net))
+    fp
+
+(* ------------------------------------------------------------------ *)
+(* DOT export *)
+
+let test_dot_flow () =
+  let dot = Dot.of_flow Toy.cache_coherence in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (fragment ^ " present") true
+        (contains ~affix:fragment dot))
+    [ "digraph"; "doublecircle"; "doubleoctagon"; "lightgoldenrod"; "ReqE"; "->" ]
+
+let test_dot_interleave () =
+  let inter = Toy.two_instances () in
+  let dot = Dot.of_interleave ~selected:(fun b -> b = "ReqE") inter in
+  Alcotest.(check bool) "selected highlighted" true
+    (contains ~affix:"color=red" dot);
+  Alcotest.(check bool) "indexed labels" true (contains ~affix:"1:ReqE" dot)
+
+let test_dot_size_guard () =
+  let inter = Toy.two_instances () in
+  match Dot.of_interleave ~max_states:3 inter with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Multi-cycle messages (footnote 2) *)
+
+let test_trace_width () =
+  let m = Message.make ~beats:4 "burst" 20 in
+  Alcotest.(check int) "ceil(20/4)" 5 (Message.trace_width m);
+  let m1 = Message.make "one" 7 in
+  Alcotest.(check int) "single beat" 7 (Message.trace_width m1);
+  let m3 = Message.make ~beats:3 "odd" 7 in
+  Alcotest.(check int) "ceil(7/3)" 3 (Message.trace_width m3)
+
+let test_beats_validation () =
+  (match Message.make ~beats:0 "m" 4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "beats 0");
+  match Message.make ~beats:5 "m" 4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "beats > width"
+
+let test_multibeat_selection () =
+  (* a 20-bit message streamed over 4 beats fits a 6-bit buffer *)
+  let f =
+    Flow.make ~name:"stream" ~states:[ "a"; "b" ] ~initial:[ "a" ] ~stop:[ "b" ]
+      ~messages:[ Message.make ~beats:4 "burst" 20 ]
+      ~transitions:[ Flow.transition "a" "burst" "b" ]
+      ()
+  in
+  let inter = Interleave.of_flows [ f ] in
+  let r = Select.select inter ~buffer_width:6 in
+  Alcotest.(check int) "selected" 1 (List.length r.Select.messages);
+  Alcotest.(check int) "5 bits used" 5 r.Select.bits_used
+
+let test_beats_spec_roundtrip () =
+  let text =
+    "flow t\nstate a init\nstate b stop\nmsg burst 20 from x to y beats 4\ntrans a burst b\n"
+  in
+  match Spec_parser.parse_string text with
+  | [ f ] ->
+      let m = Flow.message_exn f "burst" in
+      Alcotest.(check int) "beats parsed" 4 m.Message.beats;
+      let printed = Spec_parser.print_flow f in
+      Alcotest.(check bool) "beats printed" true (contains ~affix:"beats 4" printed)
+  | _ -> Alcotest.fail "expected one flow"
+
+let () =
+  Alcotest.run "monitors_dot_beats"
+    [
+      ( "signal_monitor",
+        [
+          Alcotest.test_case "rising edges" `Quick test_observe_rising_edges;
+          Alcotest.test_case "payload values" `Quick test_observe_payload_values;
+          Alcotest.test_case "full trace reconstructs" `Quick test_full_trace_reconstructs_everything;
+          Alcotest.test_case "payload needed" `Quick test_untraced_reconstructs_nothing;
+          Alcotest.test_case "bad trigger" `Quick test_bad_trigger_rejected;
+        ] );
+      ( "usb_monitors",
+        [
+          Alcotest.test_case "cover all messages" `Quick test_usb_monitors_cover_all_messages;
+          Alcotest.test_case "reconstruction shape" `Quick test_usb_reconstruction_shape;
+          Alcotest.test_case "footprint" `Quick test_footprint_is_interface_ffs;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "flow export" `Quick test_dot_flow;
+          Alcotest.test_case "interleave export" `Quick test_dot_interleave;
+          Alcotest.test_case "size guard" `Quick test_dot_size_guard;
+        ] );
+      ( "beats",
+        [
+          Alcotest.test_case "trace width" `Quick test_trace_width;
+          Alcotest.test_case "validation" `Quick test_beats_validation;
+          Alcotest.test_case "multibeat selection" `Quick test_multibeat_selection;
+          Alcotest.test_case "spec round-trip" `Quick test_beats_spec_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,278 @@
+(* Tests for the gate-level substrate: builder, simulation, restoration,
+   SRR. *)
+
+open Flowtrace_core
+open Flowtrace_netlist
+
+(* A 3-stage shift register fed by an input. *)
+let shift_register () =
+  let b = Builder.create () in
+  let din = Builder.input b "din" in
+  let r1 = Builder.ff b ~name:"r1" din in
+  let r2 = Builder.ff b ~name:"r2" (Builder.buf b r1) in
+  let r3 = Builder.ff b ~name:"r3" (Builder.buf b r2) in
+  Builder.output b r3;
+  (Builder.finish b, din, r1, r2, r3)
+
+(* A toggler: q' = not q. *)
+let toggler () =
+  let b = Builder.create () in
+  let q = Builder.ff_forward b ~name:"t" () in
+  let nq = Builder.not_ b q in
+  Builder.connect b q nq;
+  Builder.output b q;
+  (Builder.finish b, q)
+
+let test_builder_duplicate_name () =
+  let b = Builder.create () in
+  let _ = Builder.input b "x" in
+  match Builder.input b "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_builder_dangling_ff () =
+  let b = Builder.create () in
+  let _ = Builder.ff_forward b ~name:"q" () in
+  match Builder.finish b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_stats () =
+  let nl, _, _, _, _ = shift_register () in
+  let inputs, gates, ffs = Netlist.stats nl in
+  Alcotest.(check int) "inputs" 1 inputs;
+  Alcotest.(check int) "gates" 2 gates;
+  Alcotest.(check int) "ffs" 3 ffs
+
+let test_toggler_alternates () =
+  let nl, q = toggler () in
+  let history = Sim.run nl ~cycles:6 in
+  let qs = Array.to_list (Array.map (fun row -> row.(q)) history) in
+  Alcotest.(check (list bool)) "alternating" [ false; true; false; true; false; true ] qs
+
+let test_shift_register_delays () =
+  let nl, din, r1, r2, r3 = shift_register () in
+  let history = Sim.run ~rng:(Rng.create 99) nl ~cycles:20 in
+  for c = 0 to 16 do
+    Alcotest.(check bool) "r1 delays din" history.(c).(din) history.(c + 1).(r1);
+    Alcotest.(check bool) "r2 delays r1" history.(c).(r1) history.(c + 1).(r2);
+    Alcotest.(check bool) "r3 delays r2" history.(c).(r2) history.(c + 1).(r3)
+  done
+
+let test_sim_deterministic () =
+  let nl, _, _, _, _ = shift_register () in
+  let h1 = Sim.run ~rng:(Rng.create 5) nl ~cycles:10 in
+  let h2 = Sim.run ~rng:(Rng.create 5) nl ~cycles:10 in
+  Alcotest.(check bool) "same histories" true (h1 = h2)
+
+(* ------------------------------------------------------------------ *)
+(* Logic *)
+
+let test_logic_tables () =
+  let open Logic in
+  Alcotest.(check bool) "and controlling" true (equal (and2 Zero X) Zero);
+  Alcotest.(check bool) "or controlling" true (equal (or2 One X) One);
+  Alcotest.(check bool) "xor unknown" true (equal (xor2 One X) X);
+  Alcotest.(check bool) "mux known sel" true (equal (mux Zero One Zero) One);
+  Alcotest.(check bool) "mux agreeing data" true (equal (mux X One One) One);
+  Alcotest.(check bool) "mux disagreeing data" true (equal (mux X One Zero) X)
+
+(* ------------------------------------------------------------------ *)
+(* Restoration *)
+
+let test_restore_backward_through_shift () =
+  (* Tracing only r3, backward justification recovers r2 and r1 at earlier
+     cycles: r3(c) = r2(c-1) = r1(c-2). *)
+  let nl, _, r1, r2, r3 = shift_register () in
+  let truth = Sim.run ~rng:(Rng.create 3) nl ~cycles:10 in
+  let grid = Restore.from_trace nl ~traced:[ r3 ] ~truth in
+  Alcotest.(check bool) "sound" true (Restore.consistent_with_truth grid truth [ r1; r2; r3 ]);
+  for c = 0 to 8 do
+    Alcotest.(check bool) (Printf.sprintf "r2 known at %d" c) true (Logic.is_known grid.(c).(r2))
+  done;
+  for c = 0 to 7 do
+    Alcotest.(check bool) (Printf.sprintf "r1 known at %d" c) true (Logic.is_known grid.(c).(r1))
+  done
+
+let test_restore_forward_through_shift () =
+  (* Tracing only r1, forward propagation recovers r2 and r3 later. *)
+  let nl, _, r1, r2, r3 = shift_register () in
+  let truth = Sim.run ~rng:(Rng.create 4) nl ~cycles:10 in
+  let grid = Restore.from_trace nl ~traced:[ r1 ] ~truth in
+  Alcotest.(check bool) "sound" true (Restore.consistent_with_truth grid truth [ r1; r2; r3 ]);
+  for c = 1 to 9 do
+    Alcotest.(check bool) (Printf.sprintf "r2 known at %d" c) true (Logic.is_known grid.(c).(r2))
+  done;
+  for c = 2 to 9 do
+    Alcotest.(check bool) (Printf.sprintf "r3 known at %d" c) true (Logic.is_known grid.(c).(r3))
+  done
+
+let test_restore_xor_justification () =
+  (* y = a xor b registered; tracing y-reg and a-reg pins b-reg. *)
+  let b = Builder.create () in
+  let ia = Builder.input b "ia" in
+  let ib = Builder.input b "ib" in
+  let ra = Builder.ff b ~name:"ra" ia in
+  let rb = Builder.ff b ~name:"rb" ib in
+  let ry = Builder.ff b ~name:"ry" (Builder.xor b [ ra; rb ]) in
+  Builder.output b ry;
+  let nl = Builder.finish b in
+  let truth = Sim.run ~rng:(Rng.create 7) nl ~cycles:8 in
+  let grid = Restore.from_trace nl ~traced:[ ry; ra ] ~truth in
+  Alcotest.(check bool) "sound" true (Restore.consistent_with_truth grid truth [ ra; rb; ry ]);
+  (* rb(c) = ry(c+1) xor ra(c): known wherever a next cycle exists *)
+  for c = 0 to 6 do
+    Alcotest.(check bool) (Printf.sprintf "rb known at %d" c) true (Logic.is_known grid.(c).(rb))
+  done
+
+let test_restore_contradiction () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.buf b ~name:"y" x in
+  Builder.output b y;
+  let nl = Builder.finish b in
+  let grid = Restore.make_grid ~cycles:1 ~nets:(Netlist.n_nets nl) in
+  grid.(0).(x) <- Logic.Zero;
+  grid.(0).(y) <- Logic.One;
+  match Restore.fixpoint nl grid with
+  | exception Restore.Contradiction _ -> ()
+  | () -> Alcotest.fail "expected Contradiction"
+
+(* ------------------------------------------------------------------ *)
+(* SRR *)
+
+let test_srr_full_trace_is_one () =
+  let nl, _, _, _, _ = shift_register () in
+  let r = Srr.evaluate nl ~traced:nl.Netlist.ffs ~cycles:16 in
+  Alcotest.(check (float 1e-9)) "srr" 1.0 r.Srr.srr;
+  Alcotest.(check (float 1e-9)) "coverage" 1.0 r.Srr.state_coverage
+
+let test_srr_exceeds_one_with_restoration () =
+  let nl, _, _, _, r3 = shift_register () in
+  let r = Srr.evaluate nl ~traced:[ r3 ] ~cycles:16 in
+  Alcotest.(check bool) "srr > 1" true (r.Srr.srr > 1.0)
+
+let test_srr_rejects_non_ff () =
+  let nl, din, _, _, _ = shift_register () in
+  match Srr.evaluate nl ~traced:[ din ] ~cycles:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark circuits *)
+
+let test_s27_shape () =
+  let nl = Benchmarks.s27 () in
+  let inputs, gates, ffs = Netlist.stats nl in
+  Alcotest.(check int) "4 inputs" 4 inputs;
+  Alcotest.(check int) "10 gates" 10 gates;
+  Alcotest.(check int) "3 FFs" 3 ffs
+
+let test_s27_simulates () =
+  let nl = Benchmarks.s27 () in
+  let h = Sim.run ~rng:(Rng.create 11) nl ~cycles:64 in
+  let g17 = Netlist.find_exn nl "G17" in
+  (* the output is live under random stimulus *)
+  Alcotest.(check bool) "output toggles" true
+    (Array.exists (fun row -> row.(g17)) h && Array.exists (fun row -> not row.(g17)) h)
+
+let test_lfsr_full_restoration () =
+  (* tracing a single LFSR bit restores the whole register over time *)
+  let nl = Benchmarks.lfsr ~width:16 () in
+  let r = Srr.evaluate ~rng:(Rng.create 2) nl ~traced:[ List.hd nl.Netlist.ffs ] ~cycles:64 in
+  Alcotest.(check bool) "srr >> 1" true (r.Srr.srr > 4.0)
+
+let test_pipeline_depth () =
+  let nl = Benchmarks.pipeline ~stages:5 ~width:3 () in
+  let _, _, ffs = Netlist.stats nl in
+  Alcotest.(check int) "5x3 FFs" 15 ffs
+
+let test_counter_bank_size () =
+  let nl = Benchmarks.counter_bank ~n:4 ~width:6 () in
+  let _, _, ffs = Netlist.stats nl in
+  Alcotest.(check int) "4x6+flag FFs" 25 ffs
+
+let test_suite_well_formed () =
+  List.iter
+    (fun (name, nl) ->
+      let _, gates, ffs = Netlist.stats nl in
+      Alcotest.(check bool) (name ^ " non-trivial") true (gates + ffs > 3))
+    (Benchmarks.suite ())
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_restoration_sound =
+  QCheck.Test.make ~name:"restoration never contradicts simulation" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let nl = Gen.random_netlist seed in
+      let truth = Sim.run ~rng:(Rng.create (seed + 1)) nl ~cycles:12 in
+      let rng = Rng.create (seed + 2) in
+      let traced = List.filter (fun _ -> Rng.bool rng) nl.Netlist.ffs in
+      let traced = match traced with [] -> [ List.hd nl.Netlist.ffs ] | l -> l in
+      let grid = Restore.from_trace nl ~traced ~truth in
+      Restore.consistent_with_truth grid truth (List.init (Netlist.n_nets nl) Fun.id))
+
+let prop_more_trace_more_knowledge =
+  QCheck.Test.make ~name:"tracing more FFs never reduces restored knowledge" ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let nl = Gen.random_netlist seed in
+      let truth = Sim.run ~rng:(Rng.create (seed + 1)) nl ~cycles:12 in
+      match nl.Netlist.ffs with
+      | f1 :: f2 :: _ ->
+          let k traced = Restore.known_count (Restore.from_trace nl ~traced ~truth) nl.Netlist.ffs in
+          k [ f1; f2 ] >= k [ f1 ]
+      | _ -> true)
+
+let prop_srr_at_least_one =
+  QCheck.Test.make ~name:"srr >= 1 (traced bits are known)" ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let nl = Gen.random_netlist seed in
+      let r = Srr.evaluate ~rng:(Rng.create seed) nl ~traced:[ List.hd nl.Netlist.ffs ] ~cycles:10 in
+      r.Srr.srr >= 1.0)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "duplicate name" `Quick test_builder_duplicate_name;
+          Alcotest.test_case "dangling ff" `Quick test_builder_dangling_ff;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "toggler" `Quick test_toggler_alternates;
+          Alcotest.test_case "shift register" `Quick test_shift_register_delays;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        ] );
+      ("logic", [ Alcotest.test_case "truth tables" `Quick test_logic_tables ]);
+      ( "restore",
+        [
+          Alcotest.test_case "backward through shift" `Quick test_restore_backward_through_shift;
+          Alcotest.test_case "forward through shift" `Quick test_restore_forward_through_shift;
+          Alcotest.test_case "xor justification" `Quick test_restore_xor_justification;
+          Alcotest.test_case "contradiction" `Quick test_restore_contradiction;
+        ] );
+      ( "srr",
+        [
+          Alcotest.test_case "full trace" `Quick test_srr_full_trace_is_one;
+          Alcotest.test_case "restoration bonus" `Quick test_srr_exceeds_one_with_restoration;
+          Alcotest.test_case "rejects non-ff" `Quick test_srr_rejects_non_ff;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "s27 shape" `Quick test_s27_shape;
+          Alcotest.test_case "s27 simulates" `Quick test_s27_simulates;
+          Alcotest.test_case "lfsr restoration" `Quick test_lfsr_full_restoration;
+          Alcotest.test_case "pipeline depth" `Quick test_pipeline_depth;
+          Alcotest.test_case "counter bank size" `Quick test_counter_bank_size;
+          Alcotest.test_case "suite well-formed" `Quick test_suite_well_formed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_restoration_sound; prop_more_trace_more_knowledge; prop_srr_at_least_one ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for Step 1 (combination enumeration), Step 2 (selection), and
+   Step 3 (packing). *)
+
+open Flowtrace_core
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Step 1 *)
+
+let toy_messages = Toy.cache_coherence.Flow.messages
+
+let test_enumerate_counts () =
+  Alcotest.(check int) "width 1" 3 (Combination.count toy_messages ~width:1);
+  Alcotest.(check int) "width 2" 6 (Combination.count toy_messages ~width:2);
+  Alcotest.(check int) "width 3" 7 (Combination.count toy_messages ~width:3)
+
+let test_enumerate_respects_width () =
+  List.iter
+    (fun combo ->
+      if Message.total_width combo > 2 then Alcotest.fail "combination exceeds width")
+    (Combination.enumerate toy_messages ~width:2)
+
+let test_enumerate_no_duplicates () =
+  let combos = Combination.enumerate toy_messages ~width:3 in
+  let keys =
+    List.map (fun c -> List.sort compare (List.map (fun m -> m.Message.name) c)) combos
+  in
+  Alcotest.(check int) "unique" (List.length keys) (List.length (List.sort_uniq compare keys))
+
+let test_too_many () =
+  let many = List.init 25 (fun i -> Message.make (Printf.sprintf "w%d" i) 1) in
+  match Combination.enumerate ~limit:1000 many ~width:25 with
+  | exception Combination.Too_many _ -> ()
+  | _ -> Alcotest.fail "expected Too_many"
+
+let test_maximal_only () =
+  let maximal = Combination.maximal_only (Combination.enumerate toy_messages ~width:2) in
+  (* at width 2 the maximal fitting combinations are exactly the three
+     2-element subsets *)
+  Alcotest.(check int) "three maximal" 3 (List.length maximal);
+  List.iter
+    (fun c -> Alcotest.(check int) "each has two messages" 2 (List.length c))
+    maximal
+
+(* ------------------------------------------------------------------ *)
+(* Step 2 + full pipeline *)
+
+let test_select_deterministic () =
+  let inter = Toy.two_instances () in
+  let r1 = Select.select inter ~buffer_width:2 in
+  let r2 = Select.select inter ~buffer_width:2 in
+  Alcotest.(check (list string)) "stable" (Select.selected_names r1) (Select.selected_names r2)
+
+let test_strategies_agree_on_toy () =
+  let inter = Toy.two_instances () in
+  let gain s = (Select.select ~strategy:s inter ~buffer_width:2).Select.gain in
+  feq "exact = exact_maximal" (gain Select.Exact) (gain Select.Exact_maximal);
+  feq "exact = greedy" (gain Select.Exact) (gain Select.Greedy)
+
+let test_select_no_fit_raises () =
+  let f =
+    Flow.make ~name:"wide" ~states:[ "a"; "b" ] ~initial:[ "a" ] ~stop:[ "b" ]
+      ~messages:[ Message.make "huge" 64 ]
+      ~transitions:[ Flow.transition "a" "huge" "b" ]
+      ()
+  in
+  let inter = Interleave.of_flows [ f ] in
+  match Select.select inter ~buffer_width:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_observable_bases () =
+  let inter = Toy.two_instances () in
+  let r = Select.select inter ~buffer_width:2 in
+  List.iter
+    (fun (m : Message.t) -> Alcotest.(check bool) "observable" true (Select.is_observable r m.Message.name))
+    r.Select.messages
+
+(* ------------------------------------------------------------------ *)
+(* Step 3: packing *)
+
+let wide_inter () = Interleave.of_flows [ Toy.cache_coherence_wide ]
+
+(* pool: ReqE<2>, GntData<8> (subs way<2>, line<4>), Ack<1> *)
+
+let test_packing_adds_subgroup () =
+  let inter = wide_inter () in
+  let without = Select.select ~pack:false inter ~buffer_width:6 in
+  let with_p = Select.select ~pack:true inter ~buffer_width:6 in
+  (* {ReqE, Ack} = 3 bits; leftover 3 fits way<2> of GntData *)
+  Alcotest.(check int) "no packs without" 0 (List.length without.Select.packed);
+  Alcotest.(check bool) "packs something" true (List.length with_p.Select.packed > 0);
+  Alcotest.(check bool) "utilization improves" true
+    (Select.utilization with_p > Select.utilization without);
+  Alcotest.(check bool) "gain does not decrease" true (with_p.Select.gain >= without.Select.gain -. 1e-9);
+  Alcotest.(check bool) "coverage does not decrease" true
+    (with_p.Select.coverage >= without.Select.coverage -. 1e-9)
+
+let test_packing_respects_budget () =
+  let inter = wide_inter () in
+  List.iter
+    (fun width ->
+      let r = Select.select ~pack:true inter ~buffer_width:width in
+      Alcotest.(check bool)
+        (Printf.sprintf "bits within budget at %d" width)
+        true
+        (r.Select.bits_used <= width))
+    [ 3; 4; 5; 6; 7; 8; 10; 16 ]
+
+let test_packing_scaled_variant () =
+  let inter = wide_inter () in
+  let unscaled = Select.select ~pack:true ~scale_partial:false inter ~buffer_width:6 in
+  let scaled = Select.select ~pack:true ~scale_partial:true inter ~buffer_width:6 in
+  (* scaled contribution is never larger than unscaled *)
+  Alcotest.(check bool) "scaled <= unscaled" true (scaled.Select.gain <= unscaled.Select.gain +. 1e-9)
+
+let test_packing_qualified_names () =
+  let inter = wide_inter () in
+  let r = Select.select ~pack:true inter ~buffer_width:6 in
+  List.iter
+    (fun p ->
+      let q = Packing.qualified p in
+      Alcotest.(check bool) "qualified contains dot" true (String.contains q '.'))
+    r.Select.packed
+
+(* ------------------------------------------------------------------ *)
+(* Explain *)
+
+let test_explain_covers_pool () =
+  let inter = Toy.two_instances () in
+  let r = Select.select inter ~buffer_width:2 in
+  let cs = Select.explain inter r in
+  Alcotest.(check int) "one row per pool message" 3 (List.length cs);
+  (* ranked by gain, descending *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Select.co_gain >= b.Select.co_gain && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (sorted cs);
+  Alcotest.(check int) "two selected" 2
+    (List.length (List.filter (fun c -> c.Select.co_selected) cs))
+
+let test_explain_gains_sum_to_selection_gain () =
+  let inter = Toy.two_instances () in
+  let r = Select.select ~pack:false inter ~buffer_width:2 in
+  let cs = Select.explain inter r in
+  let sum =
+    List.fold_left (fun a c -> if c.Select.co_selected then a +. c.Select.co_gain else a) 0.0 cs
+  in
+  Alcotest.(check (float 1e-9)) "additive" r.Select.gain sum
+
+let test_explain_marks_packed () =
+  let inter = Interleave.of_flows [ Toy.cache_coherence_wide ] in
+  let r = Select.select ~pack:true inter ~buffer_width:6 in
+  let cs = Select.explain inter r in
+  Alcotest.(check bool) "a packed row exists" true
+    (List.exists (fun c -> c.Select.co_packed) cs)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_select_fits_budget =
+  QCheck.Test.make ~name:"selection always fits the buffer" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let widths = List.map (fun (m : Message.t) -> m.Message.width) (Interleave.messages inter) in
+      let minw = List.fold_left min max_int widths in
+      let budget = minw + (seed mod 8) in
+      let r = Select.select ~strategy:Select.Greedy inter ~buffer_width:budget in
+      r.Select.bits_used <= budget)
+
+let prop_greedy_no_better_than_exact =
+  QCheck.Test.make ~name:"greedy gain <= exact gain" ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let widths = List.map (fun (m : Message.t) -> m.Message.width) (Interleave.messages inter) in
+      let minw = List.fold_left min max_int widths in
+      let budget = minw + 4 in
+      let exact = Select.select ~strategy:Select.Exact ~pack:false inter ~buffer_width:budget in
+      let greedy = Select.select ~strategy:Select.Greedy ~pack:false inter ~buffer_width:budget in
+      greedy.Select.gain <= exact.Select.gain +. 1e-9)
+
+let prop_exact_maximal_equals_exact =
+  QCheck.Test.make ~name:"exact_maximal attains exact's gain" ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let widths = List.map (fun (m : Message.t) -> m.Message.width) (Interleave.messages inter) in
+      let minw = List.fold_left min max_int widths in
+      let budget = minw + 3 in
+      let exact = Select.select ~strategy:Select.Exact ~pack:false inter ~buffer_width:budget in
+      let maxi = Select.select ~strategy:Select.Exact_maximal ~pack:false inter ~buffer_width:budget in
+      Float.abs (exact.Select.gain -. maxi.Select.gain) < 1e-9)
+
+let prop_wider_buffer_never_hurts =
+  QCheck.Test.make ~name:"wider buffer => gain does not decrease" ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let widths = List.map (fun (m : Message.t) -> m.Message.width) (Interleave.messages inter) in
+      let minw = List.fold_left min max_int widths in
+      let g w = (Select.select ~strategy:Select.Exact ~pack:false inter ~buffer_width:w).Select.gain in
+      g (minw + 2) <= g (minw + 5) +. 1e-9)
+
+let () =
+  Alcotest.run "select"
+    [
+      ( "step1",
+        [
+          Alcotest.test_case "counts" `Quick test_enumerate_counts;
+          Alcotest.test_case "respects width" `Quick test_enumerate_respects_width;
+          Alcotest.test_case "no duplicates" `Quick test_enumerate_no_duplicates;
+          Alcotest.test_case "too many guard" `Quick test_too_many;
+          Alcotest.test_case "maximal only" `Quick test_maximal_only;
+        ] );
+      ( "step2",
+        [
+          Alcotest.test_case "deterministic" `Quick test_select_deterministic;
+          Alcotest.test_case "strategies agree on toy" `Quick test_strategies_agree_on_toy;
+          Alcotest.test_case "no fit raises" `Quick test_select_no_fit_raises;
+          Alcotest.test_case "observable bases" `Quick test_observable_bases;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "covers pool" `Quick test_explain_covers_pool;
+          Alcotest.test_case "gains additive" `Quick test_explain_gains_sum_to_selection_gain;
+          Alcotest.test_case "marks packed" `Quick test_explain_marks_packed;
+        ] );
+      ( "step3",
+        [
+          Alcotest.test_case "packing adds subgroup" `Quick test_packing_adds_subgroup;
+          Alcotest.test_case "packing respects budget" `Quick test_packing_respects_budget;
+          Alcotest.test_case "scaled variant" `Quick test_packing_scaled_variant;
+          Alcotest.test_case "qualified names" `Quick test_packing_qualified_names;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_select_fits_budget;
+            prop_greedy_no_better_than_exact;
+            prop_exact_maximal_equals_exact;
+            prop_wider_buffer_never_hurts;
+          ] );
+    ]

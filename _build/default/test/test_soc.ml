@@ -1,0 +1,312 @@
+(* Tests for the SoC simulator and the T2 model. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+
+(* ------------------------------------------------------------------ *)
+(* Event queue *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~at:5 "c";
+  Event_queue.push q ~at:1 "a";
+  Event_queue.push q ~at:3 "b";
+  let popped = List.init 3 (fun _ -> Event_queue.pop q) in
+  Alcotest.(check (list (option (pair int string))))
+    "sorted"
+    [ Some (1, "a"); Some (3, "b"); Some (5, "c") ]
+    popped;
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun s -> Event_queue.push q ~at:7 s) [ "x"; "y"; "z" ];
+  let popped = List.filter_map (fun _ -> Event_queue.pop q) (List.init 3 Fun.id) in
+  Alcotest.(check (list (pair int string))) "insertion order" [ (7, "x"); (7, "y"); (7, "z") ] popped
+
+let test_queue_negative_time () =
+  let q = Event_queue.create () in
+  match Event_queue.push q ~at:(-1) "bad" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+let test_queue_many () =
+  let q = Event_queue.create () in
+  let rng = Rng.create 17 in
+  List.iter (fun i -> Event_queue.push q ~at:(Rng.int rng 1000) i) (List.init 500 Fun.id);
+  let rec drain last acc =
+    match Event_queue.pop q with
+    | None -> acc
+    | Some (at, _) ->
+        Alcotest.(check bool) "monotone" true (at >= last);
+        drain at (acc + 1)
+  in
+  Alcotest.(check int) "all popped" 500 (drain 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* T2 structure *)
+
+let test_flow_shapes_match_table1 () =
+  let check name states msgs =
+    let f = T2.flow_by_name name in
+    Alcotest.(check int) (name ^ " states") states (Flow.n_states f);
+    Alcotest.(check int) (name ^ " messages") msgs (Flow.n_messages f)
+  in
+  check "PIOR" 6 5;
+  check "PIOW" 3 2;
+  check "NCUU" 4 3;
+  check "NCUD" 3 2;
+  check "Mon" 6 5
+
+let test_sixteen_distinct_messages () =
+  (* Table 5 lists m1..m16: the five flows share exactly [siincu]. *)
+  Alcotest.(check int) "16 messages" 16 (List.length T2.all_messages)
+
+let test_flows_valid () =
+  List.iter
+    (fun f ->
+      match Flow.validate f with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "%s invalid: %s" f.Flow.name (String.concat "; " es))
+    T2.flows
+
+let test_channels_cover_messages () =
+  (* every message travels on a declared channel *)
+  List.iter
+    (fun (m : Message.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "channel %s->%s" m.Message.src m.Message.dst)
+        true
+        (List.exists (fun (s, d, _) -> s = m.Message.src && d = m.Message.dst) T2.channels))
+    T2.all_messages
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios *)
+
+let test_scenario_flows_match_table1 () =
+  Alcotest.(check (list string)) "s1" [ "PIOR"; "PIOW"; "Mon" ] Scenario.scenario1.Scenario.flow_names;
+  Alcotest.(check (list string)) "s2" [ "NCUU"; "NCUD"; "Mon" ] Scenario.scenario2.Scenario.flow_names;
+  Alcotest.(check (list string)) "s3"
+    [ "PIOR"; "PIOW"; "NCUU"; "NCUD" ]
+    Scenario.scenario3.Scenario.flow_names
+
+let test_scenario_message_pools () =
+  (* shared siincu deduplicates in scenario 2 *)
+  Alcotest.(check int) "s1 pool" 12 (List.length (Scenario.messages Scenario.scenario1));
+  Alcotest.(check int) "s2 pool" 9 (List.length (Scenario.messages Scenario.scenario2));
+  Alcotest.(check int) "s3 pool" 12 (List.length (Scenario.messages Scenario.scenario3))
+
+let test_analysis_indices_unique () =
+  List.iter
+    (fun sc ->
+      let idx = List.map (fun i -> i.Interleave.index) (Scenario.analysis_instances sc) in
+      Alcotest.(check int) "unique" (List.length idx) (List.length (List.sort_uniq compare idx)))
+    Scenario.all
+
+(* ------------------------------------------------------------------ *)
+(* Clean runs *)
+
+let test_clean_run_completes () =
+  List.iter
+    (fun sc ->
+      let out = Scenario.run ~config:{ Scenario.default_run with rounds = 10 } sc in
+      Alcotest.(check int) (sc.Scenario.name ^ " no hangs") 0 (List.length out.Sim.hung);
+      Alcotest.(check int) (sc.Scenario.name ^ " no failures") 0 (List.length out.Sim.failures);
+      Alcotest.(check int)
+        (sc.Scenario.name ^ " all complete")
+        (10 * List.length sc.Scenario.flow_names)
+        (List.length out.Sim.completed))
+    Scenario.all
+
+let test_run_deterministic () =
+  let p1 = (Scenario.run ~config:{ Scenario.default_run with rounds = 6 } Scenario.scenario1).Sim.packets in
+  let p2 = (Scenario.run ~config:{ Scenario.default_run with rounds = 6 } Scenario.scenario1).Sim.packets in
+  Alcotest.(check bool) "same packet logs" true (p1 = p2)
+
+let test_different_seeds_differ () =
+  let p1 =
+    (Scenario.run ~config:{ Scenario.default_run with rounds = 6; seed = 1 } Scenario.scenario1).Sim.packets
+  in
+  let p2 =
+    (Scenario.run ~config:{ Scenario.default_run with rounds = 6; seed = 2 } Scenario.scenario1).Sim.packets
+  in
+  Alcotest.(check bool) "logs differ" true (p1 <> p2)
+
+let test_analysis_trace_projects_onto_interleaving () =
+  (* the packet log of an analysis-scale run must be a path of the
+     materialized interleaving: with everything selected, exactly one
+     consistent path remains and localization is well defined *)
+  List.iter
+    (fun sc ->
+      let inter = Scenario.interleave sc in
+      let out = Scenario.run_analysis ~seed:3 sc in
+      let observed = List.map Packet.indexed out.Sim.packets in
+      let n = Localize.consistent_paths inter ~selected:(fun _ -> true) ~observed in
+      Alcotest.(check bool) (sc.Scenario.name ^ " trace is a path") true (n >= 1))
+    Scenario.all
+
+let test_atomic_mutex_in_traces () =
+  (* no packet from another instance may appear while a Mon instance sits
+     in its atomic m_data state, between dmusiidata (enters) and siincu
+     (leaves) *)
+  let out = Scenario.run_analysis ~seed:5 Scenario.scenario1 in
+  let rec scan holder = function
+    | [] -> ()
+    | p :: rest ->
+        (match holder with
+        | Some inst when p.Packet.inst <> inst ->
+            Alcotest.failf "instance %d fired while %d held the atomic data transfer" p.Packet.inst
+              inst
+        | _ -> ());
+        let holder =
+          if String.equal p.Packet.msg "dmusiidata" then Some p.Packet.inst
+          else if String.equal p.Packet.msg "siincu" && holder = Some p.Packet.inst then None
+          else holder
+        in
+        scan holder rest
+  in
+  scan None out.Sim.packets
+
+(* ------------------------------------------------------------------ *)
+(* Trace buffer *)
+
+let selection () = Select.select ~strategy:Select.Greedy (Scenario.interleave Scenario.scenario1) ~buffer_width:32
+
+let test_trace_buffer_filters () =
+  let sel = selection () in
+  let out = Scenario.run_analysis ~seed:4 Scenario.scenario1 in
+  let buf = Trace_buffer.create ~depth:4096 sel in
+  Trace_buffer.record_all buf out.Sim.packets;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "observable" true
+        (Select.is_observable sel e.Trace_buffer.e_imsg.Indexed.base))
+    (Trace_buffer.entries buf)
+
+let test_trace_buffer_wraps () =
+  let sel = selection () in
+  let out = Scenario.run ~config:{ Scenario.default_run with rounds = 20 } Scenario.scenario1 in
+  let buf = Trace_buffer.create ~depth:8 sel in
+  Trace_buffer.record_all buf out.Sim.packets;
+  Alcotest.(check bool) "wrapped" true (Trace_buffer.wrapped buf);
+  Alcotest.(check int) "depth respected" 8 (List.length (Trace_buffer.entries buf))
+
+let test_trace_buffer_partial_entries () =
+  (* packed subgroups record partial entries with the subgroup's width *)
+  let inter = Scenario.interleave Scenario.scenario1 in
+  let sel = Select.select ~strategy:Select.Greedy inter ~buffer_width:32 in
+  Alcotest.(check bool) "selection packs something" true (sel.Select.packed <> []);
+  let out = Scenario.run_analysis ~seed:4 Scenario.scenario1 in
+  let buf = Trace_buffer.create ~depth:4096 sel in
+  Trace_buffer.record_all buf out.Sim.packets;
+  let partials = List.filter (fun e -> e.Trace_buffer.e_partial) (Trace_buffer.entries buf) in
+  Alcotest.(check bool) "has partial entries" true (partials <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "partial narrower than buffer" true
+        (e.Trace_buffer.e_bits < sel.Select.buffer_width))
+    partials
+
+(* ------------------------------------------------------------------ *)
+(* Credit flow control *)
+
+let test_write_credits_bound_inflight () =
+  (* in-flight piowreq (sent, credit not yet returned) never exceeds the
+     NCU's credit pool *)
+  let out =
+    Scenario.run ~config:{ Scenario.default_run with Scenario.rounds = 30; spacing = 20 }
+      Scenario.scenario1
+  in
+  let inflight = ref 0 and max_inflight = ref 0 in
+  List.iter
+    (fun (p : Packet.t) ->
+      if String.equal p.Packet.msg "piowreq" then begin
+        incr inflight;
+        if !inflight > !max_inflight then max_inflight := !inflight
+      end
+      else if String.equal p.Packet.msg "piowcrd" then decr inflight)
+    out.Sim.packets;
+  Alcotest.(check bool) "bounded by pool" true (!max_inflight <= T2.write_credit_pool);
+  Alcotest.(check bool) "pool actually exercised" true (!max_inflight >= 2);
+  (* backpressure is not starvation: every write still completes *)
+  Alcotest.(check int) "no hangs" 0 (List.length out.Sim.hung)
+
+(* ------------------------------------------------------------------ *)
+(* Trace I/O *)
+
+let test_trace_io_roundtrip () =
+  let out = Scenario.run ~config:{ Scenario.default_run with Scenario.rounds = 5 } Scenario.scenario1 in
+  let printed = Trace_io.print out.Sim.packets in
+  let parsed = Trace_io.parse printed in
+  Alcotest.(check bool) "round-trip" true (parsed = out.Sim.packets)
+
+let test_trace_io_empty_fields () =
+  let p =
+    { Packet.cycle = 3; flow = "f"; inst = 1; msg = "m"; src = "a"; dst = "b"; fields = [] }
+  in
+  Alcotest.(check bool) "round-trip" true (Trace_io.parse (Trace_io.print [ p ]) = [ p ])
+
+let test_trace_io_comments_and_blanks () =
+  let text = "# header\n\n1 f 2 m a b x=4\n # trailing\n" in
+  match Trace_io.parse text with
+  | [ p ] ->
+      Alcotest.(check int) "cycle" 1 p.Packet.cycle;
+      Alcotest.(check (list (pair string int))) "fields" [ ("x", 4) ] p.Packet.fields
+  | ps -> Alcotest.failf "expected 1 packet, got %d" (List.length ps)
+
+let test_trace_io_errors () =
+  (match Trace_io.parse "1 f x m a b -" with
+  | exception Trace_io.Parse_error e -> Alcotest.(check int) "line" 1 e.Trace_io.line
+  | _ -> Alcotest.fail "expected Parse_error");
+  match Trace_io.parse "1 f 2 m a b x=oops" with
+  | exception Trace_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let () =
+  Alcotest.run "soc"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "order" `Quick test_queue_order;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "negative time" `Quick test_queue_negative_time;
+          Alcotest.test_case "many events" `Quick test_queue_many;
+        ] );
+      ( "t2",
+        [
+          Alcotest.test_case "Table 1 shapes" `Quick test_flow_shapes_match_table1;
+          Alcotest.test_case "16 messages" `Quick test_sixteen_distinct_messages;
+          Alcotest.test_case "flows valid" `Quick test_flows_valid;
+          Alcotest.test_case "channels cover messages" `Quick test_channels_cover_messages;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "Table 1 flows" `Quick test_scenario_flows_match_table1;
+          Alcotest.test_case "message pools" `Quick test_scenario_message_pools;
+          Alcotest.test_case "unique indices" `Quick test_analysis_indices_unique;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "clean runs complete" `Quick test_clean_run_completes;
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+          Alcotest.test_case "trace projects onto interleaving" `Quick
+            test_analysis_trace_projects_onto_interleaving;
+          Alcotest.test_case "atomic mutex respected" `Quick test_atomic_mutex_in_traces;
+        ] );
+      ( "trace_buffer",
+        [
+          Alcotest.test_case "filters" `Quick test_trace_buffer_filters;
+          Alcotest.test_case "wraps" `Quick test_trace_buffer_wraps;
+          Alcotest.test_case "partial entries" `Quick test_trace_buffer_partial_entries;
+        ] );
+      ( "credits",
+        [ Alcotest.test_case "in-flight writes bounded" `Quick test_write_credits_bound_inflight ] );
+      ( "trace_io",
+        [
+          Alcotest.test_case "round-trip" `Quick test_trace_io_roundtrip;
+          Alcotest.test_case "empty fields" `Quick test_trace_io_empty_fields;
+          Alcotest.test_case "comments and blanks" `Quick test_trace_io_comments_and_blanks;
+          Alcotest.test_case "errors" `Quick test_trace_io_errors;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Tests for the flow-specification text format. *)
+
+open Flowtrace_core
+
+let toy_text =
+  {|# toy cache coherence flow (paper Figure 1a)
+flow cache_coherence
+state n init
+state w
+state c atomic
+state d stop
+msg ReqE 1 from agent to dir
+msg GntE 1 from dir to agent
+msg Ack 1 from agent to dir
+trans n ReqE w
+trans w GntE c
+trans c Ack d
+|}
+
+let test_parse_toy () =
+  match Spec_parser.parse_string toy_text with
+  | [ f ] ->
+      Alcotest.(check string) "name" "cache_coherence" f.Flow.name;
+      Alcotest.(check int) "states" 4 (Flow.n_states f);
+      Alcotest.(check int) "messages" 3 (Flow.n_messages f);
+      Alcotest.(check bool) "atomic c" true (Flow.is_atomic f "c");
+      Alcotest.(check bool) "stop d" true (Flow.is_stop f "d")
+  | fs -> Alcotest.failf "expected 1 flow, got %d" (List.length fs)
+
+let test_parse_subgroups () =
+  let text =
+    {|flow t
+state a init
+state b stop
+msg dmusiidata 20 from dmu to siu sub cputhreadid 6 sub addr 8
+trans a dmusiidata b
+|}
+  in
+  match Spec_parser.parse_string text with
+  | [ f ] ->
+      let m = Flow.message_exn f "dmusiidata" in
+      Alcotest.(check int) "subgroups" 2 (List.length m.Message.subgroups);
+      Alcotest.(check string) "src" "dmu" m.Message.src
+  | _ -> Alcotest.fail "expected 1 flow"
+
+let test_multiple_flows () =
+  let text = toy_text ^ "\n" ^ String.concat "\n" [ "flow second"; "state x init"; "state y stop"; "msg go 2"; "trans x go y" ] in
+  Alcotest.(check int) "two flows" 2 (List.length (Spec_parser.parse_string text))
+
+let expect_error name text expected_line =
+  Alcotest.test_case name `Quick (fun () ->
+      match Spec_parser.parse_string text with
+      | exception Spec_parser.Parse_error e ->
+          Alcotest.(check int) "line number" expected_line e.Spec_parser.line
+      | _ -> Alcotest.fail "expected Parse_error")
+
+let test_roundtrip_toy () =
+  let printed = Spec_parser.print_flow Toy.cache_coherence in
+  match Spec_parser.parse_string printed with
+  | [ f ] ->
+      Alcotest.(check string) "same text" printed (Spec_parser.print_flow f)
+  | _ -> Alcotest.fail "expected 1 flow"
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip preserves structure" ~count:100 Gen.flow_arb
+    (fun f ->
+      match Spec_parser.parse_string (Spec_parser.print_flow f) with
+      | [ f' ] ->
+          Flow.n_states f = Flow.n_states f'
+          && Flow.n_messages f = Flow.n_messages f'
+          && List.length f.Flow.transitions = List.length f'.Flow.transitions
+          && Spec_parser.print_flow f = Spec_parser.print_flow f'
+      | _ -> false)
+
+let prop_roundtrip_executions =
+  QCheck.Test.make ~name:"round-trip preserves execution traces" ~count:50 Gen.flow_arb (fun f ->
+      match Spec_parser.parse_string (Spec_parser.print_flow f) with
+      | [ f' ] -> Flow.executions ~limit:50_000 f = Flow.executions ~limit:50_000 f'
+      | _ -> false)
+
+let () =
+  Alcotest.run "spec_parser"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "toy" `Quick test_parse_toy;
+          Alcotest.test_case "subgroups" `Quick test_parse_subgroups;
+          Alcotest.test_case "multiple flows" `Quick test_multiple_flows;
+          Alcotest.test_case "round-trip toy" `Quick test_roundtrip_toy;
+        ] );
+      ( "errors",
+        [
+          expect_error "directive before flow" "state a init\n" 1;
+          expect_error "unknown directive" "flow f\nfrobnicate a\n" 2;
+          expect_error "bad width" "flow f\nstate a init\nmsg m xyz\n" 3;
+          expect_error "bad trans arity" "flow f\nstate a init\ntrans a b\n" 3;
+          expect_error "invalid flow surfaces at end" "flow f\nstate a init\n" 3;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_roundtrip_executions ] );
+    ]

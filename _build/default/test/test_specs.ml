@@ -1,0 +1,57 @@
+(* The shipped spec files in specs/ must parse and stay in sync with the
+   OCaml flow definitions they were generated from. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+
+let spec_dir =
+  (* dune runs tests from the build sandbox; walk up to the project root *)
+  let rec find dir =
+    if Sys.file_exists (Filename.concat dir "specs") then Filename.concat dir "specs"
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then failwith "specs/ directory not found" else find parent
+  in
+  find (Sys.getcwd ())
+
+let load name = Spec_parser.parse_file (Filename.concat spec_dir name)
+
+let same_flows name (expected : Flow.t list) =
+  let parsed = load name in
+  Alcotest.(check int) (name ^ " flow count") (List.length expected) (List.length parsed);
+  List.iter2
+    (fun (e : Flow.t) (p : Flow.t) ->
+      Alcotest.(check string) "name" e.Flow.name p.Flow.name;
+      Alcotest.(check string) (e.Flow.name ^ " structure") (Spec_parser.print_flow e)
+        (Spec_parser.print_flow p))
+    expected parsed
+
+let test_cache_coherence () = same_flows "cache_coherence.flow" [ Toy.cache_coherence ]
+let test_t2 () = same_flows "t2.flow" T2.flows
+let test_t2_ext () = same_flows "t2_ext.flow" T2_ext.flows
+
+let test_usb () =
+  same_flows "usb.flow" [ Flowtrace_usb.Usb_flows.token_receive; Flowtrace_usb.Usb_flows.data_transmit ]
+
+let test_all_specs_interleave () =
+  (* every shipped spec supports the CLI's default one-instance-per-flow
+     interleaving *)
+  List.iter
+    (fun file ->
+      let flows = load file in
+      let inter = Interleave.of_flows flows in
+      Alcotest.(check bool) (file ^ " interleaves") true (Interleave.n_states inter > 0))
+    [ "cache_coherence.flow"; "t2.flow"; "t2_ext.flow"; "usb.flow" ]
+
+let () =
+  Alcotest.run "specs"
+    [
+      ( "shipped files",
+        [
+          Alcotest.test_case "cache_coherence" `Quick test_cache_coherence;
+          Alcotest.test_case "t2" `Quick test_t2;
+          Alcotest.test_case "t2_ext" `Quick test_t2_ext;
+          Alcotest.test_case "usb" `Quick test_usb;
+          Alcotest.test_case "all interleave" `Quick test_all_specs_interleave;
+        ] );
+    ]

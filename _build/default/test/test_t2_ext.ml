@@ -1,0 +1,104 @@
+(* Tests for the DMA extension flows and the extension usage scenario. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+
+let test_flows_valid () =
+  List.iter
+    (fun f ->
+      match Flow.validate f with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "%s invalid: %s" f.Flow.name (String.concat "; " es))
+    T2_ext.flows
+
+let test_shapes () =
+  Alcotest.(check int) "DMAR states" 5 (Flow.n_states T2_ext.dmar);
+  Alcotest.(check int) "DMAR messages" 4 (Flow.n_messages T2_ext.dmar);
+  Alcotest.(check int) "DMAW states" 4 (Flow.n_states T2_ext.dmaw);
+  Alcotest.(check int) "DMAW messages" 3 (Flow.n_messages T2_ext.dmaw)
+
+let test_no_message_clash_with_t2 () =
+  (* extension message names are disjoint from the paper's 16 *)
+  let t2_names = List.map (fun (m : Message.t) -> m.Message.name) T2.all_messages in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter
+        (fun (m : Message.t) ->
+          Alcotest.(check bool) (m.Message.name ^ " fresh") false
+            (List.mem m.Message.name t2_names))
+        f.Flow.messages)
+    T2_ext.flows
+
+let test_channels_exist () =
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter
+        (fun (m : Message.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "channel %s->%s" m.Message.src m.Message.dst)
+            true
+            (List.exists (fun (s, d, _) -> s = m.Message.src && d = m.Message.dst) T2.channels))
+        f.Flow.messages)
+    T2_ext.flows
+
+let test_extension_scenario_runs_clean () =
+  let out = T2_ext.run_analysis ~seed:9 () in
+  Alcotest.(check int) "no hangs" 0 (List.length out.Sim.hung);
+  Alcotest.(check int) "no failures" 0 (List.length out.Sim.failures);
+  Alcotest.(check int) "four instances complete" 4 (List.length out.Sim.completed)
+
+let test_extension_trace_is_a_path () =
+  let inter = T2_ext.interleave () in
+  let out = T2_ext.run_analysis ~seed:10 () in
+  let observed = List.map Packet.indexed out.Sim.packets in
+  Alcotest.(check bool) "trace projects" true
+    (Localize.consistent_paths inter ~selected:(fun _ -> true) ~observed >= 1)
+
+let test_extension_selection () =
+  let inter = T2_ext.interleave () in
+  let r = Select.select ~strategy:Select.Greedy inter ~buffer_width:32 in
+  Alcotest.(check bool) "fits" true (r.Select.bits_used <= 32);
+  Alcotest.(check bool) "substantial coverage" true (r.Select.coverage > 0.5);
+  (* a DMA message is informative enough to be traced *)
+  let dma_selected =
+    List.exists
+      (fun (m : Message.t) ->
+        List.exists
+          (fun (f : Flow.t) -> List.exists (Message.equal_name m) f.Flow.messages)
+          T2_ext.flows)
+      r.Select.messages
+  in
+  Alcotest.(check bool) "a DMA message selected" true dma_selected
+
+let test_dma_bug_detected () =
+  (* a corrupting bug on the DMA write commit path produces the scoreboard
+     failure *)
+  let bug _sim (p : Packet.t) =
+    if String.equal p.Packet.msg "dmasiiwr" then
+      Sim.Deliver (Packet.with_field p "addr" (Packet.field_exn p "addr" lxor 0x3))
+    else Sim.Deliver p
+  in
+  let out = T2_ext.run_analysis ~seed:9 ~mutators:[ bug ] () in
+  Alcotest.(check bool) "commit failure" true
+    (List.exists
+       (fun (f : Sim.failure) -> String.equal f.Sim.f_flow "DMAW")
+       out.Sim.failures)
+
+let () =
+  Alcotest.run "t2_ext"
+    [
+      ( "flows",
+        [
+          Alcotest.test_case "valid" `Quick test_flows_valid;
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "no clash with T2" `Quick test_no_message_clash_with_t2;
+          Alcotest.test_case "channels exist" `Quick test_channels_exist;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "clean run" `Quick test_extension_scenario_runs_clean;
+          Alcotest.test_case "trace is a path" `Quick test_extension_trace_is_a_path;
+          Alcotest.test_case "selection" `Quick test_extension_selection;
+          Alcotest.test_case "dma bug detected" `Quick test_dma_bug_detected;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+(* Tests for the USB design model and the Table 4 comparison experiment. *)
+
+open Flowtrace_core
+open Flowtrace_netlist
+open Flowtrace_usb
+
+let test_build_well_formed () =
+  let nl = Usb_design.build () in
+  let _inputs, gates, ffs = Netlist.stats nl in
+  Alcotest.(check bool) "substantial gate count" true (gates > 100);
+  Alcotest.(check bool) "substantial FF count" true (ffs > 100)
+
+let test_interface_signals_registered () =
+  let nl = Usb_design.build () in
+  List.iter
+    (fun (name, width) ->
+      match Netlist.signal nl name with
+      | Some nets ->
+          Alcotest.(check int) (name ^ " width") width (List.length nets);
+          List.iter
+            (fun net -> Alcotest.(check bool) (name ^ " is FF bank") true (Netlist.is_ff nl net))
+            nets
+      | None -> Alcotest.failf "signal %s missing" name)
+    Usb_design.interface_signals
+
+let test_interface_bits_fit_32 () =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 Usb_design.interface_signals in
+  Alcotest.(check bool) "30 bits <= 32" true (total <= 32);
+  Alcotest.(check int) "30 bits" 30 total
+
+let test_simulation_runs () =
+  let nl = Usb_design.build () in
+  let h = Sim.run ~rng:(Rng.create 2) nl ~cycles:64 in
+  Alcotest.(check int) "cycles" 64 (Array.length h);
+  (* the design is live: some interface register toggles *)
+  let rx = Netlist.signal_exn nl "rx_data" in
+  let toggles =
+    List.exists (fun net -> Array.exists (fun row -> row.(net)) h && Array.exists (fun row -> not row.(net)) h) rx
+  in
+  Alcotest.(check bool) "rx_data toggles" true toggles
+
+let test_status_of_selection () =
+  let nl = Usb_design.build () in
+  let rx = Netlist.signal_exn nl "rx_data" in
+  let partial = [ List.hd rx ] in
+  let status = Usb_design.status_of_selection nl partial in
+  Alcotest.(check bool) "rx_data partial" true
+    (List.assoc "rx_data" status = Usb_design.Partial);
+  Alcotest.(check bool) "tx_data none" true (List.assoc "tx_data" status = Usb_design.None_);
+  let full = Usb_design.status_of_selection nl rx in
+  Alcotest.(check bool) "rx_data full" true (List.assoc "rx_data" full = Usb_design.Full)
+
+(* ------------------------------------------------------------------ *)
+(* Flows *)
+
+let test_flows_valid () =
+  List.iter
+    (fun f ->
+      match Flow.validate f with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es))
+    [ Usb_flows.token_receive; Usb_flows.data_transmit ]
+
+let test_flow_message_widths_match_netlist () =
+  (* Flow message widths must equal the interface register widths, or the
+     comparison would be apples to oranges. *)
+  let widths = Usb_design.interface_signals in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter
+        (fun (m : Message.t) ->
+          match List.assoc_opt m.Message.name widths with
+          | Some w -> Alcotest.(check int) (m.Message.name ^ " width") w m.Message.width
+          | None -> Alcotest.failf "message %s is not an interface signal" m.Message.name)
+        f.Flow.messages)
+    [ Usb_flows.token_receive; Usb_flows.data_transmit ]
+
+let test_scenario_size () =
+  let inter = Usb_flows.scenario () in
+  (* two 6-state flows without atomic states: full 36-state grid *)
+  Alcotest.(check int) "states" 36 (Interleave.n_states inter);
+  Alcotest.(check int) "paths C(10,5)" 252 (Interleave.total_paths inter)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison (Table 4) *)
+
+let comparison = lazy (Usb_compare.run ())
+
+let test_infogain_selects_all_interface_signals () =
+  let c = Lazy.force comparison in
+  List.iter
+    (fun (name, st) ->
+      Alcotest.(check bool) (name ^ " selected") true (st = Usb_design.Full))
+    c.Usb_compare.infogain.Usb_compare.status
+
+let test_infogain_dominates_baselines () =
+  let c = Lazy.force comparison in
+  let cov r = r.Usb_compare.fsp_coverage in
+  Alcotest.(check bool) "beats sigset" true
+    (cov c.Usb_compare.infogain > cov c.Usb_compare.sigset +. 0.3);
+  Alcotest.(check bool) "beats prnet" true
+    (cov c.Usb_compare.infogain > cov c.Usb_compare.prnet +. 0.3)
+
+let test_sigset_misses_interface () =
+  (* The paper's headline: SRR selection reconstructs few or no interface
+     messages. *)
+  let c = Lazy.force comparison in
+  let full =
+    List.length
+      (List.filter (fun (_, st) -> st = Usb_design.Full) c.Usb_compare.sigset.Usb_compare.status)
+  in
+  Alcotest.(check bool) "at most 2 interface signals" true (full <= 2)
+
+let test_budgets_respected () =
+  let c = Lazy.force comparison in
+  Alcotest.(check bool) "sigset bits" true (c.Usb_compare.sigset.Usb_compare.bits_total <= 32);
+  Alcotest.(check bool) "prnet bits" true (c.Usb_compare.prnet.Usb_compare.bits_total <= 32);
+  Alcotest.(check bool) "infogain bits" true (c.Usb_compare.infogain.Usb_compare.bits_total <= 32)
+
+let test_comparison_deterministic () =
+  let a = Usb_compare.run () and b = Usb_compare.run () in
+  Alcotest.(check bool) "same statuses" true
+    (a.Usb_compare.sigset.Usb_compare.status = b.Usb_compare.sigset.Usb_compare.status
+    && a.Usb_compare.prnet.Usb_compare.status = b.Usb_compare.prnet.Usb_compare.status
+    && a.Usb_compare.infogain.Usb_compare.status = b.Usb_compare.infogain.Usb_compare.status)
+
+let () =
+  Alcotest.run "usb"
+    [
+      ( "design",
+        [
+          Alcotest.test_case "well formed" `Quick test_build_well_formed;
+          Alcotest.test_case "interface signals" `Quick test_interface_signals_registered;
+          Alcotest.test_case "30 interface bits" `Quick test_interface_bits_fit_32;
+          Alcotest.test_case "simulation runs" `Quick test_simulation_runs;
+          Alcotest.test_case "status of selection" `Quick test_status_of_selection;
+        ] );
+      ( "flows",
+        [
+          Alcotest.test_case "valid" `Quick test_flows_valid;
+          Alcotest.test_case "widths match netlist" `Quick test_flow_message_widths_match_netlist;
+          Alcotest.test_case "scenario size" `Quick test_scenario_size;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "infogain selects all" `Quick test_infogain_selects_all_interface_signals;
+          Alcotest.test_case "infogain dominates" `Quick test_infogain_dominates_baselines;
+          Alcotest.test_case "sigset misses interface" `Quick test_sigset_misses_interface;
+          Alcotest.test_case "budgets respected" `Quick test_budgets_respected;
+          Alcotest.test_case "deterministic" `Quick test_comparison_deterministic;
+        ] );
+    ]

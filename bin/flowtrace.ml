@@ -4,6 +4,7 @@
      select      select trace messages for flows in a spec file
      interleave  report the interleaved flow of a spec file
      localize    count executions consistent with an observed trace
+     lint        statically check spec files (FL001..FL014 diagnostics)
      tables      regenerate the paper's tables and figures
      scenarios   show the built-in OpenSPARC T2 scenarios *)
 
@@ -274,6 +275,61 @@ let dot_cmd =
   let doc = "Export flows (or their interleaving) as Graphviz DOT." in
   Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ spec_file $ instances $ interleaved $ out)
 
+let lint_cmd =
+  let open Flowtrace_analysis in
+  let specs =
+    let doc = "Flow specification files to check." in
+    Arg.(value & pos_all file [] & info [] ~docv:"SPEC" ~doc)
+  in
+  let json =
+    let doc = "Emit the diagnostics as a JSON report instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let werror =
+    let doc = "Promote warnings to errors (the exit status then reflects them)." in
+    Arg.(value & flag & info [ "werror" ] ~doc)
+  in
+  let list_rules =
+    let doc = "Print the rule catalog (code, severity, what is checked) and exit." in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let topology =
+    let doc =
+      "IP topology to check message endpoints against: $(b,none) or $(b,t2) (the OpenSPARC T2 \
+       platform, also valid for its DMA extension flows)."
+    in
+    Arg.(value & opt (enum [ ("none", `None); ("t2", `T2) ]) `None & info [ "topology" ] ~docv:"TOPO" ~doc)
+  in
+  let max_states =
+    let doc = "Interleaving product-state bound rule FL014 warns against." in
+    Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N" ~doc)
+  in
+  let run specs json werror list_rules topology max_states =
+    if list_rules then print_string (Lint.catalog ())
+    else begin
+      if specs = [] then or_die (Error "no spec files given (try --list-rules for the catalog)");
+      let known_ips =
+        match topology with
+        | `None -> None
+        | `T2 -> Some (List.map fst Flowtrace_soc.T2.ips)
+      in
+      let context = { Rule.default_context with Rule.known_ips; max_states } in
+      let diags = List.concat_map (fun path -> Lint.lint_file ~context path) specs in
+      let diags = if werror then List.map Diagnostic.promote_warnings diags else diags in
+      if json then print_endline (Diagnostic.render_json diags)
+      else begin
+        print_string (Diagnostic.render_all diags);
+        Printf.printf "flowtrace lint: %d file%s checked: %s\n" (List.length specs)
+          (if List.length specs = 1 then "" else "s")
+          (Diagnostic.summary diags)
+      end;
+      if Diagnostic.count_errors diags > 0 then exit 1
+    end
+  in
+  let doc = "Statically check flow specification files (rules FL001..FL014)." in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ specs $ json $ werror $ list_rules $ topology $ max_states)
+
 let scenarios_cmd =
   let run () =
     let open Flowtrace_soc in
@@ -294,4 +350,4 @@ let () =
   let doc = "application-level hardware trace message selection" in
   let info = Cmd.info "flowtrace" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd ]))
+       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd ]))

@@ -1,0 +1,72 @@
+(** Diagnostics: positioned findings with stable rule codes.
+
+    The reusable core of the [flowtrace lint] static analysis: a
+    diagnostic carries a severity, a stable rule code ([FL001]…), the
+    source span of the offending element (threaded from {!Spec_parser}),
+    the flow it concerns, and a human-readable message. Renderers produce
+    compiler-style text ([file:line:col: severity[CODE]: message]) and a
+    JSON report; the JSON parser inverts the renderer, so reports
+    round-trip. *)
+
+open Flowtrace_core
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable rule code, e.g. ["FL004"] *)
+  severity : severity;
+  span : Srcspan.t;  (** position of the offending element *)
+  flow : string option;  (** name of the flow concerned, if any *)
+  message : string;
+}
+
+(** [make ~code ~severity ?flow span message] builds a diagnostic. *)
+val make : code:string -> severity:severity -> ?flow:string -> Srcspan.t -> string -> t
+
+val severity_to_string : severity -> string
+
+(** [severity_of_string s] inverts [severity_to_string]. *)
+val severity_of_string : string -> severity option
+
+(** Order severities most severe first ([Error < Warning < Info]). *)
+val compare_severity : severity -> severity -> int
+
+(** Order diagnostics by span, then code, then message. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [promote_warnings d] turns [Warning] into [Error] ([--werror]);
+    [Info] is left alone. *)
+val promote_warnings : t -> t
+
+(** [count_errors ds] and friends tally by severity. *)
+val count_errors : t list -> int
+
+val count_warnings : t list -> int
+val count_infos : t list -> int
+
+(** [summary ds] is a one-line tally like ["2 errors, 1 warning, 3 notes"];
+    ["clean"] when empty. *)
+val summary : t list -> string
+
+(** [render d] is the compiler-style one-line rendering. *)
+val render : t -> string
+
+(** [render_all ds] renders one diagnostic per line (trailing newline,
+    empty string for no diagnostics). *)
+val render_all : t list -> string
+
+val to_json : t -> Json.t
+
+(** [of_json j] inverts [to_json]. *)
+val of_json : Json.t -> (t, string) result
+
+(** [render_json ds] is the full JSON report: an object with a
+    [diagnostics] array and a [summary] object of per-severity counts. *)
+val render_json : t list -> string
+
+(** [parse_json s] inverts [render_json]. *)
+val parse_json : string -> (t list, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** A minimal JSON tree, printer and parser.
+
+    Just enough machinery for the diagnostics engine to emit
+    machine-readable reports and read them back (the [--json] round-trip
+    the lint tests exercise) without pulling in an external dependency.
+    The parser accepts standard JSON (RFC 8259) with the usual escape
+    sequences; [\uXXXX] escapes are decoded to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] renders compact single-line JSON. *)
+val to_string : t -> string
+
+(** [to_string_pretty v] renders with two-space indentation. *)
+val to_string_pretty : t -> string
+
+(** [parse s] parses one JSON value (surrounding whitespace allowed). *)
+val parse : string -> (t, string) result
+
+(** [member key v] looks up [key] in an object. *)
+val member : string -> t -> t option
+
+(** Accessors returning [None] on a type mismatch. *)
+val to_int_opt : t -> int option
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,42 @@
+open Flowtrace_core
+
+let rules =
+  List.sort
+    (fun (a : Rule.t) b -> String.compare a.Rule.code b.Rule.code)
+    (Rule_decls.rules @ Rule_msgs.rules @ Rule_observe.rules @ Rule_structure.rules
+   @ Rule_widths.rules @ Rule_interleaving.rules)
+
+let find_rule code = List.find_opt (fun (r : Rule.t) -> String.equal r.Rule.code code) rules
+
+let parse_error_code = "FL000"
+
+let run ?(context = Rule.default_context) input =
+  List.sort Diagnostic.compare (List.concat_map (fun (r : Rule.t) -> r.Rule.check context input) rules)
+
+let parse_error_diag file (e : Spec_parser.error) =
+  Diagnostic.make ~code:parse_error_code ~severity:Diagnostic.Error
+    (Srcspan.make ~file ~line:e.Spec_parser.line ~col:1)
+    e.Spec_parser.message
+
+let lint_string ?context ?(file = "<string>") text =
+  match Spec_parser.parse_raw ~file text with
+  | flows -> run ?context { Rule.file; flows }
+  | exception Spec_parser.Parse_error e -> [ parse_error_diag file e ]
+
+let lint_file ?context path =
+  match Spec_parser.parse_raw_file path with
+  | flows -> run ?context { Rule.file = path; flows }
+  | exception Spec_parser.Parse_error e -> [ parse_error_diag path e ]
+  | exception Sys_error m ->
+      [ Diagnostic.make ~code:parse_error_code ~severity:Diagnostic.Error (Srcspan.none path) m ]
+
+let catalog () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (r : Rule.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %-8s %-28s %s\n" r.Rule.code
+           (Diagnostic.severity_to_string r.Rule.severity)
+           r.Rule.title r.Rule.explain))
+    rules;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** The lint driver: rule registry and entry points.
+
+    [flowlint] runs every registered rule (codes [FL001]…[FL014]) over a
+    leniently parsed specification and returns diagnostics sorted by
+    source position. Text that does not even tokenize is reported as a
+    single {!parse_error_code} diagnostic instead of an exception, so the
+    CLI can lint a batch of files and keep going. *)
+
+(** All registered rules, sorted by code. *)
+val rules : Rule.t list
+
+(** [find_rule code] looks up a rule by its [FLnnn] code. *)
+val find_rule : string -> Rule.t option
+
+(** Pseudo-code for token-level parse failures: ["FL000"]. *)
+val parse_error_code : string
+
+(** [run ?context input] applies every rule to [input] and returns the
+    findings sorted by position (then code). *)
+val run : ?context:Rule.context -> Rule.input -> Diagnostic.t list
+
+(** [lint_string ?context ?file text] leniently parses [text] and runs
+    the rules. A {!Spec_parser.Parse_error} becomes one [FL000] error
+    diagnostic. *)
+val lint_string : ?context:Rule.context -> ?file:string -> string -> Diagnostic.t list
+
+(** [lint_file ?context path] reads and lints a file; unreadable files
+    also surface as an [FL000] diagnostic. *)
+val lint_file : ?context:Rule.context -> string -> Diagnostic.t list
+
+(** [catalog ()] renders the rule catalog (code, severity, title,
+    explanation) — the [--list-rules] output, also embedded in the
+    README. *)
+val catalog : unit -> string

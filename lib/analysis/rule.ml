@@ -1,0 +1,46 @@
+open Flowtrace_core
+
+type context = { known_ips : string list option; buffer_widths : int list; max_states : int }
+
+let default_context = { known_ips = None; buffer_widths = [ 8; 16; 32; 64; 128 ]; max_states = 2_000_000 }
+
+type input = { file : string; flows : Spec_parser.raw_flow list }
+
+type t = {
+  code : string;
+  title : string;
+  severity : Diagnostic.severity;
+  explain : string;
+  check : context -> input -> Diagnostic.t list;
+}
+
+let diag rule ?flow span fmt =
+  Printf.ksprintf
+    (fun message -> Diagnostic.make ~code:rule.code ~severity:rule.severity ?flow span message)
+    fmt
+
+let declared_states (f : Spec_parser.raw_flow) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (st : Spec_parser.raw_state) -> Hashtbl.replace tbl st.Spec_parser.rs_name ()) f.Spec_parser.rf_states;
+  tbl
+
+let declared_messages (f : Spec_parser.raw_flow) =
+  let tbl = Hashtbl.create 16 in
+  (* keep the first declaration; duplicates are rule FL002's business *)
+  List.iter
+    (fun ((m : Message.t), _) ->
+      if not (Hashtbl.mem tbl m.Message.name) then Hashtbl.add tbl m.Message.name m)
+    f.Spec_parser.rf_messages;
+  tbl
+
+let duplicates key items =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun item ->
+      let k = key item in
+      match Hashtbl.find_opt seen k with
+      | Some first -> Some (first, item)
+      | None ->
+          Hashtbl.add seen k item;
+          None)
+    items

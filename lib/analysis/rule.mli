@@ -1,0 +1,54 @@
+(** Lint rules: typed static checks over raw flow specifications.
+
+    A rule inspects a whole specification file (the scenario formed by
+    its flows — the CLI's default one-instance-per-flow interleaving)
+    under a {!context} and returns diagnostics. Rules run on
+    {!Spec_parser.raw_flow}s, not validated {!Flow.t}s, so they can
+    report defects {!Flow.make} would reject — with precise spans. *)
+
+open Flowtrace_core
+
+(** Tunables a lint run is checked against. *)
+type context = {
+  known_ips : string list option;
+      (** IP names of the target topology; [None] disables topology
+          checks (rule FL011 only reports ["?"] endpoints). *)
+  buffer_widths : int list;
+      (** standard trace-buffer widths a deployment may provision
+          (rule FL012). *)
+  max_states : int;
+      (** the {!Interleave.make} reachable-product bound the scenario
+          must stay under (rule FL014). *)
+}
+
+(** [{known_ips = None; buffer_widths = [8;16;32;64;128];
+     max_states = 2_000_000}] — matching {!Interleave.make}'s default. *)
+val default_context : context
+
+(** One specification file, leniently parsed. *)
+type input = { file : string; flows : Spec_parser.raw_flow list }
+
+type t = {
+  code : string;  (** stable code, e.g. ["FL001"] *)
+  title : string;  (** short name for catalogs *)
+  severity : Diagnostic.severity;  (** severity of this rule's findings *)
+  explain : string;  (** one-line description of what is checked and why *)
+  check : context -> input -> Diagnostic.t list;
+}
+
+(** [diag rule ?flow span fmt] builds a diagnostic carrying the rule's
+    code and severity. *)
+val diag :
+  t -> ?flow:string -> Srcspan.t -> ('a, unit, string, Diagnostic.t) format4 -> 'a
+
+(** Helpers shared by rule implementations. *)
+
+(** [declared_states f] is the set of state names declared in [f]. *)
+val declared_states : Spec_parser.raw_flow -> (string, unit) Hashtbl.t
+
+(** [declared_messages f] maps message name to declaration for [f]. *)
+val declared_messages : Spec_parser.raw_flow -> (string, Message.t) Hashtbl.t
+
+(** [duplicates key items] returns, for every item whose key repeats an
+    earlier item's, the pair (first occurrence, repeat) in order. *)
+val duplicates : ('a -> string) -> 'a list -> ('a * 'a) list

@@ -1,0 +1,79 @@
+(* FL001/FL002: duplicate declarations within a flow. FL006: state names
+   shadowed across the flows of a scenario. *)
+
+open Flowtrace_core
+
+let per_flow (input : Rule.input) f = List.concat_map f input.Rule.flows
+
+let fl001 =
+  let rec rule =
+    {
+      Rule.code = "FL001";
+      title = "duplicate-state";
+      severity = Diagnostic.Error;
+      explain = "a state name is declared twice within one flow; the later declaration silently merges with the first";
+      check =
+        (fun _ctx input ->
+          per_flow input (fun rf ->
+              Rule.duplicates (fun (st : Spec_parser.raw_state) -> st.Spec_parser.rs_name) rf.Spec_parser.rf_states
+              |> List.map (fun ((first : Spec_parser.raw_state), (dup : Spec_parser.raw_state)) ->
+                     Rule.diag rule ~flow:rf.Spec_parser.rf_name dup.Spec_parser.rs_span
+                       "duplicate state declaration %S (first declared at line %d)"
+                       dup.Spec_parser.rs_name first.Spec_parser.rs_span.Srcspan.line)));
+    }
+  in
+  rule
+
+let fl002 =
+  let rec rule =
+    {
+      Rule.code = "FL002";
+      title = "duplicate-message";
+      severity = Diagnostic.Error;
+      explain = "a message name is declared twice within one flow; only one declaration can label transitions";
+      check =
+        (fun _ctx input ->
+          per_flow input (fun rf ->
+              Rule.duplicates (fun ((m : Message.t), _) -> m.Message.name) rf.Spec_parser.rf_messages
+              |> List.map (fun ((_, (fsp : Srcspan.t)), ((dup : Message.t), dsp)) ->
+                     Rule.diag rule ~flow:rf.Spec_parser.rf_name dsp
+                       "duplicate msg declaration %S (first declared at line %d)" dup.Message.name
+                       fsp.Srcspan.line)));
+    }
+  in
+  rule
+
+let fl006 =
+  let rec rule =
+    {
+      Rule.code = "FL006";
+      title = "shadowed-state";
+      severity = Diagnostic.Info;
+      explain = "a state name is declared in more than one flow of the scenario; distinct names keep product-state labels and diagnostics unambiguous";
+      check =
+        (fun _ctx input ->
+          (* first declaration of each state name per flow, in file order *)
+          let decls =
+            List.concat_map
+              (fun (rf : Spec_parser.raw_flow) ->
+                let seen = Hashtbl.create 8 in
+                List.filter_map
+                  (fun (st : Spec_parser.raw_state) ->
+                    if Hashtbl.mem seen st.Spec_parser.rs_name then None
+                    else begin
+                      Hashtbl.add seen st.Spec_parser.rs_name ();
+                      Some (rf.Spec_parser.rf_name, st)
+                    end)
+                  rf.Spec_parser.rf_states)
+              input.Rule.flows
+          in
+          Rule.duplicates (fun (_, (st : Spec_parser.raw_state)) -> st.Spec_parser.rs_name) decls
+          |> List.map (fun ((first_flow, (first : Spec_parser.raw_state)), (flow, (dup : Spec_parser.raw_state))) ->
+                 Rule.diag rule ~flow dup.Spec_parser.rs_span
+                   "state %S shadows the declaration in flow %s (line %d)" dup.Spec_parser.rs_name
+                   first_flow first.Spec_parser.rs_span.Srcspan.line));
+    }
+  in
+  rule
+
+let rules = [ fl001; fl002; fl006 ]

@@ -1,0 +1,103 @@
+(* FL013: atomic-set interleaving hazards. An atomic init state holds the
+   scenario-level mutex from cycle zero; one such flow serializes every
+   other flow's atomic section behind it, and two such flows deadlock the
+   interleaving outright (neither may fire while the other sits in Atom).
+   An atomic->atomic transition keeps the mutex held across several
+   states, which serializes concurrency the same way.
+
+   FL014: the interleaved product of the scenario can explode; the state
+   count is bounded by the product of per-flow state counts. Warn when
+   that bound exceeds the Interleave.make limit, before Too_large fires
+   at runtime. *)
+
+open Flowtrace_core
+
+let fl013 =
+  let rec rule =
+    {
+      Rule.code = "FL013";
+      title = "atomic-hazard";
+      severity = Diagnostic.Warning;
+      explain = "an atomic init state or atomic->atomic transition holds the interleaving mutex across states; two flows starting atomic deadlock the scenario";
+      check =
+        (fun _ctx input ->
+          let atomic_inits =
+            List.concat_map
+              (fun (rf : Spec_parser.raw_flow) ->
+                List.filter_map
+                  (fun (st : Spec_parser.raw_state) ->
+                    if st.Spec_parser.rs_initial && st.Spec_parser.rs_atomic then
+                      Some (rf.Spec_parser.rf_name, st)
+                    else None)
+                  rf.Spec_parser.rf_states)
+              input.Rule.flows
+          in
+          let deadlocked = List.length atomic_inits > 1 in
+          let init_diags =
+            List.map
+              (fun (flow, (st : Spec_parser.raw_state)) ->
+                Rule.diag rule ~flow st.Spec_parser.rs_span
+                  "init state %s is atomic: it holds the interleaving mutex from the start%s"
+                  st.Spec_parser.rs_name
+                  (if deadlocked then
+                     " — several flows start atomic, so the interleaving deadlocks with no executions"
+                   else ""))
+              atomic_inits
+          in
+          let chain_diags =
+            List.concat_map
+              (fun (rf : Spec_parser.raw_flow) ->
+                let atomic = Hashtbl.create 8 in
+                List.iter
+                  (fun (st : Spec_parser.raw_state) ->
+                    if st.Spec_parser.rs_atomic then Hashtbl.replace atomic st.Spec_parser.rs_name ())
+                  rf.Spec_parser.rf_states;
+                List.filter_map
+                  (fun ((tr : Flow.transition), sp) ->
+                    if Hashtbl.mem atomic tr.Flow.t_src && Hashtbl.mem atomic tr.Flow.t_dst then
+                      Some
+                        (Rule.diag rule ~flow:rf.Spec_parser.rf_name sp
+                           "transition %s -> %s chains atomic states, holding the interleaving mutex across both"
+                           tr.Flow.t_src tr.Flow.t_dst)
+                    else None)
+                  rf.Spec_parser.rf_transitions)
+              input.Rule.flows
+          in
+          init_diags @ chain_diags);
+    }
+  in
+  rule
+
+let fl014 =
+  let rec rule =
+    {
+      Rule.code = "FL014";
+      title = "interleaving-blowup";
+      severity = Diagnostic.Warning;
+      explain = "the product-state upper bound of the scenario's interleaving exceeds the Interleave.make limit; Too_large would fire at runtime";
+      check =
+        (fun ctx input ->
+          let counts =
+            List.map
+              (fun (rf : Spec_parser.raw_flow) ->
+                let seen = Hashtbl.create 8 in
+                List.iter
+                  (fun (st : Spec_parser.raw_state) -> Hashtbl.replace seen st.Spec_parser.rs_name ())
+                  rf.Spec_parser.rf_states;
+                max 1 (Hashtbl.length seen))
+              input.Rule.flows
+          in
+          let bound = List.fold_left (fun acc n -> acc *. float_of_int n) 1.0 (List.map Fun.id counts) in
+          match input.Rule.flows with
+          | first :: _ when bound > float_of_int ctx.Rule.max_states ->
+              [
+                Rule.diag rule first.Spec_parser.rf_span
+                  "a one-instance-per-flow interleaving of this scenario has up to %.3g product states, over the limit of %d (Interleave.Too_large would fire); split the scenario or raise the bound"
+                  bound ctx.Rule.max_states;
+              ]
+          | _ -> []);
+    }
+  in
+  rule
+
+let rules = [ fl013; fl014 ]

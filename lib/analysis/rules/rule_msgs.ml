@@ -1,0 +1,114 @@
+(* FL003/FL004: a message name declared in several flows of the scenario —
+   an error when the declarations conflict (Interleave.make would refuse
+   the scenario at runtime), informational when they agree (the paper's
+   shared-message idiom, e.g. T2's siincu — it changes Def. 7 coverage
+   accounting because one observation covers states in every sharing
+   flow). FL005: distinct messages that a hardware monitor cannot tell
+   apart because they cross the same interface with the same per-cycle
+   width. *)
+
+open Flowtrace_core
+
+let describe (m : Message.t) =
+  Printf.sprintf "%d bits %s->%s" m.Message.width m.Message.src m.Message.dst
+
+(* First declaration of each message name per flow, in file order. *)
+let cross_flow_decls (input : Rule.input) =
+  List.concat_map
+    (fun (rf : Spec_parser.raw_flow) ->
+      let seen = Hashtbl.create 8 in
+      List.filter_map
+        (fun ((m : Message.t), sp) ->
+          if Hashtbl.mem seen m.Message.name then None
+          else begin
+            Hashtbl.add seen m.Message.name ();
+            Some (rf.Spec_parser.rf_name, m, sp)
+          end)
+        rf.Spec_parser.rf_messages)
+    input.Rule.flows
+
+let fl003 =
+  let rec rule =
+    {
+      Rule.code = "FL003";
+      title = "conflicting-message";
+      severity = Diagnostic.Error;
+      explain = "a message name is redeclared in another flow with different attributes; Interleave.make refuses such scenarios";
+      check =
+        (fun _ctx input ->
+          Rule.duplicates (fun (_, (m : Message.t), _) -> m.Message.name) (cross_flow_decls input)
+          |> List.filter_map (fun ((first_flow, first, _), (flow, dup, dsp)) ->
+                 if Message.equal first dup then None
+                 else
+                   Some
+                     (Rule.diag rule ~flow dsp
+                        "message %S (%s) conflicts with its declaration in flow %s (%s)"
+                        dup.Message.name (describe dup) first_flow (describe first))));
+    }
+  in
+  rule
+
+let fl004 =
+  let rec rule =
+    {
+      Rule.code = "FL004";
+      title = "shared-message";
+      severity = Diagnostic.Info;
+      explain = "a message is shared between flows; one observation covers states in every sharing flow (Def. 7 coverage accounting)";
+      check =
+        (fun _ctx input ->
+          Rule.duplicates (fun (_, (m : Message.t), _) -> m.Message.name) (cross_flow_decls input)
+          |> List.filter_map (fun ((first_flow, first, _), (flow, dup, dsp)) ->
+                 if Message.equal first dup then
+                   Some
+                     (Rule.diag rule ~flow dsp "message %S is shared with flow %s" dup.Message.name
+                        first_flow)
+                 else None));
+    }
+  in
+  rule
+
+let fl005 =
+  let rec rule =
+    {
+      Rule.code = "FL005";
+      title = "indistinguishable-messages";
+      severity = Diagnostic.Info;
+      explain = "distinct messages cross the same IP interface with the same per-cycle width; a monitor needs tagging to tell them apart";
+      check =
+        (fun _ctx input ->
+          (* distinct message names of the scenario, keyed by observable
+             interface signature; unknown endpoints are FL011's business *)
+          let by_name = Hashtbl.create 16 in
+          List.iter
+            (fun (_, (m : Message.t), sp) ->
+              if not (Hashtbl.mem by_name m.Message.name) then Hashtbl.add by_name m.Message.name (m, sp))
+            (cross_flow_decls input);
+          let groups = Hashtbl.create 16 in
+          let order = ref [] in
+          Hashtbl.iter
+            (fun _name ((m : Message.t), (sp : Srcspan.t)) ->
+              if m.Message.src <> "?" && m.Message.dst <> "?" then begin
+                let key = Printf.sprintf "%s->%s/%d" m.Message.src m.Message.dst (Message.trace_width m) in
+                if not (Hashtbl.mem groups key) then order := key :: !order;
+                Hashtbl.replace groups key ((m, sp) :: (Option.value ~default:[] (Hashtbl.find_opt groups key)))
+              end)
+            by_name;
+          List.rev !order
+          |> List.filter_map (fun key ->
+                 let members = List.sort (fun (_, a) (_, b) -> Srcspan.compare a b) (Hashtbl.find groups key) in
+                 match members with
+                 | ((first : Message.t), _) :: (_ :: _ as rest) ->
+                     let names = List.map (fun ((m : Message.t), _) -> m.Message.name) members in
+                     let _, report_span = List.hd (List.rev rest) in
+                     Some
+                       (Rule.diag rule report_span
+                          "messages %s are indistinguishable under tracing: all cross %s->%s with %d-bit per-cycle width"
+                          (String.concat ", " names) first.Message.src first.Message.dst
+                          (Message.trace_width first))
+                 | _ -> None));
+    }
+  in
+  rule
+
+let rules = [ fl003; fl004; fl005 ]

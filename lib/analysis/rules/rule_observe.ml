@@ -1,0 +1,37 @@
+(* FL007: non-deterministic observability — one state with two or more
+   outgoing transitions carrying the same message label. Observing that
+   message cannot determine which successor the flow took, so path
+   localization (Section 5.3's consistent-path counting) degrades. *)
+
+open Flowtrace_core
+
+let fl007 =
+  let rec rule =
+    {
+      Rule.code = "FL007";
+      title = "nondeterministic-observability";
+      severity = Diagnostic.Warning;
+      explain = "a state has several outgoing transitions with the same message label; the observed message cannot determine the successor";
+      check =
+        (fun _ctx input ->
+          List.concat_map
+            (fun (rf : Spec_parser.raw_flow) ->
+              Rule.duplicates
+                (fun ((tr : Flow.transition), _) -> tr.Flow.t_src ^ " " ^ tr.Flow.t_msg)
+                rf.Spec_parser.rf_transitions
+              |> List.filter_map (fun (((first : Flow.transition), _), ((dup : Flow.transition), dsp)) ->
+                     if String.equal first.Flow.t_dst dup.Flow.t_dst then None
+                       (* same successor twice is a plain duplicate edge,
+                          not an observability hazard *)
+                     else
+                       Some
+                         (Rule.diag rule ~flow:rf.Spec_parser.rf_name dsp
+                            "state %s has multiple successors under message %s (%s and %s); observing %s cannot localize the path taken"
+                            dup.Flow.t_src dup.Flow.t_msg first.Flow.t_dst dup.Flow.t_dst
+                            dup.Flow.t_msg)))
+            input.Rule.flows);
+    }
+  in
+  rule
+
+let rules = [ fl007 ]

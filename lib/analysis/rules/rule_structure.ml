@@ -1,0 +1,197 @@
+(* FL008: transitions referencing undeclared states or messages.
+   FL009: dead or unreachable structure — missing init/stop states,
+   stop∩atomic, cycles, transitions leaving a stop state, states
+   unreachable from an init state or unable to reach a stop state.
+   FL010: declared messages that never label a transition.
+
+   FL008/FL009 mirror Flow.validate but run on the lenient raw parse, so
+   they report with the offending line instead of dying in Flow.make;
+   FL010 is beyond Flow.validate (a dead declaration is legal yet can
+   never be observed, so selecting it would waste buffer bits). *)
+
+open Flowtrace_core
+
+module SSet = Set.Make (String)
+
+let fl008 =
+  let rec rule =
+    {
+      Rule.code = "FL008";
+      title = "undeclared-reference";
+      severity = Diagnostic.Error;
+      explain = "a transition references a state or message the flow never declares";
+      check =
+        (fun _ctx input ->
+          List.concat_map
+            (fun (rf : Spec_parser.raw_flow) ->
+              let states = Rule.declared_states rf in
+              let msgs = Rule.declared_messages rf in
+              List.concat_map
+                (fun ((tr : Flow.transition), sp) ->
+                  let missing_state s what =
+                    if Hashtbl.mem states s then None
+                    else
+                      Some
+                        (Rule.diag rule ~flow:rf.Spec_parser.rf_name sp
+                           "transition %s undeclared state %S" what s)
+                  in
+                  List.filter_map Fun.id
+                    [
+                      missing_state tr.Flow.t_src "leaves";
+                      missing_state tr.Flow.t_dst "enters";
+                      (if Hashtbl.mem msgs tr.Flow.t_msg then None
+                       else
+                         Some
+                           (Rule.diag rule ~flow:rf.Spec_parser.rf_name sp
+                              "transition labeled with undeclared message %S" tr.Flow.t_msg));
+                    ])
+                rf.Spec_parser.rf_transitions)
+            input.Rule.flows);
+    }
+  in
+  rule
+
+(* Reachability over (src, dst) edges from a seed set. *)
+let reach starts edges =
+  let adj = Hashtbl.create 16 in
+  List.iter (fun (a, b) -> Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a))) edges;
+  let rec go seen = function
+    | [] -> seen
+    | s :: rest ->
+        if SSet.mem s seen then go seen rest
+        else go (SSet.add s seen) (Option.value ~default:[] (Hashtbl.find_opt adj s) @ rest)
+  in
+  go SSet.empty starts
+
+let has_cycle states edges =
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace indeg s 0) states;
+  List.iter
+    (fun (_, b) ->
+      match Hashtbl.find_opt indeg b with Some d -> Hashtbl.replace indeg b (d + 1) | None -> ())
+    edges;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun s d -> if d = 0 then Queue.add s queue) indeg;
+  let removed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    incr removed;
+    List.iter
+      (fun (a, b) ->
+        if String.equal a s then begin
+          let d = Hashtbl.find indeg b - 1 in
+          Hashtbl.replace indeg b d;
+          if d = 0 then Queue.add b queue
+        end)
+      edges
+  done;
+  !removed <> List.length states
+
+let fl009 =
+  let rec rule =
+    {
+      Rule.code = "FL009";
+      title = "dead-structure";
+      severity = Diagnostic.Error;
+      explain = "missing init/stop states, cycles, transitions leaving a stop state, or states that cannot appear on any complete execution";
+      check =
+        (fun _ctx input ->
+          List.concat_map
+            (fun (rf : Spec_parser.raw_flow) ->
+              let flow = rf.Spec_parser.rf_name in
+              (* first declaration of each name wins, as in Flow lookups *)
+              let seen = Hashtbl.create 8 in
+              let states =
+                List.filter
+                  (fun (st : Spec_parser.raw_state) ->
+                    if Hashtbl.mem seen st.Spec_parser.rs_name then false
+                    else begin
+                      Hashtbl.add seen st.Spec_parser.rs_name ();
+                      true
+                    end)
+                  rf.Spec_parser.rf_states
+              in
+              let names = List.map (fun (st : Spec_parser.raw_state) -> st.Spec_parser.rs_name) states in
+              let name_set = SSet.of_list names in
+              let initial = List.filter (fun st -> st.Spec_parser.rs_initial) states in
+              let stop = List.filter (fun st -> st.Spec_parser.rs_stop) states in
+              let edges =
+                List.filter_map
+                  (fun ((tr : Flow.transition), _) ->
+                    if SSet.mem tr.Flow.t_src name_set && SSet.mem tr.Flow.t_dst name_set then
+                      Some (tr.Flow.t_src, tr.Flow.t_dst)
+                    else None)
+                  rf.Spec_parser.rf_transitions
+              in
+              let out = ref [] in
+              let emit span fmt =
+                Printf.ksprintf (fun m -> out := Rule.diag rule ~flow span "%s" m :: !out) fmt
+              in
+              if states <> [] && initial = [] then emit rf.Spec_parser.rf_span "flow %s declares no init state" flow;
+              if states <> [] && stop = [] then emit rf.Spec_parser.rf_span "flow %s declares no stop state" flow;
+              List.iter
+                (fun (st : Spec_parser.raw_state) ->
+                  if st.Spec_parser.rs_stop && st.Spec_parser.rs_atomic then
+                    emit st.Spec_parser.rs_span
+                      "state %s is both stop and atomic (Sp and Atom must be disjoint)"
+                      st.Spec_parser.rs_name)
+                states;
+              let stop_names = SSet.of_list (List.map (fun st -> st.Spec_parser.rs_name) stop) in
+              List.iter
+                (fun ((tr : Flow.transition), sp) ->
+                  if SSet.mem tr.Flow.t_src stop_names then
+                    emit sp "transition leaves stop state %s" tr.Flow.t_src)
+                rf.Spec_parser.rf_transitions;
+              if has_cycle names edges then
+                emit rf.Spec_parser.rf_span "flow %s is not a DAG (its transition graph has a cycle)" flow
+              else begin
+                (* reachability is only meaningful on an acyclic graph
+                   with entry/exit points *)
+                let fwd = reach (List.map (fun st -> st.Spec_parser.rs_name) initial) edges in
+                let bwd =
+                  reach (SSet.elements stop_names) (List.map (fun (a, b) -> (b, a)) edges)
+                in
+                List.iter
+                  (fun (st : Spec_parser.raw_state) ->
+                    let n = st.Spec_parser.rs_name in
+                    if initial <> [] && not (SSet.mem n fwd) then
+                      emit st.Spec_parser.rs_span "state %s is unreachable from any init state" n;
+                    if stop <> [] && not (SSet.mem n bwd) then
+                      emit st.Spec_parser.rs_span "state %s cannot reach a stop state" n)
+                  states
+              end;
+              List.rev !out)
+            input.Rule.flows);
+    }
+  in
+  rule
+
+let fl010 =
+  let rec rule =
+    {
+      Rule.code = "FL010";
+      title = "unused-message";
+      severity = Diagnostic.Warning;
+      explain = "a declared message never labels a transition; it can never be observed, so selecting it wastes trace-buffer bits";
+      check =
+        (fun _ctx input ->
+          List.concat_map
+            (fun (rf : Spec_parser.raw_flow) ->
+              let used =
+                SSet.of_list
+                  (List.map (fun ((tr : Flow.transition), _) -> tr.Flow.t_msg) rf.Spec_parser.rf_transitions)
+              in
+              List.filter_map
+                (fun ((m : Message.t), sp) ->
+                  if SSet.mem m.Message.name used then None
+                  else
+                    Some
+                      (Rule.diag rule ~flow:rf.Spec_parser.rf_name sp
+                         "message %s is declared but never labels a transition" m.Message.name))
+                rf.Spec_parser.rf_messages)
+            input.Rule.flows);
+    }
+  in
+  rule
+
+let rules = [ fl008; fl009; fl010 ]

@@ -1,0 +1,86 @@
+(* FL011: unknown or foreign IP endpoints — a message with `from ?` /
+   `to ?` has no interface to place a monitor on, and (when the lint run
+   is given a target topology) an endpoint outside the platform's IP set
+   cannot correspond to any physical interface. FL012: widths that defeat
+   Step 1/Step 3 — a message too wide for every standard trace-buffer
+   width can never be selected, and a subgroup wider than the widest
+   buffer can never be packed into leftover bits. *)
+
+open Flowtrace_core
+
+let per_message (input : Rule.input) f =
+  List.concat_map
+    (fun (rf : Spec_parser.raw_flow) ->
+      List.concat_map (fun (m, sp) -> f rf.Spec_parser.rf_name m sp) rf.Spec_parser.rf_messages)
+    input.Rule.flows
+
+let fl011 =
+  let rec rule =
+    {
+      Rule.code = "FL011";
+      title = "unknown-ip";
+      severity = Diagnostic.Warning;
+      explain = "a message endpoint is '?' or names an IP outside the target topology; no monitor can observe the interface";
+      check =
+        (fun ctx input ->
+          let known ip =
+            match ctx.Rule.known_ips with None -> true | Some ips -> List.exists (String.equal ip) ips
+          in
+          per_message input (fun flow (m : Message.t) sp ->
+              let endpoint what ip =
+                if String.equal ip "?" then
+                  Some
+                    (Rule.diag rule ~flow sp "message %s has an unknown %s IP (%s ?)" m.Message.name
+                       what
+                       (if what = "source" then "from" else "to"))
+                else if not (known ip) then
+                  Some
+                    (Rule.diag rule ~flow sp "message %s: %s IP %s is not in the target topology"
+                       m.Message.name what ip)
+                else None
+              in
+              List.filter_map Fun.id [ endpoint "source" m.Message.src; endpoint "destination" m.Message.dst ]));
+    }
+  in
+  rule
+
+let fl012 =
+  let rec rule =
+    {
+      Rule.code = "FL012";
+      title = "unpackable-width";
+      severity = Diagnostic.Warning;
+      explain = "a message (or one of its subgroups) is wider than every standard trace-buffer width, so Step 1 can never select it and Step 3 can never pack it";
+      check =
+        (fun ctx input ->
+          let max_w = List.fold_left max 0 ctx.Rule.buffer_widths in
+          per_message input (fun flow (m : Message.t) sp ->
+              let whole =
+                if Message.trace_width m > max_w then
+                  [
+                    Rule.diag rule ~flow sp
+                      "message %s needs %d trace bits per cycle but the widest standard buffer is %d%s"
+                      m.Message.name (Message.trace_width m) max_w
+                      (if m.Message.subgroups = [] then
+                         " and it declares no subgroups to pack partially"
+                       else "; only its subgroups can ever be traced");
+                  ]
+                else []
+              in
+              let subs =
+                List.filter_map
+                  (fun (sg : Message.subgroup) ->
+                    if sg.Message.sg_width > max_w then
+                      Some
+                        (Rule.diag rule ~flow sp
+                           "subgroup %s.%s (width %d) cannot pack into any standard buffer width (max %d)"
+                           m.Message.name sg.Message.sg_name sg.Message.sg_width max_w)
+                    else None)
+                  m.Message.subgroups
+              in
+              whole @ subs));
+    }
+  in
+  rule
+
+let rules = [ fl011; fl012 ]

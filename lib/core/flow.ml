@@ -142,6 +142,16 @@ let make ~name ~states ~initial ~stop ?(atomic = []) ~messages ~transitions () =
 let n_states t = List.length t.states
 let n_messages t = List.length t.messages
 
+let equal_transition a b =
+  String.equal a.t_src b.t_src && String.equal a.t_msg b.t_msg && String.equal a.t_dst b.t_dst
+
+let equal a b =
+  let slist x y = List.equal String.equal x y in
+  String.equal a.name b.name && slist a.states b.states && slist a.initial b.initial
+  && slist a.stop b.stop && slist a.atomic b.atomic
+  && List.equal Message.equal a.messages b.messages
+  && List.equal equal_transition a.transitions b.transitions
+
 (* All maximal executions (paths from an initial to a stop state) as message
    sequences. Exponential in general; used on small flows and guarded by
    [limit]. *)

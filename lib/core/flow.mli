@@ -64,6 +64,10 @@ val successors : t -> string -> transition list
 (** [predecessors t s] is the list of transitions entering [s]. *)
 val predecessors : t -> string -> transition list
 
+(** [equal a b] is full structural equality: every field compared in
+    declaration order ({!Message.equal} on messages). *)
+val equal : t -> t -> bool
+
 val is_stop : t -> string -> bool
 val is_atomic : t -> string -> bool
 val is_initial : t -> string -> bool

@@ -43,6 +43,14 @@ let compare_by_name a b = String.compare a.name b.name
 
 let equal_name a b = String.equal a.name b.name
 
+let equal_subgroup a b = String.equal a.sg_name b.sg_name && a.sg_width = b.sg_width
+
+let equal a b =
+  String.equal a.name b.name && a.width = b.width && a.beats = b.beats
+  && String.equal a.src b.src && String.equal a.dst b.dst
+  && List.length a.subgroups = List.length b.subgroups
+  && List.for_all2 equal_subgroup a.subgroups b.subgroups
+
 let find_subgroup m name = List.find_opt (fun sg -> String.equal sg.sg_name name) m.subgroups
 
 let qualified_subgroup_name m sg = m.name ^ "." ^ sg.sg_name

@@ -49,6 +49,10 @@ val compare_by_name : t -> t -> int
 (** [equal_name a b] compares by name only. *)
 val equal_name : t -> t -> bool
 
+(** [equal a b] is full structural equality: name, width, beats,
+    endpoints, and subgroups (in declaration order). *)
+val equal : t -> t -> bool
+
 (** [find_subgroup m name] looks up a subgroup of [m] by name. *)
 val find_subgroup : t -> string -> subgroup option
 

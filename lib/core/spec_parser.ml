@@ -7,7 +7,16 @@
      trans <src-state> <msg> <dst-state>
 
    '#' starts a comment. A file may contain several flows; each [flow]
-   directive starts a new one. *)
+   directive starts a new one.
+
+   Parsing happens in two layers. [parse_raw] is lenient: it checks only
+   token-level shape and records every declaration together with its
+   source span, without enforcing flow invariants — this is what the
+   static-analysis linter consumes, so it can diagnose duplicate
+   declarations, undeclared references, and dead structure itself with
+   precise positions. [parse_string]/[parse_file] are strict: they reject
+   duplicate state/msg declarations with a positioned error and run every
+   flow through [Flow.make]. *)
 
 type error = { line : int; message : string }
 
@@ -15,36 +24,42 @@ exception Parse_error of error
 
 let error line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
 
-type builder = {
-  mutable b_name : string;
-  mutable b_states : string list;
-  mutable b_initial : string list;
-  mutable b_stop : string list;
-  mutable b_atomic : string list;
-  mutable b_messages : Message.t list;
-  mutable b_transitions : Flow.transition list;
+type raw_state = {
+  rs_name : string;
+  rs_initial : bool;
+  rs_stop : bool;
+  rs_atomic : bool;
+  rs_span : Srcspan.t;
 }
 
-let new_builder name =
-  {
-    b_name = name;
-    b_states = [];
-    b_initial = [];
-    b_stop = [];
-    b_atomic = [];
-    b_messages = [];
-    b_transitions = [];
-  }
+type raw_flow = {
+  rf_name : string;
+  rf_span : Srcspan.t;
+  rf_end_line : int;
+  rf_states : raw_state list;
+  rf_messages : (Message.t * Srcspan.t) list;
+  rf_transitions : (Flow.transition * Srcspan.t) list;
+}
 
-let finish b =
-  try
-    Ok
-      (Flow.make ~name:b.b_name ~states:(List.rev b.b_states) ~initial:(List.rev b.b_initial)
-         ~stop:(List.rev b.b_stop) ~atomic:(List.rev b.b_atomic)
-         ~messages:(List.rev b.b_messages)
-         ~transitions:(List.rev b.b_transitions)
-         ())
-  with Flow.Invalid (_, errs) -> Error errs
+type builder = {
+  b_name : string;
+  b_span : Srcspan.t;
+  mutable b_states : raw_state list;
+  mutable b_messages : (Message.t * Srcspan.t) list;
+  mutable b_transitions : (Flow.transition * Srcspan.t) list;
+}
+
+let new_builder name span = { b_name = name; b_span = span; b_states = []; b_messages = []; b_transitions = [] }
+
+let finish b end_line =
+  {
+    rf_name = b.b_name;
+    rf_span = b.b_span;
+    rf_end_line = end_line;
+    rf_states = List.rev b.b_states;
+    rf_messages = List.rev b.b_messages;
+    rf_transitions = List.rev b.b_transitions;
+  }
 
 let parse_int lineno s =
   match int_of_string_opt s with Some n -> n | None -> error lineno "expected an integer, got %S" s
@@ -71,22 +86,28 @@ let parse_msg_args lineno name width rest =
   try Message.make ~src:!src ~dst:!dst ~subgroups:(List.rev !subs) ~beats:!beats name width
   with Invalid_argument m -> error lineno "%s" m
 
-let parse_string text =
+(* Column (1-based) of the first non-blank character of [line]. *)
+let directive_col line =
+  let n = String.length line in
+  let rec go i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then go (i + 1) else i in
+  go 0 + 1
+
+let parse_raw ?(file = "<string>") text =
   let lines = String.split_on_char '\n' text in
   let flows = ref [] in
   let current = ref None in
   let finish_current lineno =
     match !current with
     | None -> ()
-    | Some b -> (
-        match finish b with
-        | Ok f -> flows := f :: !flows
-        | Error errs -> error lineno "invalid flow %s: %s" b.b_name (String.concat "; " errs))
+    | Some b ->
+        flows := finish b lineno :: !flows;
+        current := None
   in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
       let line = match String.index_opt line '#' with Some j -> String.sub line 0 j | None -> line in
+      let span = Srcspan.make ~file ~line:lineno ~col:(directive_col line) in
       let tokens =
         List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line))
       in
@@ -94,7 +115,7 @@ let parse_string text =
       | [] -> ()
       | "flow" :: [ name ] ->
           finish_current lineno;
-          current := Some (new_builder name)
+          current := Some (new_builder name span)
       | "flow" :: _ -> error lineno "flow directive takes exactly one name"
       | directive :: args -> (
           match !current with
@@ -102,32 +123,74 @@ let parse_string text =
           | Some b -> (
               match (directive, args) with
               | "state", name :: flags ->
-                  b.b_states <- name :: b.b_states;
-                  List.iter
-                    (function
-                      | "init" -> b.b_initial <- name :: b.b_initial
-                      | "stop" -> b.b_stop <- name :: b.b_stop
-                      | "atomic" -> b.b_atomic <- name :: b.b_atomic
-                      | f -> error lineno "unknown state flag %S" f)
-                    flags
+                  let st =
+                    List.fold_left
+                      (fun st -> function
+                        | "init" -> { st with rs_initial = true }
+                        | "stop" -> { st with rs_stop = true }
+                        | "atomic" -> { st with rs_atomic = true }
+                        | f -> error lineno "unknown state flag %S" f)
+                      { rs_name = name; rs_initial = false; rs_stop = false; rs_atomic = false; rs_span = span }
+                      flags
+                  in
+                  b.b_states <- st :: b.b_states
               | "state", [] -> error lineno "state directive needs a name"
               | "msg", name :: width :: rest ->
-                  b.b_messages <- parse_msg_args lineno name (parse_int lineno width) rest :: b.b_messages
+                  b.b_messages <- (parse_msg_args lineno name (parse_int lineno width) rest, span) :: b.b_messages
               | "msg", _ -> error lineno "msg directive needs a name and a width"
               | "trans", [ src; msg; dst ] ->
-                  b.b_transitions <- Flow.transition src msg dst :: b.b_transitions
+                  b.b_transitions <- (Flow.transition src msg dst, span) :: b.b_transitions
               | "trans", _ -> error lineno "trans directive takes <src> <msg> <dst>"
               | d, _ -> error lineno "unknown directive %S" d)))
     lines;
   finish_current (List.length lines);
   List.rev !flows
 
-let parse_file path =
+let raw_to_flow r =
+  let pick f = List.filter_map (fun st -> if f st then Some st.rs_name else None) r.rf_states in
+  try
+    Ok
+      (Flow.make ~name:r.rf_name
+         ~states:(List.map (fun st -> st.rs_name) r.rf_states)
+         ~initial:(pick (fun st -> st.rs_initial))
+         ~stop:(pick (fun st -> st.rs_stop))
+         ~atomic:(pick (fun st -> st.rs_atomic))
+         ~messages:(List.map fst r.rf_messages)
+         ~transitions:(List.map fst r.rf_transitions)
+         ())
+  with Flow.Invalid (_, errs) -> Error errs
+
+(* Strict layer: positioned duplicate-declaration errors, then Flow.make. *)
+let check_duplicates what names =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, (span : Srcspan.t)) ->
+      match Hashtbl.find_opt seen name with
+      | Some (first : Srcspan.t) ->
+          error span.Srcspan.line "duplicate %s declaration %S (previously declared at line %d)" what
+            name first.Srcspan.line
+      | None -> Hashtbl.add seen name span)
+    names
+
+let build_strict r =
+  check_duplicates "state" (List.map (fun st -> (st.rs_name, st.rs_span)) r.rf_states);
+  check_duplicates "msg" (List.map (fun (m, sp) -> (m.Message.name, sp)) r.rf_messages);
+  match raw_to_flow r with
+  | Ok f -> f
+  | Error errs -> error r.rf_end_line "invalid flow %s: %s" r.rf_name (String.concat "; " errs)
+
+let parse_string text = List.map build_strict (parse_raw text)
+
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse_string text
+  text
+
+let parse_file path = List.map build_strict (parse_raw ~file:path (read_file path))
+
+let parse_raw_file path = parse_raw ~file:path (read_file path)
 
 let print_flow (f : Flow.t) =
   let buf = Buffer.create 256 in

@@ -8,18 +8,63 @@
     trans <src-state> <msg> <dst-state>
     v}
     A file may define several flows. [print_flow] inverts [parse_string]
-    up to formatting (round-trip tested). *)
+    up to formatting (round-trip tested).
+
+    Two parsing layers are exposed. The {e strict} layer
+    ([parse_string]/[parse_file]) rejects duplicate declarations with a
+    positioned error and validates every flow through {!Flow.make}. The
+    {e raw} layer ([parse_raw]/[parse_raw_file]) checks only token shape
+    and records each declaration with its {!Srcspan.t}, keeping duplicate
+    and otherwise-invalid structure — it is the input of the
+    [flowtrace lint] static analysis ([lib/analysis]), which wants to
+    diagnose those defects itself rather than die on them. *)
 
 type error = { line : int; message : string }
 
 exception Parse_error of error
 
-(** [parse_string text] parses every flow in [text]. Raises {!Parse_error}
-    with a line number on malformed input, including flows that fail
-    {!Flow.validate}. *)
+(** A [state] directive as written: name, flags, and source position. *)
+type raw_state = {
+  rs_name : string;
+  rs_initial : bool;
+  rs_stop : bool;
+  rs_atomic : bool;
+  rs_span : Srcspan.t;
+}
+
+(** A flow as written, before any semantic validation. Declarations appear
+    in file order; duplicates are preserved. [rf_end_line] is the line at
+    which the flow ends (the next [flow] directive or end of input). *)
+type raw_flow = {
+  rf_name : string;
+  rf_span : Srcspan.t;
+  rf_end_line : int;
+  rf_states : raw_state list;
+  rf_messages : (Message.t * Srcspan.t) list;
+  rf_transitions : (Flow.transition * Srcspan.t) list;
+}
+
+(** [parse_raw ?file text] parses every flow in [text] leniently,
+    threading [file] into each element's span. Raises {!Parse_error} only
+    on token-level problems (unknown directives, wrong arity, bad
+    integers, malformed messages) — never on duplicate declarations or
+    flows that would fail {!Flow.validate}. *)
+val parse_raw : ?file:string -> string -> raw_flow list
+
+(** [parse_raw_file path] reads and leniently parses a file. *)
+val parse_raw_file : string -> raw_flow list
+
+(** [raw_to_flow r] runs a raw flow through {!Flow.make}, returning the
+    invariant violations instead of raising. *)
+val raw_to_flow : raw_flow -> (Flow.t, string list) result
+
+(** [parse_string text] parses every flow in [text] strictly. Raises
+    {!Parse_error} with a line number on malformed input, on duplicate
+    [state]/[msg] declarations within a flow (positioned at the duplicate
+    line), and on flows that fail {!Flow.validate}. *)
 val parse_string : string -> Flow.t list
 
-(** [parse_file path] reads and parses a file. *)
+(** [parse_file path] reads and strictly parses a file. *)
 val parse_file : string -> Flow.t list
 
 (** [print_flow f] renders a flow in the same format. *)

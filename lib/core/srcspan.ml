@@ -1,0 +1,21 @@
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+
+let none file = { file; line = 0; col = 0 }
+
+let dummy = none "<unknown>"
+
+let has_position s = s.line > 0
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string s =
+  if has_position s then Printf.sprintf "%s:%d:%d" s.file s.line s.col else s.file
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

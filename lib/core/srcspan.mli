@@ -1,0 +1,32 @@
+(** Source spans: the position of a flow element in a [.flow] file.
+
+    Spans are threaded from {!Spec_parser} through every parsed element so
+    downstream tooling (the [flowtrace lint] diagnostics in
+    [lib/analysis]) can point at the offending line of the specification
+    text. Lines and columns are 1-based; [line = 0] means "no position"
+    (elements built programmatically rather than parsed). *)
+
+type t = { file : string; line : int; col : int }
+
+(** [make ~file ~line ~col] builds a span. *)
+val make : file:string -> line:int -> col:int -> t
+
+(** [none file] is the position-less span for [file] ([line = 0]). *)
+val none : string -> t
+
+(** [dummy] is the position-less span for an unknown file. *)
+val dummy : t
+
+(** [has_position s] is true when [s] carries a real line number. *)
+val has_position : t -> bool
+
+(** Lexicographic order: file, then line, then column. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [to_string s] is ["file:line:col"], or just ["file"] without a
+    position. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

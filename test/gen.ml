@@ -75,6 +75,22 @@ let flow_arb =
     ~print:(fun f -> Spec_parser.print_flow f)
     (QCheck.Gen.map flow_of_seed (QCheck.Gen.int_bound 100_000))
 
+(* A random multi-flow specification (what one .flow file holds). Flow
+   names embed the seed and position, and message names are prefixed with
+   the flow name, so the flows never clash when parsed back together. *)
+let flows_of_seed seed =
+  let rng = Rng.create seed in
+  let n = 1 + Rng.int rng 3 in
+  List.init n (fun i ->
+      layered_flow ~rng
+        ~name:(Printf.sprintf "rand%d_%d" seed i)
+        ~layers:(3 + Rng.int rng 2) ~max_per_layer:2 ~max_width:4 ~atomic_prob:0.2)
+
+let flows_arb =
+  QCheck.make
+    ~print:(fun fs -> Spec_parser.print_flows fs)
+    (QCheck.Gen.map flows_of_seed (QCheck.Gen.int_bound 100_000))
+
 let interleaving_of_seed seed =
   let rng = Rng.create seed in
   let layers = 3 + Rng.int rng 2 in

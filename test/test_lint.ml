@@ -1,0 +1,248 @@
+(* Tests for the flowlint static analysis: every rule code fires on a
+   dedicated fixture with the expected severity and line, the shipped
+   specs are clean of errors and warnings, and the JSON report
+   round-trips through the diagnostics printer. *)
+
+open Flowtrace_core
+open Flowtrace_analysis
+
+(* --- fixtures: one per rule code ----------------------------------- *)
+
+(* (code, severity, expected line, context, fixture text) *)
+let fixtures =
+  let ctx = Rule.default_context in
+  [
+    ( "FL000",
+      Diagnostic.Error,
+      2,
+      ctx,
+      "flow f\nfrobnicate a\n" );
+    ( "FL001",
+      Diagnostic.Error,
+      4,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nstate a\nmsg m 1\ntrans a m b\n" );
+    ( "FL002",
+      Diagnostic.Error,
+      5,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 1\nmsg m 2\ntrans a m b\n" );
+    ( "FL003",
+      Diagnostic.Error,
+      10,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 1 from X to Y\ntrans a m b\n\n\
+       flow g\nstate c init\nstate d stop\nmsg m 2 from X to Y\ntrans c m d\n" );
+    ( "FL004",
+      Diagnostic.Info,
+      10,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 1 from X to Y\ntrans a m b\n\n\
+       flow g\nstate c init\nstate d stop\nmsg m 1 from X to Y\ntrans c m d\n" );
+    ( "FL005",
+      Diagnostic.Info,
+      5,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 2 from X to Y\nmsg m2 2 from X to Y\n\
+       trans a m b\ntrans b m2 b\n" );
+    ( "FL006",
+      Diagnostic.Info,
+      9,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 1\ntrans a m b\n\n\
+       flow g\nstate c init\nstate a stop\nmsg n 1\ntrans c n a\n" );
+    ( "FL007",
+      Diagnostic.Warning,
+      9,
+      ctx,
+      "flow f\nstate a init\nstate b\nstate c\nstate d stop\nmsg m 1\nmsg n 1\n\
+       trans a m b # reported at line 9, which reuses this label\ntrans a m c\ntrans b n d\ntrans c n d\n"
+    );
+    ( "FL008",
+      Diagnostic.Error,
+      5,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 1\ntrans a zap b\n" );
+    ( "FL009",
+      Diagnostic.Error,
+      4,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nstate orphan\nmsg m 1\ntrans a m b\n" );
+    ( "FL010",
+      Diagnostic.Warning,
+      5,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 1\nmsg unused 4 from X to Y\ntrans a m b\n" );
+    ( "FL011",
+      Diagnostic.Warning,
+      4,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 1 from X\ntrans a m b\n" );
+    ( "FL012",
+      Diagnostic.Warning,
+      4,
+      ctx,
+      "flow f\nstate a init\nstate b stop\nmsg m 200 from X to Y\ntrans a m b\n" );
+    ( "FL013",
+      Diagnostic.Warning,
+      2,
+      ctx,
+      "flow f\nstate a init atomic\nstate b stop\nmsg m 1\ntrans a m b\n" );
+    ( "FL014",
+      Diagnostic.Warning,
+      1,
+      { ctx with Rule.max_states = 4 },
+      "flow f\nstate a init\nstate b stop\nmsg m 1\ntrans a m b\n\n\
+       flow g\nstate c init\nstate d\nstate e stop\nmsg n 1\nmsg o 1\ntrans c n d\ntrans d o e\n"
+    );
+  ]
+
+let find_code code diags = List.filter (fun d -> String.equal d.Diagnostic.code code) diags
+
+let check_fixture (code, severity, line, ctx, text) =
+  Alcotest.test_case code `Quick (fun () ->
+      let diags = Lint.lint_string ~context:ctx ~file:"fixture.flow" text in
+      match find_code code diags with
+      | [] -> Alcotest.failf "expected %s to fire; got:\n%s" code (Diagnostic.render_all diags)
+      | d :: _ ->
+          Alcotest.(check string)
+            (code ^ " severity")
+            (Diagnostic.severity_to_string severity)
+            (Diagnostic.severity_to_string d.Diagnostic.severity);
+          Alcotest.(check int) (code ^ " line") line d.Diagnostic.span.Srcspan.line;
+          Alcotest.(check string) (code ^ " file") "fixture.flow" d.Diagnostic.span.Srcspan.file)
+
+let test_every_rule_covered () =
+  let tested = List.map (fun (code, _, _, _, _) -> code) fixtures in
+  List.iter
+    (fun (r : Rule.t) ->
+      Alcotest.(check bool)
+        (r.Rule.code ^ " has a fixture")
+        true
+        (List.exists (String.equal r.Rule.code) tested))
+    Lint.rules;
+  Alcotest.(check bool) "FL000 has a fixture" true (List.exists (String.equal Lint.parse_error_code) tested)
+
+let test_fixture_severity_matches_rule () =
+  (* fixture expectations agree with the registry's declared severities *)
+  List.iter
+    (fun (code, severity, _, _, _) ->
+      match Lint.find_rule code with
+      | None -> Alcotest.(check string) "only FL000 is unregistered" Lint.parse_error_code code
+      | Some r -> Alcotest.(check bool) (code ^ " severity consistent") true (r.Rule.severity = severity))
+    fixtures
+
+(* --- shipped specs are clean --------------------------------------- *)
+
+let spec_dir =
+  let rec find dir =
+    if Sys.file_exists (Filename.concat dir "specs") then Filename.concat dir "specs"
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then failwith "specs/ directory not found" else find parent
+  in
+  find (Sys.getcwd ())
+
+let test_shipped_specs_clean () =
+  let files = [ "cache_coherence.flow"; "t2.flow"; "t2_ext.flow"; "usb.flow" ] in
+  List.iter
+    (fun file ->
+      let diags = Lint.lint_file (Filename.concat spec_dir file) in
+      Alcotest.(check int) (file ^ " errors") 0 (Diagnostic.count_errors diags);
+      Alcotest.(check int) (file ^ " warnings") 0 (Diagnostic.count_warnings diags))
+    files
+
+let test_t2_expected_notes () =
+  (* the T2 spec's two known observability caveats surface as notes *)
+  let diags = Lint.lint_file (Filename.concat spec_dir "t2.flow") in
+  Alcotest.(check int) "FL004 siincu sharing" 1 (List.length (find_code "FL004" diags));
+  Alcotest.(check int) "FL005 piordack/mondoacknack" 1 (List.length (find_code "FL005" diags))
+
+(* --- werror promotion ---------------------------------------------- *)
+
+let test_werror_promotes_warnings_only () =
+  let text = "flow f\nstate a init\nstate b stop\nmsg m 1 from X to Y\nmsg u 1 from X to Y\ntrans a m b\n" in
+  let diags = Lint.lint_string ~file:"w.flow" text in
+  let promoted = List.map Diagnostic.promote_warnings diags in
+  Alcotest.(check bool) "had a warning" true (Diagnostic.count_warnings diags > 0);
+  Alcotest.(check int) "no warnings left" 0 (Diagnostic.count_warnings promoted);
+  Alcotest.(check int) "errors gained" (Diagnostic.count_errors diags + Diagnostic.count_warnings diags)
+    (Diagnostic.count_errors promoted);
+  Alcotest.(check int) "infos untouched" (Diagnostic.count_infos diags) (Diagnostic.count_infos promoted)
+
+(* --- topology context ---------------------------------------------- *)
+
+let test_topology_foreign_ip () =
+  let text = "flow f\nstate a init\nstate b stop\nmsg m 1 from NCU to Mars\ntrans a m b\n" in
+  let context = { Rule.default_context with Rule.known_ips = Some [ "NCU"; "DMU" ] } in
+  let diags = Lint.lint_string ~context ~file:"topo.flow" text in
+  match find_code "FL011" diags with
+  | [ d ] ->
+      Alcotest.(check int) "line" 4 d.Diagnostic.span.Srcspan.line;
+      Alcotest.(check bool) "names the foreign IP" true
+        (String.length d.Diagnostic.message > 0
+        && Option.is_some (String.index_opt d.Diagnostic.message 'M'))
+  | ds -> Alcotest.failf "expected exactly one FL011, got %d" (List.length ds)
+
+(* --- JSON report round-trip ---------------------------------------- *)
+
+let dirty_text =
+  "flow f\nstate a init atomic\nstate a\nstate b stop atomic\nmsg m 200 from X to Y sub big 150\n\
+   msg unused 4\ntrans a zap b\ntrans b m a\n"
+
+let test_json_roundtrip () =
+  let diags = Lint.lint_string ~file:"dirty.flow" dirty_text in
+  Alcotest.(check bool) "fixture is dirty" true (List.length diags > 5);
+  match Diagnostic.parse_json (Diagnostic.render_json diags) with
+  | Error m -> Alcotest.failf "JSON report failed to parse back: %s" m
+  | Ok diags' ->
+      Alcotest.(check int) "same count" (List.length diags) (List.length diags');
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) (Diagnostic.render a ^ " round-trips") true (Diagnostic.equal a b))
+        diags diags'
+
+let test_json_escaping_roundtrip () =
+  let d =
+    Diagnostic.make ~code:"FL999" ~severity:Diagnostic.Warning ~flow:"f\"low"
+      (Srcspan.make ~file:"we ird\\path.flow" ~line:3 ~col:7)
+      "quotes \" backslash \\ newline \n tab \t done"
+  in
+  match Diagnostic.parse_json (Diagnostic.render_json [ d ]) with
+  | Error m -> Alcotest.failf "escaped report failed to parse: %s" m
+  | Ok [ d' ] -> Alcotest.(check bool) "escaped diagnostic round-trips" true (Diagnostic.equal d d')
+  | Ok ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
+let test_render_points_at_line () =
+  let diags = Lint.lint_string ~file:"fixture.flow" "flow f\nstate a init\nstate b stop\nmsg m 1\ntrans a zap b\n" in
+  match find_code "FL008" diags with
+  | d :: _ ->
+      let r = Diagnostic.render d in
+      Alcotest.(check bool) ("render has position: " ^ r) true
+        (String.length r > 0 && String.sub r 0 (String.length "fixture.flow:5:1:") = "fixture.flow:5:1:")
+  | [] -> Alcotest.fail "FL008 expected"
+
+let () =
+  Alcotest.run "lint"
+    [
+      ("rules fire", List.map check_fixture fixtures);
+      ( "registry",
+        [
+          Alcotest.test_case "every rule has a fixture" `Quick test_every_rule_covered;
+          Alcotest.test_case "fixture severities match registry" `Quick test_fixture_severity_matches_rule;
+        ] );
+      ( "shipped specs",
+        [
+          Alcotest.test_case "no errors or warnings" `Quick test_shipped_specs_clean;
+          Alcotest.test_case "t2 expected notes" `Quick test_t2_expected_notes;
+        ] );
+      ( "werror",
+        [ Alcotest.test_case "promotes warnings, not infos" `Quick test_werror_promotes_warnings_only ] );
+      ("topology", [ Alcotest.test_case "foreign IP flagged" `Quick test_topology_foreign_ip ]);
+      ( "json",
+        [
+          Alcotest.test_case "report round-trips" `Quick test_json_roundtrip;
+          Alcotest.test_case "escaping round-trips" `Quick test_json_escaping_roundtrip;
+          Alcotest.test_case "text render has file:line:col" `Quick test_render_points_at_line;
+        ] );
+    ]

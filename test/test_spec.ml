@@ -72,6 +72,12 @@ let prop_roundtrip =
           && Spec_parser.print_flow f = Spec_parser.print_flow f'
       | _ -> false)
 
+let prop_roundtrip_structural =
+  QCheck.Test.make ~name:"multi-flow print_flows/parse_string round-trip is structurally equal"
+    ~count:100 Gen.flows_arb (fun fs ->
+      let fs' = Spec_parser.parse_string (Spec_parser.print_flows fs) in
+      List.length fs = List.length fs' && List.for_all2 Flow.equal fs fs')
+
 let prop_roundtrip_executions =
   QCheck.Test.make ~name:"round-trip preserves execution traces" ~count:50 Gen.flow_arb (fun f ->
       match Spec_parser.parse_string (Spec_parser.print_flow f) with
@@ -95,7 +101,12 @@ let () =
           expect_error "bad width" "flow f\nstate a init\nmsg m xyz\n" 3;
           expect_error "bad trans arity" "flow f\nstate a init\ntrans a b\n" 3;
           expect_error "invalid flow surfaces at end" "flow f\nstate a init\n" 3;
+          expect_error "duplicate state positioned at its line"
+            "flow f\nstate a init\nstate b stop\nstate a\nmsg m 1\ntrans a m b\n" 4;
+          expect_error "duplicate msg positioned at its line"
+            "flow f\nstate a init\nstate b stop\nmsg m 1\nmsg m 2\ntrans a m b\n" 5;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_roundtrip_executions ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_roundtrip_structural; prop_roundtrip_executions ] );
     ]

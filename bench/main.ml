@@ -1,12 +1,20 @@
-(* The benchmark harness: first regenerates every table and figure of the
-   paper (the reproduction output recorded in EXPERIMENTS.md), then times
-   each experiment's kernel with Bechamel — one Test.make per table/figure
-   plus the core-algorithm micro-kernels. *)
+(* The benchmark harness: regenerates every table and figure of the paper
+   (the reproduction output recorded in EXPERIMENTS.md), then times each
+   experiment's kernel with Bechamel — one Test.make per table/figure plus
+   the core-algorithm micro-kernels and the selection stress workload.
+
+   Options:
+     --json FILE   also write the timings (and the memory probes) as JSON:
+                   one entry per kernel/experiment — the BENCH_select.json
+                   trajectory file is produced this way
+     --quota SEC   Bechamel time quota per test (default 0.25)
+     --no-tables   skip the table/figure regeneration pass *)
 
 open Bechamel
 open Flowtrace_core
 open Flowtrace_soc
 open Flowtrace_experiments
+module Json = Flowtrace_analysis.Json
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate all tables and figures *)
@@ -30,6 +38,11 @@ let experiment_tests =
       Test.make ~name:e.Registry.id (Staged.stage (fun () -> ignore (e.Registry.run ()))))
     Registry.all
 
+(* The pre-PR list-based exact path, kept as the benchmark reference: Step 1
+   materializes every candidate combination, then Step 2 scores the list. *)
+let select_exact_list inter ~buffer_width =
+  Select.step2 inter (Combination.enumerate (Interleave.messages inter) ~width:buffer_width)
+
 (* Core micro-kernels, timed on Scenario 1's interleaving. *)
 let kernel_tests =
   let sc = Scenario.scenario1 in
@@ -51,10 +64,30 @@ let kernel_tests =
       (Staged.stage (fun () -> ignore (Scenario.run_analysis ~seed:1 sc)));
   ]
 
-let benchmark () =
-  let test = Test.make_grouped ~name:"flowtrace" (experiment_tests @ kernel_tests) in
+(* The selection stress workload (Stress): hundreds of thousands of
+   candidate combinations. Compares the pre-PR list-based exact path
+   against the streaming engine, sequentially and across 4 domains. *)
+let stress_tests =
+  let inter = Stress.interleave () in
+  let w = Stress.default_buffer_width in
+  [
+    Test.make ~name:"stress_select_exact_list"
+      (Staged.stage (fun () -> ignore (select_exact_list inter ~buffer_width:w)));
+    Test.make ~name:"stress_select_exact_stream"
+      (Staged.stage (fun () -> ignore (Select.select ~pack:false inter ~buffer_width:w)));
+    Test.make ~name:"stress_select_exact_par4"
+      (Staged.stage (fun () -> ignore (Select.select ~jobs:4 ~pack:false inter ~buffer_width:w)));
+    Test.make ~name:"stress_select_greedy"
+      (Staged.stage (fun () ->
+           ignore (Select.select ~strategy:Select.Greedy ~pack:false inter ~buffer_width:w)));
+  ]
+
+let benchmark ~quota =
+  let test =
+    Test.make_grouped ~name:"flowtrace" (experiment_tests @ kernel_tests @ stress_tests)
+  in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances test in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -63,18 +96,98 @@ let benchmark () =
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
   let rows = List.sort compare rows in
   print_endline "== Bechamel timings (monotonic clock, ns per run) ==";
-  List.iter
+  List.filter_map
     (fun (name, r) ->
       let est =
-        match Analyze.OLS.estimates r with
-        | Some [ e ] -> Printf.sprintf "%12.0f ns" e
-        | Some es -> String.concat "," (List.map (Printf.sprintf "%.0f") es)
-        | None -> "n/a"
+        match Analyze.OLS.estimates r with Some [ e ] -> Some e | _ -> None
       in
-      Printf.printf "%-40s %s\n" name est)
+      Printf.printf "%-40s %s\n" name
+        (match est with Some e -> Printf.sprintf "%12.0f ns" e | None -> "n/a");
+      Option.map (fun e -> (name, e)) est)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Memory probes: words allocated and peak heap for one run of each exact
+   path on the stress workload. The streaming engine's peak no longer
+   scales with the candidate count — the list path's does. *)
+
+let memory_probes () =
+  let inter = Stress.interleave () in
+  let w = Stress.default_buffer_width in
+  let probe name f =
+    Gc.compact ();
+    let s0 = Gc.quick_stat () in
+    ignore (f ());
+    let s1 = Gc.quick_stat () in
+    let allocated =
+      s1.Gc.minor_words +. s1.Gc.major_words -. s1.Gc.promoted_words
+      -. (s0.Gc.minor_words +. s0.Gc.major_words -. s0.Gc.promoted_words)
+    in
+    [
+      (name ^ "_allocated_words", allocated);
+      (name ^ "_peak_heap_words", float_of_int s1.Gc.top_heap_words);
+    ]
+  in
+  (* streaming first so the list path's heap growth cannot mask it *)
+  probe "stress_exact_stream" (fun () -> Select.select ~pack:false inter ~buffer_width:w)
+  @ probe "stress_exact_list" (fun () -> select_exact_list inter ~buffer_width:w)
+
+(* ------------------------------------------------------------------ *)
+
+let write_json file rows probes =
+  let classify name =
+    (* strip the Bechamel group prefix ("flowtrace/") *)
+    let base =
+      match String.rindex_opt name '/' with
+      | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+      | None -> name
+    in
+    if String.length base >= 7 && String.sub base 0 7 = "stress_" then "stress"
+    else if String.length base >= 7 && String.sub base 0 7 = "kernel_" then "kernel"
+    else "experiment"
+  in
+  let entry (name, ns) =
+    Json.Obj
+      [ ("name", Json.String name); ("kind", Json.String (classify name));
+        ("ns_per_run", Json.Float ns) ]
+  in
+  let probe_entry (name, v) =
+    Json.Obj
+      [ ("name", Json.String name); ("kind", Json.String "memory"); ("words", Json.Float v) ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("suite", Json.String "flowtrace");
+        ("schema", Json.String "bench/v1");
+        ("entries", Json.List (List.map entry rows @ List.map probe_entry probes));
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "bench timings written to %s\n" file
+
 let () =
-  print_all_tables ();
-  print_newline ();
-  benchmark ()
+  let json_file = ref None in
+  let quota = ref 0.25 in
+  let tables = ref true in
+  let spec =
+    [
+      ("--json", Arg.String (fun s -> json_file := Some s), "FILE also write timings as JSON");
+      ("--quota", Arg.Set_float quota, "SEC Bechamel quota per test (default 0.25)");
+      ("--no-tables", Arg.Clear tables, " skip the table/figure regeneration pass");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/main.exe [--json FILE] [--quota SEC] [--no-tables]";
+  if !tables then begin
+    print_all_tables ();
+    print_newline ()
+  end;
+  let rows = benchmark ~quota:!quota in
+  let probes = memory_probes () in
+  List.iter (fun (n, v) -> Printf.printf "%-40s %12.0f words\n" n v) probes;
+  match !json_file with None -> () | Some file -> write_json file rows probes

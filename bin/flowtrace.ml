@@ -88,23 +88,47 @@ let trace_arg =
   let doc = "Observed trace: whitespace-separated indexed messages like $(b,1:ReqE 2:GntE)." in
   Arg.(required & pos 1 (some string) None & info [] ~docv:"TRACE" ~doc)
 
+let jobs =
+  let doc = "Domains to fan the exact Step-1/2 subset-tree walk across (1 = sequential)." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let limit =
+  let doc =
+    "Candidate-combination budget for exact Step-1 enumeration. Past it selection aborts with \
+     a hint to use $(b,--strategy greedy) or a higher limit."
+  in
+  Arg.(value & opt int Combination.default_limit & info [ "limit" ] ~docv:"N" ~doc)
+
 let or_die = function
   | Ok v -> v
   | Error m ->
       Printf.eprintf "flowtrace: %s\n" m;
       exit 1
 
+(* Select with the Too_many blow-up guard mapped to a positioned,
+   actionable error instead of an uncaught exception. *)
+let select_or_die ~path ?strategy ?jobs ?limit ?pack inter ~buffer_width =
+  try Select.select ?strategy ?jobs ?limit ?pack inter ~buffer_width with
+  | Combination.Too_many n ->
+      or_die
+        (Error
+           (Printf.sprintf
+              "%s: Step-1 enumeration exceeded %d candidate combinations at width %d; use \
+               --strategy greedy or raise --limit"
+              path n buffer_width))
+  | Invalid_argument m -> or_die (Error (Printf.sprintf "%s: %s" path m))
+
 (* --- commands ------------------------------------------------------ *)
 
 let select_cmd =
-  let run path counts width strategy no_pack =
+  let run path counts width strategy no_pack jobs limit =
     let inter = or_die (interleave_of path counts) in
-    let r = Select.select ~strategy ~pack:(not no_pack) inter ~buffer_width:width in
+    let r = select_or_die ~path ~strategy ~jobs ~limit ~pack:(not no_pack) inter ~buffer_width:width in
     Format.printf "%a@." Select.pp_result r
   in
   let doc = "Select trace messages for the flows of a spec file." in
   Cmd.v (Cmd.info "select" ~doc)
-    Term.(const run $ spec_file $ instances $ width $ strategy $ no_pack)
+    Term.(const run $ spec_file $ instances $ width $ strategy $ no_pack $ jobs $ limit)
 
 let interleave_cmd =
   let run path counts =
@@ -119,7 +143,7 @@ let interleave_cmd =
 let localize_cmd =
   let run path counts trace width strategy =
     let inter = or_die (interleave_of path counts) in
-    let sel = Select.select ~strategy inter ~buffer_width:width in
+    let sel = select_or_die ~path ~strategy inter ~buffer_width:width in
     let observed =
       List.filter_map
         (fun tok ->
@@ -168,16 +192,17 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ ids)
 
 let explain_cmd =
-  let run path counts width strategy =
+  let run path counts width strategy jobs limit =
     let inter = or_die (interleave_of path counts) in
-    let r = Select.select ~strategy inter ~buffer_width:width in
+    let r = select_or_die ~path ~strategy ~jobs ~limit inter ~buffer_width:width in
     Format.printf "%a@.@." Select.pp_result r;
     List.iter
       (fun c -> Format.printf "%a@." Select.pp_contribution c)
       (Select.explain inter r)
   in
   let doc = "Rank every message of a spec file by information contribution." in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ spec_file $ instances $ width $ strategy)
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ spec_file $ instances $ width $ strategy $ jobs $ limit)
 
 let simulate_cmd =
   let open Flowtrace_soc in

@@ -4,43 +4,132 @@
    The search sorts messages by ascending width and prunes branches whose
    remaining minimum width cannot fit, so it only visits feasible subsets.
    [Too_many] guards against combinatorial blow-up; large scenarios should
-   use the greedy strategy in {!Select}. *)
+   use the greedy strategy in {!Select}.
+
+   Two interfaces share one width-pruned subset-tree walk:
+   - {!fold_candidates} streams every candidate through a fold in constant
+     memory (no candidate list is ever materialized);
+   - {!plan}/{!fold_task} split the tree at a fixed prefix depth into
+     independent subtrees, so callers can fan the walk out across OCaml 5
+     domains. Every root-to-leaf path passes through exactly one prefix,
+     hence the tasks partition the candidate set. *)
 
 exception Too_many of int
 
 let default_limit = 1_000_000
 
-let enumerate ?(limit = default_limit) messages ~width =
-  if width <= 0 then invalid_arg "Combination.enumerate: width must be positive";
-  let ms = List.sort (fun a b -> compare (Message.trace_width a) (Message.trace_width b)) messages in
-  let arr = Array.of_list ms in
+(* Width-ascending pool; List.sort is stable, so equal-width messages keep
+   their pool order and the walk visits candidates in a reproducible order. *)
+let sorted_pool messages =
+  Array.of_list
+    (List.sort
+       (fun a b -> compare (Message.trace_width a) (Message.trace_width b))
+       messages)
+
+(* The core walk. [path] is caller state threaded along the current branch
+   (extended by [take] whenever a message is added); [leaf] folds over
+   emitted candidates; [tick] fires once per non-empty candidate *before*
+   the maximality filter, so a candidate budget counts exactly what
+   materializing enumeration used to count (it may raise to abort).
+
+   With [only_maximal], a candidate is emitted only when no fitting strict
+   superset exists. Every pool message is either taken or skipped along a
+   root-to-leaf path, so that holds exactly when the narrowest skipped
+   message no longer fits the remaining width — an O(1) streaming test,
+   tracked as [min_skipped]. *)
+let walk arr ~start ~remaining ~taken ~min_skipped ~only_maximal ~tick ~take ~path ~leaf ~init =
   let n = Array.length arr in
-  let count = ref 0 in
-  let results = ref [] in
-  let rec go i remaining acc =
-    if i = n then begin
-      if acc <> [] then begin
-        incr count;
-        if !count > limit then raise (Too_many limit);
-        results := List.rev acc :: !results
+  let rec go i remaining taken min_skipped path acc =
+    if i = n then
+      if taken = 0 then acc
+      else begin
+        tick ();
+        if only_maximal && min_skipped <= remaining then acc else leaf acc path
       end
-    end
     else begin
+      let w = Message.trace_width arr.(i) in
       (* skip arr.(i) *)
-      go (i + 1) remaining acc;
+      let acc = go (i + 1) remaining taken (min min_skipped w) path acc in
       (* take arr.(i) if it fits; messages are width-sorted so if this one
          does not fit, none of the rest do either *)
-      let w = Message.trace_width arr.(i) in
-      if w <= remaining then go (i + 1) (remaining - w) (arr.(i) :: acc)
+      if w <= remaining then
+        go (i + 1) (remaining - w) (taken + 1) min_skipped (take path arr.(i)) acc
+      else acc
     end
   in
-  go 0 width [];
-  !results
+  go start remaining taken min_skipped path init
+
+let fold_candidates ?(limit = default_limit) ?(only_maximal = false) messages ~width ~init ~f =
+  if width <= 0 then invalid_arg "Combination.fold_candidates: width must be positive";
+  let arr = sorted_pool messages in
+  let count = ref 0 in
+  let tick () =
+    incr count;
+    if !count > limit then raise (Too_many limit)
+  in
+  walk arr ~start:0 ~remaining:width ~taken:0 ~min_skipped:max_int ~only_maximal ~tick
+    ~take:(fun acc m -> m :: acc)
+    ~path:[]
+    ~leaf:(fun acc rev -> f acc (List.rev rev))
+    ~init
+
+(* ------------------------------------------------------------------ *)
+(* Parallel decomposition *)
+
+type task = {
+  t_start : int;  (* next undecided pool index *)
+  t_remaining : int;
+  t_taken : Message.t list;  (* prefix takes, in take (width-ascending) order *)
+  t_n_taken : int;
+  t_min_skipped : int;
+}
+
+type plan = { p_arr : Message.t array; p_tasks : task array }
+
+let plan ?(depth = 10) messages ~width =
+  if width <= 0 then invalid_arg "Combination.plan: width must be positive";
+  let arr = sorted_pool messages in
+  let d = min (max depth 0) (Array.length arr) in
+  let tasks = ref [] in
+  let rec go i remaining taken n_taken min_skipped =
+    if i = d then
+      tasks :=
+        {
+          t_start = i;
+          t_remaining = remaining;
+          t_taken = List.rev taken;
+          t_n_taken = n_taken;
+          t_min_skipped = min_skipped;
+        }
+        :: !tasks
+    else begin
+      let w = Message.trace_width arr.(i) in
+      go (i + 1) remaining taken n_taken (min min_skipped w);
+      if w <= remaining then go (i + 1) (remaining - w) (arr.(i) :: taken) (n_taken + 1) min_skipped
+    end
+  in
+  go 0 width [] 0 max_int;
+  { p_arr = arr; p_tasks = Array.of_list (List.rev !tasks) }
+
+let n_tasks plan = Array.length plan.p_tasks
+
+let fold_task plan idx ?(only_maximal = false) ~tick ~take ~path ~leaf ~init =
+  let t = plan.p_tasks.(idx) in
+  let path = List.fold_left take path t.t_taken in
+  walk plan.p_arr ~start:t.t_start ~remaining:t.t_remaining ~taken:t.t_n_taken
+    ~min_skipped:t.t_min_skipped ~only_maximal ~tick ~take ~path ~leaf ~init
+
+(* ------------------------------------------------------------------ *)
+(* Materializing conveniences, kept for callers that want explicit lists *)
+
+let enumerate ?(limit = default_limit) messages ~width =
+  if width <= 0 then invalid_arg "Combination.enumerate: width must be positive";
+  fold_candidates ~limit messages ~width ~init:[] ~f:(fun acc c -> c :: acc)
 
 (* Keep only combinations that are maximal under inclusion among those that
    fit. Because information gain is monotone in the message set, a maximal
    combination always scores at least as high as any of its subsets; the
-   exact-maximal strategy uses this to shrink the candidate list. *)
+   exact-maximal strategy uses the equivalent streaming filter above. *)
 let maximal_only combos =
   let name_set combo =
     List.sort_uniq String.compare (List.map (fun m -> m.Message.name) combo)
@@ -55,6 +144,14 @@ let maximal_only combos =
       if dominated then None else Some c)
     with_sets
 
-let count messages ~width = List.length (enumerate ~limit:max_int messages ~width)
+let count messages ~width =
+  if width <= 0 then invalid_arg "Combination.count: width must be positive";
+  let arr = sorted_pool messages in
+  walk arr ~start:0 ~remaining:width ~taken:0 ~min_skipped:max_int ~only_maximal:false
+    ~tick:(fun () -> ())
+    ~take:(fun () _ -> ())
+    ~path:()
+    ~leaf:(fun acc () -> acc + 1)
+    ~init:0
 
 let fits messages ~width = Message.total_width messages <= width

@@ -3,26 +3,81 @@
 
     A message combination is an unordered set of messages; its total bit
     width is the sum of member widths. Only combinations whose total width
-    fits the trace buffer are candidates for Step 2. *)
+    fits the trace buffer are candidates for Step 2.
 
-(** Raised by {!enumerate} when more than [limit] combinations fit. *)
+    The enumeration is a width-pruned subset-tree walk exposed at three
+    levels: a constant-memory streaming fold ({!fold_candidates}), a
+    task-split form for multicore fan-out ({!plan}/{!fold_task}), and the
+    materializing {!enumerate} kept for explicit candidate lists. *)
+
+(** Raised when more than [limit] combinations fit. *)
 exception Too_many of int
 
 val default_limit : int
 
+(** [fold_candidates messages ~width ~init ~f] folds [f] over every
+    non-empty subset of [messages] whose total width is at most [width],
+    without materializing the candidate set: peak live memory is O(pool),
+    independent of the number of candidates. Candidates arrive in the same
+    order {!enumerate} generates them, each as a width-ascending list.
+    [only_maximal] (default false) emits only inclusion-maximal candidates;
+    the candidate budget [limit] still counts every fitting combination.
+    Raises {!Too_many} past [limit] (default 1,000,000) candidates. *)
+val fold_candidates :
+  ?limit:int ->
+  ?only_maximal:bool ->
+  Message.t list ->
+  width:int ->
+  init:'a ->
+  f:('a -> Message.t list -> 'a) ->
+  'a
+
+(** A decomposition of the subset tree into independent subtasks: the
+    subtrees below every feasible skip/take prefix of a fixed depth. The
+    tasks partition the candidate set, so folding each task and combining
+    the per-task results visits every candidate exactly once. *)
+type plan
+
+(** [plan messages ~width] splits the walk below prefixes of [depth]
+    (default 10, capped at the pool size — at most 2^10 tasks). *)
+val plan : ?depth:int -> Message.t list -> width:int -> plan
+
+val n_tasks : plan -> int
+
+(** [fold_task plan i ~tick ~take ~path ~leaf ~init] folds over the
+    candidates of task [i]. [path] is caller state threaded along the
+    current branch and extended by [take] whenever a message is added (the
+    task's prefix takes are replayed first); [leaf] folds the per-candidate
+    results; [tick] fires once per fitting candidate before the
+    [only_maximal] filter — share one atomic counter across tasks to
+    enforce a global {!Too_many} budget (it may raise to abort). *)
+val fold_task :
+  plan ->
+  int ->
+  ?only_maximal:bool ->
+  tick:(unit -> unit) ->
+  take:('p -> Message.t -> 'p) ->
+  path:'p ->
+  leaf:('a -> 'p -> 'a) ->
+  init:'a ->
+  'a
+
 (** [enumerate messages ~width] lists every non-empty subset of [messages]
     whose total width is at most [width]. Raises {!Too_many} past [limit]
-    (default 1,000,000) results. *)
+    (default 1,000,000) results. Materializes the whole candidate list —
+    prefer {!fold_candidates} on large pools. *)
 val enumerate : ?limit:int -> Message.t list -> width:int -> Message.t list list
 
 (** [maximal_only combos] drops combinations strictly included in another
     candidate. Since information gain is monotone in the message set, the
     best maximal candidate is a best candidate overall. Quadratic — apply
-    to modest candidate lists only. *)
+    to modest materialized lists only; the streaming walk's [only_maximal]
+    flag computes the same filter in O(1) per candidate. *)
 val maximal_only : Message.t list list -> Message.t list list
 
 (** [count messages ~width] is the number of fitting combinations (the
-    paper's running example: 6 of 7 for the coherence flow at width 2). *)
+    paper's running example: 6 of 7 for the coherence flow at width 2),
+    in constant memory and without any candidate limit. *)
 val count : Message.t list -> width:int -> int
 
 (** [fits messages ~width] checks Definition 6's constraint. *)

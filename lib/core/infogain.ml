@@ -9,36 +9,48 @@
 
 type stats = {
   total_occurrences : int;
-  occurrences : (Indexed.t * int) list;
-  targets : (Indexed.t * (int * int) list) list; (* y -> (state, count) list *)
+  occurrences : (Indexed.t * int) list;  (* first-encounter (edge) order *)
+  targets : (Indexed.t, (int * int) list) Hashtbl.t;  (* y -> (state, count) list *)
 }
 
+(* One pass over the edge list: occurrence counts and per-message target
+   histograms are grouped as the edges stream by, so the whole thing is
+   O(|edges|) instead of a per-message rescan of the edge list. *)
 let stats inter =
   let occ : (Indexed.t, int ref) Hashtbl.t = Hashtbl.create 64 in
-  let tgt : (Indexed.t * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let tgt : (Indexed.t, (int, int ref) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
   let total = ref 0 in
   List.iter
     (fun (e : Interleave.edge) ->
       incr total;
       (match Hashtbl.find_opt occ e.Interleave.e_msg with
       | Some r -> incr r
-      | None -> Hashtbl.replace occ e.Interleave.e_msg (ref 1));
-      let key = (e.Interleave.e_msg, e.Interleave.e_dst) in
-      match Hashtbl.find_opt tgt key with
+      | None ->
+          Hashtbl.replace occ e.Interleave.e_msg (ref 1);
+          order := e.Interleave.e_msg :: !order);
+      let per_y =
+        match Hashtbl.find_opt tgt e.Interleave.e_msg with
+        | Some t -> t
+        | None ->
+            let t = Hashtbl.create 8 in
+            Hashtbl.replace tgt e.Interleave.e_msg t;
+            t
+      in
+      match Hashtbl.find_opt per_y e.Interleave.e_dst with
       | Some r -> incr r
-      | None -> Hashtbl.replace tgt key (ref 1))
+      | None -> Hashtbl.replace per_y e.Interleave.e_dst (ref 1))
     (Interleave.edges inter);
-  let occurrences = Hashtbl.fold (fun y r acc -> (y, !r) :: acc) occ [] in
-  let targets =
-    List.map
-      (fun (y, _) ->
-        let ts =
-          Hashtbl.fold (fun (y', x) r acc -> if Indexed.equal y y' then (x, !r) :: acc else acc) tgt []
-        in
-        (y, ts))
-      occurrences
-  in
+  let occurrences = List.rev_map (fun y -> (y, !(Hashtbl.find occ y))) !order in
+  let targets = Hashtbl.create 64 in
+  List.iter
+    (fun (y, _) ->
+      let ts = Hashtbl.fold (fun x r acc -> (x, !r) :: acc) (Hashtbl.find tgt y) [] in
+      Hashtbl.replace targets y ts)
+    occurrences;
   { total_occurrences = !total; occurrences; targets }
+
+let targets_of st y = match Hashtbl.find_opt st.targets y with Some ts -> ts | None -> []
 
 (* Contribution of a single indexed message y: p(y) · KL(p(·|y) ‖ prior),
    scaled by [weight]. With the paper's uniform prior each contribution is
@@ -66,9 +78,7 @@ let compute_weighted inter ~weight =
       (fun acc (y, occ) ->
         let w = weight y.Indexed.base in
         if w <= 0.0 then acc
-        else
-          let targets = List.assoc y st.targets in
-          acc +. message_term ~n_states ~total:st.total_occurrences occ targets w)
+        else acc +. message_term ~n_states ~total:st.total_occurrences occ (targets_of st y) w)
       0.0 st.occurrences
 
 let compute inter ~selected =
@@ -107,8 +117,7 @@ let compute_with_prior inter ~selected ~prior =
     List.fold_left
       (fun acc (y, occ) ->
         if selected y.Indexed.base then
-          let targets = List.assoc y st.targets in
-          acc +. message_term_prior ~prior ~total:st.total_occurrences occ targets 1.0
+          acc +. message_term_prior ~prior ~total:st.total_occurrences occ (targets_of st y) 1.0
         else acc)
       0.0 st.occurrences
 
@@ -118,23 +127,40 @@ let of_combination inter combo =
 
 (* Incremental evaluator: precomputes per-base-message terms once so that
    Step 1/2 enumeration evaluates each candidate in O(|candidate|). Sound
-   because the gain is a sum of independent per-indexed-message terms. *)
-type evaluator = { base_term : (string, float) Hashtbl.t }
+   because the gain is a sum of independent per-indexed-message terms.
+   [bases] keeps the first-encounter order so weighted sums are
+   deterministic. The evaluator is immutable after construction and safe
+   to share read-only across domains. *)
+type evaluator = { base_term : (string, float) Hashtbl.t; bases : string list }
 
 let evaluator inter =
   let st = stats inter in
   let n_states = Interleave.n_states inter in
   let base_term = Hashtbl.create 32 in
+  let bases = ref [] in
   List.iter
     (fun (y, occ) ->
-      let targets = List.assoc y st.targets in
-      let term = message_term ~n_states ~total:st.total_occurrences occ targets 1.0 in
-      let cur = Option.value ~default:0.0 (Hashtbl.find_opt base_term y.Indexed.base) in
-      Hashtbl.replace base_term y.Indexed.base (cur +. term))
+      let term = message_term ~n_states ~total:st.total_occurrences occ (targets_of st y) 1.0 in
+      match Hashtbl.find_opt base_term y.Indexed.base with
+      | Some cur -> Hashtbl.replace base_term y.Indexed.base (cur +. term)
+      | None ->
+          Hashtbl.replace base_term y.Indexed.base term;
+          bases := y.Indexed.base :: !bases)
     st.occurrences;
-  { base_term }
+  { base_term; bases = List.rev !bases }
 
 let eval_base ev base = Option.value ~default:0.0 (Hashtbl.find_opt ev.base_term base)
 
 let eval ev combo =
   List.fold_left (fun acc (m : Message.t) -> acc +. eval_base ev m.Message.name) 0.0 combo
+
+(* Weighted gain from the precomputed terms: Step-3 packing evaluates many
+   candidate subgroup sets against one evaluator instead of rescanning the
+   edge list per candidate. Exact because each base's term is linear in
+   its weight. *)
+let eval_weighted ev ~weight =
+  List.fold_left
+    (fun acc base ->
+      let w = weight base in
+      if w <= 0.0 then acc else acc +. (w *. eval_base ev base))
+    0.0 ev.bases

@@ -49,3 +49,8 @@ val eval_base : evaluator -> string -> float
 
 (** [eval ev combo] is the gain of [combo] in O(|combo|). *)
 val eval : evaluator -> Message.t list -> float
+
+(** [eval_weighted ev ~weight] is {!compute_weighted} against the
+    precomputed terms: O(|bases|) per call instead of an edge-list rescan.
+    Exact because each base's term is linear in its weight. *)
+val eval_weighted : evaluator -> weight:(string -> float) -> float

@@ -46,11 +46,16 @@ let compile (flow : Flow.t) =
   List.iteri (fun i s -> Hashtbl.replace idx s i) flow.Flow.states;
   let c_names = Array.of_list flow.Flow.states in
   let c_out = Array.make n [] in
+  (* prepend and reverse once: growing each adjacency list with @-append
+     was quadratic in a state's out-degree *)
   List.iter
     (fun (tr : Flow.transition) ->
       let s = Hashtbl.find idx tr.Flow.t_src and d = Hashtbl.find idx tr.Flow.t_dst in
-      c_out.(s) <- c_out.(s) @ [ (tr.Flow.t_msg, d) ])
+      c_out.(s) <- (tr.Flow.t_msg, d) :: c_out.(s))
     flow.Flow.transitions;
+  for s = 0 to n - 1 do
+    c_out.(s) <- List.rev c_out.(s)
+  done;
   let mem l s = List.exists (String.equal s) l in
   let c_atomic = Array.map (mem flow.Flow.atomic) c_names in
   let c_stop = Array.map (mem flow.Flow.stop) c_names in

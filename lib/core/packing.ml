@@ -16,8 +16,11 @@ type packed = { p_parent : Message.t; p_sub : Message.subgroup }
 
 let qualified p = Message.qualified_subgroup_name p.p_parent p.p_sub
 
-(* Gain of [selected] plus packed subgroups, under the chosen scaling. *)
-let gain_with inter ~scale_partial ~selected ~packs =
+(* Gain of [selected] plus packed subgroups, under the chosen scaling.
+   Evaluated against one precomputed evaluator — every candidate subgroup
+   in every greedy round used to rescan the full edge list via
+   Infogain.stats; now each evaluation is O(|bases|). *)
+let gain_with ev ~scale_partial ~selected ~packs =
   let full = List.map (fun (m : Message.t) -> m.Message.name) selected in
   let partial : (string * float) list =
     (* accumulated captured fraction per parent, capped at 1 *)
@@ -39,9 +42,10 @@ let gain_with inter ~scale_partial ~selected ~packs =
       | Some f -> if scale_partial then f else 1.0
       | None -> 0.0
   in
-  Infogain.compute_weighted inter ~weight
+  Infogain.eval_weighted ev ~weight
 
 let pack inter ~selected ~gain:_ ~bits_used ~buffer_width ~scale_partial =
+  let ev = Infogain.evaluator inter in
   let selected_names = List.map (fun (m : Message.t) -> m.Message.name) selected in
   let rec go packs bits =
     let leftover = buffer_width - bits in
@@ -69,10 +73,10 @@ let pack inter ~selected ~gain:_ ~bits_used ~buffer_width ~scale_partial =
       | _ ->
           let scored =
             List.map
-              (fun p -> (p, gain_with inter ~scale_partial ~selected ~packs:(p :: packs)))
+              (fun p -> (p, gain_with ev ~scale_partial ~selected ~packs:(p :: packs)))
               candidates
           in
-          let current = gain_with inter ~scale_partial ~selected ~packs in
+          let current = gain_with ev ~scale_partial ~selected ~packs in
           let best =
             List.fold_left
               (fun acc (p, g) ->
@@ -97,5 +101,5 @@ let pack inter ~selected ~gain:_ ~bits_used ~buffer_width ~scale_partial =
           | _ -> (packs, bits))
   in
   let packs, bits = go [] bits_used in
-  let final_gain = gain_with inter ~scale_partial ~selected ~packs in
+  let final_gain = gain_with ev ~scale_partial ~selected ~packs in
   (List.rev packs, final_gain, bits)

@@ -12,13 +12,20 @@ type packed = { p_parent : Message.t; p_sub : Message.subgroup }
 (** [qualified p] is the display name ["parent.sub"]. *)
 val qualified : packed -> string
 
-(** [gain_with inter ~scale_partial ~selected ~packs] is the information
+(** [gain_with ev ~scale_partial ~selected ~packs] is the information
     gain of the full messages [selected] together with packed subgroups
-    [packs]. When [scale_partial] each subgroup's term is scaled by the
-    captured fraction of parent bits; otherwise (the paper's formulation)
-    a subgroup contributes the parent's full term. *)
+    [packs], evaluated against a precomputed {!Infogain.evaluator} (build
+    it once with [Infogain.evaluator inter] and score many candidate pack
+    sets without rescanning the edge list). When [scale_partial] each
+    subgroup's term is scaled by the captured fraction of parent bits;
+    otherwise (the paper's formulation) a subgroup contributes the
+    parent's full term. *)
 val gain_with :
-  Interleave.t -> scale_partial:bool -> selected:Message.t list -> packs:packed list -> float
+  Infogain.evaluator ->
+  scale_partial:bool ->
+  selected:Message.t list ->
+  packs:packed list ->
+  float
 
 (** [pack inter ~selected ~gain ~bits_used ~buffer_width ~scale_partial]
     runs Step 3 and returns [(packs, final_gain, final_bits_used)]. *)

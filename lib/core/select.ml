@@ -92,7 +92,106 @@ let greedy inter ~buffer_width =
   in
   go [] buffer_width pool
 
-let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) inter ~buffer_width =
+(* ------------------------------------------------------------------ *)
+(* Streaming exact engine.
+
+   Instead of materializing every fitting combination and scoring the list
+   (peak memory proportional to the candidate count), the subset-tree walk
+   threads an incrementally scored path: gain and bit totals extend by one
+   term per taken message, so each candidate costs O(1) at its leaf and the
+   only live state is the current branch. The per-message terms are added
+   in the same width-ascending order [Infogain.eval] folds a materialized
+   candidate in, so the scores are bit-for-bit identical to the list-based
+   path — and the best candidate under {!better} is unique (distinct
+   candidates have distinct sorted name lists), so any traversal or merge
+   order yields the same selection. *)
+
+type path = { pg : float; pb : int; pmsgs : Message.t list (* reversed take order *) }
+
+let path0 = { pg = 0.0; pb = 0; pmsgs = [] }
+
+let path_key p = List.sort String.compare (List.map (fun m -> m.Message.name) p.pmsgs)
+
+(* Mirrors {!better} with the name-list tie-break computed lazily: sorted
+   name keys are only built when gain and bits tie within tolerance. *)
+let better_path a b =
+  if a.pg -. b.pg > 1e-12 then true
+  else if b.pg -. a.pg > 1e-12 then false
+  else if a.pb <> b.pb then a.pb > b.pb
+  else path_key a < path_key b
+
+let merge_best best candidate =
+  match (best, candidate) with
+  | None, c -> c
+  | b, None -> b
+  | Some b, Some c -> if better_path c b then Some c else Some b
+
+let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
+  let ev = Infogain.evaluator inter in
+  let take p (m : Message.t) =
+    {
+      pg = p.pg +. Infogain.eval_base ev m.Message.name;
+      pb = p.pb + Message.trace_width m;
+      pmsgs = m :: p.pmsgs;
+    }
+  in
+  let leaf best p = merge_best best (Some p) in
+  let pool = Interleave.messages inter in
+  let best =
+    if jobs <= 1 then begin
+      (* single walk, local candidate budget *)
+      let plan = Combination.plan ~depth:0 pool ~width:buffer_width in
+      let count = ref 0 in
+      let tick () =
+        incr count;
+        if !count > limit then raise (Combination.Too_many limit)
+      in
+      Combination.fold_task plan 0 ~only_maximal:maximal ~tick ~take ~path:path0 ~leaf ~init:None
+    end
+    else begin
+      (* fan the subtree tasks out across domains; tasks are claimed from a
+         shared counter (work stealing), the candidate budget is one atomic
+         counter, and per-task bests are merged in task order. The merge
+         order is immaterial for the result (the best is unique) but keeps
+         the reduction deterministic by construction. *)
+      let plan = Combination.plan pool ~width:buffer_width in
+      let ntasks = Combination.n_tasks plan in
+      let results = Array.make ntasks None in
+      let next = Atomic.make 0 in
+      let candidates = Atomic.make 0 in
+      let failed = Atomic.make None in
+      let tick () =
+        if Atomic.fetch_and_add candidates 1 >= limit then raise (Combination.Too_many limit)
+      in
+      let work () =
+        try
+          let continue = ref true in
+          while !continue do
+            match Atomic.get failed with
+            | Some _ -> continue := false
+            | None ->
+                let t = Atomic.fetch_and_add next 1 in
+                if t >= ntasks then continue := false
+                else
+                  results.(t) <-
+                    Combination.fold_task plan t ~only_maximal:maximal ~tick ~take ~path:path0
+                      ~leaf ~init:None
+          done
+        with e -> Atomic.set failed (Some e)
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
+      work ();
+      Array.iter Domain.join domains;
+      (match Atomic.get failed with Some e -> raise e | None -> ());
+      Array.fold_left merge_best None results
+    end
+  in
+  match best with
+  | None -> invalid_arg "Select: no message fits the trace buffer"
+  | Some p -> (List.rev p.pmsgs, p.pg)
+
+let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs = 1) inter
+    ~buffer_width =
   match strategy with
   | Greedy ->
       let combo = greedy inter ~buffer_width in
@@ -100,15 +199,10 @@ let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) inter ~
       let gain = Infogain.of_combination inter combo in
       (combo, gain)
   | Exact | Exact_maximal ->
-      let candidates = Combination.enumerate ~limit (Interleave.messages inter) ~width:buffer_width in
-      if candidates = [] then invalid_arg "Select: no message fits the trace buffer";
-      let candidates =
-        match strategy with Exact_maximal -> Combination.maximal_only candidates | _ -> candidates
-      in
-      step2 inter candidates
+      exact_stream ~maximal:(strategy = Exact_maximal) ~limit ~jobs inter ~buffer_width
 
-let select ?strategy ?limit ?(pack = true) ?(scale_partial = false) inter ~buffer_width =
-  let combo, gain = step1_step2 ?strategy ?limit inter ~buffer_width in
+let select ?strategy ?limit ?jobs ?(pack = true) ?(scale_partial = false) inter ~buffer_width =
+  let combo, gain = step1_step2 ?strategy ?limit ?jobs inter ~buffer_width in
   let bits = Message.total_width combo in
   let packed, gain, bits =
     if pack then

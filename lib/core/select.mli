@@ -45,11 +45,20 @@ val step2 : Interleave.t -> Message.t list list -> Message.t list * float
 (** [select inter ~buffer_width] runs the pipeline. [pack] (default true)
     enables Step 3; [scale_partial] (default false — the paper's
     formulation) scales packed subgroup contributions by captured bit
-    fraction; [limit] bounds Step-1 enumeration. Raises [Invalid_argument]
-    when no message fits the buffer. *)
+    fraction; [limit] bounds Step-1 enumeration (exceeding it raises
+    [Combination.Too_many]). Raises [Invalid_argument] when no message
+    fits the buffer.
+
+    The exact strategies stream the width-pruned subset tree with
+    incrementally scored paths — peak live memory is O(pool), independent
+    of the candidate count. [jobs] (default 1) fans the walk out across
+    that many OCaml domains; the result is identical for any job count
+    (the best candidate under the deterministic tie-break is unique, and
+    per-candidate scores are bit-for-bit equal on every path). *)
 val select :
   ?strategy:strategy ->
   ?limit:int ->
+  ?jobs:int ->
   ?pack:bool ->
   ?scale_partial:bool ->
   Interleave.t ->

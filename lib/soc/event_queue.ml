@@ -1,14 +1,21 @@
 (* Binary-heap event queue for the discrete-event simulator. Ties on time
-   break by insertion order, keeping runs fully deterministic. *)
+   break by insertion order, keeping runs fully deterministic.
+
+   Slots are options so vacated positions are cleared on pop: the heap
+   never retains a reference to a popped payload, and growing the backing
+   array needs no dummy element (which used to pin the first pushed
+   payload live for the queue's lifetime). *)
 
 type 'a entry = { at : int; seq : int; payload : 'a }
 
-type 'a t = { mutable heap : 'a entry array; mutable size : int; mutable next_seq : int }
+type 'a t = { mutable heap : 'a entry option array; mutable size : int; mutable next_seq : int }
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let length q = q.size
 let is_empty q = q.size = 0
+
+let get q i = match q.heap.(i) with Some e -> e | None -> assert false
 
 let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
 
@@ -20,7 +27,7 @@ let swap q i j =
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before q.heap.(i) q.heap.(parent) then begin
+    if before (get q i) (get q parent) then begin
       swap q i parent;
       sift_up q parent
     end
@@ -29,8 +36,8 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
-  if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if l < q.size && before (get q l) (get q !smallest) then smallest := l;
+  if r < q.size && before (get q r) (get q !smallest) then smallest := r;
   if !smallest <> i then begin
     swap q i !smallest;
     sift_down q !smallest
@@ -40,11 +47,11 @@ let push q ~at payload =
   if at < 0 then invalid_arg "Event_queue.push: negative time";
   if q.size = Array.length q.heap then begin
     let cap = max 16 (2 * q.size) in
-    let heap = Array.make cap { at = 0; seq = 0; payload } in
+    let heap = Array.make cap None in
     Array.blit q.heap 0 heap 0 q.size;
     q.heap <- heap
   end;
-  q.heap.(q.size) <- { at; seq = q.next_seq; payload };
+  q.heap.(q.size) <- Some { at; seq = q.next_seq; payload };
   q.next_seq <- q.next_seq + 1;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
@@ -52,13 +59,15 @@ let push q ~at payload =
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
+    let top = get q 0 in
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.heap.(0) <- q.heap.(q.size);
+      q.heap.(q.size) <- None;
       sift_down q 0
-    end;
+    end
+    else q.heap.(0) <- None;
     Some (top.at, top.payload)
   end
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).at
+let peek_time q = if q.size = 0 then None else Some (get q 0).at

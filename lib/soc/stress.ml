@@ -1,0 +1,93 @@
+(* A large synthetic stress scenario for the selection engine.
+
+   The T2 scenarios of Table 1 top out at 12-message pools and a few dozen
+   product states — small enough that exact Step-1/2 enumeration never
+   strains. This module builds three synthetic protocol flows whose
+   interleaving (five legally indexed instances) yields thousands of
+   product states and a 19-message pool, so exact enumeration visits
+   hundreds of thousands of candidate combinations: the workload the
+   streaming multicore engine is benchmarked on (bench/main.ml,
+   BENCH_select.json).
+
+   Everything is deterministic: the flows are fixed, so selection results
+   are stable across runs and job counts. *)
+
+open Flowtrace_core
+
+(* Synthetic messages: widths cycle through the shape list; messages of
+   width >= 6 get two subgroups (packing candidates), widths >= 8 stream
+   over two beats (footnote 2 of the paper). *)
+let mk_msg ~prefix i w =
+  let name = Printf.sprintf "%s_m%02d" prefix i in
+  let subgroups =
+    if w >= 6 then [ Message.subgroup "hi" (w / 2); Message.subgroup "lo" (w - (w / 2) - 1) ]
+    else []
+  in
+  let beats = if w >= 8 then 2 else 1 in
+  Message.make name w
+    ~src:(Printf.sprintf "SIP%d" (i mod 3))
+    ~dst:(Printf.sprintf "SIP%d" ((i + 1) mod 3))
+    ~subgroups ~beats
+
+(* A chain flow with alternative edges: [widths] gives the main-chain
+   message widths (k messages over k+1 states); each [(i, w)] in [alts]
+   adds a second, distinct message from state i to state i+1 (a protocol
+   variant such as a retry or an error reply). [atomic_at] marks chain
+   positions whose state joins the Atom mutex set. *)
+let chain_flow ~name ~prefix ~widths ~alts ~atomic_at =
+  let k = List.length widths in
+  let state i = Printf.sprintf "%s%d" prefix i in
+  let states = List.init (k + 1) state in
+  let main = List.mapi (fun i w -> mk_msg ~prefix i w) widths in
+  let alt_msgs = List.map (fun (i, w) -> mk_msg ~prefix (100 + i) w) alts in
+  let transitions =
+    List.mapi (fun i (m : Message.t) -> Flow.transition (state i) m.Message.name (state (i + 1))) main
+    @ List.map2
+        (fun (i, _) (m : Message.t) -> Flow.transition (state i) m.Message.name (state (i + 1)))
+        alts alt_msgs
+  in
+  Flow.make ~name ~states ~initial:[ state 0 ] ~stop:[ state k ]
+    ~atomic:(List.map state atomic_at)
+    ~messages:(main @ alt_msgs) ~transitions ()
+
+let flow_a =
+  chain_flow ~name:"STA" ~prefix:"a" ~widths:[ 2; 1; 6; 4; 1 ] ~alts:[ (1, 1); (3, 2) ]
+    ~atomic_at:[]
+
+let flow_b =
+  chain_flow ~name:"STB" ~prefix:"b" ~widths:[ 1; 2; 3; 8; 1 ] ~alts:[ (2, 1) ] ~atomic_at:[ 3 ]
+
+let flow_c =
+  chain_flow ~name:"STC" ~prefix:"c" ~widths:[ 4; 1; 2; 1 ] ~alts:[ (0, 2); (2, 6) ]
+    ~atomic_at:[]
+
+let flows = [ flow_a; flow_b; flow_c ]
+
+(* Five legally indexed instances: two STA, one STB, two STC. *)
+let instances =
+  List.mapi
+    (fun i f -> { Interleave.flow = f; index = i + 1 })
+    [ flow_a; flow_a; flow_b; flow_c; flow_c ]
+
+let interleave ?(max_states = 2_000_000) () = Interleave.make ~max_states instances
+
+(* Message pool of the scenario, deduplicated by name (instances of the
+   same flow share their messages). *)
+let messages =
+  let seen = Hashtbl.create 32 in
+  List.concat_map
+    (fun (f : Flow.t) ->
+      List.filter_map
+        (fun (m : Message.t) ->
+          if Hashtbl.mem seen m.Message.name then None
+          else begin
+            Hashtbl.replace seen m.Message.name ();
+            Some m
+          end)
+        f.Flow.messages)
+    flows
+
+(* Wide enough that exact enumeration visits a candidate count in the
+   hundreds of thousands (see Combination.count in the bench), narrow
+   enough that it stays under Combination.default_limit. *)
+let default_buffer_width = 24

@@ -1,0 +1,27 @@
+(** A large synthetic stress scenario for the selection engine.
+
+    Three synthetic protocol flows whose five-instance interleaving yields
+    thousands of product states and a 19-message pool — exact Step-1/2
+    enumeration visits hundreds of thousands of candidate combinations at
+    {!default_buffer_width}. This is the workload the streaming multicore
+    engine is benchmarked on; the T2 scenarios of Table 1 are too small to
+    exercise the scaling path. Fully deterministic. *)
+
+open Flowtrace_core
+
+(** The three synthetic flows (STA, STB, STC). *)
+val flows : Flow.t list
+
+(** Five legally indexed instances: STA x2, STB x1, STC x2. *)
+val instances : Interleave.instance list
+
+(** Materialize the interleaved flow of {!instances}. *)
+val interleave : ?max_states:int -> unit -> Interleave.t
+
+(** The deduplicated message pool Step 1 enumerates. *)
+val messages : Message.t list
+
+(** Buffer width at which exact enumeration visits a candidate count in
+    the hundreds of thousands while staying under
+    [Combination.default_limit]. *)
+val default_buffer_width : int

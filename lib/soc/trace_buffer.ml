@@ -1,7 +1,12 @@
 (* The on-chip trace buffer: a circular buffer of entries, each capturing
    the bits of one selected message occurrence. Messages outside the
    selection are invisible; packed subgroups capture only their own bits of
-   the parent message's payload. *)
+   the parent message's payload.
+
+   The storage is a real ring array: recording is O(1) whether or not the
+   buffer has wrapped. (The previous entry-list representation re-reversed
+   the whole buffer to drop the oldest entry, making every post-wrap record
+   O(depth) and a long [record_all] quadratic.) *)
 
 open Flowtrace_core
 
@@ -11,7 +16,9 @@ type t = {
   width : int;  (* bits per entry *)
   depth : int;  (* number of entries retained *)
   selection : Select.result;
-  mutable entries : entry list;  (* reversed chronological *)
+  ring : entry option array;  (* length [depth]; [None] = never written *)
+  mutable head : int;  (* slot of the oldest retained entry *)
+  mutable count : int;  (* retained entries, <= depth *)
   mutable recorded : int;
   mutable dropped : int;  (* overwritten by wrap-around *)
 }
@@ -22,7 +29,9 @@ let create ~depth (selection : Select.result) =
     width = selection.Select.buffer_width;
     depth;
     selection;
-    entries = [];
+    ring = Array.make depth None;
+    head = 0;
+    count = 0;
     recorded = 0;
     dropped = 0;
   }
@@ -54,17 +63,23 @@ let record t (p : Packet.t) =
       let entry =
         { e_cycle = p.Packet.cycle; e_imsg = Packet.indexed p; e_bits = bits; e_partial = partial }
       in
-      t.entries <- entry :: t.entries;
-      t.recorded <- t.recorded + 1;
-      if t.recorded - t.dropped > t.depth then begin
-        (* drop the oldest entry: circular-buffer wrap-around *)
-        t.entries <- (match List.rev t.entries with _ :: rest -> List.rev rest | [] -> []);
+      if t.count = t.depth then begin
+        (* wrap-around: overwrite the oldest slot in place *)
+        t.ring.(t.head) <- Some entry;
+        t.head <- (t.head + 1) mod t.depth;
         t.dropped <- t.dropped + 1
       end
+      else begin
+        t.ring.((t.head + t.count) mod t.depth) <- Some entry;
+        t.count <- t.count + 1
+      end;
+      t.recorded <- t.recorded + 1
 
 let record_all t packets = List.iter (record t) packets
 
-let entries t = List.rev t.entries
+let entries t =
+  List.init t.count (fun i ->
+      match t.ring.((t.head + i) mod t.depth) with Some e -> e | None -> assert false)
 
 (* The observed trace, as localization consumes it. *)
 let observed t = List.map (fun e -> e.e_imsg) (entries t)

@@ -125,6 +125,18 @@ let prop_full_set_bounded_by_entropy =
           let g = Infogain.compute inter ~selected:(fun _ -> true) in
           g <= log (float_of_int (Interleave.n_states inter)) +. 1e-9))
 
+let prop_eval_weighted_agrees =
+  QCheck.Test.make ~name:"eval_weighted = compute_weighted" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      with_inter seed (fun inter ->
+          let ev = Infogain.evaluator inter in
+          (* deterministic pseudo-weights in [0, 1] keyed on the base name *)
+          let weight b = float_of_int (Hashtbl.hash (seed, b) mod 5) /. 4.0 in
+          Float.abs
+            (Infogain.eval_weighted ev ~weight -. Infogain.compute_weighted inter ~weight)
+          < 1e-9))
+
 let () =
   Alcotest.run "infogain"
     [
@@ -143,6 +155,7 @@ let () =
             prop_nonnegative;
             prop_monotone;
             prop_evaluator_agrees;
+            prop_eval_weighted_agrees;
             prop_full_set_bounded_by_entropy;
             prop_uniform_prior_matches_compute;
             prop_visit_prior_normalized;

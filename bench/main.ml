@@ -133,8 +133,27 @@ let memory_probes () =
   @ probe "stress_exact_list" (fun () -> select_exact_list inter ~buffer_width:w)
 
 (* ------------------------------------------------------------------ *)
+(* Counter provenance: one instrumented stream-path run of the stress
+   workload, recorded into the bench JSON so a timing regression can be
+   cross-checked against the work actually done (did the candidate count
+   change, or just the clock?). Uses the null sink — counters only. *)
 
-let write_json file rows probes =
+let telemetry_provenance () =
+  let module Tel = Flowtrace_telemetry.Telemetry in
+  let module Event = Flowtrace_telemetry.Event in
+  let inter = Stress.interleave () in
+  Tel.install Flowtrace_telemetry.Sink.null;
+  Fun.protect ~finally:Tel.shutdown @@ fun () ->
+  ignore (Select.select ~pack:false inter ~buffer_width:Stress.default_buffer_width);
+  List.filter_map
+    (function
+      | Event.Counter c when c.Event.c_value <> 0 -> Some (c.Event.c_name, c.Event.c_value)
+      | _ -> None)
+    (Tel.metrics ())
+
+(* ------------------------------------------------------------------ *)
+
+let write_json file rows probes counters =
   let classify name =
     (* strip the Bechamel group prefix ("flowtrace/") *)
     let base =
@@ -155,12 +174,19 @@ let write_json file rows probes =
     Json.Obj
       [ ("name", Json.String name); ("kind", Json.String "memory"); ("words", Json.Float v) ]
   in
+  let counter_entry (name, v) =
+    Json.Obj
+      [ ("name", Json.String name); ("kind", Json.String "counter"); ("value", Json.Int v) ]
+  in
   let doc =
     Json.Obj
       [
         ("suite", Json.String "flowtrace");
         ("schema", Json.String "bench/v1");
-        ("entries", Json.List (List.map entry rows @ List.map probe_entry probes));
+        ( "entries",
+          Json.List
+            (List.map entry rows @ List.map probe_entry probes
+            @ List.map counter_entry counters) );
       ]
   in
   let oc = open_out file in
@@ -190,4 +216,6 @@ let () =
   let rows = benchmark ~quota:!quota in
   let probes = memory_probes () in
   List.iter (fun (n, v) -> Printf.printf "%-40s %12.0f words\n" n v) probes;
-  match !json_file with None -> () | Some file -> write_json file rows probes
+  let counters = telemetry_provenance () in
+  List.iter (fun (n, v) -> Printf.printf "%-40s %12d\n" n v) counters;
+  match !json_file with None -> () | Some file -> write_json file rows probes counters

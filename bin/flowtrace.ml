@@ -6,10 +6,12 @@
      localize    count executions consistent with an observed trace
      lint        statically check spec files (FL001..FL014 diagnostics)
      tables      regenerate the paper's tables and figures
-     scenarios   show the built-in OpenSPARC T2 scenarios *)
+     scenarios   show the built-in OpenSPARC T2 scenarios
+     stats       replay a recorded telemetry file into aggregate tables *)
 
 open Cmdliner
 open Flowtrace_core
+module Telemetry = Flowtrace_telemetry.Telemetry
 
 let load_flows path =
   try Ok (Spec_parser.parse_file path) with
@@ -99,6 +101,26 @@ let limit =
   in
   Arg.(value & opt int Combination.default_limit & info [ "limit" ] ~docv:"N" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Record runtime telemetry (spans, counters, gauges, histograms) to $(docv). The format \
+     follows the extension: $(b,.jsonl) writes one JSON event per line (replayable with \
+     $(b,flowtrace stats)), $(b,.json)/$(b,.trace) writes a Chrome $(i,trace_event) file for \
+     about://tracing, anything else writes human-readable text."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+(* Bracket a command with telemetry recording: install the sink before the
+   work, flush and close it afterwards even if the command dies. *)
+let with_telemetry tel f =
+  match tel with
+  | None -> f ()
+  | Some path ->
+      Telemetry.install
+        ~meta:[ ("tool", Flowtrace_telemetry.Event.Str "flowtrace") ]
+        (Flowtrace_telemetry.Sink.of_path path);
+      Fun.protect ~finally:Telemetry.shutdown f
+
 let or_die = function
   | Ok v -> v
   | Error m ->
@@ -121,14 +143,17 @@ let select_or_die ~path ?strategy ?jobs ?limit ?pack inter ~buffer_width =
 (* --- commands ------------------------------------------------------ *)
 
 let select_cmd =
-  let run path counts width strategy no_pack jobs limit =
+  let run path counts width strategy no_pack jobs limit tel =
+    with_telemetry tel @@ fun () ->
     let inter = or_die (interleave_of path counts) in
     let r = select_or_die ~path ~strategy ~jobs ~limit ~pack:(not no_pack) inter ~buffer_width:width in
     Format.printf "%a@." Select.pp_result r
   in
   let doc = "Select trace messages for the flows of a spec file." in
   Cmd.v (Cmd.info "select" ~doc)
-    Term.(const run $ spec_file $ instances $ width $ strategy $ no_pack $ jobs $ limit)
+    Term.(
+      const run $ spec_file $ instances $ width $ strategy $ no_pack $ jobs $ limit
+      $ telemetry_arg)
 
 let interleave_cmd =
   let run path counts =
@@ -141,7 +166,8 @@ let interleave_cmd =
   Cmd.v (Cmd.info "interleave" ~doc) Term.(const run $ spec_file $ instances)
 
 let localize_cmd =
-  let run path counts trace width strategy =
+  let run path counts trace width strategy tel =
+    with_telemetry tel @@ fun () ->
     let inter = or_die (interleave_of path counts) in
     let sel = select_or_die ~path ~strategy inter ~buffer_width:width in
     let observed =
@@ -168,7 +194,7 @@ let localize_cmd =
   in
   let doc = "Count executions prefix-consistent with an observed trace." in
   Cmd.v (Cmd.info "localize" ~doc)
-    Term.(const run $ spec_file $ instances $ trace_arg $ width $ strategy)
+    Term.(const run $ spec_file $ instances $ trace_arg $ width $ strategy $ telemetry_arg)
 
 let tables_cmd =
   let ids =
@@ -192,7 +218,8 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ ids)
 
 let explain_cmd =
-  let run path counts width strategy jobs limit =
+  let run path counts width strategy jobs limit tel =
+    with_telemetry tel @@ fun () ->
     let inter = or_die (interleave_of path counts) in
     let r = select_or_die ~path ~strategy ~jobs ~limit inter ~buffer_width:width in
     Format.printf "%a@.@." Select.pp_result r;
@@ -202,7 +229,7 @@ let explain_cmd =
   in
   let doc = "Rank every message of a spec file by information contribution." in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ spec_file $ instances $ width $ strategy $ jobs $ limit)
+    Term.(const run $ spec_file $ instances $ width $ strategy $ jobs $ limit $ telemetry_arg)
 
 let simulate_cmd =
   let open Flowtrace_soc in
@@ -226,7 +253,8 @@ let simulate_cmd =
     let doc = "Save the packet trace to $(docv)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run scenario bugs rounds seed out =
+  let run scenario bugs rounds seed out tel =
+    with_telemetry tel @@ fun () ->
     let sc = try Scenario.by_id scenario with Invalid_argument m -> or_die (Error m) in
     let bugs =
       List.map
@@ -257,7 +285,7 @@ let simulate_cmd =
   in
   let doc = "Simulate a T2 usage scenario, optionally with injected bugs." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ scenario_arg $ bug_arg $ rounds_arg $ seed_arg $ out_arg)
+    Term.(const run $ scenario_arg $ bug_arg $ rounds_arg $ seed_arg $ out_arg $ telemetry_arg)
 
 let debug_cmd =
   let case_arg =
@@ -268,13 +296,14 @@ let debug_cmd =
     let doc = "Workload rounds." in
     Arg.(value & opt int 40 & info [ "rounds" ] ~doc)
   in
-  let run case rounds =
+  let run case rounds tel =
+    with_telemetry tel @@ fun () ->
     let open Flowtrace_debug in
     let cs = try Case_study.by_id case with Invalid_argument m -> or_die (Error m) in
     Report.print (Case_study.run ~rounds cs)
   in
   let doc = "Run a T2 debugging case study and print the session report." in
-  Cmd.v (Cmd.info "debug" ~doc) Term.(const run $ case_arg $ rounds_arg)
+  Cmd.v (Cmd.info "debug" ~doc) Term.(const run $ case_arg $ rounds_arg $ telemetry_arg)
 
 let dot_cmd =
   let out =
@@ -355,6 +384,22 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const run $ specs $ json $ werror $ list_rules $ topology $ max_states)
 
+let stats_cmd =
+  let file =
+    let doc = "Telemetry file recorded with $(b,--telemetry) (JSONL format)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Flowtrace_telemetry.Summary.load_jsonl file with
+    | Error m -> or_die (Error m)
+    | Ok events ->
+        Format.printf "%a@."
+          Flowtrace_telemetry.Summary.pp
+          (Flowtrace_telemetry.Summary.of_events events)
+  in
+  let doc = "Replay a recorded telemetry file into per-phase timing and counter tables." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file)
+
 let scenarios_cmd =
   let run () =
     let open Flowtrace_soc in
@@ -375,4 +420,4 @@ let () =
   let doc = "application-level hardware trace message selection" in
   let info = Cmd.info "flowtrace" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd ]))
+       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd ]))

@@ -15,8 +15,16 @@
       state (so no execution strands, and atomic states can always be
       exited). *)
 
+(** One labeled edge of the transition DAG: firing it in state [t_src]
+    emits message [t_msg] and moves the flow to [t_dst]. Build with
+    {!transition}; the type is private so every flow passes [make]'s
+    validation. *)
 type transition = private { t_src : string; t_msg : string; t_dst : string }
 
+(** A validated flow. Fields mirror the paper's tuple: [atomic] is the
+    mutex set Atom (at most one instance may occupy an atomic state at a
+    time, enforced operationally by the simulator), [messages] the
+    declared alphabet E. Only {!make} produces values of this type. *)
 type t = private {
   name : string;
   states : string list;
@@ -68,9 +76,15 @@ val predecessors : t -> string -> transition list
     declaration order ({!Message.equal} on messages). *)
 val equal : t -> t -> bool
 
+(** [is_stop t s] — is [s] one of the stop states [Sp]? *)
 val is_stop : t -> string -> bool
+
+(** [is_atomic t s] — is [s] in the mutex set [Atom]? *)
 val is_atomic : t -> string -> bool
+
+(** [is_initial t s] — is [s] one of the initial states [S0]? *)
 val is_initial : t -> string -> bool
+
 val n_states : t -> int
 val n_messages : t -> int
 
@@ -78,4 +92,5 @@ val n_messages : t -> int
     flow (message-name sequences). Raises [Failure] past [limit] paths. *)
 val executions : ?limit:int -> t -> string list list
 
+(** One-line summary: name, state/message counts, atomic states. *)
 val pp : Format.formatter -> t -> unit

@@ -11,10 +11,18 @@ type t = { base : string;  (** message name *) inst : int  (** flow-instance ind
     non-negative. *)
 val make : string -> int -> t
 
+(** Total order: by base name, then by instance index. *)
 val compare : t -> t -> int
+
 val equal : t -> t -> bool
+
+(** Hash consistent with {!equal}, for [Hashtbl]-keyed tables. *)
 val hash : t -> int
+
+(** ["i:m"] rendering, e.g. ["1:ReqE"] — the same notation the CLI's
+    [localize] command parses back. *)
 val to_string : t -> string
+
 val pp : Format.formatter -> t -> unit
 
 module Set : Set.S with type elt = t

@@ -7,6 +7,12 @@
    entering x. The sum uses the natural logarithm — the paper's worked
    example I(X;Y1) = (12/18)·ln 5 = 1.073 pins the base. *)
 
+module Tel = Flowtrace_telemetry.Telemetry
+
+let c_evaluator_builds = Tel.Counter.v "infogain.evaluator_builds"
+let c_eval_weighted = Tel.Counter.v "infogain.eval_weighted_calls"
+let h_combo_len = Tel.Histogram.v "infogain.eval_combo_len"
+
 type stats = {
   total_occurrences : int;
   occurrences : (Indexed.t * int) list;  (* first-encounter (edge) order *)
@@ -134,6 +140,8 @@ let of_combination inter combo =
 type evaluator = { base_term : (string, float) Hashtbl.t; bases : string list }
 
 let evaluator inter =
+  Tel.Counter.incr c_evaluator_builds;
+  Tel.with_span "infogain.evaluator" @@ fun () ->
   let st = stats inter in
   let n_states = Interleave.n_states inter in
   let base_term = Hashtbl.create 32 in
@@ -152,6 +160,9 @@ let evaluator inter =
 let eval_base ev base = Option.value ~default:0.0 (Hashtbl.find_opt ev.base_term base)
 
 let eval ev combo =
+  (* [eval_base] itself stays uninstrumented: the streaming walk calls it
+     per taken message and the call count depends on the task plan depth. *)
+  if Tel.enabled () then Tel.Histogram.observe h_combo_len (float_of_int (List.length combo));
   List.fold_left (fun acc (m : Message.t) -> acc +. eval_base ev m.Message.name) 0.0 combo
 
 (* Weighted gain from the precomputed terms: Step-3 packing evaluates many
@@ -159,6 +170,7 @@ let eval ev combo =
    edge list per candidate. Exact because each base's term is linear in
    its weight. *)
 let eval_weighted ev ~weight =
+  Tel.Counter.incr c_eval_weighted;
   List.fold_left
     (fun acc base ->
       let w = weight base in

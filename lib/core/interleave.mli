@@ -16,8 +16,13 @@
 (** One participating flow with its instance index (Definition 3/4). *)
 type instance = { flow : Flow.t; index : int }
 
+(** One transition of the product DAG: firing indexed message [e_msg]
+    moves the interleaving from product state [e_src] to [e_dst] (dense
+    state ids in [[0, n_states)]). *)
 type edge = { e_src : int; e_msg : Indexed.t; e_dst : int }
 
+(** A materialized interleaved flow — the object Steps 1–3 and the
+    localization engine analyze. *)
 type t
 
 (** Raised when two instances of the same flow share an index
@@ -40,7 +45,9 @@ val make : ?max_states:int -> instance list -> t
     list order. *)
 val of_flows : ?max_states:int -> Flow.t list -> t
 
+(** Reachable product states — the [|S|] of [p(x) = 1/|S|]. *)
 val n_states : t -> int
+
 val n_edges : t -> int
 
 (** Initial product states (dense ids in [0, n_states)). *)
@@ -49,21 +56,33 @@ val initials : t -> int list
 (** Product states whose components are all stop states. *)
 val stops : t -> int list
 
+(** [is_stop t s] — is [s] a product stop state? *)
 val is_stop : t -> int -> bool
 
 (** The union of the participating flows' messages, deduplicated by name —
     the pool Step 1 enumerates over. *)
 val messages : t -> Message.t list
 
+(** Every edge of the product DAG, in construction order — the stream
+    {!Infogain.stats} folds over. *)
 val edges : t -> edge list
+
+(** [out_edges t s] / [in_edges t s]: the labeled transitions leaving /
+    entering product state [s]. *)
 val out_edges : t -> int -> (Indexed.t * int) list
+
 val in_edges : t -> int -> (Indexed.t * int) list
+
+(** [successors t s] is [out_edges] without the labels. *)
 val successors : t -> int -> int list
 
 (** [state_name t s] renders a product state like ["(c1,n2)"]. *)
 val state_name : t -> int -> string
 
+(** [message t name] looks a pool message up by base name. *)
 val message : t -> string -> Message.t option
+
+(** [message_exn t name] is {!message} or [Invalid_argument]. *)
 val message_exn : t -> string -> Message.t
 
 (** [total_paths t] counts (saturating) all executions: paths from an
@@ -74,4 +93,5 @@ val total_paths : t -> int
     every participating instance whose flow declares [base]. *)
 val indexed_instances_of : t -> string -> Indexed.t list
 
+(** One-line summary: instance, state, edge and path counts. *)
 val pp : Format.formatter -> t -> unit

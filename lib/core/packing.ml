@@ -12,6 +12,13 @@
    [scale_partial = true] the term is scaled by the fraction of parent bits
    captured so far — an ablation knob discussed in DESIGN.md. *)
 
+module Tel = Flowtrace_telemetry.Telemetry
+
+let c_rounds = Tel.Counter.v "packing.rounds"
+let c_cand_scored = Tel.Counter.v "packing.candidates_scored"
+let c_packed = Tel.Counter.v "packing.subgroups_packed"
+let h_gain_eval_packs = Tel.Histogram.v "packing.gain_eval_packs"
+
 type packed = { p_parent : Message.t; p_sub : Message.subgroup }
 
 let qualified p = Message.qualified_subgroup_name p.p_parent p.p_sub
@@ -21,6 +28,8 @@ let qualified p = Message.qualified_subgroup_name p.p_parent p.p_sub
    in every greedy round used to rescan the full edge list via
    Infogain.stats; now each evaluation is O(|bases|). *)
 let gain_with ev ~scale_partial ~selected ~packs =
+  if Tel.enabled () then
+    Tel.Histogram.observe h_gain_eval_packs (float_of_int (List.length packs));
   let full = List.map (fun (m : Message.t) -> m.Message.name) selected in
   let partial : (string * float) list =
     (* accumulated captured fraction per parent, capped at 1 *)
@@ -71,6 +80,8 @@ let pack inter ~selected ~gain:_ ~bits_used ~buffer_width ~scale_partial =
       match candidates with
       | [] -> (packs, bits)
       | _ ->
+          Tel.Counter.incr c_rounds;
+          Tel.Counter.add c_cand_scored (List.length candidates);
           let scored =
             List.map
               (fun p -> (p, gain_with ev ~scale_partial ~selected ~packs:(p :: packs)))
@@ -97,6 +108,7 @@ let pack inter ~selected ~gain:_ ~bits_used ~buffer_width ~scale_partial =
           | Some (p, g) when g >= current -. 1e-12 ->
               (* Gains are monotone, so any candidate keeps g >= current;
                  ties prefer the widest subgroup to maximize utilization. *)
+              Tel.Counter.incr c_packed;
               go (p :: packs) (bits + p.p_sub.Message.sg_width)
           | _ -> (packs, bits))
   in

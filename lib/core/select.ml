@@ -1,6 +1,17 @@
 (* The full message-selection pipeline: Step 1 (enumeration), Step 2
    (mutual-information maximization), Step 3 (packing) — Section 3. *)
 
+module Tel = Flowtrace_telemetry.Telemetry
+
+(* Only partition-invariant quantities become counters, so the totals are
+   bit-identical whatever ~jobs splits the subset tree into. Per-worker
+   load (task steal counts) goes into span args instead. *)
+let c_runs = Tel.Counter.v "select.runs"
+let c_streamed = Tel.Counter.v "select.candidates_streamed"
+let c_scored = Tel.Counter.v "select.candidates_scored"
+let c_pruned = Tel.Counter.v "select.candidates_pruned"
+let c_greedy_rounds = Tel.Counter.v "select.greedy_rounds"
+
 type strategy = Exact | Exact_maximal | Greedy
 
 type result = {
@@ -86,6 +97,7 @@ let greedy inter ~buffer_width =
         (match best with
         | None -> List.rev selected
         | Some (m, _) ->
+            Tel.Counter.incr c_greedy_rounds;
             go (m :: selected)
               (remaining - Message.trace_width m)
               (List.filter (fun m' -> not (Message.equal_name m m')) pool))
@@ -137,6 +149,9 @@ let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
   in
   let leaf best p = merge_best best (Some p) in
   let pool = Interleave.messages inter in
+  (* [track] is latched once per run: when telemetry is off the fold uses
+     the bare closures and the walk costs exactly what it did before. *)
+  let track = Tel.enabled () in
   let best =
     if jobs <= 1 then begin
       (* single walk, local candidate budget *)
@@ -146,7 +161,23 @@ let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
         incr count;
         if !count > limit then raise (Combination.Too_many limit)
       in
-      Combination.fold_task plan 0 ~only_maximal:maximal ~tick ~take ~path:path0 ~leaf ~init:None
+      let leaves = ref 0 in
+      let leaf =
+        if track then fun best p ->
+          incr leaves;
+          merge_best best (Some p)
+        else leaf
+      in
+      let r =
+        Combination.fold_task plan 0 ~only_maximal:maximal ~tick ~take ~path:path0 ~leaf
+          ~init:None
+      in
+      if track then begin
+        Tel.Counter.add c_streamed !count;
+        Tel.Counter.add c_scored !leaves;
+        Tel.Counter.add c_pruned (!count - !leaves)
+      end;
+      r
     end
     else begin
       (* fan the subtree tasks out across domains; tasks are claimed from a
@@ -163,26 +194,51 @@ let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
       let tick () =
         if Atomic.fetch_and_add candidates 1 >= limit then raise (Combination.Too_many limit)
       in
+      let leaves = Atomic.make 0 in
+      let leaf =
+        if track then fun best p ->
+          ignore (Atomic.fetch_and_add leaves 1);
+          merge_best best (Some p)
+        else leaf
+      in
       let work () =
-        try
-          let continue = ref true in
-          while !continue do
-            match Atomic.get failed with
-            | Some _ -> continue := false
-            | None ->
-                let t = Atomic.fetch_and_add next 1 in
-                if t >= ntasks then continue := false
-                else
-                  results.(t) <-
-                    Combination.fold_task plan t ~only_maximal:maximal ~tick ~take ~path:path0
-                      ~leaf ~init:None
-          done
-        with e -> Atomic.set failed (Some e)
+        (* per-worker stats are decomposition-dependent, so they are span
+           args (one select.worker span per domain), never counters *)
+        let my_tasks = ref 0 in
+        let body () =
+          try
+            let continue = ref true in
+            while !continue do
+              match Atomic.get failed with
+              | Some _ -> continue := false
+              | None ->
+                  let t = Atomic.fetch_and_add next 1 in
+                  if t >= ntasks then continue := false
+                  else begin
+                    incr my_tasks;
+                    results.(t) <-
+                      Combination.fold_task plan t ~only_maximal:maximal ~tick ~take ~path:path0
+                        ~leaf ~init:None
+                  end
+            done
+          with e -> Atomic.set failed (Some e)
+        in
+        if track then
+          Tel.with_span "select.worker"
+            ~args:(fun () -> [ ("tasks", Flowtrace_telemetry.Event.Int !my_tasks) ])
+            body
+        else body ()
       in
       let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
       work ();
       Array.iter Domain.join domains;
       (match Atomic.get failed with Some e -> raise e | None -> ());
+      if track then begin
+        let n = Atomic.get candidates and l = Atomic.get leaves in
+        Tel.Counter.add c_streamed n;
+        Tel.Counter.add c_scored l;
+        Tel.Counter.add c_pruned (n - l)
+      end;
       Array.fold_left merge_best None results
     end
   in
@@ -190,8 +246,18 @@ let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
   | None -> invalid_arg "Select: no message fits the trace buffer"
   | Some p -> (List.rev p.pmsgs, p.pg)
 
+let strategy_name = function
+  | Exact -> "exact"
+  | Exact_maximal -> "exact-maximal"
+  | Greedy -> "greedy"
+
 let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs = 1) inter
     ~buffer_width =
+  Tel.with_span "select.step1_2"
+    ~args:(fun () ->
+      Flowtrace_telemetry.Event.
+        [ ("strategy", Str (strategy_name strategy)); ("jobs", Int jobs); ("width", Int buffer_width) ])
+  @@ fun () ->
   match strategy with
   | Greedy ->
       let combo = greedy inter ~buffer_width in
@@ -202,11 +268,16 @@ let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs 
       exact_stream ~maximal:(strategy = Exact_maximal) ~limit ~jobs inter ~buffer_width
 
 let select ?strategy ?limit ?jobs ?(pack = true) ?(scale_partial = false) inter ~buffer_width =
+  Tel.Counter.incr c_runs;
+  Tel.with_span "select"
+    ~args:(fun () -> [ ("width", Flowtrace_telemetry.Event.Int buffer_width) ])
+  @@ fun () ->
   let combo, gain = step1_step2 ?strategy ?limit ?jobs inter ~buffer_width in
   let bits = Message.total_width combo in
   let packed, gain, bits =
     if pack then
-      Packing.pack inter ~selected:combo ~gain ~bits_used:bits ~buffer_width ~scale_partial
+      Tel.with_span "select.pack" (fun () ->
+          Packing.pack inter ~selected:combo ~gain ~bits_used:bits ~buffer_width ~scale_partial)
     else ([], gain, bits)
   in
   let observable =
@@ -215,7 +286,8 @@ let select ?strategy ?limit ?jobs ?(pack = true) ?(scale_partial = false) inter 
       @ List.map (fun p -> p.Packing.p_parent.Message.name) packed)
   in
   let coverage =
-    Coverage.compute inter ~selected:(fun base -> List.exists (String.equal base) observable)
+    Tel.with_span "select.coverage" (fun () ->
+        Coverage.compute inter ~selected:(fun base -> List.exists (String.equal base) observable))
   in
   { messages = combo; packed; gain; coverage; bits_used = bits; buffer_width }
 

@@ -6,8 +6,13 @@ open Flowtrace_bug
 
 type t = { cs_id : int; scenario : Scenario.t; bug_id : int; seed : int }
 
+(** The five studies, in Table 3 order. *)
 val all : t list
+
+(** [by_id n] is case study [n] (1–5); [Invalid_argument] otherwise. *)
 val by_id : int -> t
+
+(** The activated catalog bug of a case study. *)
 val bug : t -> Bug.t
 
 (** [run cs] drives the full debug session for the case study. *)

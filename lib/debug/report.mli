@@ -1,5 +1,9 @@
 (** Human-readable rendering of a debugging session, in the shape of the
     paper's Section 5.7 case-study narrative. *)
 
+(** [render s] is the full report as a string: symptom, selection,
+    investigation steps with the pair/cause elimination curve, verdict. *)
 val render : Session.t -> string
+
+(** [print s] writes {!render} to stdout. *)
 val print : Session.t -> unit

@@ -10,6 +10,10 @@
 open Flowtrace_core
 open Flowtrace_soc
 open Flowtrace_bug
+module Tel = Flowtrace_telemetry.Telemetry
+
+let c_steps = Tel.Counter.v "debug.session.steps"
+let c_entries = Tel.Counter.v "debug.session.entries_examined"
 
 type step = {
   st_msg : string;
@@ -118,6 +122,15 @@ let investigate evidence causes msg =
 
 let run ?(seed = 1) ?(rounds = Scenario.default_run.Scenario.rounds) ~scenario ~bugs
     ~buffer_width () =
+  Tel.with_span "debug.session"
+    ~args:(fun () ->
+      Flowtrace_telemetry.Event.
+        [
+          ("scenario", Str scenario.Scenario.name);
+          ("seed", Int seed);
+          ("width", Int buffer_width);
+        ])
+  @@ fun () ->
   let config = { Scenario.default_run with Scenario.seed; rounds } in
   let golden, buggy = Inject.golden_vs_buggy ~config scenario bugs in
   let inter = Scenario.interleave scenario in
@@ -152,28 +165,49 @@ let run ?(seed = 1) ?(rounds = Scenario.default_run.Scenario.rounds) ~scenario ~
   List.iter
     (fun msg ->
       if !continue_ then begin
-        investigate evidence causes msg;
-        let ev = Evidence.for_message evidence msg in
-        let entries =
-          match ev with
-          | Some e -> max e.Evidence.me_seen e.Evidence.me_golden
-          | None -> 0
+        let st_cell = ref None in
+        let step_args () =
+          match !st_cell with
+          | None -> []
+          | Some st ->
+              Flowtrace_telemetry.Event.
+                [
+                  ("msg", Str st.st_msg);
+                  ("entries", Int st.st_entries);
+                  ("pairs_remaining", Int st.st_pairs_remaining);
+                  ("causes_remaining", Int st.st_causes_remaining);
+                ]
         in
-        entries_total := !entries_total + entries;
-        (match ev with
-        | Some e ->
-            Hashtbl.replace pairs_touched (e.Evidence.me_src, e.Evidence.me_dst) true;
-            if Evidence.seen_ok evidence msg then
-              Hashtbl.replace pair_alive (e.Evidence.me_src, e.Evidence.me_dst) false
-        | None -> ());
-        steps :=
-          {
-            st_msg = msg;
-            st_entries = entries;
-            st_pairs_remaining = alive_pairs ();
-            st_causes_remaining = alive_causes ();
-          }
-          :: !steps;
+        let st =
+          Tel.with_span "debug.session.step" ~args:step_args @@ fun () ->
+          investigate evidence causes msg;
+          let ev = Evidence.for_message evidence msg in
+          let entries =
+            match ev with
+            | Some e -> max e.Evidence.me_seen e.Evidence.me_golden
+            | None -> 0
+          in
+          entries_total := !entries_total + entries;
+          (match ev with
+          | Some e ->
+              Hashtbl.replace pairs_touched (e.Evidence.me_src, e.Evidence.me_dst) true;
+              if Evidence.seen_ok evidence msg then
+                Hashtbl.replace pair_alive (e.Evidence.me_src, e.Evidence.me_dst) false
+          | None -> ());
+          let st =
+            {
+              st_msg = msg;
+              st_entries = entries;
+              st_pairs_remaining = alive_pairs ();
+              st_causes_remaining = alive_causes ();
+            }
+          in
+          st_cell := Some st;
+          st
+        in
+        Tel.Counter.incr c_steps;
+        Tel.Counter.add c_entries st.st_entries;
+        steps := st :: !steps;
         (* stop once every remaining cause is positively implicated *)
         let alive = List.filter (fun cs -> cs.alive) causes in
         if alive <> [] && List.for_all (fun cs -> cs.implicated_) alive then continue_ := false

@@ -20,10 +20,14 @@ type t = {
 (** The indexed message this packet realizes. *)
 val indexed : t -> Indexed.t
 
+(** [field p name] reads a payload field by name. *)
 val field : t -> string -> int option
+
+(** [field_exn p name] is {!field} or [Invalid_argument]. *)
 val field_exn : t -> string -> int
 
 (** [with_field p name v] sets or replaces a payload field. *)
 val with_field : t -> string -> int -> t
 
+(** Single-line rendering, the {!Trace_io} wire format. *)
 val to_string : t -> string

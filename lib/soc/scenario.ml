@@ -8,6 +8,7 @@
      case studies where symptoms take hundreds of messages to manifest. *)
 
 open Flowtrace_core
+module Tel = Flowtrace_telemetry.Telemetry
 
 type t = {
   id : int;
@@ -123,6 +124,12 @@ let prepare ?(config = default_run) ?(mutators = []) t =
 
 (* Full-size run for the debugging case studies. *)
 let run ?config ?mutators t =
+  let cfg = Option.value ~default:default_run config in
+  Tel.with_span "soc.scenario.run"
+    ~args:(fun () ->
+      Flowtrace_telemetry.Event.
+        [ ("name", Str t.name); ("rounds", Int cfg.rounds); ("seed", Int cfg.seed) ])
+  @@ fun () ->
   let sim = prepare ?config ?mutators t in
   Sim.run T2.semantics sim;
   Sim.outcome sim
@@ -131,6 +138,10 @@ let run ?config ?mutators t =
    overlapping in time, so the packet log is one execution of the
    materialized interleaving. *)
 let run_analysis ?(seed = 1) ?(mutators = []) t =
+  Tel.with_span "soc.scenario.run"
+    ~args:(fun () ->
+      Flowtrace_telemetry.Event.[ ("name", Str (t.name ^ " (analysis)")); ("seed", Int seed) ])
+  @@ fun () ->
   let sim =
     Sim.create ~config:{ Sim.default_config with seed } ()
   in

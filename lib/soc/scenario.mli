@@ -18,9 +18,14 @@ type t = {
 val scenario1 : t
 val scenario2 : t
 val scenario3 : t
+
+(** The three scenarios, in Table 1 order. *)
 val all : t list
+
+(** [by_id n] is scenario [n] (1–3); [Invalid_argument] otherwise. *)
 val by_id : int -> t
 
+(** The participating flows, resolved from [flow_names]. *)
 val flows : t -> Flow.t list
 
 (** Deduplicated message pool (what Step 1 enumerates). *)
@@ -35,8 +40,11 @@ val analysis_instances : t -> Interleave.instance list
 (** Materialize the interleaved flow of {!analysis_instances}. *)
 val interleave : ?max_states:int -> t -> Interleave.t
 
+(** Simulation-scale workload shape: [rounds] starts one instance of each
+    participating flow every [spacing] cycles (with seeded jitter). *)
 type run_config = { seed : int; rounds : int; spacing : int }
 
+(** [{ seed = 1; rounds = 40; spacing = 120 }]. *)
 val default_run : run_config
 
 (** [prepare ?config ?mutators t] builds a simulation-scale sim without

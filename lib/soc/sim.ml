@@ -19,6 +19,19 @@
    entirely — a dropped packet strands its instance, the hang symptom. *)
 
 open Flowtrace_core
+module Tel = Flowtrace_telemetry.Telemetry
+
+let c_fires = Tel.Counter.v "soc.sim.fires"
+let c_blocked = Tel.Counter.v "soc.sim.blocked"
+let c_backpressured = Tel.Counter.v "soc.sim.backpressured"
+let c_deadlocked = Tel.Counter.v "soc.sim.deadlocked"
+let c_failures = Tel.Counter.v "soc.sim.failures"
+let g_queue_depth = Tel.Gauge.v "soc.sim.queue_depth_max"
+
+(* Per-IP counters are looked up by name at emit time; the Tel.enabled
+   guard at each call site keeps the string concatenation off the disabled
+   path. Counter.v memoizes, so steady-state cost is one Hashtbl lookup. *)
+let ip_counter ip what = Tel.Counter.v (Printf.sprintf "soc.sim.ip.%s.%s" ip what)
 
 type channel = {
   ch_src : string;
@@ -114,6 +127,7 @@ let state_get t key = Option.value ~default:0 (Hashtbl.find_opt t.state key)
 let state_set t key v = Hashtbl.replace t.state key v
 
 let fail t ~ip ~flow ~desc =
+  Tel.Counter.incr c_failures;
   t.failures <- { f_cycle = t.cycle; f_ip = ip; f_flow = flow; f_desc = desc } :: t.failures
 
 let add_instance t ~flow ~index ~start ~env =
@@ -156,8 +170,11 @@ let fire sem t inst =
     match atomic_holders t inst with
     | `Blocked ->
         (* blocked by the Atom mutex; the atomic instance will move on *)
+        Tel.Counter.incr c_blocked;
         Event_queue.push t.queue ~at:(t.cycle + 2) (Fire inst)
-    | `Deadlocked -> inst.i_stuck <- true
+    | `Deadlocked ->
+        Tel.Counter.incr c_deadlocked;
+        inst.i_stuck <- true
     | `Free -> (
       (* flow control: only transitions whose message the platform allows
          right now (credit available, queue not full) are choosable *)
@@ -169,6 +186,7 @@ let fire sem t inst =
       | [], _ -> inst.i_stuck <- true (* cannot happen in validated flows *)
       | _, [] ->
           (* backpressured: retry once resources free up *)
+          Tel.Counter.incr c_backpressured;
           Event_queue.push t.queue ~at:(t.cycle + 4) (Fire inst)
       | _, succs ->
           let tr = Rng.pick inst.i_rng succs in
@@ -208,9 +226,15 @@ let fire sem t inst =
           | Swallow ->
               (* the message was swallowed inside the buggy IP: the flow
                  instance hangs waiting for it *)
+              if Tel.enabled () then Tel.Counter.incr (ip_counter packet.Packet.src "dropped");
               inst.i_stuck <- true
           | Deliver p | Replay p | Stall (p, _) ->
               let extra = match mutated with Stall (_, d) -> d | _ -> 0 in
+              Tel.Counter.incr c_fires;
+              if Tel.enabled () then begin
+                Tel.Counter.incr (ip_counter p.Packet.src "sent");
+                Tel.Counter.incr (ip_counter p.Packet.dst "received")
+              end;
               t.log <- p :: t.log;
               if (match mutated with Replay _ -> true | _ -> false) then
                 t.log <- { p with Packet.cycle = p.Packet.cycle } :: t.log;
@@ -253,7 +277,8 @@ let run sem t =
         if at > t.config.max_cycles then continue_ := false
         else begin
           t.cycle <- at;
-          fire sem t inst
+          fire sem t inst;
+          Tel.Gauge.max_ g_queue_depth (float_of_int (Event_queue.length t.queue))
         end
   done
 

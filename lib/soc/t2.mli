@@ -12,10 +12,14 @@ open Flowtrace_core
 (** (IP name, hierarchical depth from top — Table 2's "bug depth"). *)
 val ips : (string * int) list
 
+(** [ip_depth ip] is the hierarchical depth of {!ips} ([0] when unknown). *)
 val ip_depth : string -> int
 
 (** (src, dst, latency) point-to-point links of Figure 3. *)
 val channels : (string * string * int) list
+
+(** The five paper flows: PIO Read, PIO Write, NCU Upstream, NCU
+    Downstream, Mondo Interrupt. *)
 
 val pior : Flow.t
 val piow : Flow.t
@@ -23,7 +27,11 @@ val ncuu : Flow.t
 val ncud : Flow.t
 val mondo : Flow.t
 
+(** All five, in Table 1 order. *)
 val flows : Flow.t list
+
+(** Look a flow up by its spec name ([PIOR], [PIOW], [NCUU], [NCUD],
+    [Mon]); [Invalid_argument] on anything else. *)
 val flow_by_name : string -> Flow.t
 
 (** The 16 distinct messages across all five flows ([siincu] is shared

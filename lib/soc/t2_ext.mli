@@ -11,18 +11,24 @@ val dmar : Flow.t
 (** DMA write: 4 states, 3 messages. *)
 val dmaw : Flow.t
 
+(** The two extension flows, [dmar] then [dmaw]. *)
 val flows : Flow.t list
 
 (** T2 semantics extended with the DMA vocabulary (delegates to {!T2} for
     the paper's messages). *)
 val semantics : Sim.semantics
 
+(** Instance-local variables for a fresh instance; delegates to
+    {!T2.fresh_env} for non-DMA flows. *)
 val fresh_env : rng:Rng.t -> slot:int -> Flow.t -> (string * int) list
 
 (** The extension scenario's flows: PIOR, PIOW, DMAR, DMAW. *)
 val scenario_flows : Flow.t list
 
+(** Analysis-scale legally indexed instances of {!scenario_flows}. *)
 val analysis_instances : unit -> Interleave.instance list
+
+(** Materialize the interleaved flow of {!analysis_instances}. *)
 val interleave : unit -> Interleave.t
 
 (** Analysis-scale run over the extension scenario. *)

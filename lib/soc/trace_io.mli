@@ -4,15 +4,22 @@
     ['#'] comments; round-trips through {!print}/{!parse}. Lets monitor
     logs be saved, diffed and replayed through the CLI. *)
 
+(** Position and description of the first malformed line. *)
 type error = { line : int; message : string }
 
 exception Parse_error of error
 
+(** [print_packet p] renders one trace line (no newline). *)
 val print_packet : Packet.t -> string
+
+(** [print packets] renders a whole trace, one line per packet. *)
 val print : Packet.t list -> string
 
 (** Raises {!Parse_error} with a line number on malformed input. *)
 val parse : string -> Packet.t list
 
+(** [save path packets] / [load path]: {!print} to and {!parse} from a
+    file. [load] raises [Sys_error] or {!Parse_error}. *)
 val save : string -> Packet.t list -> unit
+
 val load : string -> Packet.t list

@@ -1,0 +1,140 @@
+(* Telemetry event vocabulary and its canonical JSON encoding (the JSONL
+   sink writes [to_json] verbatim, one object per line; Summary parses it
+   back with [of_json] — the round trip is exact, which the telemetry
+   tests pin). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  sp_name : string;
+  sp_id : int;
+  sp_parent : int option;
+  sp_domain : int;
+  sp_start_us : float;
+  sp_dur_us : float;
+  sp_args : (string * value) list;
+}
+
+type counter = { c_name : string; c_value : int }
+type gauge = { g_name : string; g_value : float }
+type histogram = { h_name : string; h_count : int; h_sum : float; h_min : float; h_max : float }
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+type t = Meta of (string * value) list | Span of span | Metric of metric
+
+let metric_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let equal (a : t) (b : t) = a = b
+
+(* --- JSON encoding -------------------------------------------------- *)
+
+let value_to_json = function
+  | Int i -> Tjson.Int i
+  | Float f -> Tjson.Float f
+  | Str s -> Tjson.String s
+  | Bool b -> Tjson.Bool b
+
+let args_to_json args = Tjson.Obj (List.map (fun (k, v) -> (k, value_to_json v)) args)
+
+let to_json = function
+  | Meta kvs -> Tjson.Obj [ ("type", Tjson.String "meta"); ("args", args_to_json kvs) ]
+  | Span s ->
+      Tjson.Obj
+        ([ ("type", Tjson.String "span"); ("name", Tjson.String s.sp_name);
+           ("id", Tjson.Int s.sp_id) ]
+        @ (match s.sp_parent with Some p -> [ ("parent", Tjson.Int p) ] | None -> [])
+        @ [
+            ("domain", Tjson.Int s.sp_domain);
+            ("start_us", Tjson.Float s.sp_start_us);
+            ("dur_us", Tjson.Float s.sp_dur_us);
+            ("args", args_to_json s.sp_args);
+          ])
+  | Metric (Counter c) ->
+      Tjson.Obj
+        [ ("type", Tjson.String "counter"); ("name", Tjson.String c.c_name);
+          ("value", Tjson.Int c.c_value) ]
+  | Metric (Gauge g) ->
+      Tjson.Obj
+        [ ("type", Tjson.String "gauge"); ("name", Tjson.String g.g_name);
+          ("value", Tjson.Float g.g_value) ]
+  | Metric (Histogram h) ->
+      Tjson.Obj
+        [
+          ("type", Tjson.String "histogram"); ("name", Tjson.String h.h_name);
+          ("count", Tjson.Int h.h_count); ("sum", Tjson.Float h.h_sum);
+          ("min", Tjson.Float h.h_min); ("max", Tjson.Float h.h_max);
+        ]
+
+(* --- JSON decoding -------------------------------------------------- *)
+
+let value_of_json = function
+  | Tjson.Int i -> Some (Int i)
+  | Tjson.Float f -> Some (Float f)
+  | Tjson.String s -> Some (Str s)
+  | Tjson.Bool b -> Some (Bool b)
+  | _ -> None
+
+let args_of_json j =
+  match j with
+  | Some (Tjson.Obj kvs) ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | (k, v) :: rest -> (
+            match value_of_json v with Some v -> go ((k, v) :: acc) rest | None -> None)
+      in
+      go [] kvs
+  | None -> Some []
+  | Some _ -> None
+
+let of_json j =
+  let str key = Option.bind (Tjson.member key j) Tjson.to_string_opt in
+  let int key = Option.bind (Tjson.member key j) Tjson.to_int_opt in
+  let flt key = Option.bind (Tjson.member key j) Tjson.to_float_opt in
+  let require what = function Some v -> Ok v | None -> Error ("missing or ill-typed " ^ what) in
+  let ( let* ) = Result.bind in
+  match str "type" with
+  | Some "meta" -> (
+      match args_of_json (Tjson.member "args" j) with
+      | Some kvs -> Ok (Meta kvs)
+      | None -> Error "meta: bad args")
+  | Some "span" ->
+      let* name = require "name" (str "name") in
+      let* id = require "id" (int "id") in
+      let* domain = require "domain" (int "domain") in
+      let* start_us = require "start_us" (flt "start_us") in
+      let* dur_us = require "dur_us" (flt "dur_us") in
+      let* args =
+        match args_of_json (Tjson.member "args" j) with
+        | Some a -> Ok a
+        | None -> Error "span: bad args"
+      in
+      Ok
+        (Span
+           {
+             sp_name = name;
+             sp_id = id;
+             sp_parent = int "parent";
+             sp_domain = domain;
+             sp_start_us = start_us;
+             sp_dur_us = dur_us;
+             sp_args = args;
+           })
+  | Some "counter" ->
+      let* name = require "name" (str "name") in
+      let* value = require "value" (int "value") in
+      Ok (Metric (Counter { c_name = name; c_value = value }))
+  | Some "gauge" ->
+      let* name = require "name" (str "name") in
+      let* value = require "value" (flt "value") in
+      Ok (Metric (Gauge { g_name = name; g_value = value }))
+  | Some "histogram" ->
+      let* name = require "name" (str "name") in
+      let* count = require "count" (int "count") in
+      let* sum = require "sum" (flt "sum") in
+      let* min_ = require "min" (flt "min") in
+      let* max_ = require "max" (flt "max") in
+      Ok (Metric (Histogram { h_name = name; h_count = count; h_sum = sum; h_min = min_; h_max = max_ }))
+  | Some other -> Error ("unknown event type " ^ other)
+  | None -> Error "missing event type"

@@ -1,0 +1,39 @@
+(** Telemetry sinks: where emitted {!Event.t}s go.
+
+    A sink is a pair of callbacks. Emission can happen from several
+    domains at once (worker spans of a parallel selection), so every
+    writing sink serializes internally with a mutex; {!null} and
+    {!memory} are safe by construction.
+
+    Three wire formats are provided:
+
+    - {!text} — human-readable lines, for quick eyeballing;
+    - {!jsonl} — one canonical {!Event.to_json} object per line; the
+      format [flowtrace stats] replays and {!Summary.load_jsonl} parses;
+    - {!chrome} — a Chrome [trace_event] JSON array that loads directly
+      in [about://tracing] / [ui.perfetto.dev]: spans become ["ph":"X"]
+      complete events (one track per domain), metrics become ["ph":"C"]
+      counter samples. *)
+
+type t = {
+  emit : Event.t -> unit;  (** called once per event, possibly concurrently *)
+  close : unit -> unit;  (** terminate framing and release resources *)
+}
+
+(** Discards everything. Installing it still turns instrumentation on —
+    useful to exercise counters without writing a file (the bench
+    provenance pass does exactly this). *)
+val null : t
+
+(** [memory ()] is a sink accumulating events in memory plus a function
+    returning everything emitted so far, in emission order. *)
+val memory : unit -> t * (unit -> Event.t list)
+
+val text : out_channel -> t
+val jsonl : out_channel -> t
+val chrome : out_channel -> t
+
+(** [of_path path] opens [path] and dispatches on its extension:
+    [.jsonl] to {!jsonl}, [.json] or [.trace] to {!chrome}, anything else
+    to {!text}. [close] closes the channel. *)
+val of_path : string -> t

@@ -1,0 +1,40 @@
+(** Replay of a recorded telemetry stream into aggregate tables — the
+    engine behind [flowtrace stats].
+
+    A summary groups spans by name (count, total/mean/min/max wall-clock)
+    and tabulates the final counter/gauge/histogram values. Aggregation is
+    pure ({!of_events}), so the same tables can be computed from a
+    {!Sink.memory} capture in tests and from a JSONL file on disk
+    ({!load_jsonl}). *)
+
+(** Per-span-name aggregate, microsecond wall-clock. *)
+type span_row = {
+  sr_name : string;
+  sr_count : int;
+  sr_total_us : float;
+  sr_min_us : float;
+  sr_max_us : float;
+}
+
+type t = {
+  meta : (string * Event.value) list;  (** merged [Meta] headers, first wins *)
+  spans : span_row list;  (** name-sorted *)
+  counters : Event.counter list;  (** name-sorted; later events override earlier *)
+  gauges : Event.gauge list;  (** name-sorted *)
+  histograms : Event.histogram list;  (** name-sorted *)
+}
+
+(** [of_events evs] aggregates an event stream. For metrics emitted more
+    than once (several flushes) the last value wins — the stream records
+    running totals, not deltas. *)
+val of_events : Event.t list -> t
+
+(** [load_jsonl path] parses a JSONL telemetry file (one
+    {!Event.of_json} object per line; blank lines ignored). Returns
+    [Error] with a positioned message on the first unparsable line, and a
+    hint when the file looks like a Chrome trace instead. *)
+val load_jsonl : string -> (Event.t list, string) result
+
+(** Render the aggregate tables (spans in milliseconds, then counters,
+    gauges, histograms; sections with no data are omitted). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,241 @@
+(* The ambient telemetry runtime.
+
+   Disabled (the initial state) every entry point is one atomic load and
+   a branch — the instrumented hot paths of select/sim stay at their
+   uninstrumented cost. Enabled, counters are Atomic adds (totals exact
+   across domains), gauges CAS, histograms a short critical section, and
+   spans time with Unix.gettimeofday relative to the install epoch.
+
+   Registry handles are memoized by name and survive install/shutdown
+   cycles; install only resets *values*, so handles created at module
+   initialization in instrumented libraries remain valid for every run. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+let state_mu = Mutex.create ()
+
+(* current sink and the epoch timestamps are relative to *)
+let current_sink : Sink.t option ref = ref None
+let epoch = Atomic.make 0.0
+
+let now_us () = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6
+
+let emit ev = match !current_sink with Some s -> s.Sink.emit ev | None -> ()
+
+(* --- metric registry ------------------------------------------------ *)
+
+type counter_cell = { c_name : string; c_cell : int Atomic.t }
+type gauge_cell = { g_name : string; g_cell : float Atomic.t }
+
+type hist_cell = {
+  h_name : string;
+  h_mu : Mutex.t;
+  mutable h_n : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let counters : (string, counter_cell) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge_cell) Hashtbl.t = Hashtbl.create 16
+let hists : (string, hist_cell) Hashtbl.t = Hashtbl.create 16
+
+let reset_values () =
+  Mutex.protect state_mu @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_cell 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.g_cell 0.0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Mutex.protect h.h_mu (fun () ->
+          h.h_n <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity))
+    hists
+
+let reset = reset_values
+
+let metrics () =
+  let snap =
+    Mutex.protect state_mu @@ fun () ->
+    let cs =
+      Hashtbl.fold
+        (fun _ c acc ->
+          Event.Counter { Event.c_name = c.c_name; c_value = Atomic.get c.c_cell } :: acc)
+        counters []
+    in
+    let gs =
+      Hashtbl.fold
+        (fun _ g acc ->
+          Event.Gauge { Event.g_name = g.g_name; g_value = Atomic.get g.g_cell } :: acc)
+        gauges []
+    in
+    let hs =
+      Hashtbl.fold
+        (fun _ h acc ->
+          let m =
+            Mutex.protect h.h_mu (fun () ->
+                {
+                  Event.h_name = h.h_name;
+                  h_count = h.h_n;
+                  h_sum = h.h_sum;
+                  h_min = (if h.h_n = 0 then 0.0 else h.h_min);
+                  h_max = (if h.h_n = 0 then 0.0 else h.h_max);
+                })
+          in
+          Event.Histogram m :: acc)
+        hists []
+    in
+    cs @ gs @ hs
+  in
+  List.sort (fun a b -> compare (Event.metric_name a) (Event.metric_name b)) snap
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+(* A flush skips never-touched instruments: a selection run should not
+   list the simulator's zeroed counters. [metrics ()] stays complete. *)
+let nontrivial = function
+  | Event.Counter c -> c.Event.c_value <> 0
+  | Event.Gauge g -> g.Event.g_value <> 0.0
+  | Event.Histogram h -> h.Event.h_count <> 0
+
+let flush () =
+  if enabled () then
+    List.iter (fun m -> emit (Event.Metric m)) (List.filter nontrivial (metrics ()))
+
+let shutdown () =
+  if enabled () then begin
+    flush ();
+    (match !current_sink with Some s -> s.Sink.close () | None -> ());
+    current_sink := None;
+    Atomic.set enabled_flag false
+  end
+
+let install ?(reset = true) ?(meta = []) sink =
+  shutdown ();
+  if reset then reset_values ();
+  let t0 = Unix.gettimeofday () in
+  Atomic.set epoch t0;
+  current_sink := Some sink;
+  Atomic.set enabled_flag true;
+  emit (Event.Meta (("epoch_unix", Event.Float t0) :: meta))
+
+(* --- metric handles ------------------------------------------------- *)
+
+module Counter = struct
+  type t = counter_cell
+
+  let v name =
+    Mutex.protect state_mu @@ fun () ->
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_cell = Atomic.make 0 } in
+        Hashtbl.replace counters name c;
+        c
+
+  let add c n = if enabled () then ignore (Atomic.fetch_and_add c.c_cell n)
+  let incr c = add c 1
+  let value c = Atomic.get c.c_cell
+end
+
+module Gauge = struct
+  type t = gauge_cell
+
+  let v name =
+    Mutex.protect state_mu @@ fun () ->
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+        let g = { g_name = name; g_cell = Atomic.make 0.0 } in
+        Hashtbl.replace gauges name g;
+        g
+
+  let set g x = if enabled () then Atomic.set g.g_cell x
+
+  let max_ g x =
+    if enabled () then begin
+      let rec cas () =
+        let cur = Atomic.get g.g_cell in
+        if x > cur && not (Atomic.compare_and_set g.g_cell cur x) then cas ()
+      in
+      cas ()
+    end
+
+  let value g = Atomic.get g.g_cell
+end
+
+module Histogram = struct
+  type t = hist_cell
+
+  let v name =
+    Mutex.protect state_mu @@ fun () ->
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_name = name;
+            h_mu = Mutex.create ();
+            h_n = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+          }
+        in
+        Hashtbl.replace hists name h;
+        h
+
+  let observe h x =
+    if enabled () then
+      Mutex.protect h.h_mu (fun () ->
+          h.h_n <- h.h_n + 1;
+          h.h_sum <- h.h_sum +. x;
+          if x < h.h_min then h.h_min <- x;
+          if x > h.h_max then h.h_max <- x)
+
+  let count h = Mutex.protect h.h_mu (fun () -> h.h_n)
+end
+
+(* --- spans ---------------------------------------------------------- *)
+
+let span_ids = Atomic.make 0
+
+(* per-domain stack of open span ids, for parent attribution *)
+let stack_key : int list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let with_span ?args name f =
+  if not (enabled ()) then f ()
+  else begin
+    let id = Atomic.fetch_and_add span_ids 1 in
+    let stack = Domain.DLS.get stack_key in
+    let parent = match stack with [] -> None | p :: _ -> Some p in
+    Domain.DLS.set stack_key (id :: stack);
+    let t0 = now_us () in
+    let finish () =
+      let dur = now_us () -. t0 in
+      (match Domain.DLS.get stack_key with
+      | x :: rest when x = id -> Domain.DLS.set stack_key rest
+      | st -> Domain.DLS.set stack_key (List.filter (fun x -> x <> id) st));
+      let args = match args with Some a when enabled () -> a () | _ -> [] in
+      emit
+        (Event.Span
+           {
+             Event.sp_name = name;
+             sp_id = id;
+             sp_parent = parent;
+             sp_domain = (Domain.self () :> int);
+             sp_start_us = t0;
+             sp_dur_us = dur;
+             sp_args = args;
+           })
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end

@@ -1,0 +1,118 @@
+(** The ambient telemetry runtime: spans, typed metrics, and a single
+    installable sink.
+
+    The runtime is a process-global switch plus a metric registry. When no
+    sink is installed ({!enabled} is [false], the initial state) every
+    entry point degenerates to a single load-and-branch — instrumented hot
+    paths cost one predictable branch, verified by the bench suite to stay
+    within the noise floor of the uninstrumented build. Instrumentation
+    never changes results: it only observes (the telemetry tests pin
+    selection outputs enabled-vs-disabled).
+
+    {2 Spans}
+
+    {!with_span} brackets a computation with a wall-clock interval.
+    Nesting is tracked per domain (domain-local storage), so spans opened
+    by worker domains of a parallel selection form their own stacks and
+    carry their domain id — the Chrome sink renders one track per domain.
+    Span events reach the sink at span {e exit}.
+
+    {2 Metrics}
+
+    Counters, gauges and histograms live in a registry keyed by name;
+    {!Counter.v} (etc.) memoizes, so handles may be created at module
+    initialization or on demand. Counter increments are atomic: totals
+    accumulated across domains are exact, and every quantity the flowtrace
+    libraries count is partition-invariant, so counter values are
+    bit-identical across [--jobs 1/2/4] (a telemetry test pins this on the
+    Stress workload). {!flush} snapshots the registry name-sorted into the
+    sink; metric values are {e not} cleared by a flush.
+
+    {2 Lifecycle}
+
+    [install sink] resets metric values (by default), records the epoch
+    all timestamps are relative to, emits a [Meta] header, and turns the
+    switch on. [shutdown ()] flushes, closes the sink, and turns the
+    switch off. Typical CLI usage:
+
+    {[
+      Telemetry.install (Sink.of_path "t.jsonl");
+      Fun.protect ~finally:Telemetry.shutdown (fun () -> run ())
+    ]} *)
+
+(** Whether a sink is installed. Hot paths may use this to skip argument
+    construction (string concatenation, list building) entirely; the
+    metric update functions below already perform this check themselves. *)
+val enabled : unit -> bool
+
+(** [install ?reset ?meta sink] makes [sink] the destination of all
+    subsequent events and enables instrumentation. [reset] (default
+    [true]) zeroes all registered metric values first, so one process can
+    produce several independent telemetry runs. A previously installed
+    sink is shut down first. Emits [Meta (("epoch_unix", ...) :: meta)]. *)
+val install : ?reset:bool -> ?meta:(string * Event.value) list -> Sink.t -> unit
+
+(** Snapshot the registered metrics into the sink (name-sorted).
+    Never-touched instruments (zero counters/gauges, empty histograms)
+    are skipped so a run's tables only list what it exercised. No-op
+    when disabled. *)
+val flush : unit -> unit
+
+(** [shutdown ()] = {!flush}, close the sink, disable. No-op when already
+    disabled. *)
+val shutdown : unit -> unit
+
+(** Zero every registered metric value (handles stay valid). *)
+val reset : unit -> unit
+
+(** Name-sorted snapshot of the current metric values, independent of any
+    sink — how the bench harness extracts counter provenance. *)
+val metrics : unit -> Event.metric list
+
+(** [with_span ?args name f] runs [f ()] inside a span. When disabled it
+    is exactly [f ()] after one branch. [args] is only evaluated at span
+    exit, and only when enabled — it may read state mutated by [f]. The
+    span is emitted (and the nesting stack popped) even if [f] raises. *)
+val with_span : ?args:(unit -> (string * Event.value) list) -> string -> (unit -> 'a) -> 'a
+
+(** Monotonically increasing event counters. *)
+module Counter : sig
+  type t
+
+  (** [v name] registers (or retrieves) the counter [name]. *)
+  val v : string -> t
+
+  (** Atomic add; no-op while disabled. *)
+  val add : t -> int -> unit
+
+  val incr : t -> unit
+  val value : t -> int
+end
+
+(** Last-value / running-maximum instruments. *)
+module Gauge : sig
+  type t
+
+  val v : string -> t
+
+  (** [set g x] overwrites; no-op while disabled. *)
+  val set : t -> float -> unit
+
+  (** [max_ g x] keeps the running maximum of [x] and the current value
+      (atomic, safe across domains); no-op while disabled. *)
+  val max_ : t -> float -> unit
+
+  val value : t -> float
+end
+
+(** Count/sum/min/max summaries of observed values. *)
+module Histogram : sig
+  type t
+
+  val v : string -> t
+
+  (** [observe h x] records one observation; no-op while disabled. *)
+  val observe : t -> float -> unit
+
+  val count : t -> int
+end

@@ -1,0 +1,39 @@
+(** A self-contained JSON tree, printer and parser for the telemetry wire
+    formats.
+
+    The telemetry layer must stay dependency-free (it sits {e below}
+    [flowtrace_core] so every other library can be instrumented), so it
+    carries its own minimal JSON machinery instead of reusing
+    [Flowtrace_analysis.Json]. The printer always renders floats with a
+    decimal point or exponent so a float never reparses as an [Int]; with
+    that convention [parse (to_string v) = Ok v] for every finite tree,
+    which is what the JSONL sink round-trip relies on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** must be finite; NaN/infinity are not valid JSON *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] renders compact single-line JSON (no newlines), so one
+    value per line is exactly the JSONL framing. *)
+val to_string : t -> string
+
+(** [parse s] parses one JSON value surrounded by optional whitespace.
+    Numbers containing ['.'], ['e'] or ['E'] become [Float], all others
+    [Int]; [\uXXXX] escapes are decoded to UTF-8. *)
+val parse : string -> (t, string) result
+
+(** [member key v] looks up [key] when [v] is an [Obj]. *)
+val member : string -> t -> t option
+
+(** [to_float_opt v] accepts both [Int] and [Float] (JSON does not
+    distinguish them). *)
+val to_float_opt : t -> float option
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -87,8 +87,11 @@ let instances =
   Arg.(value & opt_all inst_conv [] & info [ "i"; "instances" ] ~docv:"FLOW=N" ~doc)
 
 let trace_arg =
-  let doc = "Observed trace: whitespace-separated indexed messages like $(b,1:ReqE 2:GntE)." in
-  Arg.(required & pos 1 (some string) None & info [] ~docv:"TRACE" ~doc)
+  let doc =
+    "Observed trace: whitespace-separated indexed messages like $(b,1:ReqE 2:GntE). Omit it \
+     when reading the observation from $(b,--trace-file)."
+  in
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"TRACE" ~doc)
 
 let jobs =
   let doc = "Domains to fan the exact Step-1/2 subset-tree walk across (1 = sequential)." in
@@ -126,6 +129,38 @@ let or_die = function
   | Error m ->
       Printf.eprintf "flowtrace: %s\n" m;
       exit 1
+
+(* Load a packet trace for a subcommand: I/O and parse failures become
+   positioned one-line errors (file:line) through [or_die], never a
+   backtrace. With [recover], malformed lines are skipped under
+   [Trace_io.parse_lenient]'s error budget and reported on stderr. *)
+let load_trace_or_die ~recover path =
+  let open Flowtrace_soc in
+  try
+    if recover then begin
+      let packets, diags = Trace_io.load_lenient path in
+      if diags <> [] then
+        Printf.eprintf "%s%!" (Flowtrace_analysis.Diagnostic.render_all diags);
+      packets
+    end
+    else Trace_io.load path
+  with
+  | Trace_io.Parse_error e ->
+      or_die (Error (Printf.sprintf "%s:%d: %s" path e.Trace_io.line e.Trace_io.message))
+  | Sys_error m -> or_die (Error m)
+
+let obs_faults_arg =
+  let doc =
+    "Observation-path fault spec: comma-separated $(b,key=value) among $(b,drop=P) and \
+     $(b,corrupt=P) (probabilities), $(b,reorder=W) (local window), $(b,blackout=A-B) \
+     (cycle range, repeatable) and $(b,trunc=N) (keep first N packets). Example: \
+     $(b,drop=0.1,reorder=3)."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-faults" ] ~docv:"SPEC" ~doc)
+
+let parse_obs_faults = function
+  | None -> Flowtrace_soc.Obs_fault.none
+  | Some s -> or_die (Flowtrace_soc.Obs_fault.parse_spec s)
 
 (* Select with the Too_many blow-up guard mapped to a positioned,
    actionable error instead of an uncaught exception. *)
@@ -166,35 +201,95 @@ let interleave_cmd =
   Cmd.v (Cmd.info "interleave" ~doc) Term.(const run $ spec_file $ instances)
 
 let localize_cmd =
-  let run path counts trace width strategy tel =
+  let trace_file_arg =
+    let doc =
+      "Read the observation from a packet trace file (as written by $(b,simulate -o)) instead \
+       of the TRACE argument; packets outside the selection are projected away."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-file" ] ~docv:"FILE" ~doc)
+  in
+  let recover_arg =
+    let doc =
+      "With $(b,--trace-file): skip malformed trace lines (reported on stderr) instead of \
+       failing on the first one."
+    in
+    Arg.(value & flag & info [ "recover" ] ~doc)
+  in
+  let lossy_arg =
+    let doc =
+      "Gap-tolerant matching: treat the observation as a subsequence of each execution's \
+       projection (the trace may have lost entries) instead of requiring an exact prefix."
+    in
+    Arg.(value & flag & info [ "lossy" ] ~doc)
+  in
+  let skip_budget_arg =
+    let doc = "Skip budget for $(b,--lossy): lost or bogus observation entries tolerated." in
+    Arg.(value & opt int 2 & info [ "skip-budget" ] ~docv:"N" ~doc)
+  in
+  let run path counts trace trace_file recover lossy skip_budget width strategy tel =
     with_telemetry tel @@ fun () ->
     let inter = or_die (interleave_of path counts) in
     let sel = select_or_die ~path ~strategy inter ~buffer_width:width in
-    let observed =
-      List.filter_map
-        (fun tok ->
-          if tok = "" then None
-          else
-            match String.index_opt tok ':' with
-            | Some i ->
-                let inst = int_of_string (String.sub tok 0 i) in
-                let base = String.sub tok (i + 1) (String.length tok - i - 1) in
-                Some (Indexed.make base inst)
-            | None -> or_die (Error (Printf.sprintf "bad indexed message %S (want IDX:NAME)" tok)))
-        (String.split_on_char ' ' trace)
-    in
     let selected b = Select.is_observable sel b in
-    let total = Interleave.total_paths inter in
-    let consistent =
-      Localize.consistent_paths ~semantics:Localize.Prefix inter ~selected ~observed
+    let observed =
+      match (trace, trace_file) with
+      | Some _, Some _ -> or_die (Error "give either a TRACE argument or --trace-file, not both")
+      | None, None -> or_die (Error "no observation given (TRACE argument or --trace-file)")
+      | Some trace, None ->
+          List.filter_map
+            (fun tok ->
+              if tok = "" then None
+              else
+                match String.index_opt tok ':' with
+                | Some i -> (
+                    match int_of_string_opt (String.sub tok 0 i) with
+                    | Some inst ->
+                        let base = String.sub tok (i + 1) (String.length tok - i - 1) in
+                        Some (Indexed.make base inst)
+                    | None ->
+                        or_die
+                          (Error (Printf.sprintf "bad indexed message %S (want IDX:NAME)" tok)))
+                | None ->
+                    or_die (Error (Printf.sprintf "bad indexed message %S (want IDX:NAME)" tok)))
+            (String.split_on_char ' ' trace)
+      | None, Some file ->
+          let packets = load_trace_or_die ~recover file in
+          List.filter_map
+            (fun (p : Flowtrace_soc.Packet.t) ->
+              if selected p.Flowtrace_soc.Packet.msg then Some (Flowtrace_soc.Packet.indexed p)
+              else None)
+            packets
     in
+    let total = Interleave.total_paths inter in
     Format.printf "selection: %s@." (String.concat ", " (Select.selected_names sel));
-    Format.printf "consistent executions: %d of %d (%.4f%%)@." consistent total
-      (100.0 *. float_of_int consistent /. float_of_int (max 1 total))
+    if lossy then begin
+      let r =
+        Localize.lossy ~semantics:Localize.Prefix ~skip_budget inter ~selected ~observed
+      in
+      Format.printf "consistent executions: %d of %d (%.4f%%)@." r.Localize.lr_consistent total
+        (100.0 *. Localize.lossy_fraction r);
+      Format.printf
+        "lossy: %d observation entr%s discarded to resynchronize, >=%d emission%s skipped, \
+         budget %d, confidence %.2f@."
+        r.Localize.lr_discarded
+        (if r.Localize.lr_discarded = 1 then "y" else "ies")
+        r.Localize.lr_skips
+        (if r.Localize.lr_skips = 1 then "" else "s")
+        r.Localize.lr_budget r.Localize.lr_confidence
+    end
+    else begin
+      let consistent =
+        Localize.consistent_paths ~semantics:Localize.Prefix inter ~selected ~observed
+      in
+      Format.printf "consistent executions: %d of %d (%.4f%%)@." consistent total
+        (100.0 *. float_of_int consistent /. float_of_int (max 1 total))
+    end
   in
   let doc = "Count executions prefix-consistent with an observed trace." in
   Cmd.v (Cmd.info "localize" ~doc)
-    Term.(const run $ spec_file $ instances $ trace_arg $ width $ strategy $ telemetry_arg)
+    Term.(
+      const run $ spec_file $ instances $ trace_arg $ trace_file_arg $ recover_arg $ lossy_arg
+      $ skip_budget_arg $ width $ strategy $ telemetry_arg)
 
 let tables_cmd =
   let ids =
@@ -253,7 +348,19 @@ let simulate_cmd =
     let doc = "Save the packet trace to $(docv)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run scenario bugs rounds seed out tel =
+  let overflow_arg =
+    let doc =
+      "Feed the (faulted) packet log through a trace buffer with this overflow policy: \
+       $(b,oldest) (wrap-around), $(b,newest) (freeze when full) or $(b,sample:K) (keep every \
+       K-th observable occurrence)."
+    in
+    Arg.(value & opt (some string) None & info [ "overflow" ] ~docv:"POLICY" ~doc)
+  in
+  let depth_arg =
+    let doc = "Trace buffer depth in entries (with $(b,--overflow))." in
+    Arg.(value & opt int 256 & info [ "depth" ] ~docv:"N" ~doc)
+  in
+  let run scenario bugs rounds seed out obs_faults overflow depth width tel =
     with_telemetry tel @@ fun () ->
     let sc = try Scenario.by_id scenario with Invalid_argument m -> or_die (Error m) in
     let bugs =
@@ -261,6 +368,10 @@ let simulate_cmd =
         (fun id ->
           try Flowtrace_bug.Catalog.by_id id with Invalid_argument m -> or_die (Error m))
         bugs
+    in
+    let spec = parse_obs_faults obs_faults in
+    let policy =
+      Option.map (fun s -> or_die (Trace_buffer.parse_policy s)) overflow
     in
     let config = { Scenario.default_run with Scenario.rounds; seed } in
     let outcome = Scenario.run ~config ~mutators:(Flowtrace_bug.Inject.mutators bugs) sc in
@@ -277,15 +388,42 @@ let simulate_cmd =
     (match Flowtrace_bug.Inject.symptom_of outcome with
     | Flowtrace_bug.Inject.No_symptom -> ()
     | s -> Format.printf "symptom: %s@." (Flowtrace_bug.Inject.symptom_to_string s));
+    let packets =
+      if Obs_fault.is_none spec then outcome.Sim.packets
+      else begin
+        let faulted, rep = Obs_fault.apply ~seed spec outcome.Sim.packets in
+        Format.printf "%s@." (Obs_fault.report_to_string rep);
+        faulted
+      end
+    in
+    (match policy with
+    | None -> ()
+    | Some policy ->
+        let inter = Scenario.interleave sc in
+        let sel = select_or_die ~path:sc.Scenario.name ~strategy:Select.Greedy inter ~buffer_width:width in
+        let buf = Trace_buffer.create ~policy ~depth sel in
+        Trace_buffer.record_all buf packets;
+        let recorded, lost = Trace_buffer.stats buf in
+        let overwritten, refused, sampled_out = Trace_buffer.drop_breakdown buf in
+        Format.printf
+          "trace buffer (policy %s, depth %d, width %d bits): %d entries retained, %d recorded, \
+           %d lost (%d overwritten, %d refused, %d sampled out)@."
+          (Trace_buffer.policy_to_string policy)
+          depth width
+          (List.length (Trace_buffer.entries buf))
+          recorded lost overwritten refused sampled_out);
     match out with
     | None -> ()
-    | Some file ->
-        Trace_io.save file outcome.Sim.packets;
-        Format.printf "trace written to %s@." file
+    | Some file -> (
+        match (try Ok (Trace_io.save file packets) with Sys_error m -> Error m) with
+        | Error m -> or_die (Error m)
+        | Ok () -> Format.printf "trace written to %s@." file)
   in
   let doc = "Simulate a T2 usage scenario, optionally with injected bugs." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ scenario_arg $ bug_arg $ rounds_arg $ seed_arg $ out_arg $ telemetry_arg)
+    Term.(
+      const run $ scenario_arg $ bug_arg $ rounds_arg $ seed_arg $ out_arg $ obs_faults_arg
+      $ overflow_arg $ depth_arg $ width $ telemetry_arg)
 
 let debug_cmd =
   let case_arg =
@@ -296,14 +434,16 @@ let debug_cmd =
     let doc = "Workload rounds." in
     Arg.(value & opt int 40 & info [ "rounds" ] ~doc)
   in
-  let run case rounds tel =
+  let run case rounds obs_faults tel =
     with_telemetry tel @@ fun () ->
     let open Flowtrace_debug in
     let cs = try Case_study.by_id case with Invalid_argument m -> or_die (Error m) in
-    Report.print (Case_study.run ~rounds cs)
+    let spec = parse_obs_faults obs_faults in
+    Report.print (Case_study.run ~rounds ~obs_faults:spec cs)
   in
   let doc = "Run a T2 debugging case study and print the session report." in
-  Cmd.v (Cmd.info "debug" ~doc) Term.(const run $ case_arg $ rounds_arg $ telemetry_arg)
+  Cmd.v (Cmd.info "debug" ~doc)
+    Term.(const run $ case_arg $ rounds_arg $ obs_faults_arg $ telemetry_arg)
 
 let dot_cmd =
   let out =

@@ -31,3 +31,45 @@ val fraction :
   selected:(string -> bool) ->
   observed:Indexed.t list ->
   float
+
+(** {1 Gap-tolerant (lossy) localization}
+
+    Real trace infrastructure drops, reorders and truncates
+    observations. Under the lossy semantics the observation is matched
+    as a {e subsequence} of each path's projection: a selected emission
+    that does not match the next observation entry may be skipped, each
+    skip charged against a bounded budget. A budget of [0] is
+    behaviourally identical to {!Exact} (or {!Prefix} when that
+    semantics is requested). Observation entries that {e no} path can
+    produce (e.g. long-range reordering) are handled by minimal-discard
+    resynchronization: the blocking entry is removed, charged against
+    the same budget, and matching retried. *)
+
+(** Degradation report for one lossy localization query. *)
+type lossy_report = {
+  lr_consistent : int;  (** paths consistent after resynchronization *)
+  lr_total : int;  (** all initial-to-stop paths, for the fraction *)
+  lr_discarded : int;  (** observation entries removed to resynchronize *)
+  lr_skips : int;  (** minimal skipped emissions over consistent paths *)
+  lr_budget : int;  (** the skip budget the query was given *)
+  lr_confidence : float;
+      (** fraction of the budget left unused ([1.0] when nothing was
+          skipped or the budget was 0 and matching succeeded; [0.0]
+          when no consistent path was found) *)
+}
+
+(** [lossy ?semantics ?skip_budget inter ~selected ~observed] counts
+    paths consistent with a lossy observation. [semantics] may be
+    {!Exact} (default) or {!Prefix}; {!Suffix} raises
+    [Invalid_argument]. [skip_budget] defaults to [0], making the call
+    equivalent to {!consistent_paths}. *)
+val lossy :
+  ?semantics:semantics ->
+  ?skip_budget:int ->
+  Interleave.t ->
+  selected:(string -> bool) ->
+  observed:Indexed.t list ->
+  lossy_report
+
+(** [lossy_fraction r] is [r.lr_consistent] over [r.lr_total]. *)
+val lossy_fraction : lossy_report -> float

@@ -22,7 +22,9 @@ let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   bits t mod n
 
-let float t bound = Float.of_int (bits t) /. Float.of_int (1 lsl 62) *. bound
+(* NB: [1 lsl 62] overflows to [min_int] on 63-bit ints, so dividing by
+   it silently produced values in (-1, 0]; scale by 2^-62 exactly. *)
+let float t bound = ldexp (Float.of_int (bits t)) (-62) *. bound
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 

@@ -34,5 +34,6 @@ let by_id id =
 
 let bug cs = Catalog.by_id cs.bug_id
 
-let run ?(buffer_width = 32) ?rounds cs =
-  Session.run ~seed:cs.seed ?rounds ~scenario:cs.scenario ~bugs:[ bug cs ] ~buffer_width ()
+let run ?(buffer_width = 32) ?rounds ?obs_faults cs =
+  Session.run ~seed:cs.seed ?rounds ?obs_faults ~scenario:cs.scenario ~bugs:[ bug cs ]
+    ~buffer_width ()

@@ -15,5 +15,7 @@ val by_id : int -> t
 (** The activated catalog bug of a case study. *)
 val bug : t -> Bug.t
 
-(** [run cs] drives the full debug session for the case study. *)
-val run : ?buffer_width:int -> ?rounds:int -> t -> Session.t
+(** [run cs] drives the full debug session for the case study.
+    [obs_faults] degrades the observation path as in {!Session.run}. *)
+val run :
+  ?buffer_width:int -> ?rounds:int -> ?obs_faults:Flowtrace_soc.Obs_fault.spec -> t -> Session.t

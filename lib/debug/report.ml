@@ -12,6 +12,9 @@ let render (s : Session.t) =
   add "symptom: %s" (Inject.symptom_to_string s.Session.symptom);
   add "selection (%d-bit buffer): %s" s.Session.selection.Select.buffer_width
     (String.concat ", " (Select.selected_names s.Session.selection));
+  (match s.Session.obs_report with
+  | None -> ()
+  | Some r -> add "%s" (Flowtrace_soc.Obs_fault.report_to_string r));
   add "";
   add "evidence (observable messages):";
   List.iter
@@ -31,6 +34,10 @@ let render (s : Session.t) =
         st.Session.st_entries st.Session.st_pairs_remaining st.Session.st_causes_remaining)
     s.Session.steps;
   add "";
+  if Session.fallback_used s then
+    add
+      "note: full evidence exonerated every catalogued cause — observation looks lossy; candidate set recovered at trust tier %S"
+      (Session.trust_to_string s.Session.trust);
   (match s.Session.plausible with
   | [] -> add "verdict: every catalogued cause exonerated — symptom unexplained"
   | causes ->

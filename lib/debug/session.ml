@@ -14,6 +14,7 @@ module Tel = Flowtrace_telemetry.Telemetry
 
 let c_steps = Tel.Counter.v "debug.session.steps"
 let c_entries = Tel.Counter.v "debug.session.entries_examined"
+let c_fallbacks = Tel.Counter.v "debug.session.fallbacks"
 
 type step = {
   st_msg : string;
@@ -21,6 +22,8 @@ type step = {
   st_pairs_remaining : int;
   st_causes_remaining : int;
 }
+
+type evidence_trust = Full | No_absence_exoneration | Triage_only
 
 type t = {
   scenario : Scenario.t;
@@ -34,6 +37,8 @@ type t = {
   legal_pairs : (string * string) list;
   pairs_investigated : int;
   messages_investigated : int;  (* total trace-buffer entries examined *)
+  obs_report : Obs_fault.report option;
+  trust : evidence_trust;
 }
 
 (* Legal IP pairs of a scenario: distinct (src, dst) with a message between
@@ -120,7 +125,57 @@ let investigate evidence causes msg =
           cs.cause.Cause.c_rules)
     causes
 
-let run ?(seed = 1) ?(rounds = Scenario.default_run.Scenario.rounds) ~scenario ~bugs
+(* One full pass of the elimination rules under a trust level — the
+   gap-tolerant fallback. When the observation path is faulty, message
+   absence is the one evidence class that fires SPURIOUSLY under drops
+   (the observer saw fewer occurrences than the design produced), so the
+   first retreat discards only absence-based exonerations. [seen_ok] and
+   [counts_ok] can only fail, never wrongly fire, under losses — an
+   observer cannot fabricate matching packets — so they stay trusted
+   until [Triage_only], which keeps nothing but the regression harness's
+   flow-health verdicts and the positive implications. Order-independent:
+   rules only flip flags monotonically. *)
+let eliminate ~trust evidence scenario_id =
+  let causes =
+    List.map (fun c -> { cause = c; alive = true; implicated_ = false })
+      (Cause.for_scenario scenario_id)
+  in
+  triage evidence causes;
+  let trusted rule =
+    match (trust, rule) with
+    | Full, _ -> true
+    | No_absence_exoneration, Cause.Exonerate_if_absent _ -> false
+    | No_absence_exoneration, _ -> true
+    | ( Triage_only,
+        ( Cause.Exonerate_if_seen_ok _ | Cause.Exonerate_if_counts_ok _
+        | Cause.Exonerate_if_absent _ ) ) ->
+        false
+    | Triage_only, _ -> true
+  in
+  List.iter
+    (fun cs ->
+      List.iter
+        (fun rule ->
+          if trusted rule then
+            match rule with
+            | Cause.Exonerate_if_seen_ok m ->
+                if cs.alive && Evidence.seen_ok evidence m then cs.alive <- false
+            | Cause.Exonerate_if_counts_ok m ->
+                if cs.alive && Evidence.counts_ok evidence m then cs.alive <- false
+            | Cause.Exonerate_if_absent m ->
+                if cs.alive && Evidence.absent evidence m then cs.alive <- false
+            | Cause.Implicate_if_absent m ->
+                if Evidence.absent evidence m then cs.implicated_ <- true
+            | Cause.Implicate_if_corrupt m ->
+                if Evidence.corrupt evidence m then cs.implicated_ <- true
+            | Cause.Exonerate_if_flow_healthy _ -> ())
+        cs.cause.Cause.c_rules)
+    causes;
+  ( List.filter_map (fun cs -> if cs.alive then Some cs.cause else None) causes,
+    List.filter_map (fun cs -> if cs.alive && cs.implicated_ then Some cs.cause else None) causes
+  )
+
+let run ?(seed = 1) ?(rounds = Scenario.default_run.Scenario.rounds) ?obs_faults ~scenario ~bugs
     ~buffer_width () =
   Tel.with_span "debug.session"
     ~args:(fun () ->
@@ -133,9 +188,21 @@ let run ?(seed = 1) ?(rounds = Scenario.default_run.Scenario.rounds) ~scenario ~
   @@ fun () ->
   let config = { Scenario.default_run with Scenario.seed; rounds } in
   let golden, buggy = Inject.golden_vs_buggy ~config scenario bugs in
+  (* The observation-path fault model degrades what the monitors report
+     about the BUGGY (silicon) run; the golden reference is a
+     pre-silicon simulation and stays perfect. Symptom detection below
+     still uses the unfaulted outcome — the regression harness's
+     verdict does not pass through the trace buffer. *)
+  let buggy_observed, obs_report =
+    match obs_faults with
+    | Some spec when not (Obs_fault.is_none spec) ->
+        let faulted, rep = Obs_fault.apply ~seed:(seed + 0xbf) spec buggy.Sim.packets in
+        ({ buggy with Sim.packets = faulted }, Some rep)
+    | _ -> (buggy, None)
+  in
   let inter = Scenario.interleave scenario in
   let selection = Select.select ~strategy:Select.Greedy inter ~buffer_width in
-  let evidence = Evidence.build ~selection ~scenario ~golden ~buggy in
+  let evidence = Evidence.build ~selection ~scenario ~golden ~buggy:buggy_observed in
   let symptom = evidence.Evidence.symptom in
   let symptom_flow =
     match symptom with
@@ -213,20 +280,48 @@ let run ?(seed = 1) ?(rounds = Scenario.default_run.Scenario.rounds) ~scenario ~
         if alive <> [] && List.for_all (fun cs -> cs.implicated_) alive then continue_ := false
       end)
     order;
+  let plausible = List.filter_map (fun cs -> if cs.alive then Some cs.cause else None) causes in
+  let implicated =
+    List.filter_map (fun cs -> if cs.alive && cs.implicated_ then Some cs.cause else None) causes
+  in
+  (* Gap-tolerant fallback: a symptom with an empty candidate set means
+     the evidence exonerated every catalogued cause — impossible if the
+     evidence were sound, so the observation was lossy. Retreat to
+     progressively less observation-dependent rule sets instead of
+     reporting nothing. *)
+  let trust, plausible, implicated =
+    if plausible <> [] || symptom = Inject.No_symptom then (Full, plausible, implicated)
+    else begin
+      Tel.Counter.incr c_fallbacks;
+      let p1, i1 = eliminate ~trust:No_absence_exoneration evidence scenario.Scenario.id in
+      if p1 <> [] then (No_absence_exoneration, p1, i1)
+      else
+        let p2, i2 = eliminate ~trust:Triage_only evidence scenario.Scenario.id in
+        (Triage_only, p2, i2)
+    end
+  in
   {
     scenario;
     selection;
     evidence;
     symptom;
     causes_total = List.length causes;
-    plausible = List.filter_map (fun cs -> if cs.alive then Some cs.cause else None) causes;
-    implicated =
-      List.filter_map (fun cs -> if cs.alive && cs.implicated_ then Some cs.cause else None) causes;
+    plausible;
+    implicated;
     steps = List.rev !steps;
     legal_pairs = pairs_total;
     pairs_investigated = Hashtbl.length pairs_touched;
     messages_investigated = !entries_total;
+    obs_report;
+    trust;
   }
+
+let fallback_used t = t.trust <> Full
+
+let trust_to_string = function
+  | Full -> "full"
+  | No_absence_exoneration -> "no-absence-exoneration"
+  | Triage_only -> "triage-only"
 
 let pruned_fraction t =
   if t.causes_total = 0 then 0.0

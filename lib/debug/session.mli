@@ -16,6 +16,17 @@ type step = {
   st_causes_remaining : int;
 }
 
+(** How much of the message-level evidence the final candidate set
+    relied on. [Full] — every rule, the normal path. Under a lossy
+    observation, message {e absence} is the one evidence class that
+    fires spuriously when packets are dropped (the observer saw fewer
+    occurrences than the design produced), so the first fallback tier
+    [No_absence_exoneration] discards absence-based exonerations;
+    [Triage_only] additionally discards all message-level exonerations,
+    keeping only the regression harness's flow-health verdicts and
+    positive implications. *)
+type evidence_trust = Full | No_absence_exoneration | Triage_only
+
 type t = {
   scenario : Scenario.t;
   selection : Select.result;
@@ -28,6 +39,9 @@ type t = {
   legal_pairs : (string * string) list;
   pairs_investigated : int;
   messages_investigated : int;
+  obs_report : Obs_fault.report option;
+      (** fault accounting when the observation path was faulted *)
+  trust : evidence_trust;  (** trust tier that produced [plausible] *)
 }
 
 (** Distinct (src, dst) IP pairs carrying a message of the scenario. *)
@@ -35,15 +49,36 @@ val legal_pairs : Scenario.t -> (string * string) list
 
 (** [run ~scenario ~bugs ~buffer_width ()] executes golden and buggy runs
     of the same workload, selects trace messages, builds evidence and
-    drives the elimination session. Deterministic given [seed]. *)
+    drives the elimination session. Deterministic given [seed].
+
+    [obs_faults] degrades the buggy run's monitor log through
+    {!Flowtrace_soc.Obs_fault.apply} before evidence is built (the golden reference —
+    a pre-silicon simulation — stays perfect). When elimination then
+    exonerates {e every} catalogued cause despite a symptom, the
+    session falls back through the {!evidence_trust} tiers instead of
+    returning an empty candidate set. *)
 val run :
   ?seed:int ->
   ?rounds:int ->
+  ?obs_faults:Obs_fault.spec ->
   scenario:Scenario.t ->
   bugs:Bug.t list ->
   buffer_width:int ->
   unit ->
   t
+
+(** [eliminate ~trust evidence scenario_id] applies the flow-health
+    triage plus every message rule the trust tier admits, in one
+    order-independent pass, returning [(plausible, implicated)]. This
+    is the fallback's engine, exposed for direct testing on crafted
+    evidence. *)
+val eliminate : trust:evidence_trust -> Evidence.t -> int -> Cause.t list * Cause.t list
+
+(** Whether a fallback tier (anything below [Full]) produced the
+    candidate set. *)
+val fallback_used : t -> bool
+
+val trust_to_string : evidence_trust -> string
 
 (** Fraction of candidate root causes pruned (Figure 7). *)
 val pruned_fraction : t -> float

@@ -1,0 +1,5 @@
+(** Loss sweep (extension, not in the paper): path localization under a
+    faulty observer — exact vs. gap-tolerant matching as the
+    observation drop rate grows. *)
+
+val run : unit -> Table_render.t

@@ -24,6 +24,11 @@ let all =
       run = (fun () -> [ Intro_recon.run () ]);
     };
     {
+      id = "lossy";
+      description = "localization under observation loss (not in paper)";
+      run = (fun () -> [ Lossy.run () ]);
+    };
+    {
       id = "ablations";
       description = "design-choice ablations + scalability (not in paper)";
       run = (fun () -> Ablation.run () @ [ Scalability.run (); Iscas_scale.run () ]);

@@ -1,0 +1,204 @@
+(* Observation-path fault model: deterministic, seed-driven faults
+   between the simulator's packet log and the trace buffer. See the mli
+   for the pipeline order and the design rationale. *)
+
+open Flowtrace_core
+module Tel = Flowtrace_telemetry.Telemetry
+
+type spec = {
+  drop : float;
+  corrupt : float;
+  reorder : int;
+  blackouts : (int * int) list;
+  truncate : int option;
+}
+
+let none = { drop = 0.0; corrupt = 0.0; reorder = 0; blackouts = []; truncate = None }
+
+let is_none s =
+  s.drop = 0.0 && s.corrupt = 0.0 && s.reorder = 0 && s.blackouts = [] && s.truncate = None
+
+type report = {
+  r_total : int;
+  r_truncated : int;
+  r_blackout : int;
+  r_dropped : int;
+  r_corrupted : int;
+  r_reordered : int;
+}
+
+let lost r = r.r_truncated + r.r_blackout + r.r_dropped
+
+let report_to_string r =
+  Printf.sprintf
+    "obs-faults: %d packets in, %d lost (%d truncated, %d blackout, %d dropped), %d corrupted, %d reordered"
+    r.r_total (lost r) r.r_truncated r.r_blackout r.r_dropped r.r_corrupted r.r_reordered
+
+let c_truncated = Tel.Counter.v "soc.obs_fault.truncated"
+let c_blackout = Tel.Counter.v "soc.obs_fault.blackout"
+let c_dropped = Tel.Counter.v "soc.obs_fault.dropped"
+let c_corrupted = Tel.Counter.v "soc.obs_fault.corrupted"
+let c_reordered = Tel.Counter.v "soc.obs_fault.reordered"
+
+let in_blackout blackouts cycle =
+  List.exists (fun (a, b) -> cycle >= a && cycle <= b) blackouts
+
+(* Flip one random bit (0..15) of one random payload field. Message
+   identity is untouched, so the indexed trace the buffer sees is the
+   same — only captured data bits rot, as in real capture logic. *)
+let corrupt_packet rng (p : Packet.t) =
+  match p.Packet.fields with
+  | [] -> p
+  | fields ->
+      let i = Rng.int rng (List.length fields) in
+      let bit = Rng.int rng 16 in
+      let name, v = List.nth fields i in
+      Packet.with_field p name (v lxor (1 lsl bit))
+
+(* Bounded local reordering: shuffle consecutive blocks of [w + 1]
+   packets, so no packet moves more than [w] positions. *)
+let reorder_window rng w packets =
+  let a = Array.of_list packets in
+  let n = Array.length a in
+  let block = w + 1 in
+  let i = ref 0 in
+  while !i < n do
+    let len = min block (n - !i) in
+    let sub = Array.sub a !i len in
+    Rng.shuffle rng sub;
+    Array.blit sub 0 a !i len;
+    i := !i + block
+  done;
+  let moved = ref 0 in
+  List.iteri (fun j p -> if not (a.(j) == p) then incr moved) packets;
+  (Array.to_list a, !moved)
+
+let apply ~seed spec packets =
+  let total = List.length packets in
+  let rng = Rng.create seed in
+  (* 1. session truncation *)
+  let packets, truncated =
+    match spec.truncate with
+    | None -> (packets, 0)
+    | Some n ->
+        let n = max n 0 in
+        let kept = List.filteri (fun i _ -> i < n) packets in
+        (kept, total - List.length kept)
+  in
+  (* 2. blackout windows *)
+  let kept, blackout =
+    if spec.blackouts = [] then (packets, 0)
+    else
+      List.fold_left
+        (fun (acc, k) p ->
+          if in_blackout spec.blackouts p.Packet.cycle then (acc, k + 1) else (p :: acc, k))
+        ([], 0) packets
+      |> fun (acc, k) -> (List.rev acc, k)
+  in
+  (* 3. per-packet drops *)
+  let kept, dropped =
+    if spec.drop <= 0.0 then (kept, 0)
+    else
+      List.fold_left
+        (fun (acc, k) p ->
+          if Rng.float rng 1.0 < spec.drop then (acc, k + 1) else (p :: acc, k))
+        ([], 0) kept
+      |> fun (acc, k) -> (List.rev acc, k)
+  in
+  (* 4. payload corruption *)
+  let kept, corrupted =
+    if spec.corrupt <= 0.0 then (kept, 0)
+    else
+      List.fold_left
+        (fun (acc, k) p ->
+          if Rng.float rng 1.0 < spec.corrupt then
+            let p' = corrupt_packet rng p in
+            (p' :: acc, (if p' == p then k else k + 1))
+          else (p :: acc, k))
+        ([], 0) kept
+      |> fun (acc, k) -> (List.rev acc, k)
+  in
+  (* 5. bounded local reordering *)
+  let kept, reordered =
+    if spec.reorder <= 0 then (kept, 0) else reorder_window rng spec.reorder kept
+  in
+  if Tel.enabled () then begin
+    Tel.Counter.add c_truncated truncated;
+    Tel.Counter.add c_blackout blackout;
+    Tel.Counter.add c_dropped dropped;
+    Tel.Counter.add c_corrupted corrupted;
+    Tel.Counter.add c_reordered reordered
+  end;
+  ( kept,
+    {
+      r_total = total;
+      r_truncated = truncated;
+      r_blackout = blackout;
+      r_dropped = dropped;
+      r_corrupted = corrupted;
+      r_reordered = reordered;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* CLI spec syntax *)
+
+let parse_prob key v =
+  match float_of_string_opt v with
+  | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+  | _ -> Error (Printf.sprintf "%s: expected a probability in [0,1], got %S" key v)
+
+let parse_spec s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let rec go spec = function
+    | [] -> Ok spec
+    | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "obs-fault spec: expected key=value, got %S" part)
+        | Some i -> (
+            let key = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            match key with
+            | "drop" -> (
+                match parse_prob key v with
+                | Ok f -> go { spec with drop = f } rest
+                | Error e -> Error e)
+            | "corrupt" -> (
+                match parse_prob key v with
+                | Ok f -> go { spec with corrupt = f } rest
+                | Error e -> Error e)
+            | "reorder" -> (
+                match int_of_string_opt v with
+                | Some w when w >= 0 -> go { spec with reorder = w } rest
+                | _ -> Error (Printf.sprintf "reorder: expected a window >= 0, got %S" v))
+            | "blackout" -> (
+                match String.index_opt v '-' with
+                | Some j -> (
+                    let a = String.sub v 0 j and b = String.sub v (j + 1) (String.length v - j - 1) in
+                    match (int_of_string_opt a, int_of_string_opt b) with
+                    | Some a, Some b when a >= 0 && b >= a ->
+                        go { spec with blackouts = spec.blackouts @ [ (a, b) ] } rest
+                    | _ -> Error (Printf.sprintf "blackout: expected A-B with 0 <= A <= B, got %S" v))
+                | None -> Error (Printf.sprintf "blackout: expected A-B cycle window, got %S" v))
+            | "trunc" -> (
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> go { spec with truncate = Some n } rest
+                | _ -> Error (Printf.sprintf "trunc: expected a packet count >= 0, got %S" v))
+            | _ -> Error (Printf.sprintf "obs-fault spec: unknown key %S" key)))
+  in
+  go none parts
+
+let spec_to_string s =
+  let parts = [] in
+  let parts = if s.drop > 0.0 then Printf.sprintf "drop=%g" s.drop :: parts else parts in
+  let parts = if s.corrupt > 0.0 then Printf.sprintf "corrupt=%g" s.corrupt :: parts else parts in
+  let parts = if s.reorder > 0 then Printf.sprintf "reorder=%d" s.reorder :: parts else parts in
+  let parts =
+    List.fold_left (fun acc (a, b) -> Printf.sprintf "blackout=%d-%d" a b :: acc) parts s.blackouts
+  in
+  let parts =
+    match s.truncate with Some n -> Printf.sprintf "trunc=%d" n :: parts | None -> parts
+  in
+  String.concat "," (List.rev parts)

@@ -1,0 +1,61 @@
+(** Observation-path fault model.
+
+    [lib/bug] mutates the {e design}; this module mutates the {e
+    observer}. Real post-silicon trace infrastructure drops packets,
+    flips payload bits, delivers out of order, goes blind for whole
+    windows and truncates sessions — all between the monitors and the
+    trace buffer. [apply] injects exactly those faults into a packet
+    log, deterministically from a single {!Flowtrace_core.Rng} seed, so
+    that every downstream robustness experiment is reproducible.
+
+    Faults compose in a fixed pipeline order: session truncation, then
+    blackout windows, then per-packet drops, then payload-field bit
+    corruption, then bounded local reordering. Payload corruption never
+    changes a packet's message identity (cycle/flow/inst/msg/src/dst are
+    untouched), mirroring hardware where the monitor's framing survives
+    but captured data bits may not. *)
+
+(** What to inject. [none] (all rates zero, no windows) makes [apply]
+    the identity. *)
+type spec = {
+  drop : float;  (** per-packet drop probability, in [0, 1] *)
+  corrupt : float;  (** per-packet payload bit-flip probability, in [0, 1] *)
+  reorder : int;  (** max positions a packet may move locally; 0 = off *)
+  blackouts : (int * int) list;
+      (** inclusive cycle windows where the monitor is blind *)
+  truncate : int option;  (** keep only the first [n] surviving packets *)
+}
+
+val none : spec
+
+(** [is_none s] — no fault is configured; [apply] is the identity. *)
+val is_none : spec -> bool
+
+(** Per-fault accounting for one [apply]. *)
+type report = {
+  r_total : int;  (** packets entering the observation path *)
+  r_truncated : int;
+  r_blackout : int;
+  r_dropped : int;
+  r_corrupted : int;
+  r_reordered : int;  (** packets whose position changed *)
+}
+
+val report_to_string : report -> string
+
+(** [lost r] — packets that never reached the trace buffer. *)
+val lost : report -> int
+
+(** [apply ~seed spec packets] runs the fault pipeline. Equal seeds and
+    specs yield bit-identical results. Telemetry counters
+    [soc.obs_fault.*] are ticked per fault class. *)
+val apply : seed:int -> spec -> Packet.t list -> Packet.t list * report
+
+(** [parse_spec s] reads the CLI syntax: comma-separated [key=value]
+    with keys [drop], [corrupt] (probabilities), [reorder] (window),
+    [blackout=A-B] (repeatable), [trunc] (packet count). Example:
+    ["drop=0.1,corrupt=0.05,reorder=3,blackout=100-200,trunc=500"]. *)
+val parse_spec : string -> (spec, string) result
+
+(** Round-trips through {!parse_spec}. *)
+val spec_to_string : spec -> string

@@ -6,9 +6,18 @@
    The storage is a real ring array: recording is O(1) whether or not the
    buffer has wrapped. (The previous entry-list representation re-reversed
    the whole buffer to drop the oldest entry, making every post-wrap record
-   O(depth) and a long [record_all] quadratic.) *)
+   O(depth) and a long [record_all] quadratic.)
+
+   Overflow is governed by a policy. [Drop_oldest] is the classic
+   wrap-around; [Drop_newest] freezes the buffer once full (the earliest
+   history survives); [Sample k] thins the stream to every k-th observable
+   occurrence before it reaches the ring, trading resolution for session
+   length. Every lost occurrence is accounted per cause. *)
 
 open Flowtrace_core
+module Tel = Flowtrace_telemetry.Telemetry
+
+type policy = Drop_oldest | Drop_newest | Sample of int
 
 type entry = { e_cycle : int; e_imsg : Indexed.t; e_bits : int; e_partial : bool }
 
@@ -16,24 +25,39 @@ type t = {
   width : int;  (* bits per entry *)
   depth : int;  (* number of entries retained *)
   selection : Select.result;
+  policy : policy;
   ring : entry option array;  (* length [depth]; [None] = never written *)
   mutable head : int;  (* slot of the oldest retained entry *)
   mutable count : int;  (* retained entries, <= depth *)
+  mutable seen : int;  (* observable occurrences offered (sampling gate) *)
   mutable recorded : int;
-  mutable dropped : int;  (* overwritten by wrap-around *)
+  mutable overwritten : int;  (* lost to Drop_oldest wrap-around *)
+  mutable refused : int;  (* lost to Drop_newest when full *)
+  mutable sampled_out : int;  (* thinned away by Sample *)
 }
 
-let create ~depth (selection : Select.result) =
+let c_overwritten = Tel.Counter.v "soc.trace_buffer.overwritten"
+let c_refused = Tel.Counter.v "soc.trace_buffer.refused"
+let c_sampled_out = Tel.Counter.v "soc.trace_buffer.sampled_out"
+
+let create ?(policy = Drop_oldest) ~depth (selection : Select.result) =
   if depth <= 0 then invalid_arg "Trace_buffer.create: depth must be positive";
+  (match policy with
+  | Sample k when k <= 0 -> invalid_arg "Trace_buffer.create: Sample period must be positive"
+  | _ -> ());
   {
     width = selection.Select.buffer_width;
     depth;
     selection;
+    policy;
     ring = Array.make depth None;
     head = 0;
     count = 0;
+    seen = 0;
     recorded = 0;
-    dropped = 0;
+    overwritten = 0;
+    refused = 0;
+    sampled_out = 0;
   }
 
 (* Bits captured for a base message under the selection: full width when
@@ -60,20 +84,37 @@ let record t (p : Packet.t) =
   match captured_bits t.selection p.Packet.msg with
   | None -> ()
   | Some (bits, partial) ->
-      let entry =
-        { e_cycle = p.Packet.cycle; e_imsg = Packet.indexed p; e_bits = bits; e_partial = partial }
+      let offered = t.seen in
+      t.seen <- offered + 1;
+      let sampled_away =
+        match t.policy with Sample k -> offered mod k <> 0 | Drop_oldest | Drop_newest -> false
       in
-      if t.count = t.depth then begin
-        (* wrap-around: overwrite the oldest slot in place *)
-        t.ring.(t.head) <- Some entry;
-        t.head <- (t.head + 1) mod t.depth;
-        t.dropped <- t.dropped + 1
+      if sampled_away then begin
+        t.sampled_out <- t.sampled_out + 1;
+        if Tel.enabled () then Tel.Counter.incr c_sampled_out
+      end
+      else if t.count = t.depth && t.policy = Drop_newest then begin
+        (* full: the newest occurrence is refused, history is frozen *)
+        t.refused <- t.refused + 1;
+        if Tel.enabled () then Tel.Counter.incr c_refused
       end
       else begin
-        t.ring.((t.head + t.count) mod t.depth) <- Some entry;
-        t.count <- t.count + 1
-      end;
-      t.recorded <- t.recorded + 1
+        let entry =
+          { e_cycle = p.Packet.cycle; e_imsg = Packet.indexed p; e_bits = bits; e_partial = partial }
+        in
+        if t.count = t.depth then begin
+          (* wrap-around: overwrite the oldest slot in place *)
+          t.ring.(t.head) <- Some entry;
+          t.head <- (t.head + 1) mod t.depth;
+          t.overwritten <- t.overwritten + 1;
+          if Tel.enabled () then Tel.Counter.incr c_overwritten
+        end
+        else begin
+          t.ring.((t.head + t.count) mod t.depth) <- Some entry;
+          t.count <- t.count + 1
+        end;
+        t.recorded <- t.recorded + 1
+      end
 
 let record_all t packets = List.iter (record t) packets
 
@@ -84,6 +125,28 @@ let entries t =
 (* The observed trace, as localization consumes it. *)
 let observed t = List.map (fun e -> e.e_imsg) (entries t)
 
-let wrapped t = t.dropped > 0
+let policy t = t.policy
 
-let stats t = (t.recorded, t.dropped)
+let dropped t = t.overwritten + t.refused + t.sampled_out
+
+let wrapped t = dropped t > 0
+
+let stats t = (t.recorded, dropped t)
+
+let drop_breakdown t = (t.overwritten, t.refused, t.sampled_out)
+
+let policy_to_string = function
+  | Drop_oldest -> "oldest"
+  | Drop_newest -> "newest"
+  | Sample k -> Printf.sprintf "sample:%d" k
+
+let parse_policy s =
+  match String.trim s with
+  | "oldest" -> Ok Drop_oldest
+  | "newest" -> Ok Drop_newest
+  | s when String.length s > 7 && String.sub s 0 7 = "sample:" -> (
+      let v = String.sub s 7 (String.length s - 7) in
+      match int_of_string_opt v with
+      | Some k when k > 0 -> Ok (Sample k)
+      | _ -> Error (Printf.sprintf "sample period must be a positive integer, got %S" v))
+  | s -> Error (Printf.sprintf "unknown overflow policy %S (expected oldest, newest or sample:K)" s)

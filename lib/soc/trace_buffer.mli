@@ -3,9 +3,20 @@
     A circular buffer of [depth] entries, [width] bits each, fed by the
     monitors: only messages in the {!Flowtrace_core.Select.result} are
     recorded; packed subgroups capture just their own bits of the parent
-    message (marked partial). *)
+    message (marked partial). Overflow behaviour is a {!policy};
+    occurrences lost to overflow are accounted per cause and surfaced
+    through the [soc.trace_buffer.*] telemetry counters. *)
 
 open Flowtrace_core
+
+(** What happens when the buffer cannot hold another entry.
+    [Drop_oldest] — classic wrap-around, the newest entry overwrites the
+    oldest (today's default, unchanged). [Drop_newest] — the buffer
+    freezes once full; the earliest history survives. [Sample k] — only
+    every k-th observable occurrence is offered to the ring at all
+    (systematic sampling); retained entries still wrap like
+    [Drop_oldest]. *)
+type policy = Drop_oldest | Drop_newest | Sample of int
 
 type entry = {
   e_cycle : int;
@@ -17,11 +28,13 @@ type entry = {
 type t
 
 (** [create ~depth selection] sizes the buffer; entry width is the
-    selection's buffer width. *)
-val create : depth:int -> Select.result -> t
+    selection's buffer width. [policy] defaults to [Drop_oldest].
+    Raises [Invalid_argument] on a non-positive depth or sample
+    period. *)
+val create : ?policy:policy -> depth:int -> Select.result -> t
 
-(** [record t p] appends the packet if its message is observable under the
-    selection; wrap-around drops the oldest entry. *)
+(** [record t p] offers the packet; it is stored if its message is
+    observable under the selection and the policy admits it. *)
 val record : t -> Packet.t -> unit
 
 val record_all : t -> Packet.t list -> unit
@@ -33,8 +46,22 @@ val entries : t -> entry list
     consumes it. *)
 val observed : t -> Indexed.t list
 
-(** Whether wrap-around discarded history. *)
+val policy : t -> policy
+
+(** Whether any observable occurrence was lost (overflow or sampling). *)
 val wrapped : t -> bool
 
-(** [(recorded, dropped)] counters. *)
+(** [(recorded, dropped)] counters: entries written to the ring, and
+    observable occurrences lost for any reason. *)
 val stats : t -> int * int
+
+(** [(overwritten, refused, sampled_out)] — losses by cause:
+    wrap-around overwrites, [Drop_newest] refusals, [Sample]
+    thinning. *)
+val drop_breakdown : t -> int * int * int
+
+(** CLI rendering: ["oldest"], ["newest"], ["sample:K"]. *)
+val policy_to_string : policy -> string
+
+(** Parses {!policy_to_string}'s syntax. *)
+val parse_policy : string -> (policy, string) result

@@ -5,13 +5,34 @@
 
    '#' starts a comment; a lone '-' stands for an empty field list. *)
 
+open Flowtrace_core
+
 type error = { line : int; message : string }
 
 exception Parse_error of error
 
 let err line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
 
+(* The wire format delimits with spaces, ',', '=' and '#'; a name
+   containing one of those would serialize to a line [parse] rejects or
+   silently misreads (the round-trip hole). Refuse to print it. *)
+let check_name what s =
+  let bad c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '#' || c = '=' || c = ',' in
+  if s = "" then invalid_arg (Printf.sprintf "Trace_io.print_packet: empty %s name" what);
+  String.iter
+    (fun c ->
+      if bad c then
+        invalid_arg
+          (Printf.sprintf "Trace_io.print_packet: %s name %S contains reserved character %C" what s
+             c))
+    s
+
 let print_packet (p : Packet.t) =
+  check_name "flow" p.Packet.flow;
+  check_name "message" p.Packet.msg;
+  check_name "source" p.Packet.src;
+  check_name "destination" p.Packet.dst;
+  List.iter (fun (k, _) -> check_name "field" k) p.Packet.fields;
   let fields =
     match p.Packet.fields with
     | [] -> "-"
@@ -78,3 +99,47 @@ let load path =
   let text = really_input_string ic len in
   close_in ic;
   parse text
+
+(* ------------------------------------------------------------------ *)
+(* Recovering ingest: real trace dumps arrive damaged (torn lines from
+   a crashed writer, corrupted sectors, interleaved logger output).
+   Lenient parsing skips malformed lines, each one reported as a
+   positioned diagnostic, under an error budget — a file that is mostly
+   garbage is still rejected as a whole rather than "recovered" into a
+   near-empty trace. *)
+
+module D = Flowtrace_analysis.Diagnostic
+
+let parse_lenient ?(file = "<trace>") ?(max_errors = 100) text =
+  if max_errors < 0 then invalid_arg "Trace_io.parse_lenient: negative error budget";
+  let lines = String.split_on_char '\n' text in
+  let packets = ref [] and diags = ref [] and errors = ref 0 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with Some j -> String.sub line 0 j | None -> line
+      in
+      match parse_line lineno line with
+      | None -> ()
+      | Some p -> packets := p :: !packets
+      | exception Parse_error e ->
+          incr errors;
+          if !errors > max_errors then
+            err lineno "more than %d malformed lines — refusing to recover (is this a trace file?)"
+              max_errors
+          else
+            diags :=
+              D.make ~code:"TR001" ~severity:D.Warning
+                (Srcspan.make ~file ~line:e.line ~col:1)
+                (Printf.sprintf "malformed trace line skipped: %s" e.message)
+              :: !diags)
+    lines;
+  (List.rev !packets, List.rev !diags)
+
+let load_lenient ?max_errors path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_lenient ~file:path ?max_errors text

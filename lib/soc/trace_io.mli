@@ -9,7 +9,10 @@ type error = { line : int; message : string }
 
 exception Parse_error of error
 
-(** [print_packet p] renders one trace line (no newline). *)
+(** [print_packet p] renders one trace line (no newline). Raises
+    [Invalid_argument] when a flow/message/endpoint/field name is empty
+    or contains a wire-format delimiter (whitespace, ['#'], ['='] or
+    [',']) — such a packet would not round-trip through {!parse}. *)
 val print_packet : Packet.t -> string
 
 (** [print packets] renders a whole trace, one line per packet. *)
@@ -18,8 +21,25 @@ val print : Packet.t list -> string
 (** Raises {!Parse_error} with a line number on malformed input. *)
 val parse : string -> Packet.t list
 
+(** [parse_lenient ?file ?max_errors text] is recovering ingest:
+    malformed lines are skipped instead of fatal, each reported as a
+    [TR001] warning {!Flowtrace_analysis.Diagnostic} positioned at
+    [file:line]. On clean input it returns exactly [(parse text, [])].
+    More than [max_errors] (default 100) bad lines raises
+    {!Parse_error} — a file that is mostly garbage is rejected as a
+    whole rather than "recovered" into a near-empty trace. *)
+val parse_lenient :
+  ?file:string ->
+  ?max_errors:int ->
+  string ->
+  Packet.t list * Flowtrace_analysis.Diagnostic.t list
+
 (** [save path packets] / [load path]: {!print} to and {!parse} from a
     file. [load] raises [Sys_error] or {!Parse_error}. *)
 val save : string -> Packet.t list -> unit
 
 val load : string -> Packet.t list
+
+(** {!parse_lenient} from a file; raises [Sys_error] on I/O failure. *)
+val load_lenient :
+  ?max_errors:int -> string -> Packet.t list * Flowtrace_analysis.Diagnostic.t list

@@ -154,6 +154,105 @@ let test_legal_pairs () =
   Alcotest.(check int) "unique" (List.length pairs)
     (List.length (List.sort_uniq compare pairs))
 
+(* ------------------------------------------------------------------ *)
+(* Lossy observation: fault injection on the observation path and the
+   evidence-trust fallback *)
+
+let test_session_obs_faults_none_is_pure () =
+  let run ?obs_faults () =
+    Session.run ?obs_faults ~seed:11 ~rounds:12 ~scenario:Scenario.scenario1
+      ~bugs:[ Catalog.by_id 33 ] ~buffer_width:32 ()
+  in
+  let a = run () in
+  let b = run ~obs_faults:Obs_fault.none () in
+  Alcotest.(check bool) "same steps" true (a.Session.steps = b.Session.steps);
+  Alcotest.(check (list int)) "same plausible"
+    (List.map (fun c -> c.Cause.c_id) a.Session.plausible)
+    (List.map (fun c -> c.Cause.c_id) b.Session.plausible);
+  Alcotest.(check bool) "no report" true (b.Session.obs_report = None);
+  Alcotest.(check bool) "full trust" true (b.Session.trust = Session.Full);
+  Alcotest.(check bool) "no fallback" false (Session.fallback_used b)
+
+let test_session_obs_faults_deterministic () =
+  let spec = { Obs_fault.none with Obs_fault.drop = 0.3; corrupt = 0.1 } in
+  let run () =
+    Session.run ~obs_faults:spec ~seed:11 ~rounds:12 ~scenario:Scenario.scenario1
+      ~bugs:[ Catalog.by_id 33 ] ~buffer_width:32 ()
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "same report" true (a.Session.obs_report = b.Session.obs_report);
+  Alcotest.(check bool) "same steps" true (a.Session.steps = b.Session.steps);
+  Alcotest.(check (list int)) "same plausible"
+    (List.map (fun c -> c.Cause.c_id) a.Session.plausible)
+    (List.map (fun c -> c.Cause.c_id) b.Session.plausible);
+  (match a.Session.obs_report with
+  | Some r -> Alcotest.(check bool) "faults accounted" true (Obs_fault.lost r > 0)
+  | None -> Alcotest.fail "expected a fault report");
+  (* the true culprit survives even on the degraded evidence *)
+  Alcotest.(check bool) "true cause kept" true
+    (List.exists (fun c -> String.equal c.Cause.c_ip (Catalog.by_id 33).Bug.ip) a.Session.plausible)
+
+(* Crafted evidence where absence is the only exonerating signal for one
+   cause: under a lossy observer, absence is exactly the evidence class
+   that fires spuriously, so Full trust empties the candidate set and the
+   first fallback tier must resurrect that cause. *)
+let lossy_looking_evidence () =
+  let mev ?(seen = 0) ?(golden = 0) msg =
+    {
+      Evidence.me_msg = msg;
+      me_src = "X";
+      me_dst = "Y";
+      me_observable = true;
+      me_seen = seen;
+      me_golden = golden;
+      me_payload_visible = true;
+      me_corrupt = false;
+    }
+  in
+  {
+    Evidence.messages =
+      [
+        mev "siincu" ~seen:4 ~golden:4;
+        mev "dmusiidata" ~seen:4 ~golden:4;
+        mev "reqtot" ~seen:0 ~golden:3;
+        mev "grant" ~seen:1 ~golden:3;
+        mev "mondoacknack" ~seen:2 ~golden:2;
+      ];
+    unhealthy_flows = [ "Mon" ];
+    symptom = Inject.No_symptom;
+  }
+
+let plausible_ids (p, _) = List.sort compare (List.map (fun c -> c.Cause.c_id) p)
+let implicated_ids (_, i) = List.sort compare (List.map (fun c -> c.Cause.c_id) i)
+
+let test_eliminate_trust_tiers () =
+  let ev = lossy_looking_evidence () in
+  let full = Session.eliminate ~trust:Session.Full ev 1 in
+  Alcotest.(check (list int)) "full trust exonerates everything" [] (plausible_ids full);
+  let tier1 = Session.eliminate ~trust:Session.No_absence_exoneration ev 1 in
+  Alcotest.(check (list int)) "absence-free tier keeps the absence-exonerated cause" [ 8 ]
+    (plausible_ids tier1);
+  Alcotest.(check (list int)) "and it is positively implicated" [ 8 ] (implicated_ids tier1);
+  let tier2 = Session.eliminate ~trust:Session.Triage_only ev 1 in
+  Alcotest.(check (list int)) "triage keeps every cause on unhealthy flows" [ 1; 2; 3; 8; 9 ]
+    (plausible_ids tier2)
+
+let test_trust_tier_monotone () =
+  (* dropping trust can only grow the candidate set *)
+  let ev = lossy_looking_evidence () in
+  let n trust = List.length (fst (Session.eliminate ~trust ev 1)) in
+  Alcotest.(check bool) "tier1 >= full" true
+    (n Session.No_absence_exoneration >= n Session.Full);
+  Alcotest.(check bool) "tier2 >= tier1" true
+    (n Session.Triage_only >= n Session.No_absence_exoneration)
+
+let test_trust_to_string_distinct () =
+  let names = List.map Session.trust_to_string
+      [ Session.Full; Session.No_absence_exoneration; Session.Triage_only ]
+  in
+  Alcotest.(check int) "distinct renderings" 3 (List.length (List.sort_uniq compare names))
+
 let test_messages_investigated_counts_entries () =
   let s = Case_study.run ~rounds:20 (Case_study.by_id 1) in
   let from_steps = List.fold_left (fun acc st -> acc + st.Session.st_entries) 0 s.Session.steps in
@@ -187,5 +286,14 @@ let () =
           Alcotest.test_case "clean session" `Quick test_clean_session_no_symptom;
           Alcotest.test_case "legal pairs" `Quick test_legal_pairs;
           Alcotest.test_case "entries accounting" `Quick test_messages_investigated_counts_entries;
+        ] );
+      ( "lossy observation",
+        [
+          Alcotest.test_case "no faults is pure" `Quick test_session_obs_faults_none_is_pure;
+          Alcotest.test_case "faulted session deterministic" `Quick
+            test_session_obs_faults_deterministic;
+          Alcotest.test_case "trust tiers on crafted evidence" `Quick test_eliminate_trust_tiers;
+          Alcotest.test_case "trust tiers monotone" `Quick test_trust_tier_monotone;
+          Alcotest.test_case "trust renderings distinct" `Quick test_trust_to_string_distinct;
         ] );
     ]

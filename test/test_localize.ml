@@ -158,6 +158,114 @@ let prop_suffix_tail_consistent =
       let tail = match proj with _ :: rest -> rest | [] -> [] in
       Localize.consistent_paths ~semantics:Localize.Suffix inter ~selected:sel ~observed:tail >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Lossy (gap-tolerant) localization *)
+
+(* drop [d] observation entries at seeded positions *)
+let drop_some ~seed ~d obs =
+  let rng = Rng.create seed in
+  let n = List.length obs in
+  let victims = ref [] in
+  let remaining = ref d in
+  while !remaining > 0 && List.length !victims < n do
+    let i = Rng.int rng (max 1 n) in
+    if not (List.mem i !victims) then begin
+      victims := i :: !victims;
+      decr remaining
+    end
+  done;
+  List.filteri (fun i _ -> not (List.mem i !victims)) obs
+
+let test_lossy_budget_zero_is_exact () =
+  let inter = Toy.two_instances () in
+  let path = Execution.random ~rng:(Rng.create 5) inter in
+  let sel b = b = "ReqE" || b = "Ack" in
+  let obs = Execution.project ~selected:sel path.Execution.trace in
+  let r = Localize.lossy ~skip_budget:0 inter ~selected:sel ~observed:obs in
+  Alcotest.(check int) "consistent = exact"
+    (Localize.consistent_paths ~semantics:Localize.Exact inter ~selected:sel ~observed:obs)
+    r.Localize.lr_consistent;
+  Alcotest.(check int) "no discards" 0 r.Localize.lr_discarded;
+  Alcotest.(check int) "no skips" 0 r.Localize.lr_skips;
+  Alcotest.(check (float 1e-9)) "full confidence" 1.0 r.Localize.lr_confidence
+
+let test_lossy_recovers_from_bogus_entry () =
+  (* an entry no execution can ever emit forces a resync discard *)
+  let inter = Toy.two_instances () in
+  let path = Execution.random ~rng:(Rng.create 7) inter in
+  let sel _ = true in
+  let obs = Execution.project ~selected:sel path.Execution.trace in
+  let poisoned = Indexed.make "NoSuchMsg" 9 :: obs in
+  let r0 = Localize.lossy ~skip_budget:0 inter ~selected:sel ~observed:poisoned in
+  Alcotest.(check int) "budget 0 cannot explain it" 0 r0.Localize.lr_consistent;
+  let r = Localize.lossy ~skip_budget:2 inter ~selected:sel ~observed:poisoned in
+  Alcotest.(check int) "exactly one resync discard" 1 r.Localize.lr_discarded;
+  Alcotest.(check bool) "ground truth recovered" true (r.Localize.lr_consistent >= 1);
+  Alcotest.(check bool) "confidence reduced" true (r.Localize.lr_confidence < 1.0)
+
+let test_lossy_rejects_suffix_and_negative_budget () =
+  let inter = Toy.two_instances () in
+  (match Localize.lossy ~semantics:Localize.Suffix inter ~selected:(fun _ -> true) ~observed:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for Suffix");
+  match Localize.lossy ~skip_budget:(-1) inter ~selected:(fun _ -> true) ~observed:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for negative budget"
+
+let prop_lossy_budget_zero_matches_strict =
+  QCheck.Test.make ~name:"lossy with budget 0 = strict count (Exact and Prefix)" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let path = Execution.random ~rng:(Rng.create seed) inter in
+      let sel b = String.length b mod 2 = 0 in
+      let obs = Execution.project ~selected:sel path.Execution.trace in
+      List.for_all
+        (fun sem ->
+          let r = Localize.lossy ~semantics:sem ~skip_budget:0 inter ~selected:sel ~observed:obs in
+          r.Localize.lr_consistent
+          = Localize.consistent_paths ~semantics:sem inter ~selected:sel ~observed:obs)
+        [ Localize.Exact; Localize.Prefix ])
+
+let prop_lossy_survives_drops =
+  QCheck.Test.make ~name:"budget >= losses keeps the true path consistent" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let path = Execution.random ~rng:(Rng.create seed) inter in
+      let sel _ = true in
+      let obs = Execution.project ~selected:sel path.Execution.trace in
+      let d = min 3 (List.length obs) in
+      let lossy_obs = drop_some ~seed:(seed + 1) ~d obs in
+      let r = Localize.lossy ~skip_budget:d inter ~selected:sel ~observed:lossy_obs in
+      r.Localize.lr_consistent >= 1)
+
+let prop_lossy_monotone_in_budget =
+  QCheck.Test.make ~name:"consistent count is monotone in the skip budget" ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let path = Execution.random ~rng:(Rng.create seed) inter in
+      let sel b = String.length b mod 2 = 1 in
+      let obs = drop_some ~seed:(seed + 2) ~d:2 (Execution.project ~selected:sel path.Execution.trace) in
+      let c k =
+        (Localize.lossy ~skip_budget:k inter ~selected:sel ~observed:obs).Localize.lr_consistent
+      in
+      c 0 <= c 1 && c 1 <= c 2 && c 2 <= c 4)
+
+let prop_lossy_report_bounds =
+  QCheck.Test.make ~name:"lossy fraction and confidence stay in [0,1]" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let path = Execution.random ~rng:(Rng.create seed) inter in
+      let sel _ = true in
+      let obs = drop_some ~seed:(seed + 3) ~d:2 (Execution.project ~selected:sel path.Execution.trace) in
+      let r = Localize.lossy ~skip_budget:3 inter ~selected:sel ~observed:obs in
+      let f = Localize.lossy_fraction r in
+      f >= 0.0 && f <= 1.0 && r.Localize.lr_confidence >= 0.0 && r.Localize.lr_confidence <= 1.0
+      && r.Localize.lr_discarded + r.Localize.lr_skips <= r.Localize.lr_budget + List.length obs)
+
 let () =
   Alcotest.run "localize"
     [
@@ -177,6 +285,13 @@ let () =
           Alcotest.test_case "empty observation" `Quick test_suffix_empty_observation;
           Alcotest.test_case "tail of projection" `Quick test_suffix_tail_of_projection;
         ] );
+      ( "lossy",
+        [
+          Alcotest.test_case "budget 0 = exact" `Quick test_lossy_budget_zero_is_exact;
+          Alcotest.test_case "resync past bogus entry" `Quick test_lossy_recovers_from_bogus_entry;
+          Alcotest.test_case "rejects Suffix and negative budget" `Quick
+            test_lossy_rejects_suffix_and_negative_budget;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -185,5 +300,9 @@ let () =
             prop_exact_consistent_counts_paths;
             prop_suffix_at_least_exact;
             prop_suffix_tail_consistent;
+            prop_lossy_budget_zero_matches_strict;
+            prop_lossy_survives_drops;
+            prop_lossy_monotone_in_budget;
+            prop_lossy_report_bounds;
           ] );
     ]

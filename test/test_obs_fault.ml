@@ -1,0 +1,319 @@
+(* Tests for the observation-path fault model, the trace-buffer overflow
+   policies and the recovering trace parser. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+
+let packets ?(rounds = 8) ?(seed = 4) () =
+  let out = Scenario.run ~config:{ Scenario.default_run with Scenario.rounds; seed } Scenario.scenario1 in
+  out.Sim.packets
+
+let selection () =
+  Select.select ~strategy:Select.Greedy (Scenario.interleave Scenario.scenario1) ~buffer_width:32
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing *)
+
+let test_spec_parse_roundtrip () =
+  let specs =
+    [
+      Obs_fault.none;
+      { Obs_fault.none with Obs_fault.drop = 0.25 };
+      { Obs_fault.drop = 0.1; corrupt = 0.05; reorder = 3; blackouts = [ (100, 200) ]; truncate = Some 50 };
+      { Obs_fault.none with Obs_fault.blackouts = [ (1, 2); (10, 20) ] };
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Obs_fault.parse_spec (Obs_fault.spec_to_string s) with
+      | Ok s' -> Alcotest.(check bool) (Obs_fault.spec_to_string s) true (s = s')
+      | Error e -> Alcotest.failf "round-trip failed on %S: %s" (Obs_fault.spec_to_string s) e)
+    specs
+
+let test_spec_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Obs_fault.parse_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error on %S" bad)
+    [ "drop=2.0"; "drop=-0.1"; "drop=x"; "bogus=1"; "blackout=5"; "blackout=9-3"; "trunc=-1"; "reorder=oops"; "drop" ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline purity and determinism *)
+
+let test_none_is_identity () =
+  let ps = packets () in
+  let faulted, rep = Obs_fault.apply ~seed:7 Obs_fault.none ps in
+  Alcotest.(check bool) "identity" true (faulted = ps);
+  Alcotest.(check int) "total" (List.length ps) rep.Obs_fault.r_total;
+  Alcotest.(check int) "nothing lost" 0 (Obs_fault.lost rep);
+  Alcotest.(check int) "nothing corrupted" 0 rep.Obs_fault.r_corrupted;
+  Alcotest.(check int) "nothing reordered" 0 rep.Obs_fault.r_reordered
+
+let test_apply_deterministic () =
+  let ps = packets () in
+  let spec = { Obs_fault.drop = 0.2; corrupt = 0.1; reorder = 2; blackouts = [ (40, 80) ]; truncate = None } in
+  let a, ra = Obs_fault.apply ~seed:99 spec ps in
+  let b, rb = Obs_fault.apply ~seed:99 spec ps in
+  Alcotest.(check bool) "packets identical" true (a = b);
+  Alcotest.(check bool) "reports identical" true (ra = rb);
+  let c, _ = Obs_fault.apply ~seed:100 spec ps in
+  Alcotest.(check bool) "another seed differs somewhere" true (c <> a || List.length ps < 5)
+
+let test_drop_all () =
+  let ps = packets () in
+  let faulted, rep = Obs_fault.apply ~seed:3 { Obs_fault.none with Obs_fault.drop = 1.0 } ps in
+  Alcotest.(check int) "everything dropped" 0 (List.length faulted);
+  Alcotest.(check int) "accounted" (List.length ps) rep.Obs_fault.r_dropped
+
+let test_truncate () =
+  let ps = packets () in
+  let n = 5 in
+  let faulted, rep = Obs_fault.apply ~seed:3 { Obs_fault.none with Obs_fault.truncate = Some n } ps in
+  Alcotest.(check int) "kept n" n (List.length faulted);
+  Alcotest.(check bool) "prefix kept" true (faulted = List.filteri (fun i _ -> i < n) ps);
+  Alcotest.(check int) "accounted" (List.length ps - n) rep.Obs_fault.r_truncated
+
+let test_blackout () =
+  let ps = packets () in
+  let lo, hi = (30, 90) in
+  let faulted, rep =
+    Obs_fault.apply ~seed:3 { Obs_fault.none with Obs_fault.blackouts = [ (lo, hi) ] } ps
+  in
+  List.iter
+    (fun (p : Packet.t) ->
+      Alcotest.(check bool) "outside window" true (p.Packet.cycle < lo || p.Packet.cycle > hi))
+    faulted;
+  let inside =
+    List.length (List.filter (fun (p : Packet.t) -> p.Packet.cycle >= lo && p.Packet.cycle <= hi) ps)
+  in
+  Alcotest.(check int) "accounted" inside rep.Obs_fault.r_blackout;
+  Alcotest.(check int) "rest survives" (List.length ps - inside) (List.length faulted)
+
+let test_corrupt_preserves_identity () =
+  let ps = packets ~rounds:12 () in
+  let faulted, rep = Obs_fault.apply ~seed:8 { Obs_fault.none with Obs_fault.corrupt = 0.5 } ps in
+  Alcotest.(check int) "length preserved" (List.length ps) (List.length faulted);
+  Alcotest.(check bool) "some corruption happened" true (rep.Obs_fault.r_corrupted > 0);
+  let changed = ref 0 in
+  List.iter2
+    (fun (a : Packet.t) (b : Packet.t) ->
+      Alcotest.(check bool) "identity untouched" true
+        (a.Packet.cycle = b.Packet.cycle && a.Packet.flow = b.Packet.flow
+        && a.Packet.inst = b.Packet.inst && a.Packet.msg = b.Packet.msg
+        && a.Packet.src = b.Packet.src && a.Packet.dst = b.Packet.dst);
+      if a.Packet.fields <> b.Packet.fields then incr changed)
+    ps faulted;
+  Alcotest.(check int) "report counts payload changes" !changed rep.Obs_fault.r_corrupted
+
+let test_reorder_bounded_displacement () =
+  let ps = packets ~rounds:12 () in
+  let w = 3 in
+  let faulted, rep = Obs_fault.apply ~seed:8 { Obs_fault.none with Obs_fault.reorder = w } ps in
+  Alcotest.(check int) "length preserved" (List.length ps) (List.length faulted);
+  Alcotest.(check bool) "some reordering happened" true (rep.Obs_fault.r_reordered > 0);
+  (* every packet moved at most w positions, and content is a permutation *)
+  let a = Array.of_list ps and b = Array.of_list faulted in
+  Array.iteri
+    (fun j p ->
+      let found = ref false in
+      for i = max 0 (j - w) to min (Array.length a - 1) (j + w) do
+        if (not !found) && a.(i) == p then found := true
+      done;
+      Alcotest.(check bool) "displacement bounded" true !found)
+    b;
+  Alcotest.(check bool) "permutation" true
+    (List.sort compare ps = List.sort compare faulted)
+
+let test_loss_accounting () =
+  let ps = packets ~rounds:12 () in
+  let spec = { Obs_fault.drop = 0.3; corrupt = 0.0; reorder = 0; blackouts = [ (20, 60) ]; truncate = Some 40 } in
+  let faulted, rep = Obs_fault.apply ~seed:21 spec ps in
+  Alcotest.(check int) "total in = input length" (List.length ps) rep.Obs_fault.r_total;
+  Alcotest.(check int) "survivors + lost = total" (List.length ps)
+    (List.length faulted + Obs_fault.lost rep)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-buffer overflow policies *)
+
+let observable_stream sel ps =
+  List.filter (fun (p : Packet.t) -> Select.is_observable sel p.Packet.msg) ps
+
+let test_drop_newest_keeps_earliest () =
+  let sel = selection () in
+  let ps = packets ~rounds:20 () in
+  let depth = 8 in
+  let buf = Trace_buffer.create ~policy:Trace_buffer.Drop_newest ~depth sel in
+  Trace_buffer.record_all buf ps;
+  let obs = observable_stream sel ps in
+  Alcotest.(check bool) "stream overflows the buffer" true (List.length obs > depth);
+  let expected = List.filteri (fun i _ -> i < depth) (List.map Packet.indexed obs) in
+  Alcotest.(check bool) "earliest history frozen" true (Trace_buffer.observed buf = expected);
+  let ov, refused, so = Trace_buffer.drop_breakdown buf in
+  Alcotest.(check int) "no overwrites" 0 ov;
+  Alcotest.(check int) "no sampling" 0 so;
+  Alcotest.(check int) "refusals accounted" (List.length obs - depth) refused
+
+let test_sample_keeps_every_kth () =
+  let sel = selection () in
+  let ps = packets ~rounds:10 () in
+  let k = 3 in
+  let buf = Trace_buffer.create ~policy:(Trace_buffer.Sample k) ~depth:4096 sel in
+  Trace_buffer.record_all buf ps;
+  let obs = List.map Packet.indexed (observable_stream sel ps) in
+  let expected = List.filteri (fun i _ -> i mod k = 0) obs in
+  Alcotest.(check bool) "systematic thinning" true (Trace_buffer.observed buf = expected);
+  let ov, refused, so = Trace_buffer.drop_breakdown buf in
+  Alcotest.(check int) "no overwrites" 0 ov;
+  Alcotest.(check int) "no refusals" 0 refused;
+  Alcotest.(check int) "thinned accounted" (List.length obs - List.length expected) so
+
+let test_drop_oldest_matches_default () =
+  let sel = selection () in
+  let ps = packets ~rounds:20 () in
+  let explicit = Trace_buffer.create ~policy:Trace_buffer.Drop_oldest ~depth:8 sel in
+  let default = Trace_buffer.create ~depth:8 sel in
+  Trace_buffer.record_all explicit ps;
+  Trace_buffer.record_all default ps;
+  Alcotest.(check bool) "explicit oldest = default" true
+    (Trace_buffer.observed explicit = Trace_buffer.observed default);
+  (* wrap keeps the most recent [depth] observable entries *)
+  let obs = List.map Packet.indexed (observable_stream sel ps) in
+  let n = List.length obs in
+  let expected = List.filteri (fun i _ -> i >= n - 8) obs in
+  Alcotest.(check bool) "suffix retained" true (Trace_buffer.observed explicit = expected)
+
+let test_buffer_accounting_invariant () =
+  let sel = selection () in
+  let ps = packets ~rounds:20 () in
+  let offered = List.length (observable_stream sel ps) in
+  List.iter
+    (fun policy ->
+      let buf = Trace_buffer.create ~policy ~depth:8 sel in
+      Trace_buffer.record_all buf ps;
+      let recorded, dropped = Trace_buffer.stats buf in
+      let ov, refused, so = Trace_buffer.drop_breakdown buf in
+      Alcotest.(check int) "dropped = by-cause sum" dropped (ov + refused + so);
+      (* every observable occurrence is either in the ring now, was
+         overwritten after being recorded, or never made it in *)
+      Alcotest.(check int) "offered = recorded + refused + sampled_out" offered
+        (recorded + refused + so);
+      Alcotest.(check int) "retained = recorded - overwritten"
+        (List.length (Trace_buffer.entries buf))
+        (recorded - ov))
+    [ Trace_buffer.Drop_oldest; Trace_buffer.Drop_newest; Trace_buffer.Sample 3 ]
+
+let test_create_validation () =
+  let sel = selection () in
+  (match Trace_buffer.create ~depth:0 sel with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for depth 0");
+  match Trace_buffer.create ~policy:(Trace_buffer.Sample 0) ~depth:8 sel with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for Sample 0"
+
+let test_policy_parse_roundtrip () =
+  List.iter
+    (fun p ->
+      match Trace_buffer.parse_policy (Trace_buffer.policy_to_string p) with
+      | Ok p' -> Alcotest.(check bool) (Trace_buffer.policy_to_string p) true (p = p')
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    [ Trace_buffer.Drop_oldest; Trace_buffer.Drop_newest; Trace_buffer.Sample 4 ];
+  List.iter
+    (fun bad ->
+      match Trace_buffer.parse_policy bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected error on %S" bad)
+    [ "latest"; "sample:0"; "sample:x"; "sample:" ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across selection jobs and overflow policies (the faulted
+   observed trace must be a pure function of seed, spec and policy) *)
+
+let faulted_observed ~jobs ~policy spec =
+  let inter = Scenario.interleave Scenario.scenario1 in
+  let sel = Select.select ~jobs ~strategy:Select.Greedy inter ~buffer_width:32 in
+  let ps = packets ~rounds:14 () in
+  let faulted, _ = Obs_fault.apply ~seed:42 spec ps in
+  let buf = Trace_buffer.create ~policy ~depth:16 sel in
+  Trace_buffer.record_all buf faulted;
+  Trace_buffer.observed buf
+
+let test_faulted_trace_jobs_identical () =
+  let spec = { Obs_fault.drop = 0.15; corrupt = 0.1; reorder = 2; blackouts = []; truncate = None } in
+  List.iter
+    (fun policy ->
+      let o1 = faulted_observed ~jobs:1 ~policy spec in
+      let o2 = faulted_observed ~jobs:2 ~policy spec in
+      let o4 = faulted_observed ~jobs:4 ~policy spec in
+      let name = Trace_buffer.policy_to_string policy in
+      Alcotest.(check bool) (name ^ ": jobs 2 = jobs 1") true (o2 = o1);
+      Alcotest.(check bool) (name ^ ": jobs 4 = jobs 1") true (o4 = o1))
+    [ Trace_buffer.Drop_oldest; Trace_buffer.Drop_newest; Trace_buffer.Sample 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Lenient parsing *)
+
+let test_lenient_on_clean_input () =
+  let ps = packets () in
+  let text = Trace_io.print ps in
+  let parsed, diags = Trace_io.parse_lenient text in
+  Alcotest.(check bool) "same packets as strict" true (parsed = Trace_io.parse text);
+  Alcotest.(check int) "no diagnostics" 0 (List.length diags)
+
+let test_lenient_skips_bad_lines () =
+  let text = "1 f 2 m a b x=4\ngarbage line\n2 f 2 m a b -\n3 f oops m a b -\n" in
+  let parsed, diags = Trace_io.parse_lenient ~file:"t.trace" text in
+  Alcotest.(check int) "good packets kept" 2 (List.length parsed);
+  Alcotest.(check int) "one diagnostic per bad line" 2 (List.length diags);
+  List.iter2
+    (fun (d : Flowtrace_analysis.Diagnostic.t) line ->
+      Alcotest.(check string) "code" "TR001" d.Flowtrace_analysis.Diagnostic.code;
+      Alcotest.(check int) "line" line d.Flowtrace_analysis.Diagnostic.span.Srcspan.line)
+    diags [ 2; 4 ]
+
+let test_lenient_error_budget () =
+  let bad = String.concat "\n" (List.init 10 (fun i -> Printf.sprintf "junk %d" i)) in
+  match Trace_io.parse_lenient ~max_errors:3 bad with
+  | exception Trace_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error once the budget is exceeded"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs_fault"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse round-trip" `Quick test_spec_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_spec_parse_errors;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "none is identity" `Quick test_none_is_identity;
+          Alcotest.test_case "deterministic per seed" `Quick test_apply_deterministic;
+          Alcotest.test_case "drop=1 drops all" `Quick test_drop_all;
+          Alcotest.test_case "truncate keeps prefix" `Quick test_truncate;
+          Alcotest.test_case "blackout removes window" `Quick test_blackout;
+          Alcotest.test_case "corruption preserves identity" `Quick test_corrupt_preserves_identity;
+          Alcotest.test_case "reorder displacement bounded" `Quick test_reorder_bounded_displacement;
+          Alcotest.test_case "loss accounting" `Quick test_loss_accounting;
+        ] );
+      ( "buffer policies",
+        [
+          Alcotest.test_case "newest keeps earliest" `Quick test_drop_newest_keeps_earliest;
+          Alcotest.test_case "sample keeps every k-th" `Quick test_sample_keeps_every_kth;
+          Alcotest.test_case "oldest matches default" `Quick test_drop_oldest_matches_default;
+          Alcotest.test_case "accounting invariant" `Quick test_buffer_accounting_invariant;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "policy parse round-trip" `Quick test_policy_parse_roundtrip;
+          Alcotest.test_case "faulted trace: jobs 1/2/4 identical" `Quick
+            test_faulted_trace_jobs_identical;
+        ] );
+      ( "lenient parsing",
+        [
+          Alcotest.test_case "clean input = strict" `Quick test_lenient_on_clean_input;
+          Alcotest.test_case "skips bad lines with diagnostics" `Quick test_lenient_skips_bad_lines;
+          Alcotest.test_case "error budget" `Quick test_lenient_error_budget;
+        ] );
+    ]

@@ -254,6 +254,52 @@ let test_trace_io_comments_and_blanks () =
       Alcotest.(check (list (pair string int))) "fields" [ ("x", 4) ] p.Packet.fields
   | ps -> Alcotest.failf "expected 1 packet, got %d" (List.length ps)
 
+let test_trace_io_rejects_adversarial_names () =
+  (* names that would corrupt the line-oriented wire format must be
+     refused at print time, not silently emitted as unparseable text *)
+  let base = { Packet.cycle = 1; flow = "f"; inst = 0; msg = "m"; src = "a"; dst = "b"; fields = [] } in
+  List.iter
+    (fun p ->
+      match Trace_io.print [ p ] with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.failf "expected Invalid_argument, printed %S" s)
+    [
+      { base with Packet.msg = "two words" };
+      { base with Packet.msg = "" };
+      { base with Packet.flow = "a#b" };
+      { base with Packet.src = "x=y" };
+      { base with Packet.dst = "p,q" };
+      { base with Packet.msg = "tab\there" };
+      { base with Packet.fields = [ ("bad key", 1) ] };
+      { base with Packet.fields = [ ("k=v", 1) ] };
+    ]
+
+(* any name safe for the wire format: nonempty, no whitespace/#/=/, *)
+let safe_name_gen =
+  let open QCheck.Gen in
+  let safe_char =
+    oneof [ char_range 'a' 'z'; char_range 'A' 'Z'; char_range '0' '9'; oneofl [ '_'; '-'; '.' ] ]
+  in
+  map (fun l -> String.init (List.length l) (List.nth l)) (list_size (int_range 1 8) safe_char)
+
+let packet_gen =
+  let open QCheck.Gen in
+  let field = pair safe_name_gen small_nat in
+  map
+    (fun (cycle, (flow, msg), (src, dst), inst, fields) ->
+      (* field keys must be distinct for the round-trip to be exact *)
+      let fields =
+        List.fold_left (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc) [] fields
+      in
+      { Packet.cycle; flow; inst; msg; src; dst; fields })
+    (tup5 small_nat (pair safe_name_gen safe_name_gen) (pair safe_name_gen safe_name_gen)
+       small_nat (list_size (int_range 0 4) field))
+
+let prop_trace_io_roundtrip =
+  QCheck.Test.make ~name:"parse (print ps) = ps for arbitrary safe packets" ~count:200
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 20) packet_gen))
+    (fun ps -> Trace_io.parse (Trace_io.print ps) = ps)
+
 let test_trace_io_errors () =
   (match Trace_io.parse "1 f x m a b -" with
   | exception Trace_io.Parse_error e -> Alcotest.(check int) "line" 1 e.Trace_io.line
@@ -308,5 +354,8 @@ let () =
           Alcotest.test_case "empty fields" `Quick test_trace_io_empty_fields;
           Alcotest.test_case "comments and blanks" `Quick test_trace_io_comments_and_blanks;
           Alcotest.test_case "errors" `Quick test_trace_io_errors;
+          Alcotest.test_case "adversarial names rejected" `Quick
+            test_trace_io_rejects_adversarial_names;
+          QCheck_alcotest.to_alcotest prop_trace_io_roundtrip;
         ] );
     ]

@@ -1,0 +1,82 @@
+(* Parser robustness over the on-disk corpus of mutated trace files.
+
+   Whatever the bytes, the strict parser may fail only with
+   [Trace_io.Parse_error] (never an uncaught exception or a crash), and
+   the lenient parser with a generous error budget must not raise at
+   all. Every good line in a mixed file must survive lenient parsing. *)
+
+open Flowtrace_soc
+
+let corpus_dir =
+  (* dune declares corpus/* as deps, so the files sit next to the test
+     binary's cwd; fall back to walking up for manual runs. *)
+  let rec find dir n =
+    let candidates =
+      [ Filename.concat dir "corpus"; Filename.concat dir (Filename.concat "test" "corpus") ]
+    in
+    match List.find_opt (fun c -> Sys.file_exists c && Sys.is_directory c) candidates with
+    | Some c -> Some c
+    | None ->
+        if n = 0 then None else find (Filename.concat dir Filename.parent_dir_name) (n - 1)
+  in
+  match find (Sys.getcwd ()) 4 with
+  | Some d -> d
+  | None -> Alcotest.fail "test corpus directory not found"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".trace")
+  |> List.sort compare
+
+let read file =
+  let ic = open_in_bin (Filename.concat corpus_dir file) in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_corpus_present () =
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length (corpus_files ()) >= 8)
+
+let test_strict_raises_only_parse_error () =
+  List.iter
+    (fun file ->
+      match Trace_io.parse (read file) with
+      | (_ : Packet.t list) -> ()
+      | exception Trace_io.Parse_error _ -> ()
+      | exception e ->
+          Alcotest.failf "%s: strict parse leaked %s" file (Printexc.to_string e))
+    (corpus_files ())
+
+let test_lenient_never_raises () =
+  List.iter
+    (fun file ->
+      match Trace_io.parse_lenient ~file ~max_errors:1_000_000 (read file) with
+      | (_ : Packet.t list * Flowtrace_analysis.Diagnostic.t list) -> ()
+      | exception e ->
+          Alcotest.failf "%s: lenient parse raised %s" file (Printexc.to_string e))
+    (corpus_files ())
+
+let test_lenient_recovers_good_lines () =
+  let packets, diags = Trace_io.parse_lenient ~file:"mixed.trace" ~max_errors:100 (read "mixed.trace") in
+  Alcotest.(check int) "good packets survive" 3 (List.length packets);
+  Alcotest.(check int) "bad lines reported" 2 (List.length diags)
+
+let test_valid_file_parses_strictly () =
+  match Trace_io.parse (read "valid.trace") with
+  | [ _; _ ] -> ()
+  | ps -> Alcotest.failf "valid.trace: expected 2 packets, got %d" (List.length ps)
+
+let () =
+  Alcotest.run "trace_corpus"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "corpus present" `Quick test_corpus_present;
+          Alcotest.test_case "strict raises only Parse_error" `Quick
+            test_strict_raises_only_parse_error;
+          Alcotest.test_case "lenient never raises" `Quick test_lenient_never_raises;
+          Alcotest.test_case "lenient recovers good lines" `Quick test_lenient_recovers_good_lines;
+          Alcotest.test_case "valid file parses strictly" `Quick test_valid_file_parses_strictly;
+        ] );
+    ]

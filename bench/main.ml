@@ -80,6 +80,13 @@ let stress_tests =
     Test.make ~name:"stress_select_greedy"
       (Staged.stage (fun () ->
            ignore (Select.select ~strategy:Select.Greedy ~pack:false inter ~buffer_width:w)));
+    (* the supervised engine on the same workload: its task loop, mutex
+       publication and per-task transactional folds are the overhead the
+       runtime layer charges over the bare streaming walk *)
+    Test.make ~name:"stress_select_supervised"
+      (Staged.stage (fun () ->
+           ignore
+             (Flowtrace_runtime.Engine.select ~pack:false inter ~buffer_width:w)));
   ]
 
 let benchmark ~quota =

@@ -12,6 +12,7 @@
 open Cmdliner
 open Flowtrace_core
 module Telemetry = Flowtrace_telemetry.Telemetry
+module Engine = Flowtrace_runtime.Engine
 
 let load_flows path =
   try Ok (Spec_parser.parse_file path) with
@@ -104,6 +105,46 @@ let limit =
   in
   Arg.(value & opt int Combination.default_limit & info [ "limit" ] ~docv:"N" ~doc)
 
+let deadline_arg =
+  let doc =
+    "Wall-clock budget in seconds. When it expires mid-search the run degrades to an anytime \
+     result: the best candidate streamed so far, or the greedy baseline if none completed \
+     (the result box then carries a $(b,tier:) line and the exit status is 3). A zero or \
+     negative budget is already expired."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~doc)
+
+let max_candidates_arg =
+  let doc =
+    "Candidate budget: stop the exact Step-1/2 walk after exploring $(docv) candidates and \
+     return the best seen (tier $(b,anytime), exit status 3). Unlike $(b,--limit) this \
+     degrades instead of failing."
+  in
+  Arg.(value & opt (some int) None & info [ "max-candidates" ] ~docv:"N" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Journal selection progress to $(docv) (crash-safe: written whole, then renamed into \
+     place) so a killed run can be picked up with $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the journal at $(docv) (and keep checkpointing to it). Completed subset-tree \
+     tasks are skipped; the finished run's answer is bit-identical to an uninterrupted one. A \
+     missing journal starts fresh."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let retries_arg =
+  let doc =
+    "Extra attempts for a worker task that dies (supervised runs only, i.e. with \
+     $(b,--checkpoint)/$(b,--resume)). Tasks still failing after that are dropped from the \
+     search and the result is reported partial."
+  in
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+
 let telemetry_arg =
   let doc =
     "Record runtime telemetry (spans, counters, gauges, histograms) to $(docv). The format \
@@ -164,8 +205,10 @@ let parse_obs_faults = function
 
 (* Select with the Too_many blow-up guard mapped to a positioned,
    actionable error instead of an uncaught exception. *)
-let select_or_die ~path ?strategy ?jobs ?limit ?pack inter ~buffer_width =
-  try Select.select ?strategy ?jobs ?limit ?pack inter ~buffer_width with
+let select_or_die ~path ?strategy ?jobs ?limit ?deadline ?max_candidates ?pack inter
+    ~buffer_width =
+  try Select.select ?strategy ?jobs ?limit ?deadline ?max_candidates ?pack inter ~buffer_width
+  with
   | Combination.Too_many n ->
       or_die
         (Error
@@ -178,16 +221,63 @@ let select_or_die ~path ?strategy ?jobs ?limit ?pack inter ~buffer_width =
 (* --- commands ------------------------------------------------------ *)
 
 let select_cmd =
-  let run path counts width strategy no_pack jobs limit tel =
-    with_telemetry tel @@ fun () ->
-    let inter = or_die (interleave_of path counts) in
-    let r = select_or_die ~path ~strategy ~jobs ~limit ~pack:(not no_pack) inter ~buffer_width:width in
-    Format.printf "%a@." Select.pp_result r
+  let run path counts width strategy no_pack jobs limit deadline max_candidates checkpoint
+      resume retries tel =
+    (* compute the exit code inside the telemetry bracket so a degraded
+       exit still flushes the recording, then exit outside it *)
+    let code =
+      with_telemetry tel @@ fun () ->
+      let inter = or_die (interleave_of path counts) in
+      (* --deadline is relative on the command line, absolute in the API *)
+      let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
+      let pack = not no_pack in
+      let ckpt, resuming =
+        match (resume, checkpoint) with
+        | Some r, Some c when not (String.equal r c) ->
+            or_die (Error "give --resume FILE or --checkpoint FILE, not two different files")
+        | Some r, _ -> (Some r, true)
+        | None, c -> (c, false)
+      in
+      match ckpt with
+      | None ->
+          (* unsupervised: budgets run inside the core engine *)
+          let r =
+            select_or_die ~path ~strategy ~jobs ~limit ?deadline ?max_candidates ~pack inter
+              ~buffer_width:width
+          in
+          Format.printf "%a@." Select.pp_result r;
+          if Select.Tier.is_degraded r.Select.tier then 3 else 0
+      | Some file -> (
+          match
+            Engine.select ~strategy ~limit ~jobs ~retries ?deadline ?max_candidates
+              ~checkpoint:file ~resume:resuming ~pack inter ~buffer_width:width
+          with
+          | exception Combination.Too_many n ->
+              or_die
+                (Error
+                   (Printf.sprintf
+                      "%s: Step-1 enumeration exceeded %d candidate combinations at width %d; \
+                       use --strategy greedy or raise --limit"
+                      path n width))
+          | exception Invalid_argument m -> or_die (Error (Printf.sprintf "%s: %s" path m))
+          | Error diags ->
+              Printf.eprintf "%s%!" (Flowtrace_analysis.Diagnostic.render_all diags);
+              Printf.eprintf "flowtrace: cannot use journal %s\n" file;
+              exit 1
+          | Ok o ->
+              if o.Engine.o_diags <> [] then
+                Printf.eprintf "%s%!" (Flowtrace_analysis.Diagnostic.render_all o.Engine.o_diags);
+              Format.printf "%a@." Select.pp_result o.Engine.o_result;
+              Format.printf "%a@." Engine.pp_outcome o;
+              if o.Engine.o_status = Engine.Partial then 3 else 0)
+    in
+    if code <> 0 then exit code
   in
   let doc = "Select trace messages for the flows of a spec file." in
   Cmd.v (Cmd.info "select" ~doc)
     Term.(
       const run $ spec_file $ instances $ width $ strategy $ no_pack $ jobs $ limit
+      $ deadline_arg $ max_candidates_arg $ checkpoint_arg $ resume_arg $ retries_arg
       $ telemetry_arg)
 
 let interleave_cmd =
@@ -526,8 +616,10 @@ let lint_cmd =
 
 let stats_cmd =
   let file =
+    (* a [string] conv, not [file]: a missing path must reach [or_die]'s
+       one-line exit-1 error, not cmdliner's usage failure (exit 124) *)
     let doc = "Telemetry file recorded with $(b,--telemetry) (JSONL format)." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let run file =
     match Flowtrace_telemetry.Summary.load_jsonl file with

@@ -1,0 +1,34 @@
+(* Stable diagnostic codes for the lib/runtime supervision layer. Kept
+   here, next to the lint rules, so every code the tool can emit lives in
+   one library and renders through the same Diagnostic pipeline. *)
+
+let table =
+  [
+    ("RT001", Diagnostic.Error, "journal unreadable");
+    ("RT002", Diagnostic.Error, "not a flowtrace journal");
+    ("RT003", Diagnostic.Error, "unsupported journal version");
+    ("RT004", Diagnostic.Error, "journal does not match this run");
+    ("RT005", Diagnostic.Error, "corrupt journal record");
+    ("RT006", Diagnostic.Warning, "journal tail truncated; valid prefix recovered");
+    ("RT007", Diagnostic.Error, "journal integrity check failed");
+  ]
+
+let severity code =
+  List.find_map (fun (c, s, _) -> if String.equal c code then Some s else None) table
+
+let codes = List.map (fun (c, _, _) -> c) table
+
+let v code span fmt =
+  match severity code with
+  | None -> invalid_arg (Printf.sprintf "Rt.v: unknown runtime diagnostic code %s" code)
+  | Some severity ->
+      Printf.ksprintf (fun message -> Diagnostic.make ~code ~severity span message) fmt
+
+let catalog () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (code, sev, summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %-8s %s\n" code (Diagnostic.severity_to_string sev) summary))
+    table;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Runtime diagnostics: stable RT0xx codes for the supervision layer.
+
+    The [lib/runtime] checkpoint/resume machinery reports journal damage
+    and mismatches through the same positioned {!Diagnostic.t} pipeline as
+    the spec lint — one line per finding, a stable code per failure class —
+    so a corrupt journal surfaces as [journal.ckpt:7: error[RT005]: ...]
+    instead of a garbage selection. Spans point at the offending journal
+    line ([Srcspan.none] for whole-file findings).
+
+    Codes (all errors unless noted):
+    - [RT001] — journal unreadable (I/O error opening or reading it)
+    - [RT002] — not a flowtrace journal (bad magic / unparseable header)
+    - [RT003] — journal format version not supported by this build
+    - [RT004] — journal does not match this run (fingerprint or task-count
+      mismatch: different spec, width, strategy or engine layout)
+    - [RT005] — record corrupt (CRC mismatch or unparseable payload in
+      the middle of the journal)
+    - [RT006] ({e warning}) — journal tail truncated; the valid prefix was
+      recovered and the missing tail is simply re-run on resume
+    - [RT007] — journal integrity check failed (end-record count or
+      whole-file CRC mismatch) *)
+
+(** [v code span fmt] builds an RT diagnostic; the severity is the
+    catalog's for [code]. Raises [Invalid_argument] on a code outside the
+    catalog. *)
+val v :
+  string ->
+  Flowtrace_core.Srcspan.t ->
+  ('a, unit, string, Diagnostic.t) format4 ->
+  'a
+
+(** [severity code] is the catalog severity of [code], if known. *)
+val severity : string -> Diagnostic.severity option
+
+(** [codes] lists the catalog codes in order. *)
+val codes : string list
+
+(** [catalog ()] renders the code table (code, severity, summary), one
+    line per code — the RT counterpart of [Lint.catalog]. *)
+val catalog : unit -> string

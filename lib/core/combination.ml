@@ -26,6 +26,8 @@ let sorted_pool messages =
        (fun a b -> compare (Message.trace_width a) (Message.trace_width b))
        messages)
 
+let canonical_pool messages = Array.to_list (sorted_pool messages)
+
 (* The core walk. [path] is caller state threaded along the current branch
    (extended by [take] whenever a message is added); [leaf] folds over
    emitted candidates; [tick] fires once per non-empty candidate *before*

@@ -15,6 +15,14 @@ exception Too_many of int
 
 val default_limit : int
 
+(** [canonical_pool messages] is the pool in the walk's canonical order:
+    width-ascending, stable for equal widths. Selections and task prefixes
+    are expressed in this order; external supervisors (lib/runtime) use it
+    to reconstruct a selection from persisted message names with the exact
+    fold order — and hence bit-identical incremental gain — of a live
+    walk. *)
+val canonical_pool : Message.t list -> Message.t list
+
 (** [fold_candidates messages ~width ~init ~f] folds [f] over every
     non-empty subset of [messages] whose total width is at most [width],
     without materializing the candidate set: peak live memory is O(pool),

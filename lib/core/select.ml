@@ -11,8 +11,28 @@ let c_streamed = Tel.Counter.v "select.candidates_streamed"
 let c_scored = Tel.Counter.v "select.candidates_scored"
 let c_pruned = Tel.Counter.v "select.candidates_pruned"
 let c_greedy_rounds = Tel.Counter.v "select.greedy_rounds"
+let c_degraded = Tel.Counter.v "select.degraded"
 
 type strategy = Exact | Exact_maximal | Greedy
+
+(* How complete the search behind a result was. [Exact] means the requested
+   strategy ran to completion; the other tiers mean a budget (wall-clock
+   deadline or candidate cap) expired and the result degraded to the best
+   answer available at that point. *)
+module Tier = struct
+  type t =
+    | Exact
+    | Anytime of { explored : int; total_estimate : int }
+    | Greedy_fallback
+
+  let is_degraded = function Exact -> false | Anytime _ | Greedy_fallback -> true
+
+  let to_string = function
+    | Exact -> "exact"
+    | Anytime { explored; total_estimate } ->
+        Printf.sprintf "anytime (best of %d of ~%d candidates)" explored total_estimate
+    | Greedy_fallback -> "greedy-fallback (budget expired before any candidate)"
+end
 
 type result = {
   messages : Message.t list;
@@ -21,6 +41,7 @@ type result = {
   coverage : float;
   bits_used : int;
   buffer_width : int;
+  tier : Tier.t;
 }
 
 let utilization r =
@@ -118,35 +139,44 @@ let greedy inter ~buffer_width =
    candidates have distinct sorted name lists), so any traversal or merge
    order yields the same selection. *)
 
-type path = { pg : float; pb : int; pmsgs : Message.t list (* reversed take order *) }
+module Path = struct
+  type t = { pg : float; pb : int; pmsgs : Message.t list (* reversed take order *) }
 
-let path0 = { pg = 0.0; pb = 0; pmsgs = [] }
+  let empty = { pg = 0.0; pb = 0; pmsgs = [] }
 
-let path_key p = List.sort String.compare (List.map (fun m -> m.Message.name) p.pmsgs)
-
-(* Mirrors {!better} with the name-list tie-break computed lazily: sorted
-   name keys are only built when gain and bits tie within tolerance. *)
-let better_path a b =
-  if a.pg -. b.pg > 1e-12 then true
-  else if b.pg -. a.pg > 1e-12 then false
-  else if a.pb <> b.pb then a.pb > b.pb
-  else path_key a < path_key b
-
-let merge_best best candidate =
-  match (best, candidate) with
-  | None, c -> c
-  | b, None -> b
-  | Some b, Some c -> if better_path c b then Some c else Some b
-
-let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
-  let ev = Infogain.evaluator inter in
-  let take p (m : Message.t) =
+  let extend ev p (m : Message.t) =
     {
       pg = p.pg +. Infogain.eval_base ev m.Message.name;
       pb = p.pb + Message.trace_width m;
       pmsgs = m :: p.pmsgs;
     }
-  in
+
+  let gain p = p.pg
+  let bits p = p.pb
+  let messages p = List.rev p.pmsgs
+  let key p = List.sort String.compare (List.map (fun m -> m.Message.name) p.pmsgs)
+
+  (* Mirrors {!better} with the name-list tie-break computed lazily: sorted
+     name keys are only built when gain and bits tie within tolerance. *)
+  let better a b =
+    if a.pg -. b.pg > 1e-12 then true
+    else if b.pg -. a.pg > 1e-12 then false
+    else if a.pb <> b.pb then a.pb > b.pb
+    else key a < key b
+
+  let merge best candidate =
+    match (best, candidate) with
+    | None, c -> c
+    | b, None -> b
+    | Some b, Some c -> if better c b then Some c else Some b
+end
+
+let path0 = Path.empty
+let merge_best = Path.merge
+
+let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
+  let ev = Infogain.evaluator inter in
+  let take = Path.extend ev in
   let leaf best p = merge_best best (Some p) in
   let pool = Interleave.messages inter in
   (* [track] is latched once per run: when telemetry is off the fold uses
@@ -244,15 +274,117 @@ let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
   in
   match best with
   | None -> invalid_arg "Select: no message fits the trace buffer"
-  | Some p -> (List.rev p.pmsgs, p.pg)
+  | Some p -> (Path.messages p, Path.gain p)
+
+(* ------------------------------------------------------------------ *)
+(* Budgeted anytime engine.
+
+   The same task-split walk, but the candidate cap and the wall-clock
+   deadline are checked cooperatively inside [tick], and the best-so-far
+   lives in per-worker cells instead of the fold accumulator — so when a
+   budget expires mid-walk the streamed prefix's best survives the abort.
+   Tasks are claimed in plan order; a run whose budgets never expire
+   explores candidates in exactly the order of the unbudgeted engine and
+   returns the identical (unique-best) result with tier [Exact]. *)
+
+exception Budget_expired
+
+let budgeted_stream ~maximal ~limit ~jobs ~deadline ~max_candidates inter ~buffer_width =
+  let greedy_fallback () =
+    let combo = greedy inter ~buffer_width in
+    if combo = [] then invalid_arg "Select: no message fits the trace buffer";
+    Tel.Counter.incr c_degraded;
+    (combo, Infogain.of_combination inter combo, Tier.Greedy_fallback)
+  in
+  let deadline_passed () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  in
+  if deadline_passed () then greedy_fallback ()
+  else begin
+    let ev = Infogain.evaluator inter in
+    let pool = Interleave.messages inter in
+    let plan = Combination.plan pool ~width:buffer_width in
+    let ntasks = Combination.n_tasks plan in
+    let explored = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let tasks_done = Atomic.make 0 in
+    (* the deadline is only consulted every 256 candidates, so the check
+       costs one comparison on the hot path and at most a 255-candidate
+       overshoot on expiry *)
+    let tick () =
+      if Atomic.get stop then raise Budget_expired;
+      let c = Atomic.fetch_and_add explored 1 + 1 in
+      if c > limit then raise (Combination.Too_many limit);
+      (match max_candidates with
+      | Some m when c > m ->
+          Atomic.set stop true;
+          raise Budget_expired
+      | _ -> ());
+      if c land 255 = 0 && deadline_passed () then begin
+        Atomic.set stop true;
+        raise Budget_expired
+      end
+    in
+    let jobs = max 1 jobs in
+    let cells = Array.make jobs None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let worker w =
+      try
+        let continue = ref true in
+        while !continue do
+          if Atomic.get stop || Atomic.get failed <> None then continue := false
+          else begin
+            let t = Atomic.fetch_and_add next 1 in
+            if t >= ntasks then continue := false
+            else begin
+              Combination.fold_task plan t ~only_maximal:maximal ~tick ~take:(Path.extend ev)
+                ~path:Path.empty
+                ~leaf:(fun () p -> cells.(w) <- Path.merge cells.(w) (Some p))
+                ~init:();
+              Atomic.incr tasks_done
+            end
+          end
+        done
+      with
+      | Budget_expired -> ()
+      | e -> Atomic.set failed (Some e)
+    in
+    let domains = Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+    worker 0;
+    Array.iter Domain.join domains;
+    (match Atomic.get failed with Some e -> raise e | None -> ());
+    let best = Array.fold_left Path.merge None cells in
+    let n =
+      let n = Atomic.get explored in
+      match max_candidates with Some m -> min n m | None -> n
+    in
+    if Tel.enabled () then Tel.Counter.add c_streamed n;
+    if not (Atomic.get stop) then
+      match best with
+      | None -> invalid_arg "Select: no message fits the trace buffer"
+      | Some p -> (Path.messages p, Path.gain p, Tier.Exact)
+    else begin
+      match best with
+      | None -> greedy_fallback ()
+      | Some p ->
+          Tel.Counter.incr c_degraded;
+          let completed = Atomic.get tasks_done in
+          let total_estimate =
+            if completed <= 0 then n
+            else max n (int_of_float (float_of_int n *. float_of_int ntasks /. float_of_int completed))
+          in
+          (Path.messages p, Path.gain p, Tier.Anytime { explored = n; total_estimate })
+    end
+  end
 
 let strategy_name = function
   | Exact -> "exact"
   | Exact_maximal -> "exact-maximal"
   | Greedy -> "greedy"
 
-let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs = 1) inter
-    ~buffer_width =
+let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs = 1) ?deadline
+    ?max_candidates inter ~buffer_width =
   Tel.with_span "select.step1_2"
     ~args:(fun () ->
       Flowtrace_telemetry.Event.
@@ -263,16 +395,16 @@ let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs 
       let combo = greedy inter ~buffer_width in
       if combo = [] then invalid_arg "Select: no message fits the trace buffer";
       let gain = Infogain.of_combination inter combo in
-      (combo, gain)
+      (combo, gain, Tier.Exact)
   | Exact | Exact_maximal ->
-      exact_stream ~maximal:(strategy = Exact_maximal) ~limit ~jobs inter ~buffer_width
+      let maximal = strategy = Exact_maximal in
+      if deadline = None && max_candidates = None then
+        let combo, gain = exact_stream ~maximal ~limit ~jobs inter ~buffer_width in
+        (combo, gain, Tier.Exact)
+      else budgeted_stream ~maximal ~limit ~jobs ~deadline ~max_candidates inter ~buffer_width
 
-let select ?strategy ?limit ?jobs ?(pack = true) ?(scale_partial = false) inter ~buffer_width =
-  Tel.Counter.incr c_runs;
-  Tel.with_span "select"
-    ~args:(fun () -> [ ("width", Flowtrace_telemetry.Event.Int buffer_width) ])
-  @@ fun () ->
-  let combo, gain = step1_step2 ?strategy ?limit ?jobs inter ~buffer_width in
+let finalize ?(pack = true) ?(scale_partial = false) ?(tier = Tier.Exact) inter ~combo ~gain
+    ~buffer_width =
   let bits = Message.total_width combo in
   let packed, gain, bits =
     if pack then
@@ -289,15 +421,28 @@ let select ?strategy ?limit ?jobs ?(pack = true) ?(scale_partial = false) inter 
     Tel.with_span "select.coverage" (fun () ->
         Coverage.compute inter ~selected:(fun base -> List.exists (String.equal base) observable))
   in
-  { messages = combo; packed; gain; coverage; bits_used = bits; buffer_width }
+  { messages = combo; packed; gain; coverage; bits_used = bits; buffer_width; tier }
+
+let select ?strategy ?limit ?jobs ?deadline ?max_candidates ?pack ?scale_partial inter
+    ~buffer_width =
+  Tel.Counter.incr c_runs;
+  Tel.with_span "select"
+    ~args:(fun () -> [ ("width", Flowtrace_telemetry.Event.Int buffer_width) ])
+  @@ fun () ->
+  let combo, gain, tier =
+    step1_step2 ?strategy ?limit ?jobs ?deadline ?max_candidates inter ~buffer_width
+  in
+  finalize ?pack ?scale_partial ~tier inter ~combo ~gain ~buffer_width
 
 let pp_result ppf r =
   let packed_names = List.map Packing.qualified r.packed in
   Format.fprintf ppf
-    "@[<v>selected: %s@,packed: %s@,gain: %.4f  coverage: %.2f%%  utilization: %.2f%% (%d/%d bits)@]"
+    "@[<v>selected: %s@,packed: %s@,gain: %.4f  coverage: %.2f%%  utilization: %.2f%% (%d/%d bits)"
     (String.concat ", " (List.map (fun m -> m.Message.name) r.messages))
     (if packed_names = [] then "-" else String.concat ", " packed_names)
-    r.gain (100.0 *. r.coverage) (100.0 *. utilization r) r.bits_used r.buffer_width
+    r.gain (100.0 *. r.coverage) (100.0 *. utilization r) r.bits_used r.buffer_width;
+  if Tier.is_degraded r.tier then Format.fprintf ppf "@,tier: %s" (Tier.to_string r.tier);
+  Format.fprintf ppf "@]"
 
 (* Per-message breakdown of the selection decision: each pool message's
    own information term, per-cycle bit cost and gain density — the

@@ -11,6 +11,27 @@
       term that still fits; O(n) gain evaluations, for large scenarios. *)
 type strategy = Exact | Exact_maximal | Greedy
 
+(** How complete the search behind a result was — the degradation tier of
+    an anytime run. *)
+module Tier : sig
+  type t =
+    | Exact  (** the requested strategy ran to completion *)
+    | Anytime of { explored : int; total_estimate : int }
+        (** a budget ([deadline] / [max_candidates]) expired mid-stream;
+            the result is the best of the [explored] candidates streamed
+            before expiry, out of an estimated [total_estimate]
+            (extrapolated from the completed fraction of the task plan) *)
+    | Greedy_fallback
+        (** the budget expired before any candidate completed (or was
+            already expired on entry); the result is the greedy baseline *)
+
+  (** [is_degraded t] is [false] only for [Exact]. *)
+  val is_degraded : t -> bool
+
+  (** One-line rendering for CLI output and reports. *)
+  val to_string : t -> string
+end
+
 (** Outcome of a selection run. [bits_used / buffer_width] is the
     trace-buffer utilization reported in Table 3. *)
 type result = {
@@ -20,6 +41,7 @@ type result = {
   coverage : float;  (** flow specification coverage, Definition 7 *)
   bits_used : int;
   buffer_width : int;
+  tier : Tier.t;  (** [Tier.Exact] unless a budget degraded the run *)
 }
 
 (** [utilization r] is [bits_used / buffer_width] in [0, 1]. *)
@@ -54,14 +76,84 @@ val step2 : Interleave.t -> Message.t list list -> Message.t list * float
     of the candidate count. [jobs] (default 1) fans the walk out across
     that many OCaml domains; the result is identical for any job count
     (the best candidate under the deterministic tie-break is unique, and
-    per-candidate scores are bit-for-bit equal on every path). *)
+    per-candidate scores are bit-for-bit equal on every path).
+
+    [deadline] (absolute [Unix.gettimeofday] time) and [max_candidates]
+    turn the exact strategies into anytime searches: the budgets are
+    checked cooperatively inside the streaming fold (the deadline every
+    256 candidates), and on expiry the engine stops cleanly and returns
+    the best-so-far from the streamed prefix with [result.tier =
+    Anytime _] — or the greedy baseline ([Greedy_fallback]) if no
+    candidate had completed. A budgeted run whose budgets never expire is
+    bit-identical to an unbudgeted one, with tier [Exact]. Degraded
+    results from expired budgets are not deterministic across job counts
+    (the explored prefix depends on the schedule); only complete runs
+    are. *)
 val select :
   ?strategy:strategy ->
   ?limit:int ->
   ?jobs:int ->
+  ?deadline:float ->
+  ?max_candidates:int ->
   ?pack:bool ->
   ?scale_partial:bool ->
   Interleave.t ->
+  buffer_width:int ->
+  result
+
+(** [greedy inter ~buffer_width] is the Step-2 greedy baseline on its own:
+    repeatedly add the highest-marginal-gain message that still fits.
+    Returns the chosen combination ([[]] when nothing fits) — the fallback
+    external engines use when a budget expires before any exact candidate
+    completes. *)
+val greedy : Interleave.t -> buffer_width:int -> Message.t list
+
+(** Incrementally scored branches of the streaming walk, exposed for the
+    [lib/runtime] supervisor, which drives {!Combination.fold_task} folds
+    of its own. Extending a path adds the message's gain term and width in
+    take (width-ascending) order, so rebuilding a path by extending along
+    {!Combination.canonical_pool} order reproduces a live walk's float
+    sums bit-for-bit. *)
+module Path : sig
+  type t
+
+  val empty : t
+
+  (** [extend ev p m] scores one more taken message. *)
+  val extend : Infogain.evaluator -> t -> Message.t -> t
+
+  val gain : t -> float
+  val bits : t -> int
+
+  (** Messages in take (width-ascending) order — the order
+      [result.messages] lists them in. *)
+  val messages : t -> Message.t list
+
+  (** Sorted name list — the deterministic tie-break key. *)
+  val key : t -> string list
+
+  (** The engine's strict "better candidate" order: higher gain, then
+      more bits, then lexicographically smaller key. Total on distinct
+      candidates, so the best is unique. *)
+  val better : t -> t -> bool
+
+  (** [merge a b] keeps the better of two optional bests. *)
+  val merge : t option -> t option -> t option
+end
+
+(** [finalize inter ~combo ~gain ~buffer_width] runs Step 3 packing and
+    coverage over an already-chosen Step-2 combination and assembles the
+    {!result} — the tail of {!select}, exposed so external engines
+    (supervised/anytime runs in [lib/runtime]) produce results identical
+    in shape and packing to an in-process run. [tier] defaults to
+    [Tier.Exact]. *)
+val finalize :
+  ?pack:bool ->
+  ?scale_partial:bool ->
+  ?tier:Tier.t ->
+  Interleave.t ->
+  combo:Message.t list ->
+  gain:float ->
   buffer_width:int ->
   result
 

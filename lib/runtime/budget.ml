@@ -1,0 +1,41 @@
+open Flowtrace_core
+
+exception Expired
+
+type t = {
+  deadline : float option;
+  max_candidates : int option;
+  limit : int;
+  count : int Atomic.t;
+  stop : bool Atomic.t;
+}
+
+let make ?deadline ?max_candidates ?(limit = Combination.default_limit) () =
+  { deadline; max_candidates; limit; count = Atomic.make 0; stop = Atomic.make false }
+
+let deadline_passed b =
+  match b.deadline with None -> false | Some d -> Unix.gettimeofday () > d
+
+let already_expired = deadline_passed
+
+let expire b = Atomic.set b.stop true
+
+let tick b =
+  if Atomic.get b.stop then raise Expired;
+  let c = Atomic.fetch_and_add b.count 1 + 1 in
+  if c > b.limit then raise (Combination.Too_many b.limit);
+  (match b.max_candidates with
+  | Some m when c > m ->
+      Atomic.set b.stop true;
+      raise Expired
+  | _ -> ());
+  if c land 255 = 0 && deadline_passed b then begin
+    Atomic.set b.stop true;
+    raise Expired
+  end
+
+let explored b =
+  let c = Atomic.get b.count in
+  match b.max_candidates with Some m -> min c m | None -> c
+
+let expired b = Atomic.get b.stop

@@ -1,0 +1,39 @@
+(** Cooperative run budgets: wall-clock deadline and candidate cap.
+
+    One budget is shared by every worker domain of a supervised run; the
+    candidate counter is atomic, so the [max_candidates] cap is enforced
+    globally, and expiry is sticky — once any worker trips a budget, every
+    subsequent {!tick} on any domain raises, so all workers stop at their
+    next candidate. The deadline is only consulted every 256 candidates;
+    the hot path costs one atomic increment and a couple of compares. *)
+
+(** Raised by {!tick} when a budget has expired. Not an error: the engine
+    catches it and degrades to an anytime result. *)
+exception Expired
+
+type t
+
+(** [make ()] builds a budget. [deadline] is an absolute
+    [Unix.gettimeofday] time; [max_candidates] caps candidates explored by
+    this run; [limit] (default {!Flowtrace_core.Combination.default_limit})
+    is the hard enumeration guard — exceeding it raises
+    [Combination.Too_many] from {!tick}, exactly like the unsupervised
+    engine. *)
+val make : ?deadline:float -> ?max_candidates:int -> ?limit:int -> unit -> t
+
+(** [tick b] counts one candidate. Raises {!Expired} on budget expiry
+    (sticky) and [Combination.Too_many] past [limit]. *)
+val tick : t -> unit
+
+(** Candidates counted so far (including retried tasks' re-walks). *)
+val explored : t -> int
+
+(** Whether some budget has expired. *)
+val expired : t -> bool
+
+(** [already_expired b] — true when the deadline lies in the past right
+    now (checked eagerly, before any walking starts). *)
+val already_expired : t -> bool
+
+(** Force expiry (used when an external stop is requested). *)
+val expire : t -> unit

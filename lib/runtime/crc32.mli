@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), self-contained so the
+    journal needs no external checksum dependency.
+
+    Used by {!Journal} to protect every persisted record: a single flipped
+    bit in a record's payload changes its CRC with overwhelming
+    probability, turning silent corruption into a positioned [RT005]
+    diagnostic. *)
+
+(** [string s] is the CRC-32 of all of [s]. *)
+val string : string -> int32
+
+(** [update crc s] folds [s] into a running CRC (start from
+    [string ""] = [0l]); [string s = update 0l s]. Chaining updates over
+    chunks equals one {!string} over their concatenation. *)
+val update : int32 -> string -> int32
+
+(** [to_hex crc] is the fixed-width lowercase hex rendering ["%08lx"]. *)
+val to_hex : int32 -> string

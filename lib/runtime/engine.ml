@@ -1,0 +1,267 @@
+open Flowtrace_core
+open Flowtrace_analysis
+module Tel = Flowtrace_telemetry.Telemetry
+
+let c_ckpt_writes = Tel.Counter.v "runtime.checkpoint.writes"
+let c_skipped = Tel.Counter.v "runtime.task.skipped"
+
+(* same counter the core engine bumps on degraded results — Counter.v
+   memoizes by name, so both layers feed one total *)
+let c_degraded = Tel.Counter.v "select.degraded"
+
+type status = Complete | Partial
+
+type outcome = {
+  o_result : Select.result;
+  o_status : status;
+  o_total_tasks : int;
+  o_done_tasks : int;
+  o_resumed_tasks : int;
+  o_failed_tasks : int list;
+  o_retries : int;
+  o_diags : Diagnostic.t list;
+}
+
+let completeness o =
+  if o.o_total_tasks = 0 then 1.0 else float_of_int o.o_done_tasks /. float_of_int o.o_total_tasks
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "supervision: %d/%d tasks done" o.o_done_tasks o.o_total_tasks;
+  if o.o_resumed_tasks > 0 then
+    Format.fprintf ppf " (%d resumed from checkpoint)" o.o_resumed_tasks;
+  if o.o_retries > 0 then
+    Format.fprintf ppf ", %d retr%s" o.o_retries (if o.o_retries = 1 then "y" else "ies");
+  (match o.o_failed_tasks with
+  | [] -> ()
+  | ids ->
+      Format.fprintf ppf ", %d task%s failed permanently (%s)" (List.length ids)
+        (if List.length ids = 1 then "" else "s")
+        (String.concat ", " (List.map string_of_int ids)));
+  match o.o_status with
+  | Complete -> Format.fprintf ppf " — complete"
+  | Partial -> Format.fprintf ppf " — partial (%.0f%% of the search)" (100.0 *. completeness o)
+
+exception Reject of Diagnostic.t list
+
+(* Rebuild the journalled best as a live scored path. Extending along
+   canonical-pool order replays the walk's take order, so the float sum is
+   the one the original run computed — verified against the stored IEEE-754
+   bits, which also catches a journal paired with the wrong spec revision
+   (same names, different interleavings). *)
+let rebuild_best ev pool path (b : Journal.best) =
+  let want = List.sort_uniq String.compare b.b_names in
+  let sel = List.filter (fun (m : Message.t) -> List.mem m.Message.name want) pool in
+  if List.length sel <> List.length want then
+    raise
+      (Reject
+         [
+           Rt.v "RT004" (Srcspan.none path)
+             "journal best references messages absent from this flow spec";
+         ]);
+  let p = List.fold_left (Select.Path.extend ev) Select.Path.empty sel in
+  if Int64.bits_of_float (Select.Path.gain p) <> b.b_gain || Select.Path.bits p <> b.b_bits then
+    raise
+      (Reject
+         [
+           Rt.v "RT004" (Srcspan.none path)
+             "journal best does not re-score identically; the spec or scoring changed since the \
+              checkpoint was written";
+         ]);
+  p
+
+let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(jobs = 1)
+    ?(retries = 2) ?deadline ?max_candidates ?checkpoint ?(resume = false) ?(checkpoint_every = 1)
+    ?pack ?scale_partial ?inject inter ~buffer_width =
+  if resume && checkpoint = None then
+    invalid_arg "Engine.select: ~resume needs a ~checkpoint path to load";
+  let checkpoint_every = max 1 checkpoint_every in
+  let delegate r =
+    {
+      o_result = r;
+      o_status = (if Select.Tier.is_degraded r.Select.tier then Partial else Complete);
+      o_total_tasks = 0;
+      o_done_tasks = 0;
+      o_resumed_tasks = 0;
+      o_failed_tasks = [];
+      o_retries = 0;
+      o_diags = [];
+    }
+  in
+  match strategy with
+  | Select.Greedy ->
+      (* nothing to split, supervise or journal *)
+      Ok
+        (delegate
+           (Select.select ~strategy ~limit ~jobs ?deadline ?max_candidates ?pack ?scale_partial
+              inter ~buffer_width))
+  | Select.Exact | Select.Exact_maximal -> (
+      try
+        Tel.with_span "runtime.select" (fun () ->
+            let maximal = strategy = Select.Exact_maximal in
+            let ev = Infogain.evaluator inter in
+            let pool = Interleave.messages inter in
+            let cpool = Combination.canonical_pool pool in
+            let plan = Combination.plan pool ~width:buffer_width in
+            let ntasks = Combination.n_tasks plan in
+            let fp = Fingerprint.v ~pool ~buffer_width ~strategy ~n_tasks:ntasks in
+            (* -------- resume -------- *)
+            let done_ = Array.make ntasks false in
+            let best = ref None in
+            let explored0 = ref 0 in
+            let diags = ref [] in
+            (match checkpoint with
+            | Some path when resume && Sys.file_exists path -> (
+                match Journal.load ~path with
+                | Error ds -> raise (Reject ds)
+                | Ok (snap, warns) ->
+                    if snap.Journal.s_fingerprint <> fp || snap.Journal.s_total_tasks <> ntasks
+                    then
+                      raise
+                        (Reject
+                           [
+                             Rt.v "RT004" (Srcspan.none path)
+                               "journal was written by a different run (fingerprint %s over %d \
+                                tasks; this run is %s over %d) — different spec, buffer width or \
+                                strategy"
+                               snap.Journal.s_fingerprint snap.Journal.s_total_tasks fp ntasks;
+                           ]);
+                    Array.blit snap.Journal.s_done 0 done_ 0 ntasks;
+                    best := Option.map (rebuild_best ev cpool path) snap.Journal.s_best;
+                    explored0 := snap.Journal.s_explored;
+                    diags := warns)
+            | _ -> ());
+            let resumed = Array.fold_left (fun n d -> if d then n + 1 else n) 0 done_ in
+            if resumed > 0 then Tel.Counter.add c_skipped resumed;
+            let pending =
+              Array.of_list
+                (List.filter (fun t -> not done_.(t)) (List.init ntasks (fun t -> t)))
+            in
+            (* -------- checkpointing -------- *)
+            let budget = Budget.make ?deadline ?max_candidates ~limit () in
+            let mutex = Mutex.create () in
+            let since = ref 0 in
+            let ckpt_on = ref (checkpoint <> None) in
+            let write_ckpt () =
+              (* call with [mutex] held *)
+              match checkpoint with
+              | Some path when !ckpt_on -> (
+                  let snap =
+                    {
+                      Journal.s_fingerprint = fp;
+                      s_total_tasks = ntasks;
+                      s_done = Array.copy done_;
+                      s_best =
+                        Option.map
+                          (fun p ->
+                            {
+                              Journal.b_names = Select.Path.key p;
+                              b_gain = Int64.bits_of_float (Select.Path.gain p);
+                              b_bits = Select.Path.bits p;
+                            })
+                          !best;
+                      s_explored = !explored0 + Budget.explored budget;
+                    }
+                  in
+                  try
+                    Journal.write ~path snap;
+                    Tel.Counter.incr c_ckpt_writes
+                  with Sys_error m ->
+                    (* a dead checkpoint target must not kill the
+                       selection: report it and carry on un-journalled *)
+                    ckpt_on := false;
+                    diags :=
+                      !diags
+                      @ [
+                          Rt.v "RT001" (Srcspan.none path)
+                            "cannot write checkpoint (%s); checkpointing disabled for this run" m;
+                        ])
+              | _ -> ()
+            in
+            let publish t p =
+              Mutex.protect mutex (fun () ->
+                  best := Select.Path.merge !best p;
+                  done_.(t) <- true;
+                  incr since;
+                  if !since >= checkpoint_every then begin
+                    since := 0;
+                    write_ckpt ()
+                  end)
+            in
+            (* -------- the supervised run -------- *)
+            let too_many = Atomic.make None in
+            let run_task t =
+              match
+                Combination.fold_task plan t ~only_maximal:maximal
+                  ~tick:(fun () -> Budget.tick budget)
+                  ~take:(Select.Path.extend ev) ~path:Select.Path.empty
+                  ~leaf:(fun acc p -> Select.Path.merge acc (Some p))
+                  ~init:None
+              with
+              | p -> publish t p
+              | exception (Combination.Too_many _ as e) ->
+                  Atomic.set too_many (Some e);
+                  raise e
+            in
+            let summary =
+              if Budget.already_expired budget then
+                (* don't even start walking; fall through to degradation *)
+                { Supervisor.statuses = Array.make (Array.length pending) Supervisor.Not_run;
+                  retried = 0;
+                  stopped = Array.length pending > 0;
+                }
+              else
+                Supervisor.run ~jobs ~retries
+                  ~should_stop:(function
+                    | Budget.Expired | Combination.Too_many _ -> true | _ -> false)
+                  ?inject ~tasks:pending run_task
+            in
+            Mutex.protect mutex (fun () ->
+                since := 0;
+                write_ckpt ());
+            (match Atomic.get too_many with Some e -> raise e | None -> ());
+            let failed =
+              List.filteri (fun i _ -> match summary.Supervisor.statuses.(i) with
+                  | Supervisor.Gave_up _ -> true
+                  | _ -> false)
+                (Array.to_list pending)
+            in
+            let done_count = Array.fold_left (fun n d -> if d then n + 1 else n) 0 done_ in
+            let explored = !explored0 + Budget.explored budget in
+            let finalize tier combo gain status =
+              {
+                o_result =
+                  Select.finalize ?pack ?scale_partial ~tier inter ~combo ~gain ~buffer_width;
+                o_status = status;
+                o_total_tasks = ntasks;
+                o_done_tasks = done_count;
+                o_resumed_tasks = resumed;
+                o_failed_tasks = failed;
+                o_retries = summary.Supervisor.retried;
+                o_diags = !diags;
+              }
+            in
+            if done_count = ntasks && failed = [] then
+              match !best with
+              | Some p ->
+                  finalize Select.Tier.Exact (Select.Path.messages p) (Select.Path.gain p)
+                    Complete
+              | None -> invalid_arg "Select: no message fits the trace buffer"
+            else begin
+              Tel.Counter.incr c_degraded;
+              match !best with
+              | Some p ->
+                  let estimate =
+                    max explored (explored * ntasks / max 1 done_count)
+                  in
+                  finalize
+                    (Select.Tier.Anytime { explored; total_estimate = estimate })
+                    (Select.Path.messages p) (Select.Path.gain p) Partial
+              | None ->
+                  let combo = Select.greedy inter ~buffer_width in
+                  if combo = [] then invalid_arg "Select: no message fits the trace buffer";
+                  finalize Select.Tier.Greedy_fallback combo
+                    (Infogain.of_combination inter combo)
+                    Partial
+            end)
+        |> Result.ok
+      with Reject ds -> Error ds)

@@ -1,0 +1,82 @@
+(** The supervised anytime selection engine.
+
+    Runs the same task-split Step-1/2 walk as {!Flowtrace_core.Select},
+    but under supervision: worker-domain faults are retried and contained
+    ({!Supervisor}), wall-clock and candidate budgets degrade the answer
+    instead of losing it ({!Budget}), and progress can be checkpointed to
+    a crash-safe journal and resumed after a kill ({!Journal}).
+
+    Determinism contract: a run that completes every task — whatever the
+    job count, however many times tasks were retried, and across any
+    kill/resume split — returns a result bit-identical to
+    [Select.select]'s, because task bodies are transactional, the best
+    candidate is unique under [Select.Path.better], and the journal stores
+    the best's gain as IEEE-754 bits which resumption re-derives and
+    verifies. Degraded (anytime) results are explicitly schedule-dependent
+    and say so in their tier. *)
+
+open Flowtrace_core
+
+type status =
+  | Complete  (** every task ran to completion; the result is exact *)
+  | Partial
+      (** some tasks failed permanently or a budget expired; the result
+          is the best over the completed portion *)
+
+type outcome = {
+  o_result : Select.result;
+  o_status : status;
+  o_total_tasks : int;
+  o_done_tasks : int;  (** completed tasks, including resumed ones *)
+  o_resumed_tasks : int;  (** tasks skipped because the journal had them *)
+  o_failed_tasks : int list;  (** task ids that exhausted their retries *)
+  o_retries : int;  (** retry attempts performed this run *)
+  o_diags : Flowtrace_analysis.Diagnostic.t list;
+      (** non-fatal findings: recovered journal tails (RT006), disabled
+          checkpointing after a write failure *)
+}
+
+(** Fraction of plan tasks whose subtrees were fully searched (1.0 when
+    the plan is empty). *)
+val completeness : outcome -> float
+
+(** One-line supervision summary (tasks, retries, failures, resume), for
+    the CLI to print alongside [Select.pp_result]. *)
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [select inter ~buffer_width] runs the supervised engine.
+
+    - [strategy] (default [Exact]), [limit], [pack], [scale_partial] mean
+      what they mean in {!Flowtrace_core.Select.select}; [Greedy] is
+      delegated to it directly (nothing to supervise).
+    - [jobs] (default 1) worker domains; [retries] (default 2) extra
+      attempts per faulting task.
+    - [deadline] (absolute [Unix.gettimeofday] time) and [max_candidates]
+      degrade the run to an anytime result when exhausted.
+    - [checkpoint] journals progress to the given path every
+      [checkpoint_every] (default 1) completed tasks and once at the end.
+    - [resume] loads [checkpoint] first (a missing file starts fresh) and
+      skips the tasks it records. A journal from a different spec, width,
+      strategy or plan shape is rejected with RT004; corrupt journals
+      report the RT codes of {!Journal.load}.
+    - [inject] is the deterministic fault hook forwarded to
+      {!Supervisor.run} (test use only).
+
+    Returns [Error diags] only for journal problems; selection failures
+    ([Combination.Too_many], nothing fits) raise as they do in core. *)
+val select :
+  ?strategy:Select.strategy ->
+  ?limit:int ->
+  ?jobs:int ->
+  ?retries:int ->
+  ?deadline:float ->
+  ?max_candidates:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?checkpoint_every:int ->
+  ?pack:bool ->
+  ?scale_partial:bool ->
+  ?inject:(task:int -> attempt:int -> unit) ->
+  Interleave.t ->
+  buffer_width:int ->
+  (outcome, Flowtrace_analysis.Diagnostic.t list) result

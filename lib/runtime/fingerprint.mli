@@ -1,0 +1,22 @@
+(** Run fingerprints: a stable identity for "the same selection problem".
+
+    A checkpoint journal is only valid for the run configuration that
+    wrote it — same message pool (names and widths), buffer width,
+    strategy and task decomposition. The fingerprint digests exactly those
+    inputs, so resuming against a different spec file, width or strategy
+    is detected ([RT004]) instead of silently merging incompatible task
+    results. The digest is FNV-1a 64-bit over a canonical rendering; it is
+    deliberately independent of job count, budgets and checkpoint cadence,
+    which do not change the answer. *)
+
+open Flowtrace_core
+
+(** [v ~pool ~buffer_width ~strategy ~n_tasks] renders the 16-hex-digit
+    fingerprint. [pool] may be given in any order (it is canonicalized
+    first). *)
+val v :
+  pool:Message.t list ->
+  buffer_width:int ->
+  strategy:Select.strategy ->
+  n_tasks:int ->
+  string

@@ -1,0 +1,210 @@
+open Flowtrace_core
+open Flowtrace_analysis
+
+let version = 1
+
+type best = { b_names : string list; b_gain : int64; b_bits : int }
+
+type snapshot = {
+  s_fingerprint : string;
+  s_total_tasks : int;
+  s_done : bool array;
+  s_best : best option;
+  s_explored : int;
+}
+
+let span path line = Srcspan.make ~file:path ~line ~col:1
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let check_name n =
+  if n = "" then invalid_arg "Journal.write: empty message name";
+  String.iter
+    (fun c ->
+      match c with
+      | ',' | ' ' | '\t' | '\n' | '\r' ->
+          invalid_arg (Printf.sprintf "Journal.write: message name %S cannot be stored" n)
+      | _ -> ())
+    n
+
+let render snap =
+  let buf = Buffer.create 1024 in
+  let records = ref 0 in
+  Buffer.add_string buf
+    (Printf.sprintf "flowtrace-journal v%d fp=%s tasks=%d\n" version snap.s_fingerprint
+       snap.s_total_tasks);
+  let record payload =
+    incr records;
+    Buffer.add_string buf (Crc32.to_hex (Crc32.string payload));
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf payload;
+    Buffer.add_char buf '\n'
+  in
+  record (Printf.sprintf "x %d" snap.s_explored);
+  Array.iteri (fun i d -> if d then record (Printf.sprintf "d %d" i)) snap.s_done;
+  (match snap.s_best with
+  | None -> ()
+  | Some b ->
+      List.iter check_name b.b_names;
+      record (Printf.sprintf "b %016Lx %d %s" b.b_gain b.b_bits (String.concat "," b.b_names)));
+  (* the end record seals everything above it *)
+  let body_crc = Crc32.string (Buffer.contents buf) in
+  let endp = Printf.sprintf "end %d %s" !records (Crc32.to_hex body_crc) in
+  Buffer.add_string buf (Crc32.to_hex (Crc32.string endp));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf endp;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write ~path snap =
+  if Array.length snap.s_done <> snap.s_total_tasks then
+    invalid_arg "Journal.write: done array does not match the task count";
+  let text = render snap in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc text;
+     flush oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+type parsed = Explored of int | Done_task of int | Best of best | End of int * string
+
+let parse_payload payload =
+  match String.split_on_char ' ' payload with
+  | [ "x"; n ] -> Option.map (fun n -> Explored n) (int_of_string_opt n)
+  | [ "d"; n ] -> Option.map (fun n -> Done_task n) (int_of_string_opt n)
+  | [ "b"; gain; bits; names ] -> (
+      match (Int64.of_string_opt ("0x" ^ gain), int_of_string_opt bits) with
+      | Some g, Some b ->
+          Some (Best { b_names = String.split_on_char ',' names; b_gain = g; b_bits = b })
+      | _ -> None)
+  | [ "end"; count; crc ] -> Option.map (fun c -> End (c, crc)) (int_of_string_opt count)
+  | _ -> None
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error [ Rt.v "RT001" (Srcspan.none path) "cannot read journal: %s" m ]
+  | text -> (
+      let complete_last_line = String.length text > 0 && text.[String.length text - 1] = '\n' in
+      let lines =
+        match List.rev (String.split_on_char '\n' text) with
+        | "" :: rest when complete_last_line -> List.rev rest
+        | rev -> List.rev rev
+      in
+      match lines with
+      | [] -> Error [ Rt.v "RT002" (span path 1) "empty file is not a flowtrace journal" ]
+      | header :: records -> (
+          match
+            Scanf.sscanf header "flowtrace-journal v%d fp=%s@ tasks=%d" (fun v fp n -> (v, fp, n))
+          with
+          | exception _ ->
+              Error
+                [ Rt.v "RT002" (span path 1) "not a flowtrace journal (unrecognized header)" ]
+          | v, _, _ when v <> version ->
+              Error
+                [
+                  Rt.v "RT003" (span path 1) "journal version v%d is not supported (this build reads v%d)" v
+                    version;
+                ]
+          | _, _, total when total < 0 ->
+              Error [ Rt.v "RT002" (span path 1) "corrupt header (negative task count)" ]
+          | _, fingerprint, total -> (
+              let done_ = Array.make total false in
+              let best = ref None in
+              let explored = ref 0 in
+              let seen = ref 0 in
+              let body_crc = ref (Crc32.update 0l (header ^ "\n")) in
+              let warnings = ref [] in
+              let error = ref None in
+              let ended = ref false in
+              let n_lines = List.length records in
+              (try
+                 List.iteri
+                   (fun i line ->
+                     let lineno = i + 2 in
+                     let last = i = n_lines - 1 in
+                     let fail d =
+                       error := Some d;
+                       raise Exit
+                     in
+                     let truncated () =
+                       warnings :=
+                         [
+                           Rt.v "RT006" (span path lineno)
+                             "journal tail truncated at line %d; resuming from the valid %d-record \
+                              prefix"
+                             lineno !seen;
+                         ];
+                       raise Exit
+                     in
+                     if !ended then
+                       fail (Rt.v "RT007" (span path lineno) "content after the end record");
+                     let parsed =
+                       if String.length line > 9 && line.[8] = ' ' then
+                         let crc = String.sub line 0 8 in
+                         let payload = String.sub line 9 (String.length line - 9) in
+                         if String.equal crc (Crc32.to_hex (Crc32.string payload)) then
+                           parse_payload payload
+                         else None
+                       else None
+                     in
+                     match parsed with
+                     | None ->
+                         (* a damaged final line is indistinguishable from a cut-off
+                            write tail: recover the prefix. Damage higher up is a
+                            hard error. *)
+                         if last then truncated ()
+                         else fail (Rt.v "RT005" (span path lineno) "corrupt journal record")
+                     | Some (End (count, crc)) ->
+                         if count <> !seen then
+                           fail
+                             (Rt.v "RT007" (span path lineno)
+                                "end record expects %d records but %d are present" count !seen);
+                         if not (String.equal crc (Crc32.to_hex !body_crc)) then
+                           fail
+                             (Rt.v "RT007" (span path lineno)
+                                "whole-file checksum mismatch (journal was modified)");
+                         ended := true
+                     | Some record -> (
+                         incr seen;
+                         body_crc := Crc32.update !body_crc (line ^ "\n");
+                         match record with
+                         | Explored n -> explored := n
+                         | Done_task id ->
+                             if id < 0 || id >= total then
+                               fail
+                                 (Rt.v "RT005" (span path lineno)
+                                    "task id %d out of range (journal declares %d tasks)" id total)
+                             else done_.(id) <- true
+                         | Best b -> best := Some b
+                         | End _ -> assert false))
+                   records
+               with Exit -> ());
+              match !error with
+              | Some d -> Error [ d ]
+              | None ->
+                  if (not !ended) && !warnings = [] then
+                    warnings :=
+                      [
+                        Rt.v "RT006" (span path (n_lines + 1))
+                          "journal has no end record (truncated); resuming from the valid \
+                           %d-record prefix"
+                          !seen;
+                      ];
+                  Ok
+                    ( {
+                        s_fingerprint = fingerprint;
+                        s_total_tasks = total;
+                        s_done = done_;
+                        s_best = !best;
+                        s_explored = !explored;
+                      },
+                      !warnings ))))

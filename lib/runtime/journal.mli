@@ -1,0 +1,60 @@
+(** The checkpoint journal: a crash-safe snapshot of a supervised
+    selection run.
+
+    A journal persists which plan tasks have completed, the running best
+    candidate (as sorted message names plus the IEEE-754 bits of its gain,
+    so resumption can verify a bit-exact re-score), and the cumulative
+    explored-candidate count. Snapshots are written whole to a temp file
+    and renamed into place, so the on-disk journal is always a complete,
+    self-consistent state no matter when the process is killed.
+
+    The format is line-oriented text, built for positioned diagnostics:
+
+    {v
+    flowtrace-journal v1 fp=<16 hex> tasks=<n>
+    <crc32> x <explored>
+    <crc32> d <task id>          (one line per completed task)
+    <crc32> b <gain hex> <bits> <name,name,...>
+    <crc32> end <record count> <file crc32>
+    v}
+
+    Every record line is prefixed with the CRC-32 of its payload; the
+    [end] record seals the file with the record count and the CRC-32 of
+    everything above it. {!load} maps damage onto the RT codes of
+    {!Flowtrace_analysis.Rt}: unreadable file → RT001, bad header → RT002,
+    wrong version → RT003, a corrupt record mid-file → RT005 (hard error),
+    a failed [end] seal → RT007 — while a {e missing or damaged tail}
+    (the one shape external truncation usually takes) recovers the valid
+    prefix with an RT006 warning, because resuming from a prefix merely
+    re-runs the tasks whose completion records were lost. *)
+
+(** The persisted best candidate. [b_gain] is [Int64.bits_of_float] of the
+    incremental gain, compared bit-for-bit after re-scoring on resume. *)
+type best = { b_names : string list; b_gain : int64; b_bits : int }
+
+type snapshot = {
+  s_fingerprint : string;  (** {!Fingerprint.v} of the run configuration *)
+  s_total_tasks : int;
+  s_done : bool array;  (** length [s_total_tasks] *)
+  s_best : best option;
+  s_explored : int;  (** cumulative candidates explored across runs *)
+}
+
+val version : int
+
+(** [write ~path snap] atomically replaces [path] with the snapshot
+    (write to [path ^ ".tmp"], then rename). Raises [Sys_error] on I/O
+    failure and [Invalid_argument] if a message name cannot be stored
+    verbatim (contains a comma, whitespace or newline). *)
+val write : path:string -> snapshot -> unit
+
+(** [load ~path] parses a journal. [Ok (snap, warnings)] carries RT006
+    warnings when a truncated tail was recovered; [Error diags] carries
+    the positioned hard errors above. Fingerprint/task-count compatibility
+    with the resuming run is the caller's check (RT004) — the journal
+    itself cannot know the run it is being resumed into. *)
+val load :
+  path:string ->
+  ( snapshot * Flowtrace_analysis.Diagnostic.t list,
+    Flowtrace_analysis.Diagnostic.t list )
+  result

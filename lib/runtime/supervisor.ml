@@ -1,0 +1,61 @@
+module Tel = Flowtrace_telemetry.Telemetry
+
+(* Task counts are partition-invariant (ok + gave-up = tasks attempted, and
+   the retry count is fixed by the deterministic fault hook), so they are
+   counters; which worker ran what is schedule-dependent and is not. *)
+let c_ok = Tel.Counter.v "runtime.task.ok"
+let c_retried = Tel.Counter.v "runtime.task.retried"
+let c_failed = Tel.Counter.v "runtime.task.failed"
+
+type task_status = Done | Gave_up of exn | Not_run
+
+type summary = { statuses : task_status array; retried : int; stopped : bool }
+
+let run ?(jobs = 1) ?(retries = 2) ?(should_stop = fun _ -> false)
+    ?(inject = fun ~task:_ ~attempt:_ -> ()) ~tasks f =
+  let n = Array.length tasks in
+  let statuses = Array.make n Not_run in
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let retried = Atomic.make 0 in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get stop then continue := false
+      else begin
+        let slot = Atomic.fetch_and_add next 1 in
+        if slot >= n then continue := false
+        else begin
+          let task = tasks.(slot) in
+          let rec attempt k =
+            match
+              inject ~task ~attempt:k;
+              f task
+            with
+            | () ->
+                statuses.(slot) <- Done;
+                Tel.Counter.incr c_ok
+            | exception e when should_stop e ->
+                (* cooperative stop: not a failure, nothing more to claim *)
+                Atomic.set stop true;
+                continue := false
+            | exception e ->
+                if k <= retries then begin
+                  Atomic.incr retried;
+                  Tel.Counter.incr c_retried;
+                  attempt (k + 1)
+                end
+                else begin
+                  statuses.(slot) <- Gave_up e;
+                  Tel.Counter.incr c_failed
+                end
+          in
+          attempt 1
+        end
+      end
+    done
+  in
+  let domains = Array.init (max 1 jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  { statuses; retried = Atomic.get retried; stopped = Atomic.get stop }

@@ -15,7 +15,14 @@ open Flowtrace_core
     freezes once full; the earliest history survives. [Sample k] — only
     every k-th observable occurrence is offered to the ring at all
     (systematic sampling); retained entries still wrap like
-    [Drop_oldest]. *)
+    [Drop_oldest].
+
+    The sample period must be at least 1 ([Sample 1] keeps everything;
+    larger periods thin harder). [Sample 0] would divide by zero in the
+    admission test and a negative period is meaningless, so {!create}
+    rejects both with [Invalid_argument] at construction — the value
+    never reaches the recording path — and {!parse_policy} refuses the
+    corresponding [sample:K] spellings. *)
 type policy = Drop_oldest | Drop_newest | Sample of int
 
 type entry = {

@@ -1,0 +1,431 @@
+(* Tests for the lib/runtime supervision layer.
+
+   The determinism contract is the heart of it: supervised runs — with
+   retries, kills, resumes and any job count — must be bit-identical to
+   the plain single-walk engine whenever they complete. Degradation
+   (deadline, candidate cap, permanently failing tasks) must keep the
+   best-so-far instead of losing the run, and the checkpoint journal must
+   survive truncation while refusing silent corruption. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+module Diag = Flowtrace_analysis.Diagnostic
+module Journal = Flowtrace_runtime.Journal
+module Engine = Flowtrace_runtime.Engine
+module Crc32 = Flowtrace_runtime.Crc32
+
+let seed_arb = QCheck.make (QCheck.Gen.int_bound 100_000)
+
+let codes ds = List.map (fun (d : Diag.t) -> d.Diag.code) ds
+
+let tmp_journal () =
+  let f = Filename.temp_file "flowtrace-test" ".ckpt" in
+  at_exit (fun () -> try Sys.remove f with Sys_error _ -> ());
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Journal round-trip and corruption *)
+
+let snapshot_of_seed seed =
+  let st = Random.State.make [| seed |] in
+  let total = Random.State.int st 50 in
+  let done_ = Array.init total (fun _ -> Random.State.bool st) in
+  let best =
+    if total > 0 && Random.State.bool st then
+      Some
+        {
+          Journal.b_names =
+            List.init
+              (1 + Random.State.int st 5)
+              (fun i -> Printf.sprintf "msg%d_%d" i (Random.State.int st 100));
+          b_gain = Random.State.int64 st Int64.max_int;
+          b_bits = Random.State.int st 64;
+        }
+    else None
+  in
+  {
+    Journal.s_fingerprint = Printf.sprintf "%016x" (Random.State.int st 0x3FFFFFFF);
+    s_total_tasks = total;
+    s_done = done_;
+    s_best = best;
+    s_explored = Random.State.int st 1_000_000;
+  }
+
+let prop_journal_roundtrip =
+  QCheck.Test.make ~name:"journal round-trips bit-exactly" ~count:100 seed_arb (fun seed ->
+      let snap = snapshot_of_seed seed in
+      let path = tmp_journal () in
+      Journal.write ~path snap;
+      match Journal.load ~path with
+      | Error ds -> QCheck.Test.fail_reportf "load failed: %s" (Diag.render_all ds)
+      | Ok (got, warnings) ->
+          warnings = []
+          && got.Journal.s_fingerprint = snap.Journal.s_fingerprint
+          && got.Journal.s_total_tasks = snap.Journal.s_total_tasks
+          && got.Journal.s_done = snap.Journal.s_done
+          && got.Journal.s_best = snap.Journal.s_best
+          && got.Journal.s_explored = snap.Journal.s_explored)
+
+(* Chopping any amount off the end must either still load completely or
+   recover a prefix with an RT006 warning: never a hard error, and the
+   recovered done-set must be a subset of the original (a resumed run then
+   simply re-runs the lost tasks). *)
+let prop_journal_truncation_recovers =
+  QCheck.Test.make ~name:"truncated tail recovers a valid prefix (RT006)" ~count:100 seed_arb
+    (fun seed ->
+      let snap = snapshot_of_seed seed in
+      let path = tmp_journal () in
+      Journal.write ~path snap;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let st = Random.State.make [| seed + 1 |] in
+      let keep = Random.State.int st (String.length full) in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 keep));
+      if keep <= String.index full '\n' then
+        (* the header itself was cut: a hard RT002 is fine, and so is a
+           parseable-but-shorter header (e.g. "tasks=30" cut to
+           "tasks=3") — the engine's fingerprint/task-count check (RT004)
+           refuses to resume from it either way *)
+        match Journal.load ~path with Error ds -> codes ds = [ "RT002" ] | Ok _ -> true
+      else
+        match Journal.load ~path with
+        | Error ds -> QCheck.Test.fail_reportf "hard error: %s" (Diag.render_all ds)
+        | Ok (got, warnings) ->
+            let subset =
+              got.Journal.s_total_tasks = snap.Journal.s_total_tasks
+              && Array.for_all2
+                   (fun g s -> (not g) || s)
+                   got.Journal.s_done snap.Journal.s_done
+            in
+            let warned_iff_cut =
+              if keep = String.length full then warnings = []
+              else List.for_all (fun c -> c = "RT006") (codes warnings)
+            in
+            subset && warned_iff_cut)
+
+let write_lines path lines =
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter
+        (fun l ->
+          Out_channel.output_string oc l;
+          Out_channel.output_char oc '\n')
+        lines)
+
+let test_journal_bitflip_is_error () =
+  let snap =
+    {
+      Journal.s_fingerprint = "0123456789abcdef";
+      s_total_tasks = 8;
+      s_done = Array.init 8 (fun i -> i < 5);
+      s_best = Some { Journal.b_names = [ "a"; "b" ]; b_gain = 4614256656552045848L; b_bits = 7 };
+      s_explored = 123;
+    }
+  in
+  let path = tmp_journal () in
+  Journal.write ~path snap;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let lines = String.split_on_char '\n' full in
+  (* flip one character inside the payload of a mid-file record (line 3,
+     a "d" record): its CRC no longer matches *)
+  let flipped =
+    List.mapi
+      (fun i l ->
+        if i = 2 then String.mapi (fun j c -> if j = 9 then (if c = 'd' then 'e' else 'd') else c) l
+        else l)
+      lines
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.concat "\n" flipped));
+  match Journal.load ~path with
+  | Error ds -> Alcotest.(check (list string)) "RT005 on mid-file damage" [ "RT005" ] (codes ds)
+  | Ok _ -> Alcotest.fail "bit-flipped journal loaded"
+
+let test_journal_wrong_version () =
+  let path = tmp_journal () in
+  write_lines path [ "flowtrace-journal v9 fp=0123456789abcdef tasks=4" ];
+  match Journal.load ~path with
+  | Error ds -> Alcotest.(check (list string)) "RT003" [ "RT003" ] (codes ds)
+  | Ok _ -> Alcotest.fail "future-version journal loaded"
+
+let test_journal_not_a_journal () =
+  let path = tmp_journal () in
+  write_lines path [ "just some text"; "more text" ];
+  match Journal.load ~path with
+  | Error ds -> Alcotest.(check (list string)) "RT002" [ "RT002" ] (codes ds)
+  | Ok _ -> Alcotest.fail "garbage loaded as a journal"
+
+let test_journal_unreadable () =
+  match Journal.load ~path:"/nonexistent/dir/j.ckpt" with
+  | Error ds -> Alcotest.(check (list string)) "RT001" [ "RT001" ] (codes ds)
+  | Ok _ -> Alcotest.fail "nonexistent journal loaded"
+
+let test_journal_broken_seal () =
+  let snap =
+    {
+      Journal.s_fingerprint = "0123456789abcdef";
+      s_total_tasks = 4;
+      s_done = [| true; true; false; false |];
+      s_best = None;
+      s_explored = 9;
+    }
+  in
+  let path = tmp_journal () in
+  Journal.write ~path snap;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  (* drop one "d" record but keep the (now lying) end record: count check *)
+  let lines = List.filter (fun l -> l = "" || not (String.length l > 10 && l.[9] = 'd' && l.[11] = '1')) (String.split_on_char '\n' full) in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.concat "\n" lines));
+  match Journal.load ~path with
+  | Error ds -> Alcotest.(check (list string)) "RT007" [ "RT007" ] (codes ds)
+  | Ok _ -> Alcotest.fail "journal with a lying end record loaded"
+
+(* ------------------------------------------------------------------ *)
+(* Supervised runs vs the plain engine *)
+
+let outcome_ok = function
+  | Ok o -> o
+  | Error ds -> Alcotest.fail ("engine rejected: " ^ Diag.render_all ds)
+
+let check_same name (plain : Select.result) (o : Engine.outcome) =
+  Alcotest.(check (list string))
+    (name ^ ": same selection")
+    (Select.selected_names plain)
+    (Select.selected_names o.Engine.o_result);
+  Alcotest.(check (float 0.0)) (name ^ ": gain bit-identical") plain.Select.gain
+    o.Engine.o_result.Select.gain
+
+let test_supervised_equals_plain () =
+  List.iter
+    (fun sc ->
+      let inter = Scenario.interleave sc in
+      let plain = Select.select ~pack:false inter ~buffer_width:32 in
+      List.iter
+        (fun jobs ->
+          let o =
+            outcome_ok (Engine.select ~jobs ~pack:false inter ~buffer_width:32)
+          in
+          check_same (Printf.sprintf "%s jobs=%d" sc.Scenario.name jobs) plain o;
+          Alcotest.(check bool)
+            (sc.Scenario.name ^ ": complete")
+            true
+            (o.Engine.o_status = Engine.Complete))
+        [ 1; 2; 4 ])
+    Scenario.all
+
+(* Transient faults: the first attempt of every third task dies. The
+   supervisor retries; because task bodies are transactional the final
+   answer is bit-identical to an unfaulted run. *)
+let test_transient_faults_bit_identical () =
+  let inter = Scenario.interleave (List.hd Scenario.all) in
+  let plain = Select.select ~pack:false inter ~buffer_width:32 in
+  List.iter
+    (fun jobs ->
+      let inject ~task ~attempt = if task mod 3 = 0 && attempt = 1 then failwith "transient" in
+      let o =
+        outcome_ok (Engine.select ~jobs ~pack:false ~inject inter ~buffer_width:32)
+      in
+      check_same (Printf.sprintf "faulted jobs=%d" jobs) plain o;
+      Alcotest.(check bool) "retries happened" true (o.Engine.o_retries > 0);
+      Alcotest.(check bool) "still complete" true (o.Engine.o_status = Engine.Complete);
+      Alcotest.(check (list int)) "no permanent failures" [] o.Engine.o_failed_tasks)
+    [ 1; 2; 4 ]
+
+(* Permanent fault: one task dies on every attempt. The run degrades to
+   Partial, names the task, and its siblings' results survive — verified
+   against a by-hand fold over every task except the poisoned one. *)
+let test_permanent_fault_keeps_siblings () =
+  let inter = Scenario.interleave (List.hd Scenario.all) in
+  let buffer_width = 32 in
+  let pool = Interleave.messages inter in
+  let plan = Combination.plan pool ~width:buffer_width in
+  let ntasks = Combination.n_tasks plan in
+  Alcotest.(check bool) "scenario splits into several tasks" true (ntasks > 1);
+  let poisoned = ntasks / 2 in
+  let inject ~task ~attempt:_ = if task = poisoned then failwith "permanent" in
+  List.iter
+    (fun jobs ->
+      let o =
+        outcome_ok (Engine.select ~jobs ~pack:false ~inject inter ~buffer_width)
+      in
+      Alcotest.(check bool) "partial" true (o.Engine.o_status = Engine.Partial);
+      Alcotest.(check (list int)) "failed task named" [ poisoned ] o.Engine.o_failed_tasks;
+      Alcotest.(check int) "siblings all done" (ntasks - 1) o.Engine.o_done_tasks;
+      (* reference: fold every healthy task directly *)
+      let ev = Infogain.evaluator inter in
+      let best = ref None in
+      for t = 0 to ntasks - 1 do
+        if t <> poisoned then
+          best :=
+            Combination.fold_task plan t ~only_maximal:false
+              ~tick:(fun () -> ())
+              ~take:(Select.Path.extend ev) ~path:Select.Path.empty
+              ~leaf:(fun acc p -> Select.Path.merge acc (Some p))
+              ~init:!best
+      done;
+      match !best with
+      | None -> Alcotest.fail "reference fold found no candidate"
+      | Some p ->
+          Alcotest.(check (float 0.0))
+            "best over healthy tasks" (Select.Path.gain p) o.Engine.o_result.Select.gain)
+    [ 1; 2; 4 ]
+
+(* Kill/resume determinism: stop a checkpointed run early with a candidate
+   cap, then resume without budgets — the finished answer must be
+   bit-identical to an uninterrupted run, at any job count. *)
+let test_resume_bit_identical () =
+  let inter = Scenario.interleave (List.hd Scenario.all) in
+  let plain = Select.select ~pack:false inter ~buffer_width:32 in
+  List.iter
+    (fun jobs ->
+      let path = tmp_journal () in
+      let first =
+        outcome_ok
+          (Engine.select ~jobs ~pack:false ~checkpoint:path ~max_candidates:40 inter
+             ~buffer_width:32)
+      in
+      Alcotest.(check bool) "first run is partial" true
+        (first.Engine.o_status = Engine.Partial);
+      let resumed =
+        outcome_ok
+          (Engine.select ~jobs ~pack:false ~checkpoint:path ~resume:true inter ~buffer_width:32)
+      in
+      Alcotest.(check bool) "resumed run completes" true
+        (resumed.Engine.o_status = Engine.Complete);
+      Alcotest.(check bool) "tasks were resumed" true (resumed.Engine.o_resumed_tasks > 0);
+      check_same (Printf.sprintf "resume jobs=%d" jobs) plain resumed;
+      (* resuming a finished journal is a no-op that returns the answer *)
+      let again =
+        outcome_ok
+          (Engine.select ~jobs ~pack:false ~checkpoint:path ~resume:true inter ~buffer_width:32)
+      in
+      check_same "re-resume" plain again;
+      Alcotest.(check int) "nothing left to run" 0
+        (again.Engine.o_done_tasks - again.Engine.o_resumed_tasks))
+    [ 1; 2; 4 ]
+
+let test_resume_rejects_other_run () =
+  let inter = Scenario.interleave (List.hd Scenario.all) in
+  let path = tmp_journal () in
+  ignore
+    (outcome_ok (Engine.select ~pack:false ~checkpoint:path ~max_candidates:40 inter
+         ~buffer_width:32));
+  match Engine.select ~pack:false ~checkpoint:path ~resume:true inter ~buffer_width:16 with
+  | Error ds -> Alcotest.(check (list string)) "RT004" [ "RT004" ] (codes ds)
+  | Ok _ -> Alcotest.fail "journal accepted for a different buffer width"
+
+let test_expired_deadline_greedy_fallback () =
+  let inter = Scenario.interleave (List.hd Scenario.all) in
+  let o =
+    outcome_ok
+      (Engine.select ~pack:false
+         ~deadline:(Unix.gettimeofday () -. 1.0)
+         inter ~buffer_width:32)
+  in
+  Alcotest.(check bool) "partial" true (o.Engine.o_status = Engine.Partial);
+  (match o.Engine.o_result.Select.tier with
+  | Select.Tier.Greedy_fallback -> ()
+  | t -> Alcotest.fail ("expected greedy fallback, got " ^ Select.Tier.to_string t));
+  let combo = Select.greedy inter ~buffer_width:32 in
+  Alcotest.(check (float 0.0))
+    "greedy gain"
+    (Infogain.of_combination inter combo)
+    o.Engine.o_result.Select.gain
+
+let test_core_max_candidates_anytime () =
+  let inter = Scenario.interleave (List.hd Scenario.all) in
+  let r = Select.select ~pack:false ~max_candidates:10 inter ~buffer_width:32 in
+  match r.Select.tier with
+  | Select.Tier.Anytime { explored; _ } ->
+      Alcotest.(check bool) "explored within cap" true (explored <= 10)
+  | t -> Alcotest.fail ("expected anytime, got " ^ Select.Tier.to_string t)
+
+(* An unexpired budget must not change the answer: same walk, same ticks,
+   same unique best. *)
+let prop_unexpired_budget_identical =
+  QCheck.Test.make ~name:"budgeted-but-unexpired select is bit-identical" ~count:20 seed_arb
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let widths = List.map (fun (m : Message.t) -> m.Message.width) (Interleave.messages inter) in
+      let minw = List.fold_left min max_int widths in
+      let buffer_width = minw + 4 in
+      let plain = Select.select ~pack:false inter ~buffer_width in
+      let budgeted =
+        Select.select ~pack:false
+          ~deadline:(Unix.gettimeofday () +. 3600.0)
+          ~max_candidates:max_int inter ~buffer_width
+      in
+      Select.selected_names plain = Select.selected_names budgeted
+      && plain.Select.gain = budgeted.Select.gain
+      && budgeted.Select.tier = Select.Tier.Exact)
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 and trace-buffer guards *)
+
+let test_crc32_vectors () =
+  (* the standard zlib check value *)
+  Alcotest.(check string) "crc32(123456789)" "cbf43926" (Crc32.to_hex (Crc32.string "123456789"));
+  Alcotest.(check string) "crc32(empty)" "00000000" (Crc32.to_hex (Crc32.string ""));
+  let a, b = ("flowtrace ", "journal") in
+  Alcotest.(check int32) "chunked = whole"
+    (Crc32.string (a ^ b))
+    (Crc32.update (Crc32.string a) b)
+
+let test_sample_zero_rejected () =
+  let inter = Scenario.interleave (List.hd Scenario.all) in
+  let sel = Select.select ~strategy:Select.Greedy inter ~buffer_width:16 in
+  List.iter
+    (fun k ->
+      match Trace_buffer.create ~policy:(Trace_buffer.Sample k) ~depth:8 sel with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "Sample %d accepted" k))
+    [ 0; -1; -100 ];
+  (match Trace_buffer.parse_policy "sample:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sample:0 parsed");
+  match Trace_buffer.create ~policy:(Trace_buffer.Sample 1) ~depth:8 sel with
+  | _ -> ()
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "bit-flip mid-file is RT005" `Quick test_journal_bitflip_is_error;
+          Alcotest.test_case "wrong version is RT003" `Quick test_journal_wrong_version;
+          Alcotest.test_case "garbage is RT002" `Quick test_journal_not_a_journal;
+          Alcotest.test_case "unreadable is RT001" `Quick test_journal_unreadable;
+          Alcotest.test_case "lying end record is RT007" `Quick test_journal_broken_seal;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_journal_roundtrip; prop_journal_truncation_recovers ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "supervised = plain (jobs 1/2/4)" `Quick
+            test_supervised_equals_plain;
+          Alcotest.test_case "transient faults retried, bit-identical" `Quick
+            test_transient_faults_bit_identical;
+          Alcotest.test_case "permanent fault keeps siblings" `Quick
+            test_permanent_fault_keeps_siblings;
+        ] );
+      ( "checkpoint/resume",
+        [
+          Alcotest.test_case "stop+resume bit-identical (jobs 1/2/4)" `Quick
+            test_resume_bit_identical;
+          Alcotest.test_case "mismatched journal is RT004" `Quick test_resume_rejects_other_run;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "expired deadline degrades to greedy" `Quick
+            test_expired_deadline_greedy_fallback;
+          Alcotest.test_case "max-candidates degrades to anytime" `Quick
+            test_core_max_candidates_anytime;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_unexpired_budget_identical ] );
+      ( "guards",
+        [
+          Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "Sample k<=0 rejected at construction" `Quick
+            test_sample_zero_rejected;
+        ] );
+    ]

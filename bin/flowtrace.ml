@@ -4,7 +4,8 @@
      select      select trace messages for flows in a spec file
      interleave  report the interleaved flow of a spec file
      localize    count executions consistent with an observed trace
-     lint        statically check spec files (FL001..FL014 diagnostics)
+     lint        statically check each flow of a spec file (FL0xx diagnostics)
+     check       whole-scenario debuggability analysis (FC0xx diagnostics)
      tables      regenerate the paper's tables and figures
      scenarios   show the built-in OpenSPARC T2 scenarios
      stats       replay a recorded telemetry file into aggregate tables *)
@@ -23,7 +24,7 @@ let load_flows path =
 let interleave_of path counts =
   match load_flows path with
   | Error m -> Error m
-  | Ok [] -> Error "no flows in file"
+  | Ok [] -> Error (Printf.sprintf "%s:1:1: specification declares no flows" path)
   | Ok flows -> (
       let find name = List.find_opt (fun f -> String.equal f.Flow.name name) flows in
       let instances =
@@ -589,7 +590,10 @@ let lint_cmd =
     Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N" ~doc)
   in
   let run specs json werror list_rules topology max_states =
-    if list_rules then print_string (Lint.catalog ())
+    if list_rules then
+      (* --json lists every namespace the tool can emit (FL+FC+RT); the
+         text form prints the FL catalog followed by the FC one. *)
+      print_string (if json then Check.catalog_json () else Lint.catalog () ^ Check.catalog ())
     else begin
       if specs = [] then or_die (Error "no spec files given (try --list-rules for the catalog)");
       let known_ips =
@@ -600,6 +604,7 @@ let lint_cmd =
       let context = { Rule.default_context with Rule.known_ips; max_states } in
       let diags = List.concat_map (fun path -> Lint.lint_file ~context path) specs in
       let diags = if werror then List.map Diagnostic.promote_warnings diags else diags in
+      let diags = Diagnostic.sort_report diags in
       if json then print_endline (Diagnostic.render_json diags)
       else begin
         print_string (Diagnostic.render_all diags);
@@ -607,12 +612,83 @@ let lint_cmd =
           (if List.length specs = 1 then "" else "s")
           (Diagnostic.summary diags)
       end;
-      if Diagnostic.count_errors diags > 0 then exit 1
+      match Diagnostic.exit_code diags with 0 -> () | n -> exit n
     end
   in
-  let doc = "Statically check flow specification files (rules FL001..FL014)." in
+  let doc = "Statically check flow specification files (rules FL001..FL015)." in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const run $ specs $ json $ werror $ list_rules $ topology $ max_states)
+
+let check_cmd =
+  let open Flowtrace_analysis in
+  let specs =
+    let doc = "Flow specification files, each checked as one scenario." in
+    Arg.(value & pos_all file [] & info [] ~docv:"SPEC" ~doc)
+  in
+  let json =
+    let doc = "Emit the diagnostics as a JSON report instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let werror =
+    let doc = "Promote warnings to errors (the exit status then reflects them)." in
+    Arg.(value & flag & info [ "werror" ] ~doc)
+  in
+  let list_rules =
+    let doc =
+      "Print the FC rule catalog and exit (with $(b,--json), the machine-readable catalog of \
+       every namespace)."
+    in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let topology =
+    let doc =
+      "IP topology the scenario's monitors sit on: $(b,none) (every message observable) or \
+       $(b,t2) (the OpenSPARC T2 interconnect). Enables rules FC013/FC022/FC023 and makes the \
+       ambiguity rules respect observability."
+    in
+    Arg.(value & opt (enum [ ("none", `None); ("t2", `T2) ]) `None & info [ "topology" ] ~docv:"TOPO" ~doc)
+  in
+  let budget =
+    let doc = "Trace-buffer budget in bits to prove feasibility against (rules FC020/FC021)." in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"BITS" ~doc)
+  in
+  let path_limit =
+    let doc =
+      "Per-flow path-enumeration bound. Past it the analysis degrades (FC090, exit 3) instead \
+       of running forever."
+    in
+    Arg.(value & opt int Scenario_model.default_path_limit & info [ "path-limit" ] ~docv:"N" ~doc)
+  in
+  let run specs json werror list_rules topology budget path_limit =
+    if list_rules then print_string (if json then Check.catalog_json () else Check.catalog ())
+    else begin
+      if specs = [] then or_die (Error "no spec files given (try --list-rules for the catalog)");
+      let topology =
+        match topology with `None -> None | `T2 -> Some Flowtrace_soc.Scenario.t2_topology
+      in
+      let diags =
+        List.concat_map (fun path -> Check.check_file ~path_limit ?topology ?budget path) specs
+      in
+      let diags = if werror then List.map Diagnostic.promote_warnings diags else diags in
+      let diags = Diagnostic.sort_report diags in
+      if json then print_endline (Diagnostic.render_json diags)
+      else begin
+        print_string (Diagnostic.render_all diags);
+        Printf.printf "flowtrace check: %d scenario%s checked: %s\n" (List.length specs)
+          (if List.length specs = 1 then "" else "s")
+          (Diagnostic.summary diags)
+      end;
+      match Diagnostic.exit_code ~degraded:(Check.degraded diags) diags with
+      | 0 -> ()
+      | n -> exit n
+    end
+  in
+  let doc =
+    "Statically analyze whole scenarios for debuggability: cross-flow ambiguity, buffer \
+     feasibility, observability dead zones, loss fragility (rules FC0xx)."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ specs $ json $ werror $ list_rules $ topology $ budget $ path_limit)
 
 let stats_cmd =
   let file =
@@ -624,6 +700,7 @@ let stats_cmd =
   let run file =
     match Flowtrace_telemetry.Summary.load_jsonl file with
     | Error m -> or_die (Error m)
+    | Ok [] -> or_die (Error (Printf.sprintf "%s:1: telemetry file contains no events" file))
     | Ok events ->
         Format.printf "%a@."
           Flowtrace_telemetry.Summary.pp
@@ -652,4 +729,4 @@ let () =
   let doc = "application-level hardware trace message selection" in
   let info = Cmd.info "flowtrace" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd ]))
+       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; check_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd ]))

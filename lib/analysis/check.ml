@@ -1,0 +1,150 @@
+open Flowtrace_core
+
+let parse_error_code = "FC000"
+
+(* Driver-emitted codes: conditions about the scenario itself, not any one
+   rule's analysis. Same (code, severity, title, summary) table idiom as
+   Rt. *)
+let driver_codes =
+  [
+    ("FC000", Diagnostic.Error, "parse-error", "the spec file is unreadable or does not parse");
+    ( "FC001",
+      Diagnostic.Error,
+      "invalid-flow",
+      "a flow fails structural validation (Flow.make); it is excluded from the scenario analyses"
+    );
+    ("FC002", Diagnostic.Error, "empty-scenario", "the specification declares no flows; there is nothing to check");
+    ( "FC090",
+      Diagnostic.Info,
+      "analysis-truncated",
+      "path enumeration hit its limit; ambiguity verdicts are incomplete and the run is degraded \
+       (exit 3)" );
+  ]
+
+let degraded_code = "FC090"
+
+let rules =
+  List.sort
+    (fun (a : Rule.Scenario.rule) b -> String.compare a.Rule.Scenario.code b.Rule.Scenario.code)
+    (Rule_ambiguity.rules @ Rule_feasibility.rules @ Rule_loss.rules)
+
+let find_rule code =
+  List.find_opt (fun (r : Rule.Scenario.rule) -> String.equal r.Rule.Scenario.code code) rules
+
+let driver_diag code span fmt =
+  match List.find_opt (fun (c, _, _, _) -> String.equal c code) driver_codes with
+  | None -> invalid_arg (Printf.sprintf "Check.driver_diag: unknown code %s" code)
+  | Some (_, severity, _, _) ->
+      Printf.ksprintf (fun message -> Diagnostic.make ~code ~severity span message) fmt
+
+let run (model : Scenario_model.t) =
+  let file_span = Srcspan.make ~file:model.Scenario_model.file ~line:1 ~col:1 in
+  let driver =
+    if model.Scenario_model.valid = [] && model.Scenario_model.invalid = [] then
+      [ driver_diag "FC002" file_span "specification declares no flows; nothing to check" ]
+    else
+      List.map
+        (fun (name, span, errs) ->
+          Diagnostic.make ~code:"FC001" ~severity:Diagnostic.Error ~flow:name span
+            (Printf.sprintf "flow fails validation and is excluded from scenario analyses: %s"
+               (String.concat "; " errs)))
+        model.Scenario_model.invalid
+      @ List.filter_map
+          (fun (vf : Scenario_model.vflow) ->
+            if vf.Scenario_model.v_truncated then
+              Some
+                (driver_diag degraded_code vf.Scenario_model.v_span
+                   "path enumeration for flow %s truncated; ambiguity verdicts are incomplete"
+                   vf.Scenario_model.v_flow.Flow.name)
+            else None)
+          model.Scenario_model.valid
+  in
+  Diagnostic.sort_report
+    (driver
+    @ List.concat_map (fun (r : Rule.Scenario.rule) -> r.Rule.Scenario.check model) rules)
+
+let degraded diags =
+  List.exists (fun (d : Diagnostic.t) -> String.equal d.Diagnostic.code degraded_code) diags
+
+let check_raw ?path_limit ?topology ?budget ~file raws =
+  run (Scenario_model.of_raw ?path_limit ?topology ?budget ~file raws)
+
+let parse_error_diag file (e : Spec_parser.error) =
+  Diagnostic.make ~code:parse_error_code ~severity:Diagnostic.Error
+    (Srcspan.make ~file ~line:e.Spec_parser.line ~col:1)
+    e.Spec_parser.message
+
+let check_string ?path_limit ?topology ?budget ?(file = "<string>") text =
+  match Spec_parser.parse_raw ~file text with
+  | raws -> check_raw ?path_limit ?topology ?budget ~file raws
+  | exception Spec_parser.Parse_error e -> [ parse_error_diag file e ]
+
+let check_file ?path_limit ?topology ?budget path =
+  match Spec_parser.parse_raw_file path with
+  | raws -> check_raw ?path_limit ?topology ?budget ~file:path raws
+  | exception Spec_parser.Parse_error e -> [ parse_error_diag path e ]
+  | exception Sys_error m ->
+      [ Diagnostic.make ~code:parse_error_code ~severity:Diagnostic.Error (Srcspan.none path) m ]
+
+let catalog () =
+  let entries =
+    List.map (fun (c, s, t, e) -> (c, s, t, e)) driver_codes
+    @ List.map
+        (fun (r : Rule.Scenario.rule) ->
+          (r.Rule.Scenario.code, r.Rule.Scenario.severity, r.Rule.Scenario.title, r.Rule.Scenario.explain))
+        rules
+  in
+  let entries = List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b) entries in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (code, sev, title, explain) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %-8s %-28s %s\n" code (Diagnostic.severity_to_string sev) title explain))
+    entries;
+  Buffer.contents buf
+
+(* Cross-namespace machine-readable catalog: every code the tool can emit,
+   FL (lint) + FC (check) + RT (runtime), one object per rule. *)
+let catalog_json () =
+  let entry ns code severity title explain =
+    Json.Obj
+      [
+        ("namespace", Json.String ns);
+        ("code", Json.String code);
+        ("severity", Json.String (Diagnostic.severity_to_string severity));
+        ("title", Json.String title);
+        ("explain", Json.String explain);
+      ]
+  in
+  let fl =
+    entry "FL" Lint.parse_error_code Diagnostic.Error "parse-error"
+      "the spec file is unreadable or does not parse"
+    :: List.map
+         (fun (r : Rule.t) -> entry "FL" r.Rule.code r.Rule.severity r.Rule.title r.Rule.explain)
+         Lint.rules
+  in
+  let fc =
+    List.map (fun (c, s, t, e) -> entry "FC" c s t e) driver_codes
+    @ List.map
+        (fun (r : Rule.Scenario.rule) ->
+          entry "FC" r.Rule.Scenario.code r.Rule.Scenario.severity r.Rule.Scenario.title
+            r.Rule.Scenario.explain)
+        rules
+  in
+  let rt =
+    List.filter_map
+      (fun code ->
+        match (Rt.severity code, Rt.summary code) with
+        | Some sev, Some summary -> Some (entry "RT" code sev "" summary)
+        | _ -> None)
+      Rt.codes
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match (Json.member "code" a, Json.member "code" b) with
+        | Some (Json.String x), Some (Json.String y) -> String.compare x y
+        | _ -> 0)
+      (fl @ fc @ rt)
+  in
+  Json.to_string_pretty (Json.Obj [ ("rules", Json.List sorted) ])

@@ -1,0 +1,87 @@
+(** The flowcheck driver: whole-scenario static debuggability analysis.
+
+    Where {!Lint} asks whether each flow is {e well-formed}, [Check] asks
+    whether the scenario they form is {e debuggable}: can the paper's
+    select → trace → localize pipeline possibly work on it? It builds a
+    {!Scenario_model.t} (all flows validated and path-enumerated, bound to
+    an optional topology and buffer budget) and runs the FC scenario rules
+    over it:
+
+    - [FC010]–[FC013] ({!Rule_ambiguity}) — cross-flow and intra-flow
+      ambiguity of the observable projection, a static lower bound on
+      {!Localize} confidence no selection can beat;
+    - [FC020]–[FC023] ({!Rule_feasibility}) — budget feasibility (via
+      {!Packing.fits}) and topology dead zones;
+    - [FC030] ({!Rule_loss}) — message classes whose loss collapses a
+      distinguishable flow pair into ambiguity.
+
+    Driver codes [FC000] (parse error), [FC001] (invalid flow), [FC002]
+    (empty scenario) and [FC090] (analysis truncated — the degraded
+    marker behind exit code 3; see {!Diagnostic}) round out the
+    namespace. This is the admission gate mined candidate specs pass
+    through before selection sees them. *)
+
+open Flowtrace_core
+
+(** Pseudo-code for token-level parse failures: ["FC000"]. *)
+val parse_error_code : string
+
+(** The code whose presence marks a degraded (incomplete) analysis:
+    ["FC090"]. *)
+val degraded_code : string
+
+(** Driver-emitted codes as (code, severity, title, summary). *)
+val driver_codes : (string * Diagnostic.severity * string * string) list
+
+(** All registered scenario rules, sorted by code. *)
+val rules : Rule.Scenario.rule list
+
+(** [find_rule code] looks up a scenario rule by its [FCnnn] code. *)
+val find_rule : string -> Rule.Scenario.rule option
+
+(** [run model] applies driver checks and every scenario rule, returning
+    findings in {!Diagnostic.sort_report} order. *)
+val run : Scenario_model.t -> Diagnostic.t list
+
+(** [degraded diags] — does the report carry {!degraded_code}? Feed into
+    {!Diagnostic.exit_code}'s [?degraded]. *)
+val degraded : Diagnostic.t list -> bool
+
+(** [check_raw ~file raws] models leniently parsed flows and runs the
+    analysis. *)
+val check_raw :
+  ?path_limit:int ->
+  ?topology:Scenario_model.topology ->
+  ?budget:int ->
+  file:string ->
+  Spec_parser.raw_flow list ->
+  Diagnostic.t list
+
+(** [check_string text] parses and checks; a {!Spec_parser.Parse_error}
+    becomes one [FC000] diagnostic. *)
+val check_string :
+  ?path_limit:int ->
+  ?topology:Scenario_model.topology ->
+  ?budget:int ->
+  ?file:string ->
+  string ->
+  Diagnostic.t list
+
+(** [check_file path] reads and checks a file; unreadable files surface
+    as an [FC000] diagnostic. *)
+val check_file :
+  ?path_limit:int ->
+  ?topology:Scenario_model.topology ->
+  ?budget:int ->
+  string ->
+  Diagnostic.t list
+
+(** [catalog ()] renders the FC catalog (driver codes + rules), same
+    format as {!Lint.catalog}. *)
+val catalog : unit -> string
+
+(** [catalog_json ()] is the machine-readable cross-namespace catalog —
+    every code the tool can emit (FL, FC, RT) as a [rules] array of
+    [{namespace; code; severity; title; explain}] objects sorted by code.
+    The [--list-rules --json] output. *)
+val catalog_json : unit -> string

@@ -34,6 +34,22 @@ let equal a b =
   && Option.equal String.equal a.flow b.flow
   && String.equal a.message b.message
 
+(* Report order: position, then severity (most severe first), then code,
+   then message — shared by every namespace (FL/FC/RT) so text and --json
+   output are deterministic and diffable across runs. *)
+let compare_report a b =
+  match Srcspan.compare a.span b.span with
+  | 0 -> (
+      match compare_severity a.severity b.severity with
+      | 0 -> (
+          match String.compare a.code b.code with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort_report ds = List.sort_uniq compare_report ds
+
 let promote_warnings d = if d.severity = Warning then { d with severity = Error } else d
 
 let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
@@ -113,5 +129,11 @@ let parse_json s =
                 | Stdlib.Error m -> Stdlib.Error m)
           in
           go [] items)
+
+(* The shared exit-code convention (see the .mli): found errors are a firm
+   verdict even when truncated, but a degraded error-free run must not be
+   mistaken for a clean one. *)
+let exit_code ?(degraded = false) ds =
+  if count_errors ds > 0 then 1 else if degraded then 3 else 0
 
 let pp ppf d = Format.pp_print_string ppf (render d)

@@ -11,7 +11,7 @@ let find_rule code = List.find_opt (fun (r : Rule.t) -> String.equal r.Rule.code
 let parse_error_code = "FL000"
 
 let run ?(context = Rule.default_context) input =
-  List.sort Diagnostic.compare (List.concat_map (fun (r : Rule.t) -> r.Rule.check context input) rules)
+  Diagnostic.sort_report (List.concat_map (fun (r : Rule.t) -> r.Rule.check context input) rules)
 
 let parse_error_diag file (e : Spec_parser.error) =
   Diagnostic.make ~code:parse_error_code ~severity:Diagnostic.Error

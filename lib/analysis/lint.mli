@@ -1,6 +1,6 @@
 (** The lint driver: rule registry and entry points.
 
-    [flowlint] runs every registered rule (codes [FL001]…[FL014]) over a
+    [flowlint] runs every registered rule (codes [FL001]…[FL015]) over a
     leniently parsed specification and returns diagnostics sorted by
     source position. Text that does not even tokenize is reported as a
     single {!parse_error_code} diagnostic instead of an exception, so the
@@ -16,7 +16,7 @@ val find_rule : string -> Rule.t option
 val parse_error_code : string
 
 (** [run ?context input] applies every rule to [input] and returns the
-    findings sorted by position (then code). *)
+    findings in {!Diagnostic.sort_report} order. *)
 val run : ?context:Rule.context -> Rule.input -> Diagnostic.t list
 
 (** [lint_string ?context ?file text] leniently parses [text] and runs

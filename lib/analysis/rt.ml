@@ -16,6 +16,9 @@ let table =
 let severity code =
   List.find_map (fun (c, s, _) -> if String.equal c code then Some s else None) table
 
+let summary code =
+  List.find_map (fun (c, _, s) -> if String.equal c code then Some s else None) table
+
 let codes = List.map (fun (c, _, _) -> c) table
 
 let v code span fmt =

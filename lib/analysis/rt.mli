@@ -32,6 +32,10 @@ val v :
 (** [severity code] is the catalog severity of [code], if known. *)
 val severity : string -> Diagnostic.severity option
 
+(** [summary code] is the catalog's one-line summary of [code], if
+    known. *)
+val summary : string -> string option
+
 (** [codes] lists the catalog codes in order. *)
 val codes : string list
 

@@ -44,3 +44,26 @@ let duplicates key items =
           Hashtbl.add seen k item;
           None)
     items
+
+(* Scenario rules (the FC namespace): same record shape as the lint rules
+   but checked against the validated whole-scenario model instead of one
+   file's raw declarations. *)
+module Scenario = struct
+  type rule = {
+    code : string;
+    title : string;
+    severity : Diagnostic.severity;
+    explain : string;
+    check : Scenario_model.t -> Diagnostic.t list;
+  }
+
+  let diag rule ?flow span fmt =
+    Printf.ksprintf
+      (fun message -> Diagnostic.make ~code:rule.code ~severity:rule.severity ?flow span message)
+      fmt
+
+  (* All unordered pairs of a list, first-occurrence order. *)
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+end

@@ -52,3 +52,25 @@ val declared_messages : Spec_parser.raw_flow -> (string, Message.t) Hashtbl.t
 (** [duplicates key items] returns, for every item whose key repeats an
     earlier item's, the pair (first occurrence, repeat) in order. *)
 val duplicates : ('a -> string) -> 'a list -> ('a * 'a) list
+
+(** Scenario rules — the [FC] namespace behind [flowtrace check]. Same
+    record shape as the lint rules, but a check runs against the
+    validated whole-scenario {!Scenario_model.t} (all flows × topology ×
+    budget) instead of one file's raw declarations. *)
+module Scenario : sig
+  type rule = {
+    code : string;  (** stable code, e.g. ["FC010"] *)
+    title : string;
+    severity : Diagnostic.severity;
+    explain : string;
+    check : Scenario_model.t -> Diagnostic.t list;
+  }
+
+  (** [diag rule ?flow span fmt] builds a diagnostic carrying the rule's
+      code and severity. *)
+  val diag :
+    rule -> ?flow:string -> Srcspan.t -> ('a, unit, string, Diagnostic.t) format4 -> 'a
+
+  (** All unordered pairs of a list, in first-occurrence order. *)
+  val pairs : 'a list -> ('a * 'a) list
+end

@@ -1,0 +1,165 @@
+(* FC010–FC013: ambiguity of the observable projection.
+
+   These rules bound what Localize can ever achieve, independent of which
+   messages Select picks: if two flows' observable trace languages
+   coincide (FC010) or one is prefix-subsumed by the other (FC011), no
+   selection — selections only shrink the projection further — can tell a
+   bug in one from a bug in the other. FC012 is the intra-flow analogue
+   (branches sharing a projection), FC013 the degenerate case of a flow
+   with no observable message at all under the declared topology. *)
+
+module M = Scenario_model
+module S = Rule.Scenario
+
+let flow_name (vf : M.vflow) = vf.M.v_flow.Flowtrace_core.Flow.name
+
+let fc010 =
+  let rec rule =
+    {
+      S.code = "FC010";
+      title = "identical-projection";
+      severity = Diagnostic.Warning;
+      explain =
+        "two flows' observable trace languages are identical; no message selection can \
+         distinguish a bug in one from a bug in the other";
+      check =
+        (fun model ->
+          List.filter_map
+            (fun (f, g) ->
+              let lf = M.language model f and lg = M.language model g in
+              if M.lang_equal lf lg && M.has_nonempty lf then
+                Some
+                  (S.diag rule ~flow:(flow_name g) g.M.v_span
+                     "observable projection is identical to flow %s's (%d trace%s); their \
+                      executions are indistinguishable under any selection"
+                     (flow_name f) (List.length lf)
+                     (if List.length lf = 1 then "" else "s"))
+              else None)
+            (S.pairs model.M.valid));
+    }
+  in
+  rule
+
+let fc011 =
+  let rec rule =
+    {
+      S.code = "FC011";
+      title = "prefix-subsumption";
+      severity = Diagnostic.Warning;
+      explain =
+        "every observable trace of one flow is a prefix of another flow's; mid-execution \
+         (Prefix-semantics) localization can never exclude the subsuming flow";
+      check =
+        (fun model ->
+          let subsumption (f, g) =
+            (* report at the subsumed flow's declaration *)
+            let lf = M.language model f and lg = M.language model g in
+            if M.lang_equal lf lg then None
+            else if M.subsumed_by lg lf && M.has_nonempty lg then Some (g, f)
+            else if M.subsumed_by lf lg && M.has_nonempty lf then Some (f, g)
+            else None
+          in
+          List.filter_map
+            (fun pair ->
+              Option.map
+                (fun (sub, sup) ->
+                  S.diag rule ~flow:(flow_name sub) sub.M.v_span
+                    "every observable trace of this flow is a prefix of one of flow %s's; a \
+                     mid-execution observation of %s never excludes %s"
+                    (flow_name sup) (flow_name sub) (flow_name sup))
+                (subsumption pair))
+            (S.pairs model.M.valid));
+    }
+  in
+  rule
+
+(* First state at which two state paths diverge, for FC012's example. *)
+let divergence_state pa pb =
+  let rec go xs ys =
+    match (xs, ys) with
+    | x :: xs', y :: ys' -> if String.equal x y then go xs' ys' else Some x
+    | _ -> None
+  in
+  go pa pb
+
+let fc012 =
+  let rec rule =
+    {
+      S.code = "FC012";
+      title = "branch-ambiguity";
+      severity = Diagnostic.Warning;
+      explain =
+        "distinct executions of one flow share an observable projection; a trace cannot \
+         localize a bug below the merged branches";
+      check =
+        (fun model ->
+          List.filter_map
+            (fun (vf : M.vflow) ->
+              if List.length vf.M.v_paths < 2 || M.observable_classes model vf = [] then None
+              else
+                let projected =
+                  List.map
+                    (fun (trace, states) -> (M.project model vf trace, states))
+                    vf.M.v_paths
+                in
+                let distinct =
+                  List.sort_uniq (List.compare String.compare) (List.map fst projected)
+                in
+                if List.length distinct >= List.length projected then None
+                else
+                  (* find one colliding pair for the message *)
+                  let example =
+                    List.find_map
+                      (fun ((pa, sa), (pb, sb)) ->
+                        if List.equal String.equal pa pb then divergence_state sa sb else None)
+                      (S.pairs projected)
+                  in
+                  let where =
+                    match example with
+                    | Some s -> Printf.sprintf " (e.g. the branches diverging at state %s)" s
+                    | None -> ""
+                  in
+                  Some
+                    (S.diag rule ~flow:(flow_name vf) vf.M.v_span
+                       "%d executions produce only %d distinct observable projection%s%s; bugs \
+                        on the merged branches cannot be told apart"
+                       (List.length projected) (List.length distinct)
+                       (if List.length distinct = 1 then "" else "s")
+                       where))
+            model.M.valid);
+    }
+  in
+  rule
+
+let fc013 =
+  let rec rule =
+    {
+      S.code = "FC013";
+      title = "unobservable-flow";
+      severity = Diagnostic.Warning;
+      explain =
+        "no message of the flow crosses a monitored channel of the topology; its executions \
+         are invisible to any trace buffer";
+      check =
+        (fun model ->
+          match model.M.topology with
+          | None -> []
+          | Some topo ->
+              List.filter_map
+                (fun (vf : M.vflow) ->
+                  if
+                    vf.M.v_flow.Flowtrace_core.Flow.messages <> []
+                    && M.observable_classes model vf = []
+                  then
+                    Some
+                      (S.diag rule ~flow:(flow_name vf) vf.M.v_span
+                         "no message of this flow maps to a channel of topology %s; its \
+                          executions cannot be observed at all"
+                         topo.M.topo_name)
+                  else None)
+                model.M.valid);
+    }
+  in
+  rule
+
+let rules = [ fc010; fc011; fc012; fc013 ]

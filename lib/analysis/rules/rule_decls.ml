@@ -1,5 +1,6 @@
 (* FL001/FL002: duplicate declarations within a flow. FL006: state names
-   shadowed across the flows of a scenario. *)
+   shadowed across the flows of a scenario. FL015: a spec file with no
+   flows at all. *)
 
 open Flowtrace_core
 
@@ -76,4 +77,24 @@ let fl006 =
   in
   rule
 
-let rules = [ fl001; fl002; fl006 ]
+let fl015 =
+  let rec rule =
+    {
+      Rule.code = "FL015";
+      title = "empty-spec";
+      severity = Diagnostic.Error;
+      explain = "the specification declares no flows; every downstream command (select, interleave, localize) would have nothing to analyze";
+      check =
+        (fun _ctx input ->
+          if input.Rule.flows = [] then
+            [
+              Rule.diag rule
+                (Srcspan.make ~file:input.Rule.file ~line:1 ~col:1)
+                "specification declares no flows";
+            ]
+          else []);
+    }
+  in
+  rule
+
+let rules = [ fl001; fl002; fl006; fl015 ]

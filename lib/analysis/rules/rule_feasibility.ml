@@ -1,0 +1,163 @@
+(* FC020–FC023: width/packing feasibility and observability dead zones.
+
+   FC020 proves — from Message.trace_width alone, before Select burns a
+   fold over the candidate lattice — that no message fits the declared
+   buffer budget, so Step 1 cannot seed a candidate set and selection must
+   fail. FC021 is the opposite degenerate case (the whole pool fits, the
+   selection problem is trivial). FC022/FC023 check the topology binding:
+   channels no flow message rides (a monitor there records nothing) and
+   messages no channel carries (no monitor can ever capture them). *)
+
+open Flowtrace_core
+module M = Scenario_model
+module S = Rule.Scenario
+
+let flow_name (vf : M.vflow) = vf.M.v_flow.Flow.name
+
+let file_span (model : M.t) = Srcspan.make ~file:model.M.file ~line:1 ~col:1
+
+(* Declaration span of message [name], searching the valid flows. *)
+let msg_span (model : M.t) name =
+  List.find_map
+    (fun (vf : M.vflow) ->
+      List.find_map
+        (fun (n, sp) -> if String.equal n name then Some (vf, sp) else None)
+        vf.M.v_msg_spans)
+    model.M.valid
+
+let fc020 =
+  let rec rule =
+    {
+      S.code = "FC020";
+      title = "infeasible-budget";
+      severity = Diagnostic.Error;
+      explain =
+        "no message fits the declared trace-buffer budget; Step 1 cannot seed a candidate \
+         set and selection must fail at any effort";
+      check =
+        (fun model ->
+          match (model.M.budget, M.messages model) with
+          | None, _ | _, [] -> []
+          | Some budget, msgs ->
+              if Packing.fits msgs ~buffer_width:budget then []
+              else
+                let narrowest =
+                  List.fold_left
+                    (fun acc m ->
+                      if Message.trace_width m < Message.trace_width acc then m else acc)
+                    (List.hd msgs) (List.tl msgs)
+                in
+                let span, flow =
+                  match msg_span model narrowest.Message.name with
+                  | Some (vf, sp) -> (sp, Some (flow_name vf))
+                  | None -> (file_span model, None)
+                in
+                [
+                  S.diag rule ?flow span
+                    "no message fits the %d-bit budget (narrowest is %s at %d bits); \
+                     selection cannot produce any candidate set"
+                    budget narrowest.Message.name
+                    (Message.trace_width narrowest);
+                ]);
+    }
+  in
+  rule
+
+let fc021 =
+  let rec rule =
+    {
+      S.code = "FC021";
+      title = "trivial-budget";
+      severity = Diagnostic.Info;
+      explain =
+        "the whole message pool fits the budget at once; selection is unnecessary and its \
+         cost can be skipped";
+      check =
+        (fun model ->
+          match (model.M.budget, M.messages model) with
+          | None, _ | _, [] -> []
+          | Some budget, msgs ->
+              let total = Message.total_width msgs in
+              if total <= budget then
+                [
+                  S.diag rule (file_span model)
+                    "all %d messages together need %d bits, within the %d-bit budget; tracing \
+                     everything is feasible and selection is unnecessary"
+                    (List.length msgs) total budget;
+                ]
+              else []);
+    }
+  in
+  rule
+
+let fc022 =
+  let rec rule =
+    {
+      S.code = "FC022";
+      title = "dead-monitor";
+      severity = Diagnostic.Info;
+      explain =
+        "a topology channel carries no message of the scenario; a monitor placed there \
+         records nothing for these flows";
+      check =
+        (fun model ->
+          match model.M.topology with
+          | None -> []
+          | Some topo ->
+              if model.M.valid = [] then []
+              else
+                List.filter_map
+                  (fun ((src, dst), riders) ->
+                    if riders = [] then
+                      Some
+                        (S.diag rule (file_span model)
+                           "channel %s->%s of topology %s carries no message of this scenario; \
+                            a monitor there is a dead zone"
+                           src dst topo.M.topo_name)
+                    else None)
+                  (M.channels_used model));
+    }
+  in
+  rule
+
+let fc023 =
+  let rec rule =
+    {
+      S.code = "FC023";
+      title = "unmonitorable-message";
+      severity = Diagnostic.Warning;
+      explain =
+        "a message's endpoints map to no channel of the topology; no monitor can capture it \
+         and selecting it buys no observability";
+      check =
+        (fun model ->
+          match model.M.topology with
+          | None -> []
+          | Some topo ->
+              List.concat_map
+                (fun (vf : M.vflow) ->
+                  List.filter_map
+                    (fun (m : Message.t) ->
+                      if M.observable model m then None
+                      else
+                        let span =
+                          match
+                            List.find_opt
+                              (fun (n, _) -> String.equal n m.Message.name)
+                              vf.M.v_msg_spans
+                          with
+                          | Some (_, sp) -> sp
+                          | None -> vf.M.v_span
+                        in
+                        Some
+                          (S.diag rule ~flow:(flow_name vf) span
+                             "message %s (%s->%s) maps to no channel of topology %s; no \
+                              monitor can capture it"
+                             m.Message.name m.Message.src m.Message.dst topo.M.topo_name))
+                    vf.M.v_flow.Flow.messages)
+                model.M.valid);
+    }
+  in
+  rule
+
+let rules = [ fc020; fc021; fc022; fc023 ]

@@ -1,0 +1,68 @@
+(* FC030: loss-sensitivity of cross-flow discrimination.
+
+   A flow pair may be distinguishable at the full observable projection
+   yet hang that distinguishability on a single message class: drop every
+   instance of one class — one Obs_fault drop class, one flaky monitor —
+   and the two languages collapse into equality or prefix subsumption.
+   Statically naming that class predicts which --obs-faults runs will
+   degrade, instead of discovering it one lossy simulation at a time. *)
+
+module M = Scenario_model
+module S = Rule.Scenario
+
+let flow_name (vf : M.vflow) = vf.M.v_flow.Flowtrace_core.Flow.name
+
+(* The languages are ambiguous already (FC010/FC011's business)? *)
+let ambiguous la lb =
+  M.lang_equal la lb
+  || (M.subsumed_by la lb && M.has_nonempty la)
+  || (M.subsumed_by lb la && M.has_nonempty lb)
+
+let fc030 =
+  let rec rule =
+    {
+      S.code = "FC030";
+      title = "loss-fragile-discriminator";
+      severity = Diagnostic.Warning;
+      explain =
+        "dropping one message class collapses two distinguishable flows into ambiguity; \
+         that class is a single point of failure for localization under lossy observation";
+      check =
+        (fun model ->
+          List.concat_map
+            (fun (f, g) ->
+              let lf = M.language model f and lg = M.language model g in
+              if ambiguous lf lg then
+                (* already statically ambiguous without any loss *)
+                []
+              else
+                let classes =
+                  List.sort_uniq String.compare
+                    (M.observable_classes model f @ M.observable_classes model g)
+                in
+                List.filter_map
+                  (fun cls ->
+                    let lf' = M.language ~without:cls model f in
+                    let lg' = M.language ~without:cls model g in
+                    if M.lang_equal lf' lg' || M.subsumed_by lf' lg' || M.subsumed_by lg' lf'
+                    then
+                      let span, flow =
+                        match
+                          List.find_opt (fun (n, _) -> String.equal n cls) f.M.v_msg_spans
+                        with
+                        | Some (_, sp) -> (sp, flow_name f)
+                        | None -> (g.M.v_span, flow_name g)
+                      in
+                      Some
+                        (S.diag rule ~flow span
+                           "dropping message class %s makes flows %s and %s indistinguishable; \
+                            one lossy monitor defeats their localization"
+                           cls (flow_name f) (flow_name g))
+                    else None)
+                  classes)
+            (S.pairs model.M.valid));
+    }
+  in
+  rule
+
+let rules = [ fc030 ]

@@ -1,0 +1,152 @@
+(* The whole-scenario model the flowcheck rules analyze: every flow of a
+   spec file validated and path-enumerated once, bound to an optional IP
+   topology and trace-buffer budget. Built from the lenient parse so
+   invalid flows surface as positioned FC001 diagnostics (the driver's
+   business) while the valid remainder is still checked. *)
+
+open Flowtrace_core
+
+type topology = {
+  topo_name : string;
+  topo_ips : string list;
+  topo_channels : (string * string) list;
+}
+
+type vflow = {
+  v_flow : Flow.t;
+  v_span : Srcspan.t;
+  v_msg_spans : (string * Srcspan.t) list;
+  v_paths : (string list * string list) list;
+  v_truncated : bool;
+}
+
+type t = {
+  file : string;
+  valid : vflow list;
+  invalid : (string * Srcspan.t * string list) list;
+  topology : topology option;
+  budget : int option;
+}
+
+let default_path_limit = 20_000
+
+let of_flows ?(path_limit = default_path_limit) ?topology ?budget ~file flows =
+  let valid =
+    List.map
+      (fun (f : Flow.t) ->
+        let paths, truncated = Flow.paths ~limit:path_limit f in
+        {
+          v_flow = f;
+          v_span = Srcspan.none file;
+          v_msg_spans = List.map (fun (m : Message.t) -> (m.Message.name, Srcspan.none file)) f.Flow.messages;
+          v_paths = paths;
+          v_truncated = truncated;
+        })
+      flows
+  in
+  { file; valid; invalid = []; topology; budget }
+
+let of_raw ?(path_limit = default_path_limit) ?topology ?budget ~file raws =
+  let valid, invalid =
+    List.fold_left
+      (fun (vs, is) (rf : Spec_parser.raw_flow) ->
+        match Spec_parser.raw_to_flow rf with
+        | Ok f ->
+            let paths, truncated = Flow.paths ~limit:path_limit f in
+            let vf =
+              {
+                v_flow = f;
+                v_span = rf.Spec_parser.rf_span;
+                v_msg_spans =
+                  List.map
+                    (fun ((m : Message.t), sp) -> (m.Message.name, sp))
+                    rf.Spec_parser.rf_messages;
+                v_paths = paths;
+                v_truncated = truncated;
+              }
+            in
+            (vf :: vs, is)
+        | Error errs -> (vs, (rf.Spec_parser.rf_name, rf.Spec_parser.rf_span, errs) :: is))
+      ([], []) raws
+  in
+  { file; valid = List.rev valid; invalid = List.rev invalid; topology; budget }
+
+let truncated t = List.exists (fun vf -> vf.v_truncated) t.valid
+
+let messages t =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun vf ->
+      List.filter_map
+        (fun (m : Message.t) ->
+          if Hashtbl.mem seen m.Message.name then None
+          else begin
+            Hashtbl.replace seen m.Message.name ();
+            Some m
+          end)
+        vf.v_flow.Flow.messages)
+    t.valid
+
+let observable t (m : Message.t) =
+  match t.topology with
+  | None -> true
+  | Some topo ->
+      List.exists
+        (fun (src, dst) -> String.equal src m.Message.src && String.equal dst m.Message.dst)
+        topo.topo_channels
+
+let observable_classes t vf =
+  List.filter_map
+    (fun (m : Message.t) -> if observable t m then Some m.Message.name else None)
+    vf.v_flow.Flow.messages
+
+let project t vf trace =
+  List.filter
+    (fun name ->
+      match Flow.message vf.v_flow name with Some m -> observable t m | None -> true)
+    trace
+
+let language ?without t vf =
+  let keep =
+    match without with
+    | None -> fun _ -> true
+    | Some dropped -> fun name -> not (String.equal name dropped)
+  in
+  List.sort_uniq
+    (List.compare String.compare)
+    (List.map (fun (trace, _) -> List.filter keep (project t vf trace)) vf.v_paths)
+
+let lang_equal a b = List.equal (List.equal String.equal) a b
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' -> String.equal x y && is_prefix xs' ys'
+
+let subsumed_by a b = List.for_all (fun tr -> List.exists (fun u -> is_prefix tr u) b) a
+
+let has_nonempty lang = List.exists (fun tr -> tr <> []) lang
+
+(* Messages riding each topology channel, across all valid flows — the
+   dead-monitor analysis. Channel order follows the topology declaration. *)
+let channels_used t =
+  match t.topology with
+  | None -> []
+  | Some topo ->
+      List.map
+        (fun (src, dst) ->
+          let riders =
+            List.sort_uniq String.compare
+              (List.concat_map
+                 (fun vf ->
+                   List.filter_map
+                     (fun (m : Message.t) ->
+                       if String.equal m.Message.src src && String.equal m.Message.dst dst
+                       then Some m.Message.name
+                       else None)
+                     vf.v_flow.Flow.messages)
+                 t.valid)
+          in
+          ((src, dst), riders))
+        topo.topo_channels

@@ -1,0 +1,106 @@
+(** The whole-scenario model behind [flowtrace check].
+
+    Where {!Rule.input} hands each lint rule the raw, possibly-invalid
+    declarations of one file, the flowcheck rules need the opposite: every
+    flow validated through {!Flow.make} and path-enumerated once, bound to
+    the optional IP topology and trace-buffer budget the scenario targets.
+    Flows that fail validation are kept aside (the driver reports them as
+    [FC001]) so the valid remainder is still analyzed.
+
+    The central object is the {e observable projection}: a message is
+    observable when the topology has a channel matching its endpoints (or
+    unconditionally, without a topology), and a flow's {!language} is the
+    set of its execution traces projected onto the observable messages.
+    Cross-flow ambiguity, branch ambiguity and loss fragility are all
+    statements about these languages. *)
+
+open Flowtrace_core
+
+(** A platform interconnect: named IP set and directed point-to-point
+    channels, the places a hardware trace monitor can sit. *)
+type topology = {
+  topo_name : string;
+  topo_ips : string list;
+  topo_channels : (string * string) list;  (** (src, dst) pairs *)
+}
+
+(** One validated flow with its source position, per-message declaration
+    spans, and path enumeration ([(trace, state path)] pairs from
+    {!Flow.paths}; [v_truncated] when the enumeration hit the limit). *)
+type vflow = {
+  v_flow : Flow.t;
+  v_span : Srcspan.t;
+  v_msg_spans : (string * Srcspan.t) list;
+  v_paths : (string list * string list) list;
+  v_truncated : bool;
+}
+
+type t = {
+  file : string;
+  valid : vflow list;
+  invalid : (string * Srcspan.t * string list) list;
+      (** flows {!Flow.make} rejected: name, span, violations *)
+  topology : topology option;
+  budget : int option;  (** trace-buffer width in bits, when declared *)
+}
+
+(** Paths enumerated per flow before the model degrades ([20_000]) —
+    deliberately far below {!Flow.paths}'s default so [flowtrace check]
+    stays fast on adversarial inputs. *)
+val default_path_limit : int
+
+(** [of_raw ~file raws] validates each raw flow and builds the model. *)
+val of_raw :
+  ?path_limit:int ->
+  ?topology:topology ->
+  ?budget:int ->
+  file:string ->
+  Spec_parser.raw_flow list ->
+  t
+
+(** [of_flows ~file flows] models already-validated flows (spans are
+    {!Srcspan.none}) — the entry point for programmatic scenarios like
+    [lib/soc]'s admission gate. *)
+val of_flows :
+  ?path_limit:int -> ?topology:topology -> ?budget:int -> file:string -> Flow.t list -> t
+
+(** Did any flow's path enumeration truncate? The analysis is then
+    degraded: absence of findings is not a clean bill. *)
+val truncated : t -> bool
+
+(** Deduplicated (by name) message pool across the valid flows. *)
+val messages : t -> Message.t list
+
+(** Is [m] observable — can any monitor of the topology capture it?
+    Always [true] without a topology. *)
+val observable : t -> Message.t -> bool
+
+(** The observable message names of one flow. *)
+val observable_classes : t -> vflow -> string list
+
+(** [project t vf trace] filters [trace] down to [vf]'s observable
+    messages. *)
+val project : t -> vflow -> string list -> string list
+
+(** [language t vf] is the set (sorted, deduplicated) of [vf]'s traces
+    under the observable projection; [?without] additionally drops one
+    message class — the loss-sensitivity probe. *)
+val language : ?without:string -> t -> vflow -> string list list
+
+(** Set equality of two languages (both in {!language}'s normal form). *)
+val lang_equal : string list list -> string list list -> bool
+
+(** [is_prefix xs ys] — is [xs] a (possibly equal) prefix of [ys]? *)
+val is_prefix : string list -> string list -> bool
+
+(** [subsumed_by a b] — is every trace of [a] a prefix of some trace of
+    [b]? Under {!Localize}'s [Prefix] semantics an observation from a
+    subsumed flow can never exclude the subsuming one. *)
+val subsumed_by : string list list -> string list list -> bool
+
+(** Does the language contain a trace with at least one message? *)
+val has_nonempty : string list list -> bool
+
+(** Per topology channel, the message names riding it across all valid
+    flows (empty = a dead monitor); [[]] without a topology. *)
+val channels_used : t -> ((string * string) * string list) list

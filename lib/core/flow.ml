@@ -168,6 +168,27 @@ let executions ?(limit = 1_000_000) t =
   in
   List.concat_map (fun s0 -> go s0 []) t.initial
 
+(* Executions with their state paths, for static debuggability analysis
+   ([lib/analysis]'s flowcheck): unlike [executions] this truncates
+   gracefully — whole-scenario checks must degrade, not die, on a flow
+   with too many paths. *)
+let paths ?(limit = 1_000_000) t =
+  let count = ref 0 and truncated = ref false in
+  let rec go s trace states =
+    if !count >= limit then begin
+      truncated := true;
+      []
+    end
+    else if is_stop t s then begin
+      incr count;
+      [ (List.rev trace, List.rev (s :: states)) ]
+    end
+    else
+      List.concat_map (fun tr -> go tr.t_dst (tr.t_msg :: trace) (s :: states)) (successors t s)
+  in
+  let ps = List.concat_map (fun s0 -> go s0 [] []) t.initial in
+  (ps, !truncated)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>flow %s (%d states, %d messages, %d transitions)@]" t.name
     (n_states t) (n_messages t) (List.length t.transitions)

@@ -92,5 +92,14 @@ val n_messages : t -> int
     flow (message-name sequences). Raises [Failure] past [limit] paths. *)
 val executions : ?limit:int -> t -> string list list
 
+(** [paths t] enumerates executions as [(trace, state path)] pairs — the
+    message sequence and the state sequence (initial to stop) of every
+    initial-to-stop path, in DFS order. Unlike {!executions} it degrades
+    instead of raising: past [limit] (default 1,000,000) paths the
+    enumeration stops and the second component is [true] (truncated).
+    The static debuggability analysis ([flowtrace check]) is built on
+    this seam. *)
+val paths : ?limit:int -> t -> (string list * string list) list * bool
+
 (** One-line summary: name, state/message counts, atomic states. *)
 val pp : Format.formatter -> t -> unit

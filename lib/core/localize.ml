@@ -11,6 +11,10 @@
 
 type semantics = Exact | Prefix | Suffix
 
+(* Projection onto the selected base messages — the observation an ideal
+   (lossless) trace buffer holding [selected] would record for a path. *)
+let project ~selected trace = List.filter (fun m -> selected m.Indexed.base) trace
+
 (* Forward DP for Exact/Prefix: f(state, pos) counts path suffixes from
    [state] to a stop whose projection consumes obs[pos..] (Exact) or at
    least reaches its end (Prefix). *)

@@ -14,6 +14,13 @@
     overwriting. *)
 type semantics = Exact | Prefix | Suffix
 
+(** [project ~selected trace] is the projection of an (indexed) message
+    sequence onto the selected base messages — the observation an ideal
+    trace buffer holding exactly [selected] would record for that
+    execution. The static debuggability analysis compares projected trace
+    languages through this seam. *)
+val project : selected:(string -> bool) -> Indexed.t list -> Indexed.t list
+
 (** [consistent_paths inter ~selected ~observed] counts (saturating)
     consistent initial-to-stop paths. [selected] accepts base message
     names; [observed] is the trace-buffer content in order. *)

@@ -23,6 +23,21 @@ type packed = { p_parent : Message.t; p_sub : Message.subgroup }
 
 let qualified p = Message.qualified_subgroup_name p.p_parent p.p_sub
 
+(* Feasibility predicates, exposed so the static debuggability analysis can
+   prove infeasibility without running Select's candidate fold. *)
+
+let fits messages ~buffer_width =
+  List.exists (fun (m : Message.t) -> Message.trace_width m <= buffer_width) messages
+
+let packable messages ~leftover =
+  List.concat_map
+    (fun (m : Message.t) ->
+      List.filter_map
+        (fun sg ->
+          if sg.Message.sg_width <= leftover then Some { p_parent = m; p_sub = sg } else None)
+        m.Message.subgroups)
+    messages
+
 (* Gain of [selected] plus packed subgroups, under the chosen scaling.
    Evaluated against one precomputed evaluator — every candidate subgroup
    in every greedy round used to rescan the full edge list via
@@ -63,19 +78,14 @@ let pack inter ~selected ~gain:_ ~bits_used ~buffer_width ~scale_partial =
       (* Candidate subgroups: fields of messages not already fully selected,
          not already packed, narrow enough for the leftover bits. *)
       let candidates =
-        List.concat_map
-          (fun (m : Message.t) ->
-            if List.exists (String.equal m.Message.name) selected_names then []
-            else
-              List.filter_map
-                (fun sg ->
-                  let p = { p_parent = m; p_sub = sg } in
-                  if sg.Message.sg_width <= leftover
-                     && not (List.exists (fun p' -> String.equal (qualified p') (qualified p)) packs)
-                  then Some p
-                  else None)
-                m.Message.subgroups)
-          (Interleave.messages inter)
+        List.filter
+          (fun p ->
+            not (List.exists (fun p' -> String.equal (qualified p') (qualified p)) packs))
+          (packable ~leftover
+             (List.filter
+                (fun (m : Message.t) ->
+                  not (List.exists (String.equal m.Message.name) selected_names))
+                (Interleave.messages inter)))
       in
       match candidates with
       | [] -> (packs, bits)

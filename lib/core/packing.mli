@@ -12,6 +12,19 @@ type packed = { p_parent : Message.t; p_sub : Message.subgroup }
 (** [qualified p] is the display name ["parent.sub"]. *)
 val qualified : packed -> string
 
+(** [fits messages ~buffer_width] — can at least one message's
+    {!Message.trace_width} fit the budget? When [false], Step 1 can never
+    seed a candidate set and {!Select.select} will reject the width; the
+    static debuggability analysis uses this to prove infeasibility without
+    running the candidate fold. *)
+val fits : Message.t list -> buffer_width:int -> bool
+
+(** [packable messages ~leftover] enumerates every subgroup of [messages]
+    narrow enough for [leftover] bits — the raw candidate pool one Step 3
+    round considers (before excluding already-selected parents and
+    already-packed subgroups, which {!pack} does internally). *)
+val packable : Message.t list -> leftover:int -> packed list
+
 (** [gain_with ev ~scale_partial ~selected ~packs] is the information
     gain of the full messages [selected] together with packed subgroups
     [packs], evaluated against a precomputed {!Infogain.evaluator} (build

@@ -157,3 +157,22 @@ let run_analysis ?(seed = 1) ?(mutators = []) t =
     (analysis_instances t);
   Sim.run T2.semantics sim;
   Sim.outcome sim
+
+(* --- static admission gate --------------------------------------------- *)
+
+(* The T2 interconnect as a flowcheck topology: the channels of Figure 3
+   are exactly the places a trace monitor can sit. *)
+let t2_topology =
+  {
+    Flowtrace_analysis.Scenario_model.topo_name = "t2";
+    topo_ips = List.map fst T2.ips;
+    topo_channels = List.map (fun (src, dst, _latency) -> (src, dst)) T2.channels;
+  }
+
+(* Whole-scenario debuggability analysis of the participating flows bound
+   to the T2 topology — the gate a mined or hand-written candidate
+   scenario passes before selection sees it. *)
+let admission ?budget t =
+  Flowtrace_analysis.Check.run
+    (Flowtrace_analysis.Scenario_model.of_flows ~topology:t2_topology ?budget ~file:t.name
+       (flows t))

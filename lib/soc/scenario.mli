@@ -57,3 +57,15 @@ val run : ?config:run_config -> ?mutators:(Sim.t -> Packet.t -> Sim.action) list
 (** Analysis-scale run over exactly {!analysis_instances}: the packet log
     is one execution of the materialized interleaving. *)
 val run_analysis : ?seed:int -> ?mutators:(Sim.t -> Packet.t -> Sim.action) list -> t -> Sim.outcome
+
+(** The T2 interconnect (Figure 3) as a flowcheck topology: its channels
+    are the monitor sites [flowtrace check --topology t2] analyzes
+    against. *)
+val t2_topology : Flowtrace_analysis.Scenario_model.topology
+
+(** [admission ?budget t] statically vets the scenario's flows bound to
+    {!t2_topology} — the whole-scenario debuggability analysis
+    ({!Flowtrace_analysis.Check.run}) that gates a candidate scenario
+    before selection is attempted. Returns the FC diagnostics; an empty
+    (or error-free) report admits the scenario. *)
+val admission : ?budget:int -> t -> Flowtrace_analysis.Diagnostic.t list

@@ -95,6 +95,7 @@ let fixtures =
       "flow f\nstate a init\nstate b stop\nmsg m 1\ntrans a m b\n\n\
        flow g\nstate c init\nstate d\nstate e stop\nmsg n 1\nmsg o 1\ntrans c n d\ntrans d o e\n"
     );
+    ("FL015", Diagnostic.Error, 1, ctx, "");
   ]
 
 let find_code code diags = List.filter (fun d -> String.equal d.Diagnostic.code code) diags

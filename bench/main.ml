@@ -57,7 +57,23 @@ let kernel_tests =
            ignore (Select.select ~strategy:Select.Greedy inter ~buffer_width:32)));
     Test.make ~name:"kernel_select_exact"
       (Staged.stage (fun () ->
-           ignore (Select.select ~strategy:Select.Exact inter ~buffer_width:32)));
+           ignore
+             (Select.select ~strategy:Select.Exact ~engine:Select.Stream inter
+                ~buffer_width:32)));
+    Test.make ~name:"kernel_select_bitset"
+      (Staged.stage (fun () ->
+           ignore
+             (Select.select ~strategy:Select.Exact ~engine:Select.Bitset inter
+                ~buffer_width:32)));
+    (* delta re-selection seeded by the journalled best of a prior run at a
+       neighboring buffer width — the --delta-from workload in miniature *)
+    (Test.make ~name:"kernel_reselect")
+      (Staged.stage
+         (let seeds =
+            [ List.map (fun (m : Message.t) -> m.Message.name)
+                (Select.select ~engine:Select.Bitset inter ~buffer_width:30).Select.messages ]
+          in
+          fun () -> ignore (Select.reselect ~seeds inter ~buffer_width:32)));
     Test.make ~name:"kernel_total_paths"
       (Staged.stage (fun () -> ignore (Interleave.total_paths inter)));
     Test.make ~name:"kernel_sim_run"
@@ -74,9 +90,15 @@ let stress_tests =
     Test.make ~name:"stress_select_exact_list"
       (Staged.stage (fun () -> ignore (select_exact_list inter ~buffer_width:w)));
     Test.make ~name:"stress_select_exact_stream"
-      (Staged.stage (fun () -> ignore (Select.select ~pack:false inter ~buffer_width:w)));
+      (Staged.stage (fun () ->
+           ignore (Select.select ~engine:Select.Stream ~pack:false inter ~buffer_width:w)));
     Test.make ~name:"stress_select_exact_par4"
-      (Staged.stage (fun () -> ignore (Select.select ~jobs:4 ~pack:false inter ~buffer_width:w)));
+      (Staged.stage (fun () ->
+           ignore
+             (Select.select ~engine:Select.Stream ~jobs:4 ~pack:false inter ~buffer_width:w)));
+    Test.make ~name:"stress_select_bitset"
+      (Staged.stage (fun () ->
+           ignore (Select.select ~engine:Select.Bitset ~pack:false inter ~buffer_width:w)));
     Test.make ~name:"stress_select_greedy"
       (Staged.stage (fun () ->
            ignore (Select.select ~strategy:Select.Greedy ~pack:false inter ~buffer_width:w)));
@@ -136,7 +158,8 @@ let memory_probes () =
     ]
   in
   (* streaming first so the list path's heap growth cannot mask it *)
-  probe "stress_exact_stream" (fun () -> Select.select ~pack:false inter ~buffer_width:w)
+  probe "stress_exact_stream" (fun () ->
+      Select.select ~engine:Select.Stream ~pack:false inter ~buffer_width:w)
   @ probe "stress_exact_list" (fun () -> select_exact_list inter ~buffer_width:w)
 
 (* ------------------------------------------------------------------ *)
@@ -151,7 +174,9 @@ let telemetry_provenance () =
   let inter = Stress.interleave () in
   Tel.install Flowtrace_telemetry.Sink.null;
   Fun.protect ~finally:Tel.shutdown @@ fun () ->
-  ignore (Select.select ~pack:false inter ~buffer_width:Stress.default_buffer_width);
+  ignore
+    (Select.select ~engine:Select.Stream ~pack:false inter
+       ~buffer_width:Stress.default_buffer_width);
   List.filter_map
     (function
       | Event.Counter c when c.Event.c_value <> 0 -> Some (c.Event.c_name, c.Event.c_value)
@@ -173,9 +198,11 @@ let write_json file rows probes counters =
     else "experiment"
   in
   let entry (name, ns) =
+    (* round to whole nanoseconds: raw OLS estimates carry ~15 digits of
+       run-to-run noise, which churned every committed trajectory diff *)
     Json.Obj
       [ ("name", Json.String name); ("kind", Json.String (classify name));
-        ("ns_per_run", Json.Float ns) ]
+        ("ns_per_run", Json.Float (Float.round ns)) ]
   in
   let probe_entry (name, v) =
     Json.Obj

@@ -14,6 +14,7 @@ open Cmdliner
 open Flowtrace_core
 module Telemetry = Flowtrace_telemetry.Telemetry
 module Engine = Flowtrace_runtime.Engine
+module Journal = Flowtrace_runtime.Journal
 
 let load_flows path =
   try Ok (Spec_parser.parse_file path) with
@@ -146,6 +147,16 @@ let retries_arg =
   in
   Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
 
+let delta_from_arg =
+  let doc =
+    "Delta re-selection: seed the exact search with the journalled bests of a prior run at \
+     $(docv) (no fingerprint match required — the point is replaying against a $(i,modified) \
+     scenario). Feasible seeds prune the walk as branch-and-bound incumbents; the answer is \
+     bit-identical to a from-scratch run but re-scores strictly fewer candidates when any \
+     seed survives the change. Incompatible with $(b,--checkpoint)/$(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "delta-from" ] ~docv:"FILE" ~doc)
+
 let telemetry_arg =
   let doc =
     "Record runtime telemetry (spans, counters, gauges, histograms) to $(docv). The format \
@@ -223,7 +234,7 @@ let select_or_die ~path ?strategy ?jobs ?limit ?deadline ?max_candidates ?pack i
 
 let select_cmd =
   let run path counts width strategy no_pack jobs limit deadline max_candidates checkpoint
-      resume retries tel =
+      resume retries delta_from tel =
     (* compute the exit code inside the telemetry bracket so a degraded
        exit still flushes the recording, then exit outside it *)
     let code =
@@ -232,6 +243,9 @@ let select_cmd =
       (* --deadline is relative on the command line, absolute in the API *)
       let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
       let pack = not no_pack in
+      if delta_from <> None && (checkpoint <> None || resume <> None) then
+        or_die (Error "--delta-from replays a finished journal; it cannot be combined with \
+                       --checkpoint/--resume");
       let ckpt, resuming =
         match (resume, checkpoint) with
         | Some r, Some c when not (String.equal r c) ->
@@ -239,6 +253,51 @@ let select_cmd =
         | Some r, _ -> (Some r, true)
         | None, c -> (c, false)
       in
+      match delta_from with
+      | Some file -> (
+          (* deliberately no fingerprint check: the journal came from a
+             prior revision of the scenario, which is the whole point *)
+          let snap =
+            match Journal.load ~path:file with
+            | Error diags ->
+                Printf.eprintf "%s%!" (Flowtrace_analysis.Diagnostic.render_all diags);
+                Printf.eprintf "flowtrace: cannot use journal %s\n" file;
+                exit 1
+            | Ok (snap, warns) ->
+                if warns <> [] then
+                  Printf.eprintf "%s%!" (Flowtrace_analysis.Diagnostic.render_all warns);
+                snap
+          in
+          let seeds =
+            (match snap.Journal.s_best with Some b -> [ b.Journal.b_names ] | None -> [])
+            @ List.map (fun (_, (b : Journal.best)) -> b.Journal.b_names)
+                snap.Journal.s_task_bests
+          in
+          match
+            Select.reselect ~strategy ~limit ~jobs ?deadline ?max_candidates ~pack ~seeds inter
+              ~buffer_width:width
+          with
+          | exception Combination.Too_many n ->
+              or_die
+                (Error
+                   (Printf.sprintf
+                      "%s: Step-1 enumeration exceeded %d candidate combinations at width %d; \
+                       use --strategy greedy or raise --limit"
+                      path n width))
+          | exception Invalid_argument m -> or_die (Error (Printf.sprintf "%s: %s" path m))
+          | r, stats ->
+              Format.printf "%a@." Select.pp_result r;
+              (match stats with
+              | Some s ->
+                  Format.printf
+                    "delta: %d seed%s, %d candidates re-scored, %d subtree%s pruned@."
+                    s.Select.rs_seeds
+                    (if s.Select.rs_seeds = 1 then "" else "s")
+                    s.Select.rs_scored s.Select.rs_pruned_subtrees
+                    (if s.Select.rs_pruned_subtrees = 1 then "" else "s")
+              | None -> Format.printf "delta: seeds unusable here; ran a full selection@.");
+              if Select.Tier.is_degraded r.Select.tier then 3 else 0)
+      | None -> (
       match ckpt with
       | None ->
           (* unsupervised: budgets run inside the core engine *)
@@ -270,7 +329,7 @@ let select_cmd =
                 Printf.eprintf "%s%!" (Flowtrace_analysis.Diagnostic.render_all o.Engine.o_diags);
               Format.printf "%a@." Select.pp_result o.Engine.o_result;
               Format.printf "%a@." Engine.pp_outcome o;
-              if o.Engine.o_status = Engine.Partial then 3 else 0)
+              if o.Engine.o_status = Engine.Partial then 3 else 0))
     in
     if code <> 0 then exit code
   in
@@ -279,7 +338,7 @@ let select_cmd =
     Term.(
       const run $ spec_file $ instances $ width $ strategy $ no_pack $ jobs $ limit
       $ deadline_arg $ max_candidates_arg $ checkpoint_arg $ resume_arg $ retries_arg
-      $ telemetry_arg)
+      $ delta_from_arg $ telemetry_arg)
 
 let interleave_cmd =
   let run path counts =

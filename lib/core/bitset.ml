@@ -1,0 +1,76 @@
+(* Dense bit vectors over int words, the word-parallel substrate of the
+   selection kernel (Kernel): per-message destination-state sets become
+   one cache-friendly int array each, and set union / cardinality become
+   word-OR folds and table-driven popcounts instead of per-element walks.
+
+   Words hold [bits_per_word] = 63 bits (the full OCaml int payload);
+   [lsr] is a logical shift, so the sign bit is just one more data bit. *)
+
+let bits_per_word = 63
+
+type t = { n : int; words : int array }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { n; words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0 }
+
+let length t = t.n
+
+let check t i op =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0, %d)" op i t.n)
+
+let set t i =
+  check t i "set";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let mem t i =
+  check t i "mem";
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+(* 16-bit popcount table: one byte per 16-bit pattern, built once. Four
+   table probes per 63-bit word beat a per-bit loop by ~16x and need no
+   64-bit mask literals (OCaml int literals stop below 2^62). *)
+let pop16 =
+  lazy
+    (let t = Bytes.create 65536 in
+     for i = 0 to 65535 do
+       let rec bits x acc = if x = 0 then acc else bits (x lsr 1) (acc + (x land 1)) in
+       Bytes.unsafe_set t i (Char.chr (bits i 0))
+     done;
+     t)
+
+let popcount_word x =
+  let t = Lazy.force pop16 in
+  Char.code (Bytes.unsafe_get t (x land 0xffff))
+  + Char.code (Bytes.unsafe_get t ((x lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get t ((x lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get t (x lsr 48))
+
+let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let union_into ~into src =
+  if into.n <> src.n then invalid_arg "Bitset.union_into: size mismatch";
+  let d = into.words and s = src.words in
+  for w = 0 to Array.length d - 1 do
+    d.(w) <- d.(w) lor s.(w)
+  done
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+(* Cardinality of the union of [sets] without materializing it: fold the
+   OR word by word. [sets] must share one size. *)
+let popcount_union sets =
+  match sets with
+  | [] -> 0
+  | first :: rest ->
+      List.iter
+        (fun s -> if s.n <> first.n then invalid_arg "Bitset.popcount_union: size mismatch")
+        rest;
+      let acc = ref 0 in
+      for w = 0 to Array.length first.words - 1 do
+        let u = List.fold_left (fun u s -> u lor s.words.(w)) first.words.(w) rest in
+        acc := !acc + popcount_word u
+      done;
+      !acc

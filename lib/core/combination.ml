@@ -28,6 +28,11 @@ let sorted_pool messages =
 
 let canonical_pool messages = Array.to_list (sorted_pool messages)
 
+(* Per-slot trace widths of a sorted pool, precomputed once so the walk's
+   hot recursion reads an int array instead of re-deriving width/beats
+   arithmetic at every node. *)
+let pool_widths arr = Array.map Message.trace_width arr
+
 (* The core walk. [path] is caller state threaded along the current branch
    (extended by [take] whenever a message is added); [leaf] folds over
    emitted candidates; [tick] fires once per non-empty candidate *before*
@@ -39,7 +44,8 @@ let canonical_pool messages = Array.to_list (sorted_pool messages)
    root-to-leaf path, so that holds exactly when the narrowest skipped
    message no longer fits the remaining width — an O(1) streaming test,
    tracked as [min_skipped]. *)
-let walk arr ~start ~remaining ~taken ~min_skipped ~only_maximal ~tick ~take ~path ~leaf ~init =
+let walk arr warr ~start ~remaining ~taken ~min_skipped ~only_maximal ~tick ~take ~path ~leaf
+    ~init =
   let n = Array.length arr in
   let rec go i remaining taken min_skipped path acc =
     if i = n then
@@ -49,7 +55,7 @@ let walk arr ~start ~remaining ~taken ~min_skipped ~only_maximal ~tick ~take ~pa
         if only_maximal && min_skipped <= remaining then acc else leaf acc path
       end
     else begin
-      let w = Message.trace_width arr.(i) in
+      let w = warr.(i) in
       (* skip arr.(i) *)
       let acc = go (i + 1) remaining taken (min min_skipped w) path acc in
       (* take arr.(i) if it fits; messages are width-sorted so if this one
@@ -69,7 +75,8 @@ let fold_candidates ?(limit = default_limit) ?(only_maximal = false) messages ~w
     incr count;
     if !count > limit then raise (Too_many limit)
   in
-  walk arr ~start:0 ~remaining:width ~taken:0 ~min_skipped:max_int ~only_maximal ~tick
+  walk arr (pool_widths arr) ~start:0 ~remaining:width ~taken:0 ~min_skipped:max_int
+    ~only_maximal ~tick
     ~take:(fun acc m -> m :: acc)
     ~path:[]
     ~leaf:(fun acc rev -> f acc (List.rev rev))
@@ -86,11 +93,12 @@ type task = {
   t_min_skipped : int;
 }
 
-type plan = { p_arr : Message.t array; p_tasks : task array }
+type plan = { p_arr : Message.t array; p_widths : int array; p_tasks : task array }
 
 let plan ?(depth = 10) messages ~width =
   if width <= 0 then invalid_arg "Combination.plan: width must be positive";
   let arr = sorted_pool messages in
+  let warr = pool_widths arr in
   let d = min (max depth 0) (Array.length arr) in
   let tasks = ref [] in
   let rec go i remaining taken n_taken min_skipped =
@@ -105,20 +113,30 @@ let plan ?(depth = 10) messages ~width =
         }
         :: !tasks
     else begin
-      let w = Message.trace_width arr.(i) in
+      let w = warr.(i) in
       go (i + 1) remaining taken n_taken (min min_skipped w);
       if w <= remaining then go (i + 1) (remaining - w) (arr.(i) :: taken) (n_taken + 1) min_skipped
     end
   in
   go 0 width [] 0 max_int;
-  { p_arr = arr; p_tasks = Array.of_list (List.rev !tasks) }
+  { p_arr = arr; p_widths = warr; p_tasks = Array.of_list (List.rev !tasks) }
 
 let n_tasks plan = Array.length plan.p_tasks
+
+(* Plan internals for the word-parallel kernel (Kernel): it drives the
+   same task decomposition with its own mask-based walk, so the per-task
+   candidate partition — and hence counter totals and Too_many behavior —
+   is shared with the streaming folds by construction. *)
+let plan_pool plan = plan.p_arr
+let task_start plan idx = plan.p_tasks.(idx).t_start
+let task_remaining plan idx = plan.p_tasks.(idx).t_remaining
+let task_min_skipped plan idx = plan.p_tasks.(idx).t_min_skipped
+let task_taken plan idx = plan.p_tasks.(idx).t_taken
 
 let fold_task plan idx ?(only_maximal = false) ~tick ~take ~path ~leaf ~init =
   let t = plan.p_tasks.(idx) in
   let path = List.fold_left take path t.t_taken in
-  walk plan.p_arr ~start:t.t_start ~remaining:t.t_remaining ~taken:t.t_n_taken
+  walk plan.p_arr plan.p_widths ~start:t.t_start ~remaining:t.t_remaining ~taken:t.t_n_taken
     ~min_skipped:t.t_min_skipped ~only_maximal ~tick ~take ~path ~leaf ~init
 
 (* ------------------------------------------------------------------ *)
@@ -149,7 +167,8 @@ let maximal_only combos =
 let count messages ~width =
   if width <= 0 then invalid_arg "Combination.count: width must be positive";
   let arr = sorted_pool messages in
-  walk arr ~start:0 ~remaining:width ~taken:0 ~min_skipped:max_int ~only_maximal:false
+  walk arr (pool_widths arr) ~start:0 ~remaining:width ~taken:0 ~min_skipped:max_int
+    ~only_maximal:false
     ~tick:(fun () -> ())
     ~take:(fun () _ -> ())
     ~path:()

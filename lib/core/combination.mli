@@ -52,6 +52,21 @@ val plan : ?depth:int -> Message.t list -> width:int -> plan
 
 val n_tasks : plan -> int
 
+(** Plan internals, exposed for the word-parallel selection kernel
+    ({!Kernel}), which drives the same task decomposition with a
+    mask-based walk of its own. [plan_pool] is the canonical
+    (width-ascending) pool as an array; per task [i], [task_start] is the
+    first undecided pool index, [task_taken] the prefix takes in take
+    order, [task_remaining] the width left after the prefix, and
+    [task_min_skipped] the narrowest width skipped along the prefix (the
+    streaming maximality state). *)
+val plan_pool : plan -> Message.t array
+
+val task_start : plan -> int -> int
+val task_taken : plan -> int -> Message.t list
+val task_remaining : plan -> int -> int
+val task_min_skipped : plan -> int -> int
+
 (** [fold_task plan i ~tick ~take ~path ~leaf ~init] folds over the
     candidates of task [i]. [path] is caller state threaded along the
     current branch and extended by [take] whenever a message is added (the

@@ -13,7 +13,19 @@ let to_string a = Printf.sprintf "%d:%s" a.inst a.base
 
 let pp ppf a = Format.pp_print_string ppf (to_string a)
 
-let hash a = Hashtbl.hash (a.base, a.inst)
+(* Explicit FNV-1a over the name bytes, then the instance index mixed in
+   as one more round. The previous [Hashtbl.hash (a.base, a.inst)] was the
+   polymorphic hash, whose traversal budget silently stops reading long
+   values — names differing only deep in the string collapsed to one
+   bucket. Masked to 30 bits so the value is identical on 32- and 64-bit
+   platforms (and positive, as Hashtbl requires). *)
+let hash a =
+  let fnv_prime = 0x01000193 in
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime land 0x3FFFFFFF) a.base;
+  h := (!h lxor (a.inst land 0xFF)) * fnv_prime land 0x3FFFFFFF;
+  h := (!h lxor (a.inst lsr 8)) * fnv_prime land 0x3FFFFFFF;
+  !h
 
 module Set = Set.Make (struct
   type nonrec t = t

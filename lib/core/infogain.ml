@@ -19,41 +19,67 @@ type stats = {
   targets : (Indexed.t, (int * int) list) Hashtbl.t;  (* y -> (state, count) list *)
 }
 
-(* One pass over the edge list: occurrence counts and per-message target
-   histograms are grouped as the edges stream by, so the whole thing is
-   O(|edges|) instead of a per-message rescan of the edge list. *)
+(* One pass over the edge list, on densely interned message ids: each edge
+   costs one hashtable probe (interning its indexed message) plus two
+   int-keyed counter bumps — the per-message target histograms live
+   behind flat int keys ([id * n_states + dst]), so the hot path never
+   hashes a message record twice or walks nested tables. Occurrence and
+   per-message target orders are the first-encounter (edge) order, which
+   pins the float association of every sum built on them to the edge
+   list — deterministic, and independent of hashtable internals. *)
 let stats inter =
-  let occ : (Indexed.t, int ref) Hashtbl.t = Hashtbl.create 64 in
-  let tgt : (Indexed.t, (int, int ref) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
-  let order = ref [] in
+  let n_states = Interleave.n_states inter in
+  let ids : (Indexed.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let rev_msgs = ref [] in
+  let n_msgs = ref 0 in
+  let occ = ref (Array.make 16 0) in
+  (* per id, first-seen target states, reversed *)
+  let rev_tgts = ref (Array.make 16 []) in
+  let pair_cnt : (int, int ref) Hashtbl.t = Hashtbl.create 256 in
   let total = ref 0 in
   List.iter
     (fun (e : Interleave.edge) ->
       incr total;
-      (match Hashtbl.find_opt occ e.Interleave.e_msg with
+      let id =
+        match Hashtbl.find_opt ids e.Interleave.e_msg with
+        | Some id -> id
+        | None ->
+            let id = !n_msgs in
+            Hashtbl.replace ids e.Interleave.e_msg id;
+            rev_msgs := e.Interleave.e_msg :: !rev_msgs;
+            incr n_msgs;
+            if id >= Array.length !occ then begin
+              let grow a z =
+                let b = Array.make (2 * Array.length a) z in
+                Array.blit a 0 b 0 (Array.length a);
+                b
+              in
+              occ := grow !occ 0;
+              rev_tgts := grow !rev_tgts []
+            end;
+            id
+      in
+      !occ.(id) <- !occ.(id) + 1;
+      let key = (id * n_states) + e.Interleave.e_dst in
+      match Hashtbl.find_opt pair_cnt key with
       | Some r -> incr r
       | None ->
-          Hashtbl.replace occ e.Interleave.e_msg (ref 1);
-          order := e.Interleave.e_msg :: !order);
-      let per_y =
-        match Hashtbl.find_opt tgt e.Interleave.e_msg with
-        | Some t -> t
-        | None ->
-            let t = Hashtbl.create 8 in
-            Hashtbl.replace tgt e.Interleave.e_msg t;
-            t
-      in
-      match Hashtbl.find_opt per_y e.Interleave.e_dst with
-      | Some r -> incr r
-      | None -> Hashtbl.replace per_y e.Interleave.e_dst (ref 1))
+          Hashtbl.replace pair_cnt key (ref 1);
+          !rev_tgts.(id) <- e.Interleave.e_dst :: !rev_tgts.(id))
     (Interleave.edges inter);
-  let occurrences = List.rev_map (fun y -> (y, !(Hashtbl.find occ y))) !order in
+  let occ = !occ and rev_tgts = !rev_tgts in
+  let msgs = List.rev !rev_msgs in
+  let occurrences = List.mapi (fun id y -> (y, occ.(id))) msgs in
   let targets = Hashtbl.create 64 in
-  List.iter
-    (fun (y, _) ->
-      let ts = Hashtbl.fold (fun x r acc -> (x, !r) :: acc) (Hashtbl.find tgt y) [] in
+  List.iteri
+    (fun id y ->
+      let ts =
+        List.fold_left
+          (fun acc x -> (x, !(Hashtbl.find pair_cnt ((id * n_states) + x))) :: acc)
+          [] rev_tgts.(id)
+      in
       Hashtbl.replace targets y ts)
-    occurrences;
+    msgs;
   { total_occurrences = !total; occurrences; targets }
 
 let targets_of st y = match Hashtbl.find_opt st.targets y with Some ts -> ts | None -> []
@@ -139,7 +165,7 @@ let of_combination inter combo =
    to share read-only across domains. *)
 type evaluator = { base_term : (string, float) Hashtbl.t; bases : string list }
 
-let evaluator inter =
+let build_evaluator inter =
   Tel.Counter.incr c_evaluator_builds;
   Tel.with_span "infogain.evaluator" @@ fun () ->
   let st = stats inter in
@@ -157,6 +183,25 @@ let evaluator inter =
     st.occurrences;
   { base_term; bases = List.rev !bases }
 
+(* The evaluator is a pure function of the interleave, and callers score
+   the same interleave repeatedly — greedy then exact inside one select,
+   select then reselect, Step-3 packing sweeps, the supervised engine's
+   resume re-validation — so keep the most recent build, keyed by the
+   interleave's physical identity. The evaluator is immutable after
+   construction, so handing the cached one to any domain is safe; the
+   race between two simultaneous builders is benign (both build the same
+   value, one wins the slot). A single entry bounds retention to one
+   interleave graph. *)
+let evaluator_cache : (Interleave.t * evaluator) option Atomic.t = Atomic.make None
+
+let evaluator inter =
+  match Atomic.get evaluator_cache with
+  | Some (i, ev) when i == inter -> ev
+  | _ ->
+      let ev = build_evaluator inter in
+      Atomic.set evaluator_cache (Some (inter, ev));
+      ev
+
 let eval_base ev base = Option.value ~default:0.0 (Hashtbl.find_opt ev.base_term base)
 
 let eval ev combo =
@@ -164,6 +209,11 @@ let eval ev combo =
      per taken message and the call count depends on the task plan depth. *)
   if Tel.enabled () then Tel.Histogram.observe h_combo_len (float_of_int (List.length combo));
   List.fold_left (fun acc (m : Message.t) -> acc +. eval_base ev m.Message.name) 0.0 combo
+
+(* Term array for the word-parallel kernel: one float per pool slot, so
+   the mask-based walk adds gains by array index with no hashing on the
+   hot path. Exactly the floats [eval_base] returns, in pool order. *)
+let terms ev pool = Array.map (fun (m : Message.t) -> eval_base ev m.Message.name) pool
 
 (* Weighted gain from the precomputed terms: Step-3 packing evaluates many
    candidate subgroup sets against one evaluator instead of rescanning the

@@ -41,7 +41,11 @@ val compute_with_prior :
 (** Precomputed per-message terms for fast candidate scoring. *)
 type evaluator
 
-(** [evaluator inter] precomputes each base message's gain contribution. *)
+(** [evaluator inter] precomputes each base message's gain contribution.
+    The most recent build is cached keyed by [inter]'s physical identity
+    — evaluators are pure in the interleave and immutable, so repeated
+    scoring of one interleave (greedy then exact, select then reselect,
+    packing sweeps) pays for one build. *)
 val evaluator : Interleave.t -> evaluator
 
 (** [eval_base ev name] is the contribution of one base message. *)
@@ -49,6 +53,11 @@ val eval_base : evaluator -> string -> float
 
 (** [eval ev combo] is the gain of [combo] in O(|combo|). *)
 val eval : evaluator -> Message.t list -> float
+
+(** [terms ev pool] is [eval_base] per pool slot as a float array — the
+    per-message gain terms the word-parallel kernel ({!Kernel}) indexes
+    directly during its mask-based walk. *)
+val terms : evaluator -> Message.t array -> float array
 
 (** [eval_weighted ev ~weight] is {!compute_weighted} against the
     precomputed terms: O(|bases|) per call instead of an edge-list rescan.

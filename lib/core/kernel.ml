@@ -1,0 +1,535 @@
+(* The word-parallel selection kernel.
+
+   Step-1/2 selection spends its whole life in the subset-tree walk, and
+   the streaming engine still pays per-node for it: a hashtable probe per
+   taken message, a Path record and list cons per branch extension, a
+   polymorphic closure call per leaf. This kernel precomputes everything
+   the walk reads into flat arrays over the canonical (width-ascending)
+   pool — per-slot trace widths, per-slot gain terms, suffix term sums,
+   and per-slot destination-state bitsets ({!Bitset}) — and represents a
+   candidate as one int mask over pool slots. The walk then runs on ints
+   and floats only: a take is [mask lor bit] plus one array-indexed float
+   add, a leaf is three register compares, and coverage is a word-OR /
+   popcount fold.
+
+   Bit-identity contract: along any root-to-leaf path, takes happen in
+   ascending slot order, so accumulating [terms.(i)] in that order
+   reproduces the float association of the streaming engine's incremental
+   [Select.Path] sums exactly — gains are bit-for-bit equal, candidate
+   orders coincide, and the unique best under the deterministic comparator
+   is the same at any job count. The task decomposition is shared with
+   the streaming engine ({!Combination.plan}); the candidate-counter
+   totals and the [Too_many] condition are settled arithmetically by a
+   knapsack-counting DP ({!count_candidates}) before the walk starts, so
+   they equal the streaming engine's per-leaf tick totals by construction
+   — which in turn frees the walk to skip subtrees that provably cannot
+   beat the best-so-far without any observable difference.
+
+   On top of the exact fold, {!reselect} runs the same walk as an exact
+   branch-and-bound: seed candidates (typically journalled bests from a
+   previous run of a slightly different scenario) are re-scored under the
+   new terms to form an incumbent, and any subtree whose inflated upper
+   bound (prefix gain + remaining suffix term sum) falls strictly below
+   the incumbent's gain is pruned. Because terms are non-negative and the
+   bound over-approximates every float leaf sum below the node, no leaf
+   that could beat or tie the final best is ever skipped — the result is
+   bit-identical to a from-scratch run, it just re-scores fewer
+   candidates. Pruning decisions use task-local incumbents only, so
+   explored/scored totals are partition-invariant across job counts. *)
+
+type t = {
+  k_pool : Message.t array;  (* canonical width-ascending pool *)
+  k_widths : int array;  (* per-slot trace width *)
+  k_terms : float array;  (* per-slot gain term *)
+  k_suffix : float array;  (* k_suffix.(i) = Σ_{j ≥ i} k_terms.(j); length n+1 *)
+  k_states : Bitset.t array;  (* per-slot destination-state set *)
+  k_n_states : int;
+  k_index : (string, int) Hashtbl.t;  (* base name -> pool slot *)
+}
+
+(* Masks are one OCaml int; keep the sign bit out of them. *)
+let max_pool = 62
+
+let n_messages t = Array.length t.k_pool
+let pool t = t.k_pool
+
+let make inter =
+  let pool = Array.of_list (Combination.canonical_pool (Interleave.messages inter)) in
+  let n = Array.length pool in
+  if n > max_pool then
+    invalid_arg
+      (Printf.sprintf "Kernel.make: pool of %d messages exceeds the %d-slot mask limit" n
+         max_pool);
+  let ev = Infogain.evaluator inter in
+  let widths = Array.map Message.trace_width pool in
+  let terms = Infogain.terms ev pool in
+  let suffix = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    suffix.(i) <- terms.(i) +. suffix.(i + 1)
+  done;
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (m : Message.t) -> Hashtbl.replace index m.Message.name i) pool;
+  let n_states = Interleave.n_states inter in
+  let states = Array.init n (fun _ -> Bitset.create n_states) in
+  List.iter
+    (fun (e : Interleave.edge) ->
+      match Hashtbl.find_opt index e.Interleave.e_msg.Indexed.base with
+      | Some i -> Bitset.set states.(i) e.Interleave.e_dst
+      | None -> ())
+    (Interleave.edges inter);
+  {
+    k_pool = pool;
+    k_widths = widths;
+    k_terms = terms;
+    k_suffix = suffix;
+    k_states = states;
+    k_n_states = n_states;
+    k_index = index;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Masks *)
+
+let mask_of_names t names =
+  let rec go mask = function
+    | [] -> Some mask
+    | name :: rest -> (
+        match Hashtbl.find_opt t.k_index name with
+        | Some i -> go (mask lor (1 lsl i)) rest
+        | None -> None)
+  in
+  go 0 names
+
+(* Iterate set slots in ascending order: clear the lowest set bit each
+   round; its index is the popcount of the bits below it. *)
+let iter_mask f mask =
+  let m = ref mask in
+  while !m <> 0 do
+    let lsb = !m land - !m in
+    f (Bitset.popcount_word (lsb - 1));
+    m := !m land (!m - 1)
+  done
+
+let messages_of_mask t mask =
+  let acc = ref [] in
+  iter_mask (fun i -> acc := t.k_pool.(i) :: !acc) mask;
+  List.rev !acc
+
+(* Ascending-slot term sum: the float association every walk leaf uses,
+   so a re-scored mask is bit-identical to its live walk gain. *)
+let gain_of_mask t mask =
+  let g = ref 0.0 in
+  iter_mask (fun i -> g := !g +. t.k_terms.(i)) mask;
+  !g
+
+let bits_of_mask t mask =
+  let b = ref 0 in
+  iter_mask (fun i -> b := !b + t.k_widths.(i)) mask;
+  !b
+
+let key_of_mask t mask =
+  let names = ref [] in
+  iter_mask (fun i -> names := t.k_pool.(i).Message.name :: !names) mask;
+  List.sort String.compare !names
+
+(* ------------------------------------------------------------------ *)
+(* Coverage: Definition 7 as a word-parallel union/popcount. Identical to
+   Coverage.compute because each slot's bitset marks exactly the
+   destination states of that base's edges. *)
+
+let coverage t ~selected =
+  if t.k_n_states = 0 then 0.0
+  else begin
+    let sets = ref [] in
+    Array.iteri
+      (fun i (m : Message.t) -> if selected m.Message.name then sets := t.k_states.(i) :: !sets)
+      t.k_pool;
+    float_of_int (Bitset.popcount_union !sets) /. float_of_int t.k_n_states
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Best-candidate tracking.
+
+   Mirrors the deterministic comparator of Select: higher gain first
+   (exact float compare), then more bits, then lexicographically smaller
+   sorted name key. The key is only materialized on exact (gain, bits)
+   ties, which are rare. *)
+
+type best = { mutable bg : float; mutable bb : int; mutable bmask : int; mutable bkey : string list }
+
+let no_best () = { bg = neg_infinity; bb = 0; bmask = 0; bkey = [] }
+let has_best b = b.bmask <> 0
+
+let consider t b gain bits mask =
+  if not (has_best b) then begin
+    b.bg <- gain;
+    b.bb <- bits;
+    b.bmask <- mask;
+    b.bkey <- []
+  end
+  else if gain <> b.bg then begin
+    if gain > b.bg then begin
+      b.bg <- gain;
+      b.bb <- bits;
+      b.bmask <- mask;
+      b.bkey <- []
+    end
+  end
+  else if bits <> b.bb then begin
+    if bits > b.bb then begin
+      b.bb <- bits;
+      b.bmask <- mask;
+      b.bkey <- []
+    end
+  end
+  else begin
+    if b.bkey = [] then b.bkey <- key_of_mask t b.bmask;
+    let ck = key_of_mask t mask in
+    if ck < b.bkey then begin
+      b.bmask <- mask;
+      b.bkey <- ck
+    end
+  end
+
+(* Merge two per-task bests (task order); same comparator. *)
+let merge_best t a b =
+  if not (has_best b) then a
+  else if not (has_best a) then b
+  else begin
+    consider t a b.bg b.bb b.bmask;
+    a
+  end
+
+(* Replay a task's prefix takes: same take order, same float association
+   as the streaming engine replaying [Combination.task_taken]. *)
+let prefix_of_task t plan idx =
+  List.fold_left
+    (fun (mask, gain, bits, taken) (m : Message.t) ->
+      let i = Hashtbl.find t.k_index m.Message.name in
+      (mask lor (1 lsl i), gain +. t.k_terms.(i), bits + t.k_widths.(i), taken + 1))
+    (0, 0.0, 0, 0)
+    (Combination.task_taken plan idx)
+
+type selection = {
+  sel_messages : Message.t list;
+  sel_gain : float;
+  sel_streamed : int;  (* candidates before the maximality filter *)
+  sel_scored : int;  (* leaves scored *)
+}
+
+(* How many candidates would the walk stream? The walk enumerates every
+   non-empty subset of the pool whose total trace width fits the buffer,
+   exactly once — so the count is a knapsack-counting DP over widths,
+   O(n·width), no tree walk at all. This is what lets the hot walks below
+   drop the per-leaf tick entirely: [Too_many] is decided upfront from
+   this count (the streaming engine raises if and only if the total
+   exceeds the limit, and so do we), and the streamed/scored counters
+   become arithmetic — identical to the streaming engine's totals and
+   trivially partition-invariant.
+
+   Counts saturate at [count_cap] so a 2^62-subset pool cannot wrap; a
+   saturated count still compares correctly against any practical limit. *)
+let count_cap = max_int / 4
+
+let count_candidates t ~buffer_width =
+  if buffer_width <= 0 then 0
+  else begin
+    let cap_w = min buffer_width (Array.fold_left ( + ) 0 t.k_widths) in
+    let sat a b =
+      let s = a + b in
+      if s < 0 || s > count_cap then count_cap else s
+    in
+    let dp = Array.make (cap_w + 1) 0 in
+    dp.(0) <- 1;
+    Array.iter
+      (fun w ->
+        if w <= cap_w then
+          for r = cap_w downto w do
+            dp.(r) <- sat dp.(r) dp.(r - w)
+          done)
+      t.k_widths;
+    Array.fold_left sat 0 dp - 1 (* minus the empty selection *)
+  end
+
+(* Covers the float rounding slack of re-associated non-negative sums
+   (≤ ~n·2⁻⁵² relative for n ≤ 62 terms) with four orders of magnitude to
+   spare, so an inflated upper bound never prunes a leaf that could win
+   or tie under the deterministic comparator. *)
+let bound_inflation = 1.0 +. 1e-9
+
+(* One task's mask walk, plain-Exact specialization: every leaf is scored,
+   so with the tick gone (see [count_candidates]) a leaf is just one float
+   compare — and whole subtrees whose inflated upper bound (prefix gain +
+   remaining suffix sum) cannot reach the best-so-far are skipped without
+   visiting them. Neither shortcut is observable: counters are computed
+   arithmetically, the bound is sound (terms are non-negative and the
+   inflation covers re-association slack), and surviving leaves are
+   emitted in the exact leaf order of Combination.walk with the same
+   ascending-slot float association. Two further register-level
+   shortcuts: the pool is width-ascending, so the moment
+   [widths.(i) > remaining] the subtree collapses to its single skip-only
+   leaf; and [taken > 0] is just [mask <> 0]. *)
+let walk_task_fast t plan idx best =
+  let widths = t.k_widths and terms = t.k_terms and suffix = t.k_suffix in
+  let n = Array.length t.k_pool in
+  let mask0, gain0, bits0, _taken0 = prefix_of_task t plan idx in
+  let rec go i remaining mask gain bits =
+    if i = n then begin
+      if mask <> 0 && gain >= best.bg then consider t best gain bits mask
+    end
+    else if (gain +. Array.unsafe_get suffix i) *. bound_inflation < best.bg then ()
+    else begin
+      let w = Array.unsafe_get widths i in
+      if w > remaining then begin
+        if mask <> 0 && gain >= best.bg then consider t best gain bits mask
+      end
+      else begin
+        go (i + 1) remaining mask gain bits;
+        go (i + 1) (remaining - w)
+          (mask lor (1 lsl i))
+          (gain +. Array.unsafe_get terms i)
+          (bits + w)
+      end
+    end
+  in
+  go
+    (Combination.task_start plan idx)
+    (Combination.task_remaining plan idx)
+    mask0 gain0 bits0
+
+(* The Exact_maximal walk: skip-before-take, min_skipped maximality —
+   the exact leaf order of Combination.walk. [scored] counts the leaves
+   that pass the maximality filter, so here no subtree may be skipped on
+   gain grounds (it could hide maximal leaves the counter must see); only
+   the width-ascending skip-tail collapse applies, which emits the same
+   leaves. *)
+let walk_task_maximal t plan idx ~scored best =
+  let widths = t.k_widths and terms = t.k_terms in
+  let n = Array.length t.k_pool in
+  let mask0, gain0, bits0, _taken0 = prefix_of_task t plan idx in
+  let rec go i remaining min_skipped mask gain bits =
+    if i = n then leaf remaining min_skipped mask gain bits
+    else begin
+      let w = Array.unsafe_get widths i in
+      if w > remaining then leaf remaining (min min_skipped w) mask gain bits
+      else begin
+        go (i + 1) remaining (min min_skipped w) mask gain bits;
+        go (i + 1) (remaining - w) min_skipped
+          (mask lor (1 lsl i))
+          (gain +. Array.unsafe_get terms i)
+          (bits + w)
+      end
+    end
+  and leaf remaining min_skipped mask gain bits =
+    if mask <> 0 && min_skipped > remaining then begin
+      incr scored;
+      if gain >= best.bg then consider t best gain bits mask
+    end
+  in
+  go
+    (Combination.task_start plan idx)
+    (Combination.task_remaining plan idx)
+    (Combination.task_min_skipped plan idx)
+    mask0 gain0 bits0
+
+let finish t ~best ~streamed ~scored =
+  if not (has_best best) then None
+  else
+    Some
+      {
+        sel_messages = messages_of_mask t best.bmask;
+        sel_gain = best.bg;
+        sel_streamed = streamed;
+        sel_scored = scored;
+      }
+
+(* The exact engine: same plan split, same domain fan-out as Select's
+   streaming engine. The candidate budget is settled before the walk —
+   [count_candidates] tells us the exact streamed total, which exceeds
+   the limit iff the streaming engine's per-leaf tick would eventually
+   raise — so the walks run tick-free and [Too_many] fires upfront. *)
+let select_exact ?(only_maximal = false) ~limit ~jobs t ~buffer_width =
+  let pool_list = Array.to_list t.k_pool in
+  let streamed = count_candidates t ~buffer_width in
+  if streamed > limit then raise (Combination.Too_many limit);
+  if jobs <= 1 then begin
+    let plan = Combination.plan ~depth:0 pool_list ~width:buffer_width in
+    let best = no_best () in
+    if only_maximal then begin
+      let scored = ref 0 in
+      for idx = 0 to Combination.n_tasks plan - 1 do
+        walk_task_maximal t plan idx ~scored best
+      done;
+      finish t ~best ~streamed ~scored:!scored
+    end
+    else begin
+      for idx = 0 to Combination.n_tasks plan - 1 do
+        walk_task_fast t plan idx best
+      done;
+      finish t ~best ~streamed ~scored:streamed
+    end
+  end
+  else begin
+    let plan = Combination.plan pool_list ~width:buffer_width in
+    let ntasks = Combination.n_tasks plan in
+    let results = Array.init ntasks (fun _ -> no_best ()) in
+    let next = Atomic.make 0 in
+    let scored = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let work () =
+      try
+        let my_scored = ref 0 in
+        let continue = ref true in
+        while !continue do
+          match Atomic.get failed with
+          | Some _ -> continue := false
+          | None ->
+              let idx = Atomic.fetch_and_add next 1 in
+              if idx >= ntasks then continue := false
+              else if only_maximal then
+                walk_task_maximal t plan idx ~scored:my_scored results.(idx)
+              else walk_task_fast t plan idx results.(idx)
+        done;
+        ignore (Atomic.fetch_and_add scored !my_scored)
+      with e -> Atomic.set failed (Some e)
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failed with Some e -> raise e | None -> ());
+    let best = Array.fold_left (merge_best t) (no_best ()) results in
+    finish t ~best ~streamed ~scored:(if only_maximal then Atomic.get scored else streamed)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Delta re-selection: exact branch-and-bound seeded by prior bests. *)
+
+type reselection = {
+  r_messages : Message.t list;
+  r_gain : float;
+  r_seeds : int;  (* distinct feasible seeds re-scored *)
+  r_streamed : int;
+  r_scored : int;
+  r_pruned_subtrees : int;
+}
+
+let walk_task_bb t plan idx ~only_maximal ~incumbent ~tick ~scored ~pruned best =
+  let widths = t.k_widths and terms = t.k_terms and suffix = t.k_suffix in
+  let n = Array.length t.k_pool in
+  let mask0, gain0, bits0, taken0 = prefix_of_task t plan idx in
+  (* task-local incumbent: pruning depends only on the seeds and this
+     task's own (deterministic) walk order, never on sibling-task timing,
+     so explored/scored totals are identical at any job count *)
+  let inc = ref incumbent in
+  let rec go i remaining taken min_skipped mask gain bits =
+    if i = n then leaf remaining taken min_skipped mask gain bits
+    else if (gain +. suffix.(i)) *. bound_inflation < !inc then incr pruned
+    else begin
+      let w = Array.unsafe_get widths i in
+      if w > remaining then leaf remaining taken (min min_skipped w) mask gain bits
+      else begin
+        go (i + 1) remaining taken (min min_skipped w) mask gain bits;
+        go (i + 1) (remaining - w) (taken + 1) min_skipped
+          (mask lor (1 lsl i))
+          (gain +. Array.unsafe_get terms i)
+          (bits + w)
+      end
+    end
+  and leaf remaining taken min_skipped mask gain bits =
+    if taken > 0 then begin
+      tick ();
+      if gain > !inc then inc := gain;
+      if not (only_maximal && min_skipped <= remaining) then begin
+        incr scored;
+        if gain >= best.bg then consider t best gain bits mask
+      end
+    end
+  in
+  go
+    (Combination.task_start plan idx)
+    (Combination.task_remaining plan idx)
+    taken0
+    (Combination.task_min_skipped plan idx)
+    mask0 gain0 bits0
+
+let reselect ?(only_maximal = false) ~limit ~jobs ~seeds t ~buffer_width =
+  (* a usable seed names only pool messages, is non-empty, and fits the
+     buffer — i.e. it is a candidate of this run, so its exact re-scored
+     gain lower-bounds the best achievable gain (gain is monotone under
+     superset even in float: terms are non-negative) *)
+  let masks =
+    List.filter_map (mask_of_names t) seeds
+    |> List.filter (fun m -> m <> 0 && bits_of_mask t m <= buffer_width)
+    |> List.sort_uniq compare
+  in
+  let incumbent =
+    List.fold_left (fun acc m -> Float.max acc (gain_of_mask t m)) neg_infinity masks
+  in
+  let pool_list = Array.to_list t.k_pool in
+  (* a fixed-depth plan whatever the job count: pruning totals then depend
+     only on the task decomposition, not on how tasks are scheduled *)
+  let plan = Combination.plan pool_list ~width:buffer_width in
+  let ntasks = Combination.n_tasks plan in
+  let finish_r best ~streamed ~scored ~pruned =
+    match finish t ~best ~streamed ~scored with
+    | None -> None
+    | Some sel ->
+        Some
+          {
+            r_messages = sel.sel_messages;
+            r_gain = sel.sel_gain;
+            r_seeds = List.length masks;
+            r_streamed = streamed;
+            r_scored = scored;
+            r_pruned_subtrees = pruned;
+          }
+  in
+  if jobs <= 1 then begin
+    let count = ref 0 in
+    let tick () =
+      incr count;
+      if !count > limit then raise (Combination.Too_many limit)
+    in
+    let scored = ref 0 and pruned = ref 0 in
+    let best = no_best () in
+    for idx = 0 to ntasks - 1 do
+      walk_task_bb t plan idx ~only_maximal ~incumbent ~tick ~scored ~pruned best
+    done;
+    finish_r best ~streamed:!count ~scored:!scored ~pruned:!pruned
+  end
+  else begin
+    let results = Array.init ntasks (fun _ -> no_best ()) in
+    let next = Atomic.make 0 in
+    let candidates = Atomic.make 0 in
+    let scored = Atomic.make 0 in
+    let pruned = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let tick () =
+      if Atomic.fetch_and_add candidates 1 >= limit then raise (Combination.Too_many limit)
+    in
+    let work () =
+      try
+        let my_scored = ref 0 and my_pruned = ref 0 in
+        let continue = ref true in
+        while !continue do
+          match Atomic.get failed with
+          | Some _ -> continue := false
+          | None ->
+              let idx = Atomic.fetch_and_add next 1 in
+              if idx >= ntasks then continue := false
+              else
+                walk_task_bb t plan idx ~only_maximal ~incumbent ~tick ~scored:my_scored
+                  ~pruned:my_pruned results.(idx)
+        done;
+        ignore (Atomic.fetch_and_add scored !my_scored);
+        ignore (Atomic.fetch_and_add pruned !my_pruned)
+      with e -> Atomic.set failed (Some e)
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failed with Some e -> raise e | None -> ());
+    let best = Array.fold_left (merge_best t) (no_best ()) results in
+    finish_r best ~streamed:(Atomic.get candidates) ~scored:(Atomic.get scored)
+      ~pruned:(Atomic.get pruned)
+  end

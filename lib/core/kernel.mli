@@ -1,0 +1,112 @@
+(** The word-parallel selection kernel.
+
+    Precomputes per-message statistics of an interleaved flow into flat
+    arrays over the canonical (width-ascending) pool — trace widths, gain
+    terms, suffix term sums, and per-message destination-state bitsets
+    ({!Bitset}) — and represents a candidate combination as one int mask
+    over pool slots. Step-1/2 enumeration then runs on ints and floats
+    only, and coverage becomes a word-OR/popcount fold.
+
+    Bit-identity contract: takes along any root-to-leaf walk path happen
+    in ascending slot order, so accumulating term array entries in that
+    order reproduces the streaming engine's incremental float sums
+    exactly; the task decomposition is {!Combination.plan}'s, so counter
+    totals and [Too_many] behavior are shared by construction, and the
+    unique best under the deterministic comparator is identical at any
+    job count. *)
+
+type t
+
+(** Pool slots a mask can address (62 — one OCaml int, sign bit unused).
+    {!make} rejects larger pools; [Select] falls back to the streaming
+    engine for them. *)
+val max_pool : int
+
+(** [make inter] precomputes the kernel: builds the evaluator, the term
+    and width arrays, the suffix sums and the per-message state bitsets.
+    One O(pool + edges) pass; the result is immutable and safe to share
+    read-only across domains. Raises [Invalid_argument] when the pool
+    exceeds {!max_pool}. *)
+val make : Interleave.t -> t
+
+val n_messages : t -> int
+
+(** The canonical width-ascending pool; masks index into it. *)
+val pool : t -> Message.t array
+
+(** [mask_of_names k names] is the mask selecting the named pool slots,
+    or [None] if any name is not in the pool. *)
+val mask_of_names : t -> string list -> int option
+
+(** Pool messages of a mask in ascending slot (take) order — the order
+    selection results list messages in. *)
+val messages_of_mask : t -> int -> Message.t list
+
+(** Ascending-slot term sum: bit-identical to the gain a live walk
+    computes for the same candidate. *)
+val gain_of_mask : t -> int -> float
+
+(** Summed trace width of a mask's messages. *)
+val bits_of_mask : t -> int -> int
+
+(** Sorted name list — the deterministic tie-break key. *)
+val key_of_mask : t -> int -> string list
+
+(** [coverage k ~selected] is Definition 7 computed as a word-parallel
+    union/popcount over the per-message state bitsets — identical to
+    [Coverage.compute] on the same predicate. *)
+val coverage : t -> selected:(string -> bool) -> float
+
+(** Outcome of an exact kernel fold. [sel_streamed] counts candidates
+    ticked (before the maximality filter), [sel_scored] the leaves scored
+    — the same quantities the streaming engine's telemetry counters
+    report, partition-invariant across job counts. *)
+type selection = {
+  sel_messages : Message.t list;
+  sel_gain : float;
+  sel_streamed : int;
+  sel_scored : int;
+}
+
+(** [select_exact ~limit ~jobs k ~buffer_width] is the exact Step-1/2
+    fold on the kernel: same plan split, same domain fan-out and same
+    atomic candidate budget as the streaming engine, bit-identical
+    results. [None] when no message fits. Raises [Combination.Too_many]
+    past [limit] candidates. *)
+val select_exact :
+  ?only_maximal:bool -> limit:int -> jobs:int -> t -> buffer_width:int -> selection option
+
+(** Outcome of a delta re-selection. [r_seeds] counts the distinct
+    feasible seeds re-scored; [r_streamed]/[r_scored] count the
+    branch-and-bound walk's work (strictly fewer than a full fold when a
+    seed prunes anything); [r_pruned_subtrees] the subtrees cut. All
+    partition-invariant across job counts. *)
+type reselection = {
+  r_messages : Message.t list;
+  r_gain : float;
+  r_seeds : int;
+  r_streamed : int;
+  r_scored : int;
+  r_pruned_subtrees : int;
+}
+
+(** [reselect ~limit ~jobs ~seeds k ~buffer_width] is {!select_exact} as
+    an exact branch-and-bound: each seed (a candidate as a message-name
+    list, typically a journalled best from a prior run of a slightly
+    different scenario) is re-scored under this kernel's terms; seeds
+    naming unknown messages, empty ones and ones that no longer fit are
+    dropped. The best seed gain becomes the pruning incumbent: a subtree
+    is cut when its inflated upper bound (prefix gain + remaining suffix
+    term sum) is strictly below the incumbent, which can never exclude a
+    leaf that would win or tie — the result is bit-identical to a
+    from-scratch run. Pruning uses task-local incumbents only, so the
+    counters are deterministic at any job count. With no usable seed the
+    walk degenerates to the full exact fold. *)
+val reselect :
+  ?only_maximal:bool ->
+  limit:int ->
+  jobs:int ->
+  seeds:string list list ->
+  t ->
+  buffer_width:int ->
+  reselection option

@@ -13,7 +13,22 @@ let c_pruned = Tel.Counter.v "select.candidates_pruned"
 let c_greedy_rounds = Tel.Counter.v "select.greedy_rounds"
 let c_degraded = Tel.Counter.v "select.degraded"
 
+(* Delta re-selection counters: decomposition-invariant like the ones
+   above (pruning decisions are task-local and the re-selection plan has
+   a fixed depth), so the totals are identical at any job count. *)
+let c_reselect_runs = Tel.Counter.v "select.reselect.runs"
+let c_reselect_seeds = Tel.Counter.v "select.reselect.seeds"
+let c_reselect_streamed = Tel.Counter.v "select.reselect.candidates_streamed"
+let c_reselect_scored = Tel.Counter.v "select.reselect.candidates_scored"
+let c_reselect_pruned = Tel.Counter.v "select.reselect.subtrees_pruned"
+
 type strategy = Exact | Exact_maximal | Greedy
+
+(* Which Step-1/2 implementation runs an exact unbudgeted search. [Auto]
+   picks the word-parallel kernel whenever the pool fits its mask width
+   (Kernel.max_pool slots) and falls back to the streaming walk beyond;
+   the two are bit-identical, so the choice is purely a speed matter. *)
+type engine = Auto | Stream | Bitset
 
 (* How complete the search behind a result was. [Exact] means the requested
    strategy ran to completion; the other tiers mean a budget (wall-clock
@@ -62,10 +77,13 @@ let is_observable r base = List.exists (String.equal base) (observable_bases r)
 
 (* Deterministic comparison for Step-2 ties: higher gain first, then more
    bits (the paper's secondary objective is maximal buffer utilization),
-   then lexicographically smaller name list. *)
+   then lexicographically smaller name list. Gains compare exactly — an
+   epsilon tolerance here would make the order non-transitive over chains
+   of near-ties (a ~ b, b ~ c, a < c), and the bit-identity contract
+   already guarantees that equal candidates produce equal floats on every
+   path, so no tolerance is needed. *)
 let better (gain_a, bits_a, names_a) (gain_b, bits_b, names_b) =
-  if gain_a -. gain_b > 1e-12 then true
-  else if gain_b -. gain_a > 1e-12 then false
+  if gain_a <> gain_b then gain_a > gain_b
   else if bits_a <> bits_b then bits_a > bits_b
   else names_a < names_b
 
@@ -157,10 +175,11 @@ module Path = struct
   let key p = List.sort String.compare (List.map (fun m -> m.Message.name) p.pmsgs)
 
   (* Mirrors {!better} with the name-list tie-break computed lazily: sorted
-     name keys are only built when gain and bits tie within tolerance. *)
+     name keys are only built on an exact (gain, bits) tie. Exact float
+     comparison keeps the order total and transitive — an epsilon here
+     broke transitivity over chains of near-ties. *)
   let better a b =
-    if a.pg -. b.pg > 1e-12 then true
-    else if b.pg -. a.pg > 1e-12 then false
+    if a.pg <> b.pg then a.pg > b.pg
     else if a.pb <> b.pb then a.pb > b.pb
     else key a < key b
 
@@ -277,6 +296,26 @@ let exact_stream ~maximal ~limit ~jobs inter ~buffer_width =
   | Some p -> (Path.messages p, Path.gain p)
 
 (* ------------------------------------------------------------------ *)
+(* Word-parallel kernel engine: the same walk on precomputed flat arrays
+   and int masks (Kernel). Bit-identical to [exact_stream] — candidates,
+   float sums, limit/Too_many behavior and counter totals all coincide
+   (the counters are settled by Kernel's counting DP rather than per-leaf
+   ticks) — it just runs an order of magnitude faster. The built kernel
+   is returned so [finalize] can compute coverage as a popcount fold. *)
+
+let exact_kernel ~maximal ~limit ~jobs inter ~buffer_width =
+  let k = Kernel.make inter in
+  match Kernel.select_exact ~only_maximal:maximal ~limit ~jobs k ~buffer_width with
+  | None -> invalid_arg "Select: no message fits the trace buffer"
+  | Some sel ->
+      if Tel.enabled () then begin
+        Tel.Counter.add c_streamed sel.Kernel.sel_streamed;
+        Tel.Counter.add c_scored sel.Kernel.sel_scored;
+        Tel.Counter.add c_pruned (sel.Kernel.sel_streamed - sel.Kernel.sel_scored)
+      end;
+      (k, sel.Kernel.sel_messages, sel.Kernel.sel_gain)
+
+(* ------------------------------------------------------------------ *)
 (* Budgeted anytime engine.
 
    The same task-split walk, but the candidate cap and the wall-clock
@@ -384,7 +423,7 @@ let strategy_name = function
   | Greedy -> "greedy"
 
 let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs = 1) ?deadline
-    ?max_candidates inter ~buffer_width =
+    ?max_candidates ?(engine = Auto) inter ~buffer_width =
   Tel.with_span "select.step1_2"
     ~args:(fun () ->
       Flowtrace_telemetry.Event.
@@ -395,16 +434,41 @@ let step1_step2 ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs 
       let combo = greedy inter ~buffer_width in
       if combo = [] then invalid_arg "Select: no message fits the trace buffer";
       let gain = Infogain.of_combination inter combo in
-      (combo, gain, Tier.Exact)
+      (combo, gain, Tier.Exact, None)
   | Exact | Exact_maximal ->
       let maximal = strategy = Exact_maximal in
-      if deadline = None && max_candidates = None then
-        let combo, gain = exact_stream ~maximal ~limit ~jobs inter ~buffer_width in
-        (combo, gain, Tier.Exact)
-      else budgeted_stream ~maximal ~limit ~jobs ~deadline ~max_candidates inter ~buffer_width
+      if deadline = None && max_candidates = None then begin
+        let pool_n = List.length (Interleave.messages inter) in
+        let use_kernel =
+          match engine with
+          | Stream -> false
+          | Auto -> pool_n <= Kernel.max_pool
+          | Bitset ->
+              if pool_n > Kernel.max_pool then
+                invalid_arg
+                  (Printf.sprintf
+                     "Select: the bitset engine addresses at most %d pool messages (pool has %d); \
+                      use the streaming engine"
+                     Kernel.max_pool pool_n);
+              true
+        in
+        if use_kernel then
+          let k, combo, gain = exact_kernel ~maximal ~limit ~jobs inter ~buffer_width in
+          (combo, gain, Tier.Exact, Some k)
+        else
+          let combo, gain = exact_stream ~maximal ~limit ~jobs inter ~buffer_width in
+          (combo, gain, Tier.Exact, None)
+      end
+      else
+        let combo, gain, tier =
+          (* budgets run on the streaming engine: its cooperative tick is
+             where deadlines and candidate caps are checked *)
+          budgeted_stream ~maximal ~limit ~jobs ~deadline ~max_candidates inter ~buffer_width
+        in
+        (combo, gain, tier, None)
 
-let finalize ?(pack = true) ?(scale_partial = false) ?(tier = Tier.Exact) inter ~combo ~gain
-    ~buffer_width =
+let finalize ?(pack = true) ?(scale_partial = false) ?(tier = Tier.Exact) ?kernel inter ~combo
+    ~gain ~buffer_width =
   let bits = Message.total_width combo in
   let packed, gain, bits =
     if pack then
@@ -419,20 +483,86 @@ let finalize ?(pack = true) ?(scale_partial = false) ?(tier = Tier.Exact) inter 
   in
   let coverage =
     Tel.with_span "select.coverage" (fun () ->
-        Coverage.compute inter ~selected:(fun base -> List.exists (String.equal base) observable))
+        let selected base = List.exists (String.equal base) observable in
+        (* with a kernel in hand, Definition 7 is a word-OR/popcount fold
+           over precomputed state bitsets — same count, no edge rescan *)
+        match kernel with
+        | Some k -> Kernel.coverage k ~selected
+        | None -> Coverage.compute inter ~selected)
   in
   { messages = combo; packed; gain; coverage; bits_used = bits; buffer_width; tier }
 
-let select ?strategy ?limit ?jobs ?deadline ?max_candidates ?pack ?scale_partial inter
+let select ?strategy ?limit ?jobs ?deadline ?max_candidates ?pack ?scale_partial ?engine inter
     ~buffer_width =
   Tel.Counter.incr c_runs;
   Tel.with_span "select"
     ~args:(fun () -> [ ("width", Flowtrace_telemetry.Event.Int buffer_width) ])
   @@ fun () ->
-  let combo, gain, tier =
-    step1_step2 ?strategy ?limit ?jobs ?deadline ?max_candidates inter ~buffer_width
+  let combo, gain, tier, kernel =
+    step1_step2 ?strategy ?limit ?jobs ?deadline ?max_candidates ?engine inter ~buffer_width
   in
-  finalize ?pack ?scale_partial ~tier inter ~combo ~gain ~buffer_width
+  finalize ?pack ?scale_partial ~tier ?kernel inter ~combo ~gain ~buffer_width
+
+(* ------------------------------------------------------------------ *)
+(* Delta re-selection: when a scenario changed slightly since a previous
+   run, that run's journalled bests make strong incumbents — re-score
+   them under the new terms and let the kernel's exact branch-and-bound
+   skip every subtree they dominate. Bit-identical to a from-scratch
+   {!select}; only the amount of re-scoring shrinks. *)
+
+type reselect_stats = {
+  rs_seeds : int;
+  rs_streamed : int;
+  rs_scored : int;
+  rs_pruned_subtrees : int;
+}
+
+let reselect ?(strategy = Exact) ?(limit = Combination.default_limit) ?(jobs = 1) ?deadline
+    ?max_candidates ?pack ?scale_partial ~seeds inter ~buffer_width =
+  let delegate () =
+    ( select ~strategy ~limit ~jobs ?deadline ?max_candidates ?pack ?scale_partial inter
+        ~buffer_width,
+      None )
+  in
+  match strategy with
+  | Greedy -> delegate ()
+  | Exact | Exact_maximal ->
+      (* budgets need the streaming engine's cooperative tick; oversized
+         pools exceed the kernel's mask width — both fall back to a full
+         run, which the delta path must always agree with anyway *)
+      if deadline <> None || max_candidates <> None then delegate ()
+      else if List.length (Interleave.messages inter) > Kernel.max_pool then delegate ()
+      else begin
+        Tel.Counter.incr c_reselect_runs;
+        Tel.with_span "select.reselect"
+          ~args:(fun () ->
+            Flowtrace_telemetry.Event.
+              [ ("jobs", Int jobs); ("width", Int buffer_width); ("seeds", Int (List.length seeds)) ])
+        @@ fun () ->
+        let maximal = strategy = Exact_maximal in
+        let k = Kernel.make inter in
+        match Kernel.reselect ~only_maximal:maximal ~limit ~jobs ~seeds k ~buffer_width with
+        | None -> invalid_arg "Select: no message fits the trace buffer"
+        | Some r ->
+            if Tel.enabled () then begin
+              Tel.Counter.add c_reselect_seeds r.Kernel.r_seeds;
+              Tel.Counter.add c_reselect_streamed r.Kernel.r_streamed;
+              Tel.Counter.add c_reselect_scored r.Kernel.r_scored;
+              Tel.Counter.add c_reselect_pruned r.Kernel.r_pruned_subtrees
+            end;
+            let result =
+              finalize ?pack ?scale_partial ~tier:Tier.Exact ~kernel:k inter
+                ~combo:r.Kernel.r_messages ~gain:r.Kernel.r_gain ~buffer_width
+            in
+            ( result,
+              Some
+                {
+                  rs_seeds = r.Kernel.r_seeds;
+                  rs_streamed = r.Kernel.r_streamed;
+                  rs_scored = r.Kernel.r_scored;
+                  rs_pruned_subtrees = r.Kernel.r_pruned_subtrees;
+                } )
+      end
 
 let pp_result ppf r =
   let packed_names = List.map Packing.qualified r.packed in

@@ -11,6 +11,20 @@
       term that still fits; O(n) gain evaluations, for large scenarios. *)
 type strategy = Exact | Exact_maximal | Greedy
 
+(** Which implementation runs an exact unbudgeted Step-1/2 search:
+    - [Auto] (the default) picks the word-parallel kernel ({!Kernel})
+      whenever the pool fits its mask width ([Kernel.max_pool] slots) and
+      the streaming walk beyond;
+    - [Stream] forces the streaming walk;
+    - [Bitset] forces the kernel (raises [Invalid_argument] on oversized
+      pools).
+
+    The two engines are bit-identical — same candidates, same float sums,
+    same counter totals, same [Too_many] behavior — so the choice is
+    purely a speed matter. Budgeted (anytime) and greedy runs always use
+    the streaming engine. *)
+type engine = Auto | Stream | Bitset
+
 (** How complete the search behind a result was — the degradation tier of
     an anytime run. *)
 module Tier : sig
@@ -88,7 +102,10 @@ val step2 : Interleave.t -> Message.t list list -> Message.t list * float
     bit-identical to an unbudgeted one, with tier [Exact]. Degraded
     results from expired budgets are not deterministic across job counts
     (the explored prefix depends on the schedule); only complete runs
-    are. *)
+    are.
+
+    [engine] (default [Auto]) picks between the streaming walk and the
+    word-parallel kernel for exact unbudgeted runs; see {!engine}. *)
 val select :
   ?strategy:strategy ->
   ?limit:int ->
@@ -97,6 +114,7 @@ val select :
   ?max_candidates:int ->
   ?pack:bool ->
   ?scale_partial:bool ->
+  ?engine:engine ->
   Interleave.t ->
   buffer_width:int ->
   result
@@ -146,16 +164,55 @@ end
     {!result} — the tail of {!select}, exposed so external engines
     (supervised/anytime runs in [lib/runtime]) produce results identical
     in shape and packing to an in-process run. [tier] defaults to
-    [Tier.Exact]. *)
+    [Tier.Exact]. [kernel], when given, computes coverage via the
+    word-parallel {!Kernel.coverage} fold instead of [Coverage.compute]
+    (identical value, no edge-list rescan). *)
 val finalize :
   ?pack:bool ->
   ?scale_partial:bool ->
   ?tier:Tier.t ->
+  ?kernel:Kernel.t ->
   Interleave.t ->
   combo:Message.t list ->
   gain:float ->
   buffer_width:int ->
   result
+
+(** Work counters of a delta re-selection, for telemetry and tests:
+    distinct feasible seeds re-scored, candidates streamed and scored by
+    the branch-and-bound walk, and subtrees pruned. Deterministic at any
+    job count. *)
+type reselect_stats = {
+  rs_seeds : int;
+  rs_streamed : int;
+  rs_scored : int;
+  rs_pruned_subtrees : int;
+}
+
+(** [reselect ~seeds inter ~buffer_width] is {!select} with prior-run
+    knowledge: each seed (a candidate as a message-name list, typically
+    the journalled best of a slightly different scenario) is re-scored
+    under the current scenario, and the best feasible seed gain prunes
+    the exact walk as a branch-and-bound incumbent. The result is
+    bit-identical to a from-scratch {!select} — pruning only cuts
+    subtrees whose upper bound is strictly below the incumbent — but
+    re-scores strictly fewer candidates whenever a seed is any good.
+    Stats are [Some] when the kernel branch-and-bound ran, [None] when
+    the call delegated to plain {!select} (greedy strategy, budgeted
+    runs, or a pool past [Kernel.max_pool]). Seeds naming unknown
+    messages or no longer fitting the buffer are dropped. *)
+val reselect :
+  ?strategy:strategy ->
+  ?limit:int ->
+  ?jobs:int ->
+  ?deadline:float ->
+  ?max_candidates:int ->
+  ?pack:bool ->
+  ?scale_partial:bool ->
+  seeds:string list list ->
+  Interleave.t ->
+  buffer_width:int ->
+  result * reselect_stats option
 
 val pp_result : Format.formatter -> result -> unit
 

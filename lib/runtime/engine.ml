@@ -107,6 +107,7 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
             (* -------- resume -------- *)
             let done_ = Array.make ntasks false in
             let best = ref None in
+            let task_bests = Array.make ntasks None in
             let explored0 = ref 0 in
             let diags = ref [] in
             (match checkpoint with
@@ -127,6 +128,10 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
                            ]);
                     Array.blit snap.Journal.s_done 0 done_ 0 ntasks;
                     best := Option.map (rebuild_best ev cpool path) snap.Journal.s_best;
+                    List.iter
+                      (fun (id, b) ->
+                        task_bests.(id) <- Some (rebuild_best ev cpool path b))
+                      snap.Journal.s_task_bests;
                     explored0 := snap.Journal.s_explored;
                     diags := warns)
             | _ -> ());
@@ -145,20 +150,25 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
               (* call with [mutex] held *)
               match checkpoint with
               | Some path when !ckpt_on -> (
+                  let persist p =
+                    {
+                      Journal.b_names = Select.Path.key p;
+                      b_gain = Int64.bits_of_float (Select.Path.gain p);
+                      b_bits = Select.Path.bits p;
+                    }
+                  in
                   let snap =
                     {
                       Journal.s_fingerprint = fp;
                       s_total_tasks = ntasks;
                       s_done = Array.copy done_;
-                      s_best =
-                        Option.map
-                          (fun p ->
-                            {
-                              Journal.b_names = Select.Path.key p;
-                              b_gain = Int64.bits_of_float (Select.Path.gain p);
-                              b_bits = Select.Path.bits p;
-                            })
-                          !best;
+                      s_best = Option.map persist !best;
+                      s_task_bests =
+                        Array.to_list task_bests
+                        |> List.mapi (fun id p -> (id, p))
+                        |> List.filter_map (fun (id, p) ->
+                               if done_.(id) then Option.map (fun p -> (id, persist p)) p
+                               else None);
                       s_explored = !explored0 + Budget.explored budget;
                     }
                   in
@@ -180,6 +190,7 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
             let publish t p =
               Mutex.protect mutex (fun () ->
                   best := Select.Path.merge !best p;
+                  task_bests.(t) <- p;
                   done_.(t) <- true;
                   incr since;
                   if !since >= checkpoint_every then begin

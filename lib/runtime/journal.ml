@@ -10,6 +10,7 @@ type snapshot = {
   s_total_tasks : int;
   s_done : bool array;
   s_best : best option;
+  s_task_bests : (int * best) list;
   s_explored : int;
 }
 
@@ -43,6 +44,12 @@ let render snap =
   in
   record (Printf.sprintf "x %d" snap.s_explored);
   Array.iteri (fun i d -> if d then record (Printf.sprintf "d %d" i)) snap.s_done;
+  List.iter
+    (fun (id, b) ->
+      List.iter check_name b.b_names;
+      record
+        (Printf.sprintf "t %d %016Lx %d %s" id b.b_gain b.b_bits (String.concat "," b.b_names)))
+    (List.sort (fun (a, _) (b, _) -> compare a b) snap.s_task_bests);
   (match snap.s_best with
   | None -> ()
   | Some b ->
@@ -75,16 +82,26 @@ let write ~path snap =
 (* ------------------------------------------------------------------ *)
 (* Parsing *)
 
-type parsed = Explored of int | Done_task of int | Best of best | End of int * string
+type parsed =
+  | Explored of int
+  | Done_task of int
+  | Best of best
+  | Task_best of int * best
+  | End of int * string
+
+let parse_best gain bits names =
+  match (Int64.of_string_opt ("0x" ^ gain), int_of_string_opt bits) with
+  | Some g, Some b -> Some { b_names = String.split_on_char ',' names; b_gain = g; b_bits = b }
+  | _ -> None
 
 let parse_payload payload =
   match String.split_on_char ' ' payload with
   | [ "x"; n ] -> Option.map (fun n -> Explored n) (int_of_string_opt n)
   | [ "d"; n ] -> Option.map (fun n -> Done_task n) (int_of_string_opt n)
-  | [ "b"; gain; bits; names ] -> (
-      match (Int64.of_string_opt ("0x" ^ gain), int_of_string_opt bits) with
-      | Some g, Some b ->
-          Some (Best { b_names = String.split_on_char ',' names; b_gain = g; b_bits = b })
+  | [ "b"; gain; bits; names ] -> Option.map (fun b -> Best b) (parse_best gain bits names)
+  | [ "t"; id; gain; bits; names ] -> (
+      match (int_of_string_opt id, parse_best gain bits names) with
+      | Some id, Some b -> Some (Task_best (id, b))
       | _ -> None)
   | [ "end"; count; crc ] -> Option.map (fun c -> End (c, crc)) (int_of_string_opt count)
   | _ -> None
@@ -119,6 +136,7 @@ let load ~path =
           | _, fingerprint, total -> (
               let done_ = Array.make total false in
               let best = ref None in
+              let task_bests = ref [] in
               let explored = ref 0 in
               let seen = ref 0 in
               let body_crc = ref (Crc32.update 0l (header ^ "\n")) in
@@ -185,6 +203,14 @@ let load ~path =
                                     "task id %d out of range (journal declares %d tasks)" id total)
                              else done_.(id) <- true
                          | Best b -> best := Some b
+                         | Task_best (id, b) ->
+                             if id < 0 || id >= total then
+                               fail
+                                 (Rt.v "RT005" (span path lineno)
+                                    "task id %d out of range (journal declares %d tasks)" id total)
+                             else
+                               task_bests :=
+                                 (id, b) :: List.remove_assoc id !task_bests
                          | End _ -> assert false))
                    records
                with Exit -> ());
@@ -205,6 +231,8 @@ let load ~path =
                         s_total_tasks = total;
                         s_done = done_;
                         s_best = !best;
+                        s_task_bests =
+                          List.sort (fun (a, _) (b, _) -> compare a b) !task_bests;
                         s_explored = !explored;
                       },
                       !warnings ))))

@@ -14,9 +14,17 @@
     flowtrace-journal v1 fp=<16 hex> tasks=<n>
     <crc32> x <explored>
     <crc32> d <task id>          (one line per completed task)
+    <crc32> t <task id> <gain hex> <bits> <name,name,...>
+                                 (per-task best, one per completed task
+                                  whose subtree held any candidate)
     <crc32> b <gain hex> <bits> <name,name,...>
     <crc32> end <record count> <file crc32>
     v}
+
+    The [t] records are the substrate of delta re-selection
+    ([flowtrace select --delta-from]): together with the global best they
+    seed {!Flowtrace_core.Select.reselect}'s branch-and-bound incumbent
+    when the same journal is replayed against a modified scenario.
 
     Every record line is prefixed with the CRC-32 of its payload; the
     [end] record seals the file with the record count and the CRC-32 of
@@ -37,6 +45,9 @@ type snapshot = {
   s_total_tasks : int;
   s_done : bool array;  (** length [s_total_tasks] *)
   s_best : best option;
+  s_task_bests : (int * best) list;
+      (** per-task bests for completed tasks, ascending task id; a
+          completed task with no entry had no candidate in its subtree *)
   s_explored : int;  (** cumulative candidates explored across runs *)
 }
 

@@ -1,0 +1,311 @@
+(* Tests for the word-parallel selection kernel and the determinism
+   bugfix sweep.
+
+   The Bitset substrate is checked against a bool-array reference; the
+   bitset engine is checked bit-identical to the streaming engine on the
+   built-in scenarios, the stress workload and random interleavings at
+   jobs 1/2/4; Indexed.hash is pinned to explicit vectors (it must not
+   drift, and must separate names differing only deep in the string);
+   and the candidate comparator is checked to be a strict total order —
+   the epsilon tie-break it replaced was not transitive. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+
+let seed_arb = QCheck.make (QCheck.Gen.int_bound 100_000)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset vs a bool-array reference *)
+
+let prop_bitset_matches_reference =
+  QCheck.Test.make ~name:"bitset = bool-array reference" ~count:200 seed_arb (fun seed ->
+      let h k = Hashtbl.hash (seed, k) in
+      let n = 1 + (h `n mod 200) in
+      let b = Bitset.create n and r = Array.make n false in
+      for i = 0 to 2 * n do
+        let j = h (`set i) mod n in
+        Bitset.set b j;
+        r.(j) <- true
+      done;
+      let members_agree = ref true in
+      for j = 0 to n - 1 do
+        if Bitset.mem b j <> r.(j) then members_agree := false
+      done;
+      let ref_count = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 r in
+      !members_agree && Bitset.length b = n && Bitset.popcount b = ref_count)
+
+let prop_popcount_union_matches_reference =
+  QCheck.Test.make ~name:"popcount_union = materialized union" ~count:200 seed_arb
+    (fun seed ->
+      let h k = Hashtbl.hash (seed, k) in
+      let n = 1 + (h `n mod 150) in
+      let k = h `k mod 5 in
+      let sets =
+        List.init k (fun s ->
+            let b = Bitset.create n in
+            for i = 0 to h (`fill s) mod (n + 1) do
+              Bitset.set b (h (`bit (s, i)) mod n)
+            done;
+            b)
+      in
+      let into = Bitset.create n in
+      List.iter (fun s -> Bitset.union_into ~into s) sets;
+      Bitset.popcount_union sets = Bitset.popcount into)
+
+let prop_popcount_word =
+  QCheck.Test.make ~name:"popcount_word = naive bit count" ~count:500
+    (QCheck.make (QCheck.Gen.int_bound max_int))
+    (fun w ->
+      let naive = ref 0 in
+      for i = 0 to 62 do
+        if w land (1 lsl i) <> 0 then incr naive
+      done;
+      Bitset.popcount_word w = !naive)
+
+let test_bitset_range_checks () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "set past the universe"
+    (Invalid_argument "Bitset.set: index 10 out of [0, 10)") (fun () -> Bitset.set b 10);
+  Alcotest.check_raises "mem below the universe"
+    (Invalid_argument "Bitset.mem: index -1 out of [0, 10)") (fun () ->
+      ignore (Bitset.mem b (-1)));
+  Bitset.set b 9;
+  Bitset.clear b;
+  Alcotest.(check int) "clear empties" 0 (Bitset.popcount b)
+
+(* ------------------------------------------------------------------ *)
+(* Indexed.hash: pinned vectors and deep-name separation *)
+
+(* Pinned outputs of the explicit FNV-1a mix. The previous implementation
+   was the polymorphic [Hashtbl.hash], whose traversal budget stops
+   reading long values; these vectors also freeze the 30-bit masking that
+   keeps the value identical across word sizes. *)
+let hash_vectors =
+  [
+    ("ReqE", 1, 0x34dd991b);
+    ("GntE", 2, 0xd2e70f9);
+    ("piordack", 1, 0x42f6ff);
+    ("", 0, 0x117697cd);
+    ("a", 65535, 0x2792c5e2);
+    ("mondoacknack", 3, 0x18b83a11);
+    ("token_pid_sel", 2, 0x3d86d79);
+  ]
+
+let test_hash_pinned_vectors () =
+  List.iter
+    (fun (base, inst, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "hash %S/%d" base inst)
+        expect
+        (Indexed.hash (Indexed.make base inst)))
+    hash_vectors
+
+let test_hash_separates_deep_suffixes () =
+  (* names sharing a long prefix and differing only in the final char:
+     the polymorphic hash collapsed whole families of these to one
+     bucket; the explicit mix must keep them apart *)
+  let prefix = String.make 120 'x' in
+  let hashes =
+    List.init 64 (fun i -> Indexed.hash (Indexed.make (prefix ^ string_of_int i) 1))
+  in
+  let distinct = List.sort_uniq compare hashes in
+  Alcotest.(check int) "64 deep-suffix names, 64 hash values" 64 (List.length distinct)
+
+let prop_hash_consistent_with_equal =
+  QCheck.Test.make ~name:"hash consistent with equal" ~count:200 seed_arb (fun seed ->
+      let h k = Hashtbl.hash (seed, k) in
+      let a = Indexed.make (Printf.sprintf "m%d" (h `a mod 20)) (h `i mod 4) in
+      let b = Indexed.make (Printf.sprintf "m%d" (h `b mod 20)) (h `j mod 4) in
+      (not (Indexed.equal a b)) || Indexed.hash a = Indexed.hash b)
+
+(* ------------------------------------------------------------------ *)
+(* The candidate comparator is a strict total order *)
+
+(* Build scored paths for every candidate of a small random pool. The
+   comparator must order any two distinct candidates one way (totality),
+   never both ways (antisymmetry), and chains must compose
+   (transitivity) — the epsilon tie-break this replaced broke
+   transitivity whenever two gains sat within 1e-12 of each other but a
+   third straddled the band. *)
+let paths_of_seed seed =
+  let inter = Gen.interleaving_of_seed seed in
+  let msgs = List.filteri (fun i _ -> i < 8) (Interleave.messages inter) in
+  let widths = List.map Message.trace_width msgs in
+  let minw = List.fold_left min max_int widths in
+  let ev = Infogain.evaluator inter in
+  Combination.fold_candidates msgs ~width:(minw + (seed mod 5)) ~init:[]
+    ~f:(fun acc c -> List.fold_left (Select.Path.extend ev) Select.Path.empty c :: acc)
+
+let prop_better_strict_total =
+  QCheck.Test.make ~name:"Path.better is irreflexive, antisymmetric, total" ~count:40
+    seed_arb
+    (fun seed ->
+      let paths = Array.of_list (paths_of_seed seed) in
+      let n = Array.length paths in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Select.Path.better paths.(i) paths.(i) then ok := false;
+        for j = i + 1 to n - 1 do
+          let ab = Select.Path.better paths.(i) paths.(j)
+          and ba = Select.Path.better paths.(j) paths.(i) in
+          (* distinct candidates (distinct keys) must compare one way *)
+          if Select.Path.key paths.(i) <> Select.Path.key paths.(j) && ab = ba then
+            ok := false
+        done
+      done;
+      !ok)
+
+let prop_better_transitive =
+  QCheck.Test.make ~name:"Path.better is transitive" ~count:25 seed_arb (fun seed ->
+      let paths = Array.of_list (paths_of_seed seed) in
+      let n = min 18 (Array.length paths) in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            if
+              Select.Path.better paths.(i) paths.(j)
+              && Select.Path.better paths.(j) paths.(k)
+              && not (Select.Path.better paths.(i) paths.(k))
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset engine = streaming engine, bit for bit *)
+
+let check_engines_identical name ?(strategy = Select.Exact) inter ~buffer_width =
+  let run engine jobs =
+    Select.select ~strategy ~engine ~jobs ~pack:false inter ~buffer_width
+  in
+  let s1 = run Select.Stream 1 in
+  List.iter
+    (fun jobs ->
+      let b = run Select.Bitset jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: bitset j%d = stream" name jobs)
+        (Select.selected_names s1) (Select.selected_names b);
+      Alcotest.(check int64)
+        (Printf.sprintf "%s: gain bits identical j%d" name jobs)
+        (Int64.bits_of_float s1.Select.gain)
+        (Int64.bits_of_float b.Select.gain);
+      Alcotest.(check int64)
+        (Printf.sprintf "%s: coverage bits identical j%d" name jobs)
+        (Int64.bits_of_float s1.Select.coverage)
+        (Int64.bits_of_float b.Select.coverage);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: bits_used identical j%d" name jobs)
+        s1.Select.bits_used b.Select.bits_used)
+    [ 1; 2; 4 ]
+
+let test_scenarios_engines_identical () =
+  List.iter
+    (fun sc ->
+      let inter = Scenario.interleave sc in
+      check_engines_identical sc.Scenario.name inter ~buffer_width:32;
+      check_engines_identical
+        (sc.Scenario.name ^ "/maximal")
+        ~strategy:Select.Exact_maximal inter ~buffer_width:32)
+    Scenario.all
+
+let test_stress_engines_identical () =
+  let inter = Stress.interleave () in
+  check_engines_identical "stress" inter ~buffer_width:Stress.default_buffer_width
+
+let prop_random_engines_identical =
+  QCheck.Test.make ~name:"bitset = stream on random interleavings" ~count:25 seed_arb
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let widths = List.map (fun (m : Message.t) -> m.Message.width) (Interleave.messages inter) in
+      let minw = List.fold_left min max_int widths in
+      let buffer_width = minw + 4 in
+      let strategy = if seed mod 2 = 0 then Select.Exact else Select.Exact_maximal in
+      let run engine = Select.select ~strategy ~engine ~pack:false inter ~buffer_width in
+      let s = run Select.Stream and b = run Select.Bitset in
+      Select.selected_names s = Select.selected_names b
+      && Int64.bits_of_float s.Select.gain = Int64.bits_of_float b.Select.gain
+      && Int64.bits_of_float s.Select.coverage = Int64.bits_of_float b.Select.coverage)
+
+let prop_kernel_coverage_matches_compute =
+  QCheck.Test.make ~name:"Kernel.coverage = Coverage.compute" ~count:50 seed_arb
+    (fun seed ->
+      let inter = Gen.interleaving_of_seed seed in
+      let k = Kernel.make inter in
+      let selected n = Hashtbl.hash (seed, n) mod 3 <> 0 in
+      Kernel.coverage k ~selected = Coverage.compute inter ~selected)
+
+let test_too_many_parity () =
+  let inter = Stress.interleave () in
+  let w = Stress.default_buffer_width in
+  let raises engine =
+    match Select.select ~engine ~limit:1000 ~pack:false inter ~buffer_width:w with
+    | exception Combination.Too_many n -> n
+    | _ -> Alcotest.fail "expected Too_many"
+  in
+  Alcotest.(check int) "bitset limit = stream limit" (raises Select.Stream)
+    (raises Select.Bitset)
+
+(* ------------------------------------------------------------------ *)
+(* Oversized pools: forced Bitset refuses, Auto falls back *)
+
+let big_chain_interleave () =
+  let n = Kernel.max_pool + 1 in
+  let state i = Printf.sprintf "s%d" i in
+  let states = List.init (n + 1) state in
+  let messages = List.init n (fun i -> Message.make (Printf.sprintf "bm%02d" i) 1) in
+  let transitions =
+    List.init n (fun i -> Flow.transition (state i) (Printf.sprintf "bm%02d" i) (state (i + 1)))
+  in
+  let f =
+    Flow.make ~name:"big" ~states ~initial:[ state 0 ] ~stop:[ state n ] ~atomic:[]
+      ~messages ~transitions ()
+  in
+  Interleave.make [ { Interleave.flow = f; index = 1 } ]
+
+let test_oversized_pool () =
+  let inter = big_chain_interleave () in
+  (match Kernel.make inter with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Kernel.make accepted an oversized pool");
+  (match Select.select ~engine:Select.Bitset ~pack:false inter ~buffer_width:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "forced Bitset accepted an oversized pool");
+  (* Auto silently takes the streaming path and agrees with it *)
+  let a = Select.select ~pack:false inter ~buffer_width:3 in
+  let s = Select.select ~engine:Select.Stream ~pack:false inter ~buffer_width:3 in
+  Alcotest.(check (list string))
+    "auto = stream past max_pool" (Select.selected_names s) (Select.selected_names a)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "bitset",
+        [ Alcotest.test_case "range checks" `Quick test_bitset_range_checks ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_bitset_matches_reference;
+              prop_popcount_union_matches_reference;
+              prop_popcount_word;
+            ] );
+      ( "indexed hash",
+        [
+          Alcotest.test_case "pinned vectors" `Quick test_hash_pinned_vectors;
+          Alcotest.test_case "deep suffixes separate" `Quick test_hash_separates_deep_suffixes;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_hash_consistent_with_equal ] );
+      ( "comparator",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_better_strict_total; prop_better_transitive ] );
+      ( "engine identity",
+        [
+          Alcotest.test_case "scenarios: bitset = stream" `Quick
+            test_scenarios_engines_identical;
+          Alcotest.test_case "stress: bitset = stream" `Slow test_stress_engines_identical;
+          Alcotest.test_case "Too_many parity" `Slow test_too_many_parity;
+          Alcotest.test_case "oversized pool" `Quick test_oversized_pool;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_random_engines_identical; prop_kernel_coverage_matches_compute ] );
+    ]

@@ -1,0 +1,174 @@
+(* Tests for delta re-selection (Select.reselect and the journal records
+   behind flowtrace select --delta-from).
+
+   The contract under test: seeding the exact search with prior-run bests
+   never changes the answer — reselect is bit-identical to a from-scratch
+   select after any single-flow add/remove/edit, at any job count — it
+   only changes the work, which must shrink (strictly fewer candidates
+   scored than a full run) whenever a seed survives the change, with
+   counters that are deterministic across job counts. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+module Tel = Flowtrace_telemetry.Telemetry
+module Event = Flowtrace_telemetry.Event
+module Journal = Flowtrace_runtime.Journal
+module Engine = Flowtrace_runtime.Engine
+
+let seed_arb = QCheck.make (QCheck.Gen.int_bound 100_000)
+
+let inter_of_flows flows =
+  Interleave.make (List.mapi (fun i f -> { Interleave.flow = f; index = i + 1 }) flows)
+
+let names_of (r : Select.result) =
+  List.map (fun (m : Message.t) -> m.Message.name) r.Select.messages
+
+let width_for inter =
+  let widths = List.map (fun (m : Message.t) -> m.Message.width) (Interleave.messages inter) in
+  1 + List.fold_left min max_int widths + 3
+
+(* Scenario B is scenario A with one flow added, removed or edited —
+   the spec-revision shapes --delta-from is built for. *)
+let delta_of_seed seed =
+  let flows_a = Gen.flows_of_seed seed in
+  let flows_b =
+    match seed mod 3 with
+    | 0 -> flows_a @ [ Gen.flow_of_seed (seed + 7) ]
+    | 1 when List.length flows_a > 1 -> List.tl flows_a
+    | _ ->
+        (match List.rev flows_a with
+        | _ :: keep -> List.rev (Gen.flow_of_seed (seed + 13) :: keep)
+        | [] -> [ Gen.flow_of_seed (seed + 13) ])
+  in
+  (inter_of_flows flows_a, inter_of_flows flows_b)
+
+let prop_reselect_equals_select_after_delta =
+  QCheck.Test.make ~name:"reselect after single-flow delta = from-scratch select" ~count:30
+    seed_arb
+    (fun seed ->
+      let inter_a, inter_b = delta_of_seed seed in
+      let w = width_for inter_b in
+      let seeds = [ names_of (Select.select ~pack:false inter_a ~buffer_width:(width_for inter_a)) ] in
+      let fresh = Select.select ~pack:false inter_b ~buffer_width:w in
+      let stats1 = ref None in
+      let ok_jobs =
+        List.for_all
+          (fun jobs ->
+            let r, stats = Select.reselect ~jobs ~pack:false ~seeds inter_b ~buffer_width:w in
+            (if jobs = 1 then stats1 := stats);
+            names_of r = names_of fresh
+            && Int64.bits_of_float r.Select.gain = Int64.bits_of_float fresh.Select.gain
+            && Int64.bits_of_float r.Select.coverage
+               = Int64.bits_of_float fresh.Select.coverage
+            (* work counters are partition-invariant *)
+            && stats = !stats1)
+          [ 1; 2; 4 ]
+      in
+      ok_jobs && Option.is_some !stats1)
+
+let prop_reselect_degraded_equals_select =
+  QCheck.Test.make ~name:"budgeted reselect delegates: deadline 0 = greedy fallback"
+    ~count:20 seed_arb
+    (fun seed ->
+      let _, inter = delta_of_seed seed in
+      let w = width_for inter in
+      let expired = Unix.gettimeofday () -. 1.0 in
+      let r, stats =
+        Select.reselect ~deadline:expired ~pack:false ~seeds:[] inter ~buffer_width:w
+      in
+      let s = Select.select ~deadline:expired ~pack:false inter ~buffer_width:w in
+      stats = None
+      && r.Select.tier = Select.Tier.Greedy_fallback
+      && names_of r = names_of s
+      && Int64.bits_of_float r.Select.gain = Int64.bits_of_float s.Select.gain)
+
+(* ------------------------------------------------------------------ *)
+(* Journal round trip: a supervised run's t/b records seed reselect *)
+
+let tmp_journal () =
+  let f = Filename.temp_file "flowtrace-reselect" ".ckpt" in
+  at_exit (fun () -> try Sys.remove f with Sys_error _ -> ());
+  f
+
+let seeds_of_journal path =
+  match Journal.load ~path with
+  | Error ds ->
+      Alcotest.failf "journal load failed: %s" (Flowtrace_analysis.Diagnostic.render_all ds)
+  | Ok (snap, _) ->
+      (match snap.Journal.s_best with Some b -> [ b.Journal.b_names ] | None -> [])
+      @ List.map (fun (_, (b : Journal.best)) -> b.Journal.b_names) snap.Journal.s_task_bests
+
+let test_journal_seeds_reselect () =
+  let inter_a, inter_b = delta_of_seed 4242 in
+  let wa = width_for inter_a and wb = width_for inter_b in
+  let path = tmp_journal () in
+  (match Engine.select ~checkpoint:path ~pack:false inter_a ~buffer_width:wa with
+  | Ok o -> Alcotest.(check bool) "run A complete" true (o.Engine.o_status = Engine.Complete)
+  | Error ds ->
+      Alcotest.failf "supervised run failed: %s" (Flowtrace_analysis.Diagnostic.render_all ds));
+  let seeds = seeds_of_journal path in
+  Alcotest.(check bool) "journal yields seeds" true (seeds <> []);
+  let fresh = Select.select ~pack:false inter_b ~buffer_width:wb in
+  let r, stats = Select.reselect ~pack:false ~seeds inter_b ~buffer_width:wb in
+  Alcotest.(check (list string)) "journal-seeded reselect = select" (names_of fresh)
+    (names_of r);
+  Alcotest.(check int64) "gain bits identical" (Int64.bits_of_float fresh.Select.gain)
+    (Int64.bits_of_float r.Select.gain);
+  match stats with
+  | None -> Alcotest.fail "expected branch-and-bound stats"
+  | Some s -> Alcotest.(check bool) "some seeds were feasible" true (s.Select.rs_seeds > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Stress: strictly fewer candidates re-scored, telemetry-verified *)
+
+let counter metrics name =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Event.Counter c when c.Event.c_name = name -> acc + c.Event.c_value
+      | _ -> acc)
+    0 metrics
+
+let test_stress_reselect_strictly_fewer () =
+  let inter = Stress.interleave () in
+  let w = Stress.default_buffer_width in
+  (* single-flow delta on the stress workload: drop one STA instance *)
+  let inter_delta = Interleave.make (List.tl Stress.instances) in
+  let seeds = [ names_of (Select.select ~pack:false inter_delta ~buffer_width:w) ] in
+  Tel.install Flowtrace_telemetry.Sink.null;
+  let metrics =
+    Fun.protect ~finally:Tel.shutdown @@ fun () ->
+    let full = Select.select ~pack:false inter ~buffer_width:w in
+    let r, stats = Select.reselect ~pack:false ~seeds inter ~buffer_width:w in
+    Alcotest.(check (list string)) "reselect = select on stress" (names_of full) (names_of r);
+    (match stats with
+    | None -> Alcotest.fail "expected branch-and-bound stats on stress"
+    | Some s ->
+        Alcotest.(check bool) "pruning happened" true (s.Select.rs_pruned_subtrees > 0);
+        Alcotest.(check bool) "scored > 0" true (s.Select.rs_scored > 0));
+    Tel.metrics ()
+  in
+  let full_scored = counter metrics "select.candidates_scored" in
+  let re_scored = counter metrics "select.reselect.candidates_scored" in
+  (* full run + reselect both bumped select.candidates_scored's family;
+     the reselect counter must be strictly below the full run's *)
+  Alcotest.(check bool) "telemetry recorded the full run" true (full_scored > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "reselect re-scored strictly fewer (%d < %d)" re_scored full_scored)
+    true
+    (re_scored > 0 && re_scored < full_scored)
+
+let () =
+  Alcotest.run "reselect"
+    [
+      ( "delta equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_reselect_equals_select_after_delta; prop_reselect_degraded_equals_select ] );
+      ( "journal seeds",
+        [ Alcotest.test_case "supervised journal seeds reselect" `Quick test_journal_seeds_reselect ] );
+      ( "stress",
+        [
+          Alcotest.test_case "strictly fewer candidates re-scored" `Slow
+            test_stress_reselect_strictly_fewer;
+        ] );
+    ]

@@ -43,11 +43,29 @@ let snapshot_of_seed seed =
         }
     else None
   in
+  let task_bests =
+    Array.to_list done_
+    |> List.mapi (fun id d -> (id, d))
+    |> List.filter_map (fun (id, d) ->
+           if d && Random.State.bool st then
+             Some
+               ( id,
+                 {
+                   Journal.b_names =
+                     List.init
+                       (1 + Random.State.int st 3)
+                       (fun i -> Printf.sprintf "tb%d_%d" i (Random.State.int st 100));
+                   b_gain = Random.State.int64 st Int64.max_int;
+                   b_bits = Random.State.int st 64;
+                 } )
+           else None)
+  in
   {
     Journal.s_fingerprint = Printf.sprintf "%016x" (Random.State.int st 0x3FFFFFFF);
     s_total_tasks = total;
     s_done = done_;
     s_best = best;
+    s_task_bests = task_bests;
     s_explored = Random.State.int st 1_000_000;
   }
 
@@ -64,6 +82,7 @@ let prop_journal_roundtrip =
           && got.Journal.s_total_tasks = snap.Journal.s_total_tasks
           && got.Journal.s_done = snap.Journal.s_done
           && got.Journal.s_best = snap.Journal.s_best
+          && got.Journal.s_task_bests = snap.Journal.s_task_bests
           && got.Journal.s_explored = snap.Journal.s_explored)
 
 (* Chopping any amount off the end must either still load completely or
@@ -118,6 +137,7 @@ let test_journal_bitflip_is_error () =
       s_total_tasks = 8;
       s_done = Array.init 8 (fun i -> i < 5);
       s_best = Some { Journal.b_names = [ "a"; "b" ]; b_gain = 4614256656552045848L; b_bits = 7 };
+      s_task_bests = [];
       s_explored = 123;
     }
   in
@@ -166,6 +186,7 @@ let test_journal_broken_seal () =
       s_total_tasks = 4;
       s_done = [| true; true; false; false |];
       s_best = None;
+      s_task_bests = [];
       s_explored = 9;
     }
   in

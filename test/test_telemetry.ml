@@ -151,6 +151,10 @@ let pp_counters cs =
   String.concat "; " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) cs)
 
 let check_counters_jobs_identical name inter ~buffer_width =
+  (* warm the evaluator cache first (telemetry still off): scoring an
+     interleave builds its cached evaluator once, so without this the
+     jobs:1 run alone would carry infogain.evaluator_builds *)
+  ignore (Select.select ~jobs:1 ~pack:false inter ~buffer_width);
   let c1 = counters_of_run ~jobs:1 inter ~buffer_width in
   let c2 = counters_of_run ~jobs:2 inter ~buffer_width in
   let c4 = counters_of_run ~jobs:4 inter ~buffer_width in

@@ -78,6 +78,20 @@ let kernel_tests =
       (Staged.stage (fun () -> ignore (Interleave.total_paths inter)));
     Test.make ~name:"kernel_sim_run"
       (Staged.stage (fun () -> ignore (Scenario.run_analysis ~seed:1 sc)));
+    (* spec inference over a full scenario-1 monitor log, and the
+       language-level scoring of the result against the ground truth *)
+    (Test.make ~name:"kernel_mine_scenario1")
+      (Staged.stage
+         (let packets = (Scenario.run ~config:{ Scenario.default_run with Scenario.rounds = 12 } sc).Sim.packets in
+          fun () ->
+            ignore
+              (Flowtrace_mining.Miner.mine ~catalog:T2.all_messages ~file:"bench" [ packets ])));
+    (Test.make ~name:"kernel_mine_score")
+      (Staged.stage
+         (let packets = (Scenario.run ~config:{ Scenario.default_run with Scenario.rounds = 12 } sc).Sim.packets in
+          let result = Flowtrace_mining.Miner.mine ~catalog:T2.all_messages ~file:"bench" [ packets ] in
+          let mined = List.map (fun m -> m.Flowtrace_mining.Miner.m_flow) result.Flowtrace_mining.Miner.r_flows in
+          fun () -> ignore (Flowtrace_mining.Score.score ~truth:T2.flows mined)));
   ]
 
 (* The selection stress workload (Stress): hundreds of thousands of

@@ -768,6 +768,150 @@ let stats_cmd =
   let doc = "Replay a recorded telemetry file into per-phase timing and counter tables." in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file)
 
+let mine_cmd =
+  let open Flowtrace_analysis in
+  let open Flowtrace_mining in
+  let parse_spec_or_die path =
+    try Spec_parser.parse_file path with
+    | Spec_parser.Parse_error e ->
+        or_die (Error (Printf.sprintf "%s:%d: %s" path e.Spec_parser.line e.Spec_parser.message))
+    | Sys_error m -> or_die (Error m)
+  in
+  let trace_files =
+    let doc = "Packet trace file to mine (repeatable; each file is one monitor log)." in
+    Arg.(value & opt_all string [] & info [ "trace-file" ] ~docv:"FILE" ~doc)
+  in
+  let support =
+    let doc =
+      "Minimum fraction of a flow's episodes a kept path must explain, in [0,1]. The default \
+       0 trusts every observed sequence; raise it on lossy traces to shed noise."
+    in
+    Arg.(value & opt float Miner.default_config.Miner.support & info [ "support" ] ~docv:"F" ~doc)
+  in
+  let min_count =
+    let doc = "Absolute evidence floor: paths observed fewer than $(docv) times are noise." in
+    Arg.(value & opt int Miner.default_config.Miner.min_count & info [ "min-count" ] ~docv:"N" ~doc)
+  in
+  let catalog =
+    let doc =
+      "Message catalog: a flow spec whose message declarations supply widths, endpoints, \
+       beats and subgroups for mined messages (the monitor-configuration knowledge a trace \
+       cannot carry). Without it, widths default and endpoints are majority-voted."
+    in
+    Arg.(value & opt (some string) None & info [ "catalog" ] ~docv:"SPEC" ~doc)
+  in
+  let default_width =
+    let doc = "Width assumed for messages absent from the catalog." in
+    Arg.(
+      value
+      & opt int Miner.default_config.Miner.default_width
+      & info [ "default-width" ] ~docv:"BITS" ~doc)
+  in
+  let score_against =
+    let doc =
+      "Ground-truth flow spec to score the mined flows against (edge- and path-level \
+       precision/recall, matched by flow name)."
+    in
+    Arg.(value & opt (some string) None & info [ "score-against" ] ~docv:"SPEC" ~doc)
+  in
+  let emit_spec =
+    let doc = "Write the mined flows as a .flow spec to $(docv) ($(b,-) for stdout)." in
+    Arg.(value & opt (some string) None & info [ "emit-spec" ] ~docv:"FILE" ~doc)
+  in
+  let json =
+    let doc = "Emit the full mining report (flows, provenance, score, diagnostics) as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let werror =
+    let doc = "Promote warnings (dropped paths/flows) to errors." in
+    Arg.(value & flag & info [ "werror" ] ~doc)
+  in
+  let recover =
+    let doc = "Skip malformed trace lines (within an error budget) instead of dying." in
+    Arg.(value & flag & info [ "recover" ] ~doc)
+  in
+  let list_rules =
+    let doc =
+      "Print the MN rule catalog and exit (with $(b,--json), the machine-readable catalog of \
+       every namespace)."
+    in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let run trace_files support min_count catalog default_width score_against emit_spec json
+      werror recover list_rules tel =
+    if list_rules then
+      print_string (if json then Check.catalog_json () else Mn.catalog ())
+    else begin
+      if trace_files = [] then
+        or_die (Error "no trace files given (--trace-file; --list-rules for the catalog)");
+      with_telemetry tel @@ fun () ->
+      let catalog =
+        match catalog with
+        | None -> []
+        | Some path ->
+            List.concat_map (fun (f : Flow.t) -> f.Flow.messages) (parse_spec_or_die path)
+      in
+      let config =
+        { Miner.support; min_count; default_width; path_limit = Miner.default_config.Miner.path_limit }
+      in
+      let traces = List.map (load_trace_or_die ~recover) trace_files in
+      let file = String.concat "," trace_files in
+      let result =
+        try Miner.mine ~config ~catalog ~file traces
+        with Invalid_argument m -> or_die (Error m)
+      in
+      let score =
+        Option.map
+          (fun path ->
+            let truth = parse_spec_or_die path in
+            Score.score ~truth (List.map (fun m -> m.Miner.m_flow) result.Miner.r_flows))
+          score_against
+      in
+      (match emit_spec with
+      | None -> ()
+      | Some "-" -> print_string (Miner.spec_text result)
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Miner.spec_text result);
+          close_out oc);
+      let diags =
+        if werror then List.map Diagnostic.promote_warnings result.Miner.r_diags
+        else result.Miner.r_diags
+      in
+      if json then
+        print_endline
+          (Json.to_string_pretty (Miner.to_json ?score:(Option.map Score.to_json score) result))
+      else begin
+        List.iter
+          (fun m ->
+            Printf.printf "mined %s: %d states, %d messages, %d path%s (%d episodes, %d absorbed) [%s]\n"
+              m.Miner.m_flow.Flow.name (Flow.n_states m.Miner.m_flow)
+              (Flow.n_messages m.Miner.m_flow) (List.length m.Miner.m_kept)
+              (if List.length m.Miner.m_kept = 1 then "" else "s")
+              m.Miner.m_episodes m.Miner.m_absorbed m.Miner.m_fingerprint)
+          result.Miner.r_flows;
+        Option.iter (fun s -> print_string (Score.render s)) score;
+        print_string (Diagnostic.render_all diags);
+        Printf.printf "flowtrace mine: %d flow%s from %d episodes: %s\n"
+          (List.length result.Miner.r_flows)
+          (if List.length result.Miner.r_flows = 1 then "" else "s")
+          result.Miner.r_episodes (Diagnostic.summary diags)
+      end;
+      match Diagnostic.exit_code ~degraded:(Miner.degraded result.Miner.r_diags) diags with
+      | 0 -> ()
+      | n -> exit n
+    end
+  in
+  let doc =
+    "Mine candidate flow specifications from packet traces (frequent-subsequence inference \
+     with support thresholds; rules MN0xx). The mined spec feeds back into $(b,lint), \
+     $(b,check) and $(b,select) — the closed specification loop."
+  in
+  Cmd.v (Cmd.info "mine" ~doc)
+    Term.(
+      const run $ trace_files $ support $ min_count $ catalog $ default_width $ score_against
+      $ emit_spec $ json $ werror $ recover $ list_rules $ telemetry_arg)
+
 let scenarios_cmd =
   let run () =
     let open Flowtrace_soc in
@@ -788,4 +932,4 @@ let () =
   let doc = "application-level hardware trace message selection" in
   let info = Cmd.info "flowtrace" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; check_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd ]))
+       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; check_cmd; mine_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd ]))

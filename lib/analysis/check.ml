@@ -104,7 +104,8 @@ let catalog () =
   Buffer.contents buf
 
 (* Cross-namespace machine-readable catalog: every code the tool can emit,
-   FL (lint) + FC (check) + RT (runtime), one object per rule. *)
+   FL (lint) + FC (check) + RT (runtime) + MN (mining), one object per
+   rule. *)
 let catalog_json () =
   let entry ns code severity title explain =
     Json.Obj
@@ -139,12 +140,20 @@ let catalog_json () =
         | _ -> None)
       Rt.codes
   in
+  let mn =
+    List.filter_map
+      (fun code ->
+        match (Mn.severity code, Mn.summary code) with
+        | Some sev, Some summary -> Some (entry "MN" code sev "" summary)
+        | _ -> None)
+      Mn.codes
+  in
   let sorted =
     List.sort
       (fun a b ->
         match (Json.member "code" a, Json.member "code" b) with
         | Some (Json.String x), Some (Json.String y) -> String.compare x y
         | _ -> 0)
-      (fl @ fc @ rt)
+      (fl @ fc @ rt @ mn)
   in
   Json.to_string_pretty (Json.Obj [ ("rules", Json.List sorted) ])

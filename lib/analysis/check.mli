@@ -81,7 +81,7 @@ val check_file :
 val catalog : unit -> string
 
 (** [catalog_json ()] is the machine-readable cross-namespace catalog —
-    every code the tool can emit (FL, FC, RT) as a [rules] array of
+    every code the tool can emit (FL, FC, RT, MN) as a [rules] array of
     [{namespace; code; severity; title; explain}] objects sorted by code.
     The [--list-rules --json] output. *)
 val catalog_json : unit -> string

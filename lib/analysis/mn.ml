@@ -1,0 +1,39 @@
+(* Stable diagnostic codes for the lib/mining spec-inference layer. Kept
+   here, next to the lint and runtime codes, so every code the tool can
+   emit lives in one library and renders through the same Diagnostic
+   pipeline. *)
+
+let table =
+  [
+    ("MN001", Diagnostic.Error, "trace yields no episodes; nothing to mine");
+    ("MN002", Diagnostic.Error, "mined flow failed structural validation and was discarded");
+    ("MN010", Diagnostic.Warning, "flow dropped: no path met the support threshold");
+    ("MN011", Diagnostic.Warning, "path dropped as noise: support below threshold");
+    ("MN012", Diagnostic.Info, "kept path is a proper prefix of another; truncated episodes suspected");
+    ("MN013", Diagnostic.Info, "message absent from the catalog; width defaulted");
+    ("MN014", Diagnostic.Info, "observed endpoints disagree with the catalog declaration");
+    ("MN090", Diagnostic.Info, "mining degraded: some observed evidence was discarded (exit 3)");
+  ]
+
+let severity code =
+  List.find_map (fun (c, s, _) -> if String.equal c code then Some s else None) table
+
+let summary code =
+  List.find_map (fun (c, _, s) -> if String.equal c code then Some s else None) table
+
+let codes = List.map (fun (c, _, _) -> c) table
+
+let v code span ?flow fmt =
+  match severity code with
+  | None -> invalid_arg (Printf.sprintf "Mn.v: unknown mining diagnostic code %s" code)
+  | Some severity ->
+      Printf.ksprintf (fun message -> Diagnostic.make ~code ~severity ?flow span message) fmt
+
+let catalog () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (code, sev, summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %-8s %s\n" code (Diagnostic.severity_to_string sev) summary))
+    table;
+  Buffer.contents buf

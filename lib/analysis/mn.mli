@@ -1,0 +1,50 @@
+(** Mining diagnostics: stable MN0xx codes for the spec-inference layer.
+
+    The [lib/mining] flow miner reports what it had to discard — and why a
+    mined specification may be incomplete — through the same positioned
+    {!Diagnostic.t} pipeline as the spec lint, one stable code per failure
+    class, so [flowtrace mine] obeys the unified FL/FC/RT/TR exit-code
+    convention ({!Diagnostic.exit_code}).
+
+    Codes:
+    - [MN001] ({e error}) — the trace yields no episodes; nothing to mine
+    - [MN002] ({e error}) — a mined flow failed {!Flowtrace_core.Flow.make}
+      validation and was discarded (should not happen; defensive)
+    - [MN010] ({e warning}) — a whole flow was dropped: none of its paths
+      met the support threshold
+    - [MN011] ({e warning}) — a candidate path was dropped as noise: its
+      support is below threshold and it absorbs into no kept path
+    - [MN012] ({e info}) — a kept path is a proper prefix of another kept
+      path; truncated episodes are the usual cause, and the mined DAG
+      carries a nondeterministic stop split (flowlint flags it as FL007)
+    - [MN013] ({e info}) — a message is absent from the catalog; its width
+      was defaulted
+    - [MN014] ({e info}) — the observed packet endpoints disagree with the
+      catalog's declaration (the catalog wins)
+    - [MN090] ({e info}) — degraded marker: evidence was discarded
+      ([MN010]/[MN011]), so the mined spec may be incomplete and the run
+      exits 3 *)
+
+(** [v code span ?flow fmt] builds an MN diagnostic; the severity is the
+    catalog's for [code]. Raises [Invalid_argument] on a code outside the
+    catalog. *)
+val v :
+  string ->
+  Flowtrace_core.Srcspan.t ->
+  ?flow:string ->
+  ('a, unit, string, Diagnostic.t) format4 ->
+  'a
+
+(** [severity code] is the catalog severity of [code], if known. *)
+val severity : string -> Diagnostic.severity option
+
+(** [summary code] is the catalog's one-line summary of [code], if
+    known. *)
+val summary : string -> string option
+
+(** [codes] lists the catalog codes in order. *)
+val codes : string list
+
+(** [catalog ()] renders the code table (code, severity, summary), one
+    line per code — the MN counterpart of [Lint.catalog]. *)
+val catalog : unit -> string

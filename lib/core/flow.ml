@@ -189,6 +189,38 @@ let paths ?(limit = 1_000_000) t =
   let ps = List.concat_map (fun s0 -> go s0 [] []) t.initial in
   (ps, !truncated)
 
+(* Message-adjacency bigrams of the execution language. Because [make]
+   guarantees every state is reachable from an initial state and reaches a
+   stop state, every structurally adjacent transition pair lies on some
+   execution and vice versa — so the structural scan below equals the
+   bigram set over all executions without enumerating them. State names
+   never appear, which is what makes mined-vs-truth comparison
+   renaming-invariant. *)
+let bigram_start = "^"
+let bigram_stop = "$"
+
+let bigrams t =
+  let starts =
+    List.filter_map
+      (fun tr -> if is_initial t tr.t_src then Some (bigram_start, tr.t_msg) else None)
+      t.transitions
+  in
+  let stops =
+    List.filter_map
+      (fun tr -> if is_stop t tr.t_dst then Some (tr.t_msg, bigram_stop) else None)
+      t.transitions
+  in
+  let mids =
+    List.concat_map
+      (fun tr ->
+        List.filter_map
+          (fun tr' ->
+            if String.equal tr'.t_src tr.t_dst then Some (tr.t_msg, tr'.t_msg) else None)
+          t.transitions)
+      t.transitions
+  in
+  List.sort_uniq compare (starts @ mids @ stops)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>flow %s (%d states, %d messages, %d transitions)@]" t.name
     (n_states t) (n_messages t) (List.length t.transitions)

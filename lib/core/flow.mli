@@ -101,5 +101,23 @@ val executions : ?limit:int -> t -> string list list
     this seam. *)
 val paths : ?limit:int -> t -> (string list * string list) list * bool
 
+(** Sentinel message names bounding {!bigrams}: ["^"] and ["$"]. Neither
+    can collide with a real message name (the spec and trace wire formats
+    both reject them as delimiters-adjacent tokens in practice, and flows
+    declaring them would be fuzz input, not specs). *)
+val bigram_start : string
+
+val bigram_stop : string
+
+(** [bigrams t] is the sorted, deduplicated set of adjacent message pairs
+    over all executions of [t], with {!bigram_start} before first messages
+    and {!bigram_stop} after last ones — the state-name-agnostic "edge
+    set" of the flow. Two flows with the same execution language have the
+    same bigrams regardless of state naming or DAG minimality, which is
+    what the mined-vs-ground-truth edge precision/recall scorer
+    ([lib/mining]'s [Score]) compares. Computed structurally (no path
+    enumeration), so it is cheap even on flows with many executions. *)
+val bigrams : t -> (string * string) list
+
 (** One-line summary: name, state/message counts, atomic states. *)
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+(** Mining fidelity sweep (extension, not in the paper): spec-inference
+    precision/recall and selection equivalence as the observation drop
+    rate grows — the quantitative closure of the simulate → mine →
+    select loop. *)
+
+val run : unit -> Table_render.t

@@ -29,6 +29,11 @@ let all =
       run = (fun () -> [ Lossy.run () ]);
     };
     {
+      id = "mining";
+      description = "spec-mining fidelity vs trace loss (not in paper)";
+      run = (fun () -> [ Mining_exp.run () ]);
+    };
+    {
       id = "ablations";
       description = "design-choice ablations + scalability (not in paper)";
       run = (fun () -> Ablation.run () @ [ Scalability.run (); Iscas_scale.run () ]);

@@ -1,0 +1,67 @@
+(* Cutting interleaved packet logs into per-instance episodes. *)
+
+open Flowtrace_soc
+
+type t = {
+  ep_trace : int;
+  ep_flow : string;
+  ep_inst : int;
+  ep_start : int;
+  ep_msgs : string list;
+}
+
+let slice traces =
+  let one idx packets =
+    (* stable cycle sort: reordered deliveries are undone by timestamps,
+       same-cycle packets keep their log order *)
+    let packets =
+      List.stable_sort
+        (fun (a : Packet.t) (b : Packet.t) -> compare a.Packet.cycle b.Packet.cycle)
+        packets
+    in
+    let tbl : (string * int, int * string list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (p : Packet.t) ->
+        let key = (p.Packet.flow, p.Packet.inst) in
+        match Hashtbl.find_opt tbl key with
+        | None -> Hashtbl.add tbl key (p.Packet.cycle, [ p.Packet.msg ])
+        | Some (start, msgs) -> Hashtbl.replace tbl key (start, p.Packet.msg :: msgs))
+      packets;
+    Hashtbl.fold
+      (fun (flow, inst) (start, rev_msgs) acc ->
+        { ep_trace = idx; ep_flow = flow; ep_inst = inst; ep_start = start;
+          ep_msgs = List.rev rev_msgs }
+        :: acc)
+      tbl []
+  in
+  List.concat (List.mapi one traces)
+  |> List.sort (fun a b ->
+         compare
+           (a.ep_trace, a.ep_start, a.ep_flow, a.ep_inst)
+           (b.ep_trace, b.ep_start, b.ep_flow, b.ep_inst))
+
+let endpoints traces =
+  let tbl : (string, (string * string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun (p : Packet.t) ->
+         let per =
+           match Hashtbl.find_opt tbl p.Packet.msg with
+           | Some per -> per
+           | None ->
+               let per = Hashtbl.create 4 in
+               Hashtbl.add tbl p.Packet.msg per;
+               per
+         in
+         let n = Option.value ~default:0 (Hashtbl.find_opt per (p.Packet.src, p.Packet.dst)) in
+         Hashtbl.replace per (p.Packet.src, p.Packet.dst) (n + 1)))
+    traces;
+  Hashtbl.fold
+    (fun msg per acc ->
+      let pairs =
+        Hashtbl.fold (fun pair n acc -> (pair, n) :: acc) per []
+        |> List.sort (fun (pa, na) (pb, nb) ->
+               if na <> nb then compare nb na else compare pa pb)
+      in
+      (msg, pairs) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,42 @@
+(** Episode slicing: from an interleaved packet log to per-instance
+    message sequences.
+
+    A trace-buffer dump interleaves the messages of many concurrent flow
+    instances. The hardware instance tag every packet carries (the
+    [inst] field the paper's monitors emit precisely so executions can
+    be told apart) keys the slicing: one episode per [(flow, inst)] pair
+    per trace, its messages in causal (cycle) order. Episodes are the
+    unit of evidence the miner counts support over.
+
+    Slicing is deliberately timestamp-ordered, not list-ordered: a
+    reordered delivery ({!Flowtrace_soc.Obs_fault} [reorder]) perturbs
+    list positions but not cycles, so sorting by cycle recovers the
+    causal order for free. Drops, blackouts and truncation are the
+    faults that survive into episodes — as missing entries — and those
+    are exactly what the miner's support thresholds tolerate. *)
+
+open Flowtrace_soc
+
+(** One instance's observed message sequence. *)
+type t = {
+  ep_trace : int;  (** index of the source trace in the [slice] input *)
+  ep_flow : string;  (** flow name from the packet tag *)
+  ep_inst : int;  (** instance tag *)
+  ep_start : int;  (** cycle of the first observed packet *)
+  ep_msgs : string list;  (** message names in cycle order *)
+}
+
+(** [slice traces] cuts each packet log into episodes. Packets of one
+    trace are stably sorted by cycle first (ties keep log order), then
+    grouped by [(flow, inst)]; traces are kept separate so equal
+    instance tags in different logs never merge. The result is in
+    canonical order: source trace, then first cycle, then flow name,
+    then instance. *)
+val slice : Packet.t list list -> t list
+
+(** [endpoints traces] tallies the observed [(src, dst)] endpoint pairs
+    per message name across all traces: [(msg, ((src, dst), count) list)]
+    with the per-message lists sorted by descending count then
+    lexicographic pair — the majority vote the miner uses to synthesize
+    endpoints for messages absent from its catalog. *)
+val endpoints : Packet.t list list -> (string * ((string * string) * int) list) list

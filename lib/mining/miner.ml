@@ -1,0 +1,437 @@
+(* Frequent-subsequence flow mining over episode evidence. *)
+
+open Flowtrace_core
+open Flowtrace_analysis
+
+type config = {
+  support : float;
+  min_count : int;
+  default_width : int;
+  path_limit : int;
+}
+
+let default_config = { support = 0.0; min_count = 1; default_width = 8; path_limit = 10_000 }
+
+type path = { p_msgs : string list; p_count : int }
+
+type mined = {
+  m_flow : Flow.t;
+  m_fingerprint : string;
+  m_episodes : int;
+  m_kept : path list;
+  m_dropped : path list;
+  m_absorbed : int;
+}
+
+type result = {
+  r_flows : mined list;
+  r_episodes : int;
+  r_diags : Diagnostic.t list;
+}
+
+(* FNV-1a, 64-bit, over the canonical .flow rendering: stable across
+   processes (unlike Hashtbl.hash) and cheap enough to fingerprint every
+   mined flow on every run. *)
+let fingerprint flow =
+  let text = Spec_parser.print_flow flow in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    text;
+  Printf.sprintf "%016Lx" !h
+
+let degraded diags = List.exists (fun (d : Diagnostic.t) -> String.equal d.code "MN090") diags
+
+(* [is_subseq xs ys]: does [xs] embed order-preservingly in [ys]? A lossy
+   observation of a path is exactly a subsequence of it — drops delete
+   entries, they never swap them (reorders are undone by the cycle sort
+   in Episode.slice). *)
+let rec is_subseq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xt, y :: yt -> if String.equal x y then is_subseq xt yt else is_subseq xs yt
+
+let is_proper_subseq xs ys = List.length xs < List.length ys && is_subseq xs ys
+
+let rec is_proper_prefix xs ys =
+  match (xs, ys) with
+  | [], [] -> false
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xt, y :: yt -> String.equal x y && is_proper_prefix xt yt
+
+(* ---- minimal acyclic DFA of a finite language ---- *)
+
+(* Trie node; children kept sorted by message name so the hashcons
+   signatures below are canonical. *)
+type tnode = { mutable term : bool; mutable kids : (string * tnode) list }
+
+let trie_insert root msgs =
+  let rec go node = function
+    | [] -> node.term <- true
+    | msg :: rest ->
+        let child =
+          match List.assoc_opt msg node.kids with
+          | Some c -> c
+          | None ->
+              let c = { term = false; kids = [] } in
+              node.kids <-
+                List.sort (fun (a, _) (b, _) -> String.compare a b) ((msg, c) :: node.kids);
+              c
+        in
+        go child rest
+  in
+  go root msgs
+
+(* Bottom-up hashcons by suffix signature (terminal?, sorted outgoing
+   edges): nodes accepting the same residual language collapse into one,
+   which is what turns a bag of linear paths back into a DAG whose
+   branches fork and rejoin. Ids are assigned in deterministic postorder. *)
+let minimize root =
+  let sigs : (bool * (string * int) list, int) Hashtbl.t = Hashtbl.create 64 in
+  let nodes = ref [] in
+  let next = ref 0 in
+  let rec go node =
+    let kids = List.map (fun (msg, child) -> (msg, go child)) node.kids in
+    let signature = (node.term, kids) in
+    match Hashtbl.find_opt sigs signature with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.add sigs signature id;
+        nodes := (id, signature) :: !nodes;
+        id
+  in
+  let root_id = go root in
+  (root_id, List.rev !nodes)
+
+(* A flow's stop states may have no successors, so a state that both
+   accepts and continues (the language holds a proper prefix pair —
+   truncated episodes) cannot be a stop state directly. Split it: make it
+   interior, and duplicate every edge entering it onto the shared pure
+   stop node. The duplicate is a nondeterministic choice on one message
+   label — the only DAG structure that accepts a prefix-closed pair —
+   and flowlint's FL007 flags exactly that, which is the desired signal:
+   a mined prefix split means the evidence was truncated. *)
+let stop_split (root_id, nodes) =
+  let splits =
+    List.filter_map (fun (id, (term, kids)) -> if term && kids <> [] then Some id else None) nodes
+  in
+  if splits = [] then (root_id, nodes)
+  else
+    let stop_id =
+      match
+        List.find_map (fun (id, (term, kids)) -> if term && kids = [] then Some id else None) nodes
+      with
+      | Some id -> id
+      | None -> assert false (* the longest kept word always ends in a pure leaf *)
+    in
+    let nodes =
+      List.map
+        (fun (id, (term, kids)) ->
+          let kids =
+            List.concat_map
+              (fun (msg, child) ->
+                if List.mem child splits then [ (msg, child); (msg, stop_id) ]
+                else [ (msg, child) ])
+              kids
+          in
+          (id, (term && kids = [], kids)))
+        nodes
+    in
+    (root_id, nodes)
+
+(* BFS from the initial state, edges in (message, id) order, naming
+   states <flow>_q0, <flow>_q1, ... in discovery order — the same
+   fresh-name shape flowlint's FL006 expects, and stable across runs. *)
+let name_states flow_name (root_id, nodes) =
+  let prefix = String.lowercase_ascii flow_name in
+  let node id = List.assoc id nodes in
+  let names : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let queue = Queue.create () in
+  let visit id =
+    if not (Hashtbl.mem names id) then begin
+      let name = Printf.sprintf "%s_q%d" prefix (Hashtbl.length names) in
+      Hashtbl.add names id name;
+      order := (id, name) :: !order;
+      Queue.add id queue
+    end
+  in
+  visit root_id;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let _, kids = node id in
+    List.iter
+      (fun (_, child) -> visit child)
+      (List.sort (fun (ma, ca) (mb, cb) -> compare (ma, ca) (mb, cb)) kids)
+  done;
+  let name id = Hashtbl.find names id in
+  let states = List.rev_map snd !order in
+  let stops =
+    List.filter_map
+      (fun (id, (term, _)) -> if term && Hashtbl.mem names id then Some (name id) else None)
+      nodes
+    |> List.sort String.compare
+  in
+  let transitions =
+    List.concat_map
+      (fun (id, (_, kids)) ->
+        if Hashtbl.mem names id then
+          List.map (fun (msg, child) -> Flow.transition (name id) msg (name child)) kids
+        else [])
+      nodes
+    |> List.sort (fun (a : Flow.transition) b ->
+           compare (a.t_src, a.t_msg, a.t_dst) (b.t_src, b.t_msg, b.t_dst))
+  in
+  (states, name root_id, stops, transitions)
+
+(* ---- message attribute resolution ---- *)
+
+(* Messages are listed in catalog (declaration) order, non-catalog names
+   after, alphabetically. Selection breaks equal-gain ties by message
+   enumeration order, so preserving the catalog's order makes Step-1/2
+   answers on a mined spec comparable to the ground truth's. *)
+let order_alphabet ~catalog alphabet =
+  let pos name =
+    let rec go i = function
+      | [] -> None
+      | (m : Message.t) :: rest -> if String.equal m.name name then Some i else go (i + 1) rest
+    in
+    go 0 catalog
+  in
+  List.stable_sort
+    (fun a b ->
+      match (pos a, pos b) with
+      | Some i, Some j -> compare i j
+      | Some _, None -> -1
+      | None, Some _ -> 1
+      | None, None -> String.compare a b)
+    alphabet
+
+let resolve_messages ~config ~catalog ~endpoints ~span ~emit alphabet =
+  let observed name =
+    match List.assoc_opt name endpoints with
+    | Some (((src, dst), _) :: _) -> Some (src, dst)
+    | _ -> None
+  in
+  List.map
+    (fun name ->
+      match List.find_opt (fun (m : Message.t) -> String.equal m.name name) catalog with
+      | Some m ->
+          (match observed name with
+          | Some (src, dst) when not (String.equal src m.src && String.equal dst m.dst) ->
+              emit
+                (Mn.v "MN014" span
+                   "message %s: trace shows %s -> %s, catalog declares %s -> %s; keeping the catalog"
+                   name src dst m.src m.dst)
+          | _ -> ());
+          m
+      | None ->
+          let src, dst = Option.value ~default:("?", "?") (observed name) in
+          emit
+            (Mn.v "MN013" span "message %s is not in the catalog; defaulting to width %d" name
+               config.default_width);
+          Message.make ~src ~dst name config.default_width)
+    alphabet
+
+(* ---- per-flow mining ---- *)
+
+let mine_flow ~config ~catalog ~endpoints ~span ~emit ~seen_msgs flow_name episodes =
+  let total = List.length episodes in
+  let counts : (string list, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ep : Episode.t) ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts ep.ep_msgs) in
+      Hashtbl.replace counts ep.ep_msgs (n + 1))
+    episodes;
+  (* rank: strongest evidence first, longer (more explanatory) paths
+     break ties, lexicographic order makes the ranking total *)
+  let ranked =
+    Hashtbl.fold (fun msgs n acc -> { p_msgs = msgs; p_count = n } :: acc) counts []
+    |> List.sort (fun a b ->
+           if a.p_count <> b.p_count then compare b.p_count a.p_count
+           else
+             let la = List.length a.p_msgs and lb = List.length b.p_msgs in
+             if la <> lb then compare lb la else compare a.p_msgs b.p_msgs)
+  in
+  let ranked, overflow =
+    if List.length ranked <= config.path_limit then (ranked, [])
+    else (List.filteri (fun i _ -> i < config.path_limit) ranked,
+          List.filteri (fun i _ -> i >= config.path_limit) ranked)
+  in
+  let meets p =
+    p.p_count >= config.min_count && float_of_int p.p_count >= config.support *. float_of_int total
+  in
+  let kept0, below = List.partition meets ranked in
+  (* hierarchical absorption: a weak sequence that embeds in a kept one
+     is lossy evidence FOR it, not noise against it *)
+  let kept = ref (List.map (fun p -> ref p) kept0) in
+  let absorbed = ref 0 in
+  let dropped =
+    List.filter
+      (fun p ->
+        match List.find_opt (fun k -> is_proper_subseq p.p_msgs !k.p_msgs) !kept with
+        | Some k ->
+            k := { !k with p_count = !k.p_count + p.p_count };
+            absorbed := !absorbed + p.p_count;
+            false
+        | None -> true)
+      below
+    @ overflow
+  in
+  List.iter
+    (fun p ->
+      emit
+        (Mn.v "MN011" span ~flow:flow_name "path %s dropped as noise (%d of %d episodes)"
+           (String.concat " " p.p_msgs) p.p_count total))
+    dropped;
+  let kept =
+    List.map (fun k -> !k) !kept
+    |> List.sort (fun a b ->
+           if a.p_count <> b.p_count then compare b.p_count a.p_count
+           else compare a.p_msgs b.p_msgs)
+  in
+  if kept = [] then begin
+    emit
+      (Mn.v "MN010" span ~flow:flow_name
+         "flow %s dropped: none of its %d episodes met the support threshold" flow_name total);
+    (None, dropped <> [])
+  end
+  else begin
+    List.iter
+      (fun p ->
+        if List.exists (fun q -> is_proper_prefix p.p_msgs q.p_msgs) kept then
+          emit
+            (Mn.v "MN012" span ~flow:flow_name
+               "kept path %s is a proper prefix of a longer kept path; truncated episodes suspected"
+               (String.concat " " p.p_msgs)))
+      kept;
+    let root = { term = false; kids = [] } in
+    List.iter (fun p -> trie_insert root p.p_msgs) kept;
+    let dfa = stop_split (minimize root) in
+    let states, initial, stops, transitions = name_states flow_name dfa in
+    let alphabet =
+      List.concat_map (fun p -> p.p_msgs) kept
+      |> List.sort_uniq String.compare |> order_alphabet ~catalog
+    in
+    let emit_msg d =
+      (* catalog findings are per message name, not per flow *)
+      let key = (d : Diagnostic.t).message in
+      if not (Hashtbl.mem seen_msgs key) then begin
+        Hashtbl.add seen_msgs key ();
+        emit d
+      end
+    in
+    let messages =
+      resolve_messages ~config ~catalog ~endpoints ~span ~emit:emit_msg alphabet
+    in
+    match
+      Flow.make ~name:flow_name ~states ~initial:[ initial ] ~stop:stops ~messages ~transitions
+        ()
+    with
+    | flow ->
+        ( Some
+            {
+              m_flow = flow;
+              m_fingerprint = fingerprint flow;
+              m_episodes = total;
+              m_kept = kept;
+              m_dropped = dropped;
+              m_absorbed = !absorbed;
+            },
+          dropped <> [] )
+    | exception Flow.Invalid (_, violations) ->
+        emit
+          (Mn.v "MN002" span ~flow:flow_name "mined flow %s failed validation: %s" flow_name
+             (String.concat "; " violations));
+        (None, true)
+  end
+
+let mine ?(config = default_config) ?(catalog = []) ?(file = "<trace>") traces =
+  if config.support < 0.0 || config.support > 1.0 then
+    invalid_arg "Miner.mine: support must be in [0, 1]";
+  if config.min_count < 1 then invalid_arg "Miner.mine: min_count must be >= 1";
+  if config.path_limit < 1 then invalid_arg "Miner.mine: path_limit must be >= 1";
+  let span = Srcspan.none file in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let episodes = Episode.slice traces in
+  let n_episodes = List.length episodes in
+  if n_episodes = 0 then begin
+    emit (Mn.v "MN001" span "trace yields no episodes; nothing to mine");
+    { r_flows = []; r_episodes = 0; r_diags = Diagnostic.sort_report !diags }
+  end
+  else begin
+    let endpoints = Episode.endpoints traces in
+    let by_flow : (string, Episode.t list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (ep : Episode.t) ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_flow ep.ep_flow) in
+        Hashtbl.replace by_flow ep.ep_flow (ep :: prev))
+      episodes;
+    let flow_names =
+      Hashtbl.fold (fun name _ acc -> name :: acc) by_flow [] |> List.sort String.compare
+    in
+    let seen_msgs : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    let any_discard = ref false in
+    let flows =
+      List.filter_map
+        (fun name ->
+          let eps = List.rev (Hashtbl.find by_flow name) in
+          let mined, discarded =
+            mine_flow ~config ~catalog ~endpoints ~span ~emit ~seen_msgs name eps
+          in
+          if discarded then any_discard := true;
+          mined)
+        flow_names
+      |> List.sort (fun a b -> compare (a.m_fingerprint, a.m_flow.name) (b.m_fingerprint, b.m_flow.name))
+    in
+    if !any_discard then
+      emit
+        (Mn.v "MN090" span
+           "mining degraded: some observed evidence was discarded; the mined spec may be incomplete");
+    { r_flows = flows; r_episodes = n_episodes; r_diags = Diagnostic.sort_report !diags }
+  end
+
+let spec_text result = Spec_parser.print_flows (List.map (fun m -> m.m_flow) result.r_flows)
+
+let path_json p =
+  Json.Obj [ ("msgs", Json.List (List.map (fun m -> Json.String m) p.p_msgs)); ("count", Json.Int p.p_count) ]
+
+let to_json ?score result =
+  let flow_json m =
+    Json.Obj
+      [
+        ("name", Json.String m.m_flow.Flow.name);
+        ("fingerprint", Json.String m.m_fingerprint);
+        ("episodes", Json.Int m.m_episodes);
+        ("absorbed", Json.Int m.m_absorbed);
+        ("kept", Json.List (List.map path_json m.m_kept));
+        ("dropped", Json.List (List.map path_json m.m_dropped));
+        ("states", Json.Int (Flow.n_states m.m_flow));
+        ("spec", Json.String (Spec_parser.print_flow m.m_flow));
+      ]
+  in
+  let base =
+    [
+      ("flows", Json.List (List.map flow_json result.r_flows));
+      ("episodes", Json.Int result.r_episodes);
+      ("degraded", Json.Bool (degraded result.r_diags));
+      ("diagnostics", Json.List (List.map Diagnostic.to_json result.r_diags));
+      ( "summary",
+        Json.Obj
+          [
+            ("errors", Json.Int (Diagnostic.count_errors result.r_diags));
+            ("warnings", Json.Int (Diagnostic.count_warnings result.r_diags));
+            ("notes", Json.Int (Diagnostic.count_infos result.r_diags));
+          ] );
+    ]
+  in
+  match score with
+  | None -> Json.Obj base
+  | Some s -> Json.Obj (base @ [ ("score", s) ])

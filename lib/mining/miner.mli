@@ -1,0 +1,122 @@
+(** Flow mining: infer candidate flow specifications from trace-buffer
+    output.
+
+    The inverse of the paper's pipeline. Where the paper assumes flow
+    specifications are given and asks which messages to trace, this
+    module consumes the traces themselves — including lossy ones
+    produced under {!Flowtrace_soc.Obs_fault} and trace-buffer overflow
+    policies — and reconstructs candidate flow DAGs, in the style of
+    frequent-subsequence message-flow mining (PAPERS.md: "Inferring
+    Message Flows From System Communication Traces", "AutoFlows++").
+
+    The algorithm, per flow tag:
+    + {b Episodes} ({!Episode.slice}): per-instance message sequences in
+      cycle order — the causality-ordered n-grams evidence is counted
+      over.
+    + {b Support}: distinct sequences are tallied; a sequence is {e kept}
+      when its evidence count reaches [min_count] and its fraction of
+      the flow's episodes reaches [support].
+    + {b Hierarchical absorption}: a below-threshold sequence that is a
+      proper subsequence of a kept one is folded into it as supporting
+      evidence — a lossy observation of a path is counted for the path,
+      not against it. What absorbs nowhere is dropped as noise
+      ([MN011]).
+    + {b Branch reconstruction}: the kept sequences are compiled into
+      the minimal acyclic DFA of their language — common prefixes share
+      states (a trie), divergent suffixes are merged bottom-up, so
+      branches that fork and rejoin come back as DAG structure, not as a
+      bag of linear paths. A kept sequence that is a proper prefix of
+      another ([MN012], truncated episodes) is represented by a
+      nondeterministic stop split, the only structure that can accept a
+      prefix-closed pair.
+    + {b Attributes}: message widths, endpoints, beats and subgroups are
+      not observable in the message stream; they come from the
+      [catalog] (in hardware: the monitor configuration, which knows the
+      interface it taps). Messages absent from the catalog are
+      synthesized with [default_width] and majority-vote endpoints
+      ([MN013]). Atomicity is likewise unobservable — a mutex {e
+      annotation}, not a message — so mined flows carry an empty [Atom]
+      set; on the shipped T2 scenarios this changes reported gain
+      values but not the selected message set.
+
+    Mined flows pretty-print through {!Flowtrace_core.Spec_parser}
+    ([print_flow]) to [.flow] syntax that round-trips through
+    [parse_raw], so they feed straight back into flowlint, [flowtrace
+    check] and Step-1/2 selection — the closed mine → lint → check →
+    select → simulate loop.
+
+    Everything is deterministic: no wall clock, no randomness, all
+    hash-table extractions sorted. Mined flows are emitted in canonical
+    order (stable sort on {!fingerprint}, then name) so [--json] output
+    is byte-identical across reruns. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_analysis
+
+type config = {
+  support : float;
+      (** minimum fraction of a flow's episodes a kept path must
+          explain, in [0, 1]; [0.0] keeps every observed sequence *)
+  min_count : int;  (** absolute evidence floor per kept path; >= 1 *)
+  default_width : int;  (** width for messages absent from the catalog *)
+  path_limit : int;  (** cap on distinct candidate paths per flow *)
+}
+
+(** [{ support = 0.0; min_count = 1; default_width = 8;
+      path_limit = 10_000 }] — trust everything, the clean-trace
+    setting. Raise [support] on lossy traces. *)
+val default_config : config
+
+(** One reconstructed path with its evidence count (episodes explained,
+    absorbed ones included). *)
+type path = { p_msgs : string list; p_count : int }
+
+(** One mined flow with its provenance. *)
+type mined = {
+  m_flow : Flow.t;
+  m_fingerprint : string;  (** {!fingerprint} of [m_flow] *)
+  m_episodes : int;  (** episodes observed for this flow tag *)
+  m_kept : path list;  (** paths the DAG accepts, by descending support *)
+  m_dropped : path list;  (** noise paths discarded ([MN011]) *)
+  m_absorbed : int;  (** episodes folded into kept paths as lossy evidence *)
+}
+
+type result = {
+  r_flows : mined list;  (** canonical (fingerprint, name) order *)
+  r_episodes : int;  (** total episodes across all traces *)
+  r_diags : Diagnostic.t list;  (** MN findings, {!Diagnostic.sort_report} order *)
+}
+
+(** [mine ?config ?catalog ?file traces] mines every flow tag appearing
+    in [traces]. [catalog] supplies message attributes (widths,
+    endpoints, beats, subgroups) for known message names; [file] labels
+    diagnostic positions (default ["<trace>"]). Never raises on trace
+    content: an empty input yields an [MN001] error diagnostic and no
+    flows. *)
+val mine :
+  ?config:config -> ?catalog:Message.t list -> ?file:string -> Packet.t list list -> result
+
+(** [degraded diags] — does the report carry [MN090] (evidence was
+    discarded, the mined spec may be incomplete)? Feed into
+    {!Diagnostic.exit_code}'s [?degraded], mirroring [flowtrace check]'s
+    FC090 convention. *)
+val degraded : Diagnostic.t list -> bool
+
+(** [fingerprint f] is the 64-bit FNV-1a hash, in hex, of the canonical
+    [.flow] rendering of [f] — the stable identity mined flows are
+    sorted and deduplicated by. *)
+val fingerprint : Flow.t -> string
+
+(** [spec_text r] renders the mined flows as one [.flow] file in
+    canonical order — guaranteed to re-parse through
+    {!Spec_parser.parse_raw} (and [parse_string]: every mined flow
+    already passed {!Flow.make}). *)
+val spec_text : result -> string
+
+(** [to_json ?score r] is the machine-readable mining report: a [flows]
+    array (name, fingerprint, episode/path provenance, spec text), the
+    episode total, the diagnostics array (same shape as
+    {!Diagnostic.render_json}) and a severity summary; [score], when
+    given, embeds the {!Score.to_json} of a ground-truth comparison. *)
+val to_json : ?score:Json.t -> result -> Json.t

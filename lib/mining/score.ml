@@ -1,0 +1,159 @@
+(* Language-level precision/recall of mined flows vs ground truth. *)
+
+open Flowtrace_core
+module Json = Flowtrace_analysis.Json
+
+type level = { sc_common : int; sc_mined : int; sc_truth : int }
+
+let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+let precision l = ratio l.sc_common l.sc_mined
+let recall l = ratio l.sc_common l.sc_truth
+
+let f1 l =
+  let p = precision l and r = recall l in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+type flow_score = {
+  fs_flow : string;
+  fs_matched : bool;
+  fs_edges : level;
+  fs_paths : level;
+  fs_truncated : bool;
+}
+
+type t = {
+  per_flow : flow_score list;
+  missing : string list;
+  spurious : string list;
+  edges : level;
+  paths : level;
+  truncated : bool;
+}
+
+let zero = { sc_common = 0; sc_mined = 0; sc_truth = 0 }
+
+let add a b =
+  {
+    sc_common = a.sc_common + b.sc_common;
+    sc_mined = a.sc_mined + b.sc_mined;
+    sc_truth = a.sc_truth + b.sc_truth;
+  }
+
+let compare_sets mined truth =
+  let common = List.length (List.filter (fun x -> List.mem x truth) mined) in
+  { sc_common = common; sc_mined = List.length mined; sc_truth = List.length truth }
+
+let traces ~path_limit flow =
+  match flow with
+  | None -> ([], false)
+  | Some f ->
+      let paths, truncated = Flow.paths ~limit:path_limit f in
+      (List.sort_uniq compare (List.map fst paths), truncated)
+
+let score ?(path_limit = 10_000) ~truth mined =
+  let name (f : Flow.t) = f.name in
+  let names =
+    List.sort_uniq String.compare (List.map name truth @ List.map name mined)
+  in
+  let find fs n = List.find_opt (fun f -> String.equal (name f) n) fs in
+  let per_flow =
+    List.map
+      (fun n ->
+        let m = find mined n and t = find truth n in
+        let bigrams = function None -> [] | Some f -> Flow.bigrams f in
+        let m_traces, m_trunc = traces ~path_limit m in
+        let t_traces, t_trunc = traces ~path_limit t in
+        {
+          fs_flow = n;
+          fs_matched = m <> None && t <> None;
+          fs_edges = compare_sets (bigrams m) (bigrams t);
+          fs_paths = compare_sets m_traces t_traces;
+          fs_truncated = m_trunc || t_trunc;
+        })
+      names
+  in
+  let only side =
+    List.filter_map
+      (fun n ->
+        match (find mined n, find truth n) with
+        | Some _, None when side = `Mined -> Some n
+        | None, Some _ when side = `Truth -> Some n
+        | _ -> None)
+      names
+  in
+  {
+    per_flow;
+    missing = only `Truth;
+    spurious = only `Mined;
+    edges = List.fold_left (fun acc f -> add acc f.fs_edges) zero per_flow;
+    paths = List.fold_left (fun acc f -> add acc f.fs_paths) zero per_flow;
+    truncated = List.exists (fun f -> f.fs_truncated) per_flow;
+  }
+
+let edge_precision s = precision s.edges
+let edge_recall s = recall s.edges
+let path_precision s = precision s.paths
+let path_recall s = recall s.paths
+
+let perfect s =
+  s.missing = [] && s.spurious = [] && (not s.truncated)
+  && edge_precision s = 1.0 && edge_recall s = 1.0
+  && path_precision s = 1.0 && path_recall s = 1.0
+
+let level_json l =
+  Json.Obj
+    [
+      ("common", Json.Int l.sc_common);
+      ("mined", Json.Int l.sc_mined);
+      ("truth", Json.Int l.sc_truth);
+      ("precision", Json.Float (precision l));
+      ("recall", Json.Float (recall l));
+    ]
+
+let to_json s =
+  Json.Obj
+    [
+      ( "flows",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("flow", Json.String f.fs_flow);
+                   ("matched", Json.Bool f.fs_matched);
+                   ("edges", level_json f.fs_edges);
+                   ("paths", level_json f.fs_paths);
+                   ("truncated", Json.Bool f.fs_truncated);
+                 ])
+             s.per_flow) );
+      ("missing", Json.List (List.map (fun n -> Json.String n) s.missing));
+      ("spurious", Json.List (List.map (fun n -> Json.String n) s.spurious));
+      ("edges", level_json s.edges);
+      ("paths", level_json s.paths);
+      ("truncated", Json.Bool s.truncated);
+      ("perfect", Json.Bool (perfect s));
+    ]
+
+let render s =
+  let buf = Buffer.create 256 in
+  let pct f = Printf.sprintf "%5.1f%%" (100.0 *. f) in
+  Buffer.add_string buf
+    (Printf.sprintf "score: edges P %s R %s | paths P %s R %s%s\n"
+       (pct (edge_precision s)) (pct (edge_recall s)) (pct (path_precision s))
+       (pct (path_recall s))
+       (if s.truncated then " (path enumeration truncated)" else ""));
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s %s edges %d/%d/%d paths %d/%d/%d\n" f.fs_flow
+           (if f.fs_matched then "matched " else "UNMATCHED")
+           f.fs_edges.sc_common f.fs_edges.sc_mined f.fs_edges.sc_truth f.fs_paths.sc_common
+           f.fs_paths.sc_mined f.fs_paths.sc_truth))
+    s.per_flow;
+  if s.missing <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  missing from mined: %s\n" (String.concat ", " s.missing));
+  if s.spurious <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  spurious in mined: %s\n" (String.concat ", " s.spurious));
+  Buffer.contents buf

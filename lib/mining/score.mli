@@ -1,0 +1,76 @@
+(** Precision/recall scoring of mined flows against a ground truth.
+
+    Mined flows carry fresh state names and a minimal DAG, so comparing
+    them structurally to a hand-written specification would punish
+    harmless differences. The scorer therefore compares {e languages}:
+
+    - {b edge level} — the message-bigram sets of
+      {!Flowtrace_core.Flow.bigrams} (adjacent message pairs over all
+      executions, with start/stop sentinels). Two flows with the same
+      execution language have identical bigrams regardless of state
+      naming or minimality.
+    - {b path level} — the execution trace sets of
+      {!Flowtrace_core.Flow.paths} (deduplicated message sequences),
+      capped at [path_limit] per flow; a hit cap is surfaced as
+      [truncated] and the affected counts are lower bounds.
+
+    Flows are matched by name (the mined flow keeps the monitor's flow
+    tag, which is the ground-truth name). A truth flow with no mined
+    counterpart counts all its edges and paths as misses (recall); a
+    mined flow with no truth counterpart counts all of them as spurious
+    (precision). Precision with nothing mined and recall with nothing
+    to recover are both vacuously 1. *)
+
+open Flowtrace_core
+
+(** Common/mined/truth counts at one granularity. *)
+type level = { sc_common : int; sc_mined : int; sc_truth : int }
+
+(** [precision l] is common/mined, [recall l] common/truth; empty
+    denominators score 1.0 (vacuous truth). *)
+val precision : level -> float
+
+val recall : level -> float
+
+(** [f1 l] is the harmonic mean of precision and recall. *)
+val f1 : level -> float
+
+(** Per-flow-name comparison. [fs_matched] is false when the name exists
+    on one side only. *)
+type flow_score = {
+  fs_flow : string;
+  fs_matched : bool;
+  fs_edges : level;
+  fs_paths : level;
+  fs_truncated : bool;
+}
+
+type t = {
+  per_flow : flow_score list;  (** sorted by flow name *)
+  missing : string list;  (** truth flows with no mined counterpart *)
+  spurious : string list;  (** mined flows with no truth counterpart *)
+  edges : level;  (** totals over all flows *)
+  paths : level;
+  truncated : bool;
+}
+
+(** [score ?path_limit ~truth mined] compares by flow name
+    ([path_limit] defaults to 10,000 paths per flow). *)
+val score : ?path_limit:int -> truth:Flow.t list -> Flow.t list -> t
+
+(** [perfect s] — edge and path precision and recall all 1.0, nothing
+    missing or spurious, no truncation: the mined spec's language is
+    exactly the ground truth's. *)
+val perfect : t -> bool
+
+val edge_precision : t -> float
+val edge_recall : t -> float
+val path_precision : t -> float
+val path_recall : t -> float
+
+(** [to_json s] is the machine-readable score report embedded in
+    [flowtrace mine --json]. *)
+val to_json : t -> Flowtrace_analysis.Json.t
+
+(** [render s] is a short human-readable score block for the CLI. *)
+val render : t -> string

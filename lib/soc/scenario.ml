@@ -172,7 +172,8 @@ let t2_topology =
 (* Whole-scenario debuggability analysis of the participating flows bound
    to the T2 topology — the gate a mined or hand-written candidate
    scenario passes before selection sees it. *)
-let admission ?budget t =
+let admission_flows ?budget ~name flows =
   Flowtrace_analysis.Check.run
-    (Flowtrace_analysis.Scenario_model.of_flows ~topology:t2_topology ?budget ~file:t.name
-       (flows t))
+    (Flowtrace_analysis.Scenario_model.of_flows ~topology:t2_topology ?budget ~file:name flows)
+
+let admission ?budget t = admission_flows ?budget ~name:t.name (flows t)

@@ -69,3 +69,10 @@ val t2_topology : Flowtrace_analysis.Scenario_model.topology
     before selection is attempted. Returns the FC diagnostics; an empty
     (or error-free) report admits the scenario. *)
 val admission : ?budget:int -> t -> Flowtrace_analysis.Diagnostic.t list
+
+(** [admission_flows ?budget ~name flows] is {!admission} over an
+    arbitrary flow list — the gate a {e mined} candidate scenario
+    ([lib/mining]) passes before selection sees it, bound to
+    {!t2_topology}. [name] labels the diagnostics' file position. *)
+val admission_flows :
+  ?budget:int -> name:string -> Flow.t list -> Flowtrace_analysis.Diagnostic.t list

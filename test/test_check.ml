@@ -307,7 +307,7 @@ let test_catalog_json () =
             | None -> Alcotest.fail ("rule entry missing " ^ k)
           in
           let namespaces = List.sort_uniq String.compare (List.map (field "namespace") items) in
-          Alcotest.(check (list string)) "all namespaces" [ "FC"; "FL"; "RT" ] namespaces;
+          Alcotest.(check (list string)) "all namespaces" [ "FC"; "FL"; "MN"; "RT" ] namespaces;
           let catalog_codes = List.map (field "code") items in
           List.iter
             (fun (r : Rule.Scenario.rule) ->

@@ -1,0 +1,303 @@
+(* Flow mining: the closed mine -> lint -> check -> select -> simulate
+   loop.
+
+   Layers:
+   - round trip: mining clean traces of every shipped spec recovers it
+     with edge and path precision/recall 1.0;
+   - golden acceptance: simulated T2 scenario traces mine back into a
+     spec that lints clean under --werror, passes the whole-scenario
+     admission gate, and selects the exact same message set as the
+     ground truth (atomicity is unobservable and deliberately unmined);
+   - properties: on random generated flows, mined output re-parses
+     through Spec_parser and lints with no (promoted) errors, and the
+     recovered language is exact;
+   - degradation: lossy traces still mine to valid, lintable specs, and
+     injected noise is dropped with an MN011 + degraded (exit 3) report;
+   - determinism: byte-identical spec text and JSON across reruns and
+     across input trace order. *)
+
+open Flowtrace_core
+open Flowtrace_soc
+open Flowtrace_analysis
+open Flowtrace_mining
+
+let spec_dir =
+  let rec find dir =
+    if Sys.file_exists (Filename.concat dir "specs") then Filename.concat dir "specs"
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then failwith "specs/ directory not found" else find parent
+  in
+  find (Sys.getcwd ())
+
+let codes diags = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) diags
+let has code diags = List.exists (String.equal code) (codes diags)
+
+(* One clean synthetic trace exercising every execution of every flow:
+   one episode per execution, unique instance tags, strictly increasing
+   cycles — what a perfect monitor over an exhaustive workload logs. *)
+let synth_trace flows =
+  let cycle = ref 0 in
+  let packets = ref [] in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iteri
+        (fun i msgs ->
+          List.iter
+            (fun m ->
+              incr cycle;
+              let md = Flow.message_exn f m in
+              packets :=
+                {
+                  Packet.cycle = !cycle;
+                  flow = f.Flow.name;
+                  inst = i;
+                  msg = m;
+                  src = md.Message.src;
+                  dst = md.Message.dst;
+                  fields = [];
+                }
+                :: !packets)
+            msgs)
+        (Flow.executions f))
+    flows;
+  List.rev !packets
+
+let catalog_of flows = List.concat_map (fun (f : Flow.t) -> f.Flow.messages) flows
+let mined_flows result = List.map (fun m -> m.Miner.m_flow) result.Miner.r_flows
+
+let errors_werror diags =
+  Diagnostic.count_errors (List.map Diagnostic.promote_warnings diags)
+
+(* --- round trip: shipped specs --- *)
+
+let roundtrip_file name () =
+  let truth = Spec_parser.parse_file (Filename.concat spec_dir name) in
+  let result =
+    Miner.mine ~catalog:(catalog_of truth) ~file:name [ synth_trace truth ]
+  in
+  Alcotest.(check int) "no errors" 0 (Diagnostic.count_errors result.r_diags);
+  Alcotest.(check bool) "not degraded" false (Miner.degraded result.r_diags);
+  let s = Score.score ~truth (mined_flows result) in
+  if not (Score.perfect s) then
+    Alcotest.failf "%s not perfectly recovered:\n%s" name (Score.render s);
+  (* and the emitted spec survives the full strict parse *)
+  let reparsed = Spec_parser.parse_string (Miner.spec_text result) in
+  Alcotest.(check int) "reparsed flow count" (List.length truth) (List.length reparsed)
+
+(* --- golden acceptance: the closed loop on the T2 scenarios --- *)
+
+let t2_scenario_traces () =
+  (* scenario1 (PIO + monitoring) and scenario2 (NCU + monitoring)
+     together exercise all five T2 flows; enough rounds that the seeded
+     branch choices visit every execution path *)
+  List.map
+    (fun (sc, seed) ->
+      let config = { Scenario.default_run with rounds = 12; seed } in
+      let outcome = Scenario.run ~config sc in
+      outcome.Sim.packets)
+    [ (Scenario.scenario1, 1); (Scenario.scenario2, 2) ]
+
+let test_t2_closed_loop () =
+  let traces = t2_scenario_traces () in
+  let result = Miner.mine ~catalog:T2.all_messages ~file:"t2.sim" traces in
+  Alcotest.(check int) "no errors" 0 (Diagnostic.count_errors result.r_diags);
+  let mined = mined_flows result in
+  (* mine: exact recovery *)
+  let s = Score.score ~truth:T2.flows mined in
+  if not (Score.perfect s) then
+    Alcotest.failf "t2 scenarios not perfectly recovered:\n%s" (Score.render s);
+  (* lint: clean under --werror *)
+  let lint = Lint.lint_string ~file:"mined.flow" (Miner.spec_text result) in
+  Alcotest.(check int) "lint --werror clean" 0 (errors_werror lint);
+  (* check: passes the whole-scenario admission gate *)
+  let admission = Scenario.admission_flows ~budget:32 ~name:"mined.flow" mined in
+  Alcotest.(check int) "admission no errors" 0 (Diagnostic.count_errors admission);
+  (* select: Step-1/2 answer identical to ground truth (atomicity only
+     changes reported gain, never the chosen message set). Equal-gain
+     ties break by enumeration order, so align the truth to the mined
+     flow order before comparing. *)
+  let selection flows =
+    Select.selected_names (Select.select (Interleave.of_flows flows) ~buffer_width:32)
+  in
+  let truth_aligned =
+    List.map
+      (fun (m : Flow.t) ->
+        List.find (fun (t : Flow.t) -> String.equal t.Flow.name m.Flow.name) T2.flows)
+      mined
+  in
+  Alcotest.(check (list string)) "selection identical" (selection truth_aligned) (selection mined)
+
+(* --- degradation under loss --- *)
+
+let test_lossy_mining () =
+  let truth = T2.flows in
+  let clean = synth_trace truth in
+  (* replicate the exhaustive trace so real paths keep strong support
+     under loss (shift instance tags so episodes stay distinct) *)
+  let max_inst =
+    List.fold_left (fun acc (p : Packet.t) -> max acc p.Packet.inst) 0 clean + 1
+  in
+  let replicated k =
+    List.concat
+      (List.init k (fun r ->
+           List.map (fun (p : Packet.t) -> { p with Packet.inst = p.Packet.inst + (r * max_inst) }) clean))
+  in
+  let workload = replicated 6 in
+  List.iter
+    (fun rate ->
+      let spec = { Obs_fault.none with drop = rate } in
+      let lossy, _report = Obs_fault.apply ~seed:7 spec workload in
+      let result =
+        Miner.mine
+          ~config:{ Miner.default_config with support = 0.25; min_count = 2 }
+          ~catalog:T2.all_messages ~file:"lossy" [ lossy ]
+      in
+      (* whatever survives must be structurally valid, parseable and
+         lintable — fidelity degrades, the pipeline never breaks *)
+      Alcotest.(check int)
+        (Printf.sprintf "drop %.2f: no MN002" rate)
+        0
+        (List.length (List.filter (String.equal "MN002") (codes result.r_diags)));
+      let text = Miner.spec_text result in
+      if not (String.equal text "") then begin
+        let raw = Spec_parser.parse_raw ~file:"lossy.flow" text in
+        Alcotest.(check int)
+          (Printf.sprintf "drop %.2f: raw parse count" rate)
+          (List.length result.r_flows) (List.length raw);
+        let lint = Lint.lint_string ~file:"lossy.flow" text in
+        Alcotest.(check int)
+          (Printf.sprintf "drop %.2f: lint errors" rate)
+          0 (Diagnostic.count_errors lint)
+      end;
+      if rate = 0.0 then begin
+        let s = Score.score ~truth (mined_flows result) in
+        if not (Score.perfect s) then
+          Alcotest.failf "drop 0.0 should recover exactly:\n%s" (Score.render s)
+      end)
+    [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+
+let test_noise_dropped () =
+  let truth = T2.flows in
+  let clean = synth_trace truth in
+  let base = List.length clean in
+  (* a single bogus episode: a real flow tag with a made-up message
+     order that matches no real path and embeds in none *)
+  let noise =
+    [
+      { Packet.cycle = base + 10; flow = "PIOR"; inst = 9000; msg = "piordack"; src = "?"; dst = "?"; fields = [] };
+      { Packet.cycle = base + 11; flow = "PIOR"; inst = 9000; msg = "reqtot"; src = "?"; dst = "?"; fields = [] };
+      { Packet.cycle = base + 12; flow = "PIOR"; inst = 9000; msg = "piordack"; src = "?"; dst = "?"; fields = [] };
+    ]
+  in
+  (* every real path appears 4x, the noise once: threshold separates *)
+  let max_inst = List.fold_left (fun acc (p : Packet.t) -> max acc p.Packet.inst) 0 clean + 1 in
+  let workload =
+    List.concat
+      (List.init 4 (fun r ->
+           List.map (fun (p : Packet.t) -> { p with Packet.inst = p.Packet.inst + (r * max_inst) }) clean))
+    @ noise
+  in
+  let result =
+    Miner.mine
+      ~config:{ Miner.default_config with min_count = 2 }
+      ~catalog:T2.all_messages ~file:"noisy" [ workload ]
+  in
+  Alcotest.(check bool) "MN011 reported" true (has "MN011" result.r_diags);
+  Alcotest.(check bool) "MN090 degraded marker" true (has "MN090" result.r_diags);
+  Alcotest.(check bool) "degraded" true (Miner.degraded result.r_diags);
+  Alcotest.(check int) "exit 3" 3 (Diagnostic.exit_code ~degraded:(Miner.degraded result.r_diags) result.r_diags);
+  let s = Score.score ~truth (mined_flows result) in
+  if not (Score.perfect s) then
+    Alcotest.failf "noise should not perturb the mined spec:\n%s" (Score.render s)
+
+(* --- prefix languages: the nondeterministic stop split --- *)
+
+let test_prefix_language () =
+  let mk cycle inst msg = { Packet.cycle; flow = "P"; inst; msg; src = "a"; dst = "b"; fields = [] } in
+  let trace =
+    [ mk 1 0 "ma"; mk 2 0 "mb"; (* ab *) mk 3 1 "ma"; mk 4 1 "mb"; mk 5 1 "mc" (* abc *) ]
+  in
+  let result = Miner.mine ~file:"prefix" [ trace ] in
+  Alcotest.(check int) "no errors" 0 (Diagnostic.count_errors result.r_diags);
+  Alcotest.(check bool) "MN012 prefix note" true (has "MN012" result.r_diags);
+  match mined_flows result with
+  | [ flow ] ->
+      let lang = List.sort compare (Flow.executions flow) in
+      Alcotest.(check (list (list string)))
+        "language {ab, abc}"
+        [ [ "ma"; "mb" ]; [ "ma"; "mb"; "mc" ] ]
+        lang;
+      (* the split is visible to the linter as FL007, by design *)
+      let lint = Lint.lint_string ~file:"prefix.flow" (Miner.spec_text result) in
+      Alcotest.(check bool) "FL007 flags the split" true (has "FL007" lint)
+  | fs -> Alcotest.failf "expected one mined flow, got %d" (List.length fs)
+
+(* --- determinism --- *)
+
+let test_deterministic_output () =
+  let traces = t2_scenario_traces () in
+  let run ts =
+    let result = Miner.mine ~catalog:T2.all_messages ~file:"t2.sim" ts in
+    let score = Score.to_json (Score.score ~truth:T2.flows (mined_flows result)) in
+    (Miner.spec_text result, Json.to_string_pretty (Miner.to_json ~score result))
+  in
+  let text1, json1 = run traces in
+  let text2, json2 = run traces in
+  Alcotest.(check string) "spec text stable across reruns" text1 text2;
+  Alcotest.(check string) "json stable across reruns" json1 json2;
+  let text3, json3 = run (List.rev traces) in
+  Alcotest.(check string) "spec text stable across trace order" text1 text3;
+  Alcotest.(check string) "json stable across trace order" json1 json3
+
+(* --- properties over generated flows --- *)
+
+let prop_roundtrip_random_flows =
+  QCheck.Test.make ~name:"mined random flows: reparse, lint clean, exact language" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let truth = Gen.flows_of_seed seed in
+      let result = Miner.mine ~catalog:(catalog_of truth) ~file:"gen" [ synth_trace truth ] in
+      let text = Miner.spec_text result in
+      let raw = Spec_parser.parse_raw ~file:"gen.flow" text in
+      if List.length raw <> List.length truth then
+        QCheck.Test.fail_reportf "raw parse: %d flows, expected %d" (List.length raw)
+          (List.length truth);
+      (* the generated messages may carry "?" endpoints, which FL011
+         flags on the ground truth itself; mining must add no NEW
+         findings beyond what the truth's own rendering lints to *)
+      let lint_codes t = List.sort_uniq String.compare (codes (Lint.lint_string ~file:"gen.flow" t)) in
+      let truth_text = Spec_parser.print_flows truth in
+      let new_codes =
+        List.filter (fun c -> not (List.mem c (lint_codes truth_text))) (lint_codes text)
+      in
+      if new_codes <> [] then
+        QCheck.Test.fail_reportf "mined spec adds lint findings %s:\n%s"
+          (String.concat ", " new_codes) text;
+      let s = Score.score ~truth (mined_flows result) in
+      if not (Score.perfect s) then
+        QCheck.Test.fail_reportf "imperfect recovery:\n%s\n%s" (Score.render s) text;
+      true)
+
+let () =
+  Alcotest.run "mining"
+    [
+      ( "round trip",
+        [
+          Alcotest.test_case "cache_coherence.flow" `Quick (roundtrip_file "cache_coherence.flow");
+          Alcotest.test_case "t2.flow" `Quick (roundtrip_file "t2.flow");
+          Alcotest.test_case "t2_ext.flow" `Quick (roundtrip_file "t2_ext.flow");
+          Alcotest.test_case "usb.flow" `Quick (roundtrip_file "usb.flow");
+        ] );
+      ( "closed loop",
+        [ Alcotest.test_case "t2 scenarios: mine, lint, check, select" `Quick test_t2_closed_loop ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "loss sweep keeps specs valid" `Quick test_lossy_mining;
+          Alcotest.test_case "noise dropped: MN011 + exit 3" `Quick test_noise_dropped;
+          Alcotest.test_case "prefix language: stop split" `Quick test_prefix_language;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "byte-identical output" `Quick test_deterministic_output ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip_random_flows ]);
+    ]

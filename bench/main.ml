@@ -94,6 +94,79 @@ let kernel_tests =
           fun () -> ignore (Flowtrace_mining.Score.score ~truth:T2.flows mined)));
   ]
 
+(* The daemon's dispatch path on the same Scenario-1 selection the bare
+   kernels time: one request line through Proto parsing, admission
+   control, per-request supervision and response rendering. The ratio
+   over kernel_select_bitset (same exact width-32 selection, default
+   Auto engine) is the whole per-request serving overhead — that ratio
+   is what the CI bench gate holds. *)
+
+module Service = Flowtrace_service
+
+let serve_req fields = Json.to_string (Json.Obj fields)
+
+let serve_open ~session =
+  serve_req
+    [
+      ("op", Json.String "open-session");
+      ("session", Json.String session);
+      ("spec", Json.String (Spec_parser.print_flows (Scenario.flows Scenario.scenario1)));
+      ( "instances",
+        Json.Obj
+          (List.map
+             (fun (n, k) -> (n, Json.Int k))
+             Scenario.scenario1.Scenario.analysis_counts) );
+      ("width", Json.Int 32);
+    ]
+
+let serve_select ~session ~width =
+  serve_req
+    [
+      ("op", Json.String "select");
+      ("session", Json.String session);
+      ("width", Json.Int width);
+    ]
+
+let serve_dispatcher n_sessions =
+  let disp, _ = Service.Dispatch.create ~shards:4 () in
+  for i = 1 to n_sessions do
+    ignore (Service.Dispatch.handle disp (serve_open ~session:(Printf.sprintf "s%d" i)))
+  done;
+  disp
+
+let serve_tests =
+  let disp = serve_dispatcher 1 in
+  let line = serve_select ~session:"s1" ~width:32 in
+  [
+    Test.make ~name:"kernel_serve_select"
+      (Staged.stage (fun () -> ignore (Service.Dispatch.handle disp line)));
+  ]
+
+(* Saturation: requests/sec against one dispatcher as concurrent sessions
+   grow. One client domain per session drives Dispatch.handle directly
+   (no sockets), so the curve isolates the serving layer — shard locking,
+   admission, supervision, rendering — from kernel and event-loop cost. *)
+let serve_saturation () =
+  let per_session = 40 in
+  List.map
+    (fun n ->
+      let disp = serve_dispatcher n in
+      let t0 = Unix.gettimeofday () in
+      let doms =
+        List.init n (fun i ->
+            Domain.spawn (fun () ->
+                let line = serve_select ~session:(Printf.sprintf "s%d" (i + 1)) ~width:16 in
+                for _ = 1 to per_session do
+                  ignore (Service.Dispatch.handle disp line)
+                done))
+      in
+      List.iter Domain.join doms;
+      let dt = Unix.gettimeofday () -. t0 in
+      ( Printf.sprintf "serve_rps_%d_sessions" n,
+        n,
+        float_of_int (n * per_session) /. Float.max dt 1e-9 ))
+    [ 1; 2; 4; 8 ]
+
 (* The selection stress workload (Stress): hundreds of thousands of
    candidate combinations. Compares the pre-PR list-based exact path
    against the streaming engine, sequentially and across 4 domains. *)
@@ -127,7 +200,8 @@ let stress_tests =
 
 let benchmark ~quota =
   let test =
-    Test.make_grouped ~name:"flowtrace" (experiment_tests @ kernel_tests @ stress_tests)
+    Test.make_grouped ~name:"flowtrace"
+      (experiment_tests @ kernel_tests @ serve_tests @ stress_tests)
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:None () in
@@ -199,7 +273,7 @@ let telemetry_provenance () =
 
 (* ------------------------------------------------------------------ *)
 
-let write_json file rows probes counters =
+let write_json file rows probes counters saturation =
   let classify name =
     (* strip the Bechamel group prefix ("flowtrace/") *)
     let base =
@@ -226,6 +300,14 @@ let write_json file rows probes counters =
     Json.Obj
       [ ("name", Json.String name); ("kind", Json.String "counter"); ("value", Json.Int v) ]
   in
+  let serve_entry (name, sessions, rps) =
+    Json.Obj
+      [
+        ("name", Json.String name); ("kind", Json.String "serve");
+        ("sessions", Json.Int sessions);
+        ("requests_per_sec", Json.Float (Float.round rps));
+      ]
+  in
   let doc =
     Json.Obj
       [
@@ -234,7 +316,8 @@ let write_json file rows probes counters =
         ( "entries",
           Json.List
             (List.map entry rows @ List.map probe_entry probes
-            @ List.map counter_entry counters) );
+            @ List.map counter_entry counters
+            @ List.map serve_entry saturation) );
       ]
   in
   let oc = open_out file in
@@ -266,4 +349,10 @@ let () =
   List.iter (fun (n, v) -> Printf.printf "%-40s %12.0f words\n" n v) probes;
   let counters = telemetry_provenance () in
   List.iter (fun (n, v) -> Printf.printf "%-40s %12d\n" n v) counters;
-  match !json_file with None -> () | Some file -> write_json file rows probes counters
+  let saturation = serve_saturation () in
+  List.iter
+    (fun (n, _, rps) -> Printf.printf "%-40s %12.0f req/s\n" n rps)
+    saturation;
+  match !json_file with
+  | None -> ()
+  | Some file -> write_json file rows probes counters saturation

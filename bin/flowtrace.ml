@@ -912,6 +912,171 @@ let mine_cmd =
       const run $ trace_files $ support $ min_count $ catalog $ default_width $ score_against
       $ emit_spec $ json $ werror $ recover $ list_rules $ telemetry_arg)
 
+let serve_cmd =
+  let module Server = Flowtrace_service.Server in
+  let socket_arg =
+    let doc = "Unix-domain socket path to listen on." in
+    Arg.(value & opt string Server.default.Server.socket & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let state_dir_arg =
+    let doc =
+      "Persist every open session to crash-safe journals under $(docv) (created if missing). \
+       A daemon restarted with $(b,--resume) reopens them and answers with the same bytes an \
+       uninterrupted daemon would have."
+    in
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let shards_arg =
+    let doc = "Session-table shards; each shard is served by its own worker domain." in
+    Arg.(value & opt int Server.default.Server.shards & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Admission cap: session requests past this many in flight are answered $(b,busy) (exit \
+       field 3) instead of queueing without bound."
+    in
+    Arg.(value & opt int Server.default.Server.max_inflight & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let serve_retries_arg =
+    let doc = "Supervised retry bound per request (retries are delayed by deterministic backoff)." in
+    Arg.(value & opt int Server.default.Server.retries & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Honor per-request $(b,chaos) fields (injected faults and delays) — the deterministic \
+       fault-injection mode the chaos harness drives. Never enable in production."
+    in
+    Arg.(value & flag & info [ "chaos" ] ~doc)
+  in
+  let serve_resume_arg =
+    let doc = "Reload the sessions persisted under $(b,--state-dir)." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let queue_grace_arg =
+    let doc =
+      "Shed session requests that waited longer than $(docv) seconds in a shard queue \
+       (answered $(b,busy)). Default: no shedding by age."
+    in
+    Arg.(value & opt (some float) None & info [ "queue-grace" ] ~docv:"SEC" ~doc)
+  in
+  let run socket state_dir shards max_inflight retries chaos resume queue_grace tel =
+    with_telemetry tel @@ fun () ->
+    (match state_dir with
+    | Some d when not (Sys.file_exists d) -> (
+        try Unix.mkdir d 0o755
+        with Unix.Unix_error (e, _, _) ->
+          or_die (Error (Printf.sprintf "cannot create %s: %s" d (Unix.error_message e))))
+    | _ -> ());
+    let cfg =
+      {
+        Server.default with
+        Server.socket;
+        state_dir;
+        shards;
+        max_inflight;
+        retries;
+        chaos;
+        resume;
+        queue_grace;
+      }
+    in
+    match
+      Server.run
+        ~ready:(fun () -> Printf.eprintf "flowtraced: listening on %s\n%!" socket)
+        ~on_diags:(fun ds ->
+          if ds <> [] then
+            Printf.eprintf "%s%!" (Flowtrace_analysis.Diagnostic.render_all ds))
+        cfg
+    with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, arg) ->
+        or_die
+          (Error
+             (Printf.sprintf "cannot serve on %s: %s%s" socket (Unix.error_message e)
+                (if arg = "" then "" else " (" ^ arg ^ ")")))
+  in
+  let doc =
+    "Run the trace-analysis daemon: a long-lived multi-tenant service over a Unix socket \
+     speaking newline-delimited JSON (ops: open-session, select, localize, mine, status, \
+     close, ping, shutdown)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ state_dir_arg $ shards_arg $ max_inflight_arg $ serve_retries_arg
+      $ chaos_arg $ serve_resume_arg $ queue_grace_arg $ telemetry_arg)
+
+let call_cmd =
+  let socket_arg =
+    let doc = "Unix-domain socket the daemon listens on." in
+    Arg.(
+      value
+      & opt string Flowtrace_service.Server.default.Flowtrace_service.Server.socket
+      & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let requests_arg =
+    let doc =
+      "Request lines (JSON objects) to send, one response printed per request. With no \
+       REQUEST arguments, lines are read from standard input in lockstep."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
+  in
+  let wait_arg =
+    let doc = "Seconds to keep retrying the initial connect (covers daemon start-up races)." in
+    Arg.(value & opt float 5.0 & info [ "wait" ] ~docv:"SEC" ~doc)
+  in
+  let run socket requests wait =
+    let deadline = Unix.gettimeofday () +. wait in
+    let rec connect () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> fd
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when Unix.gettimeofday () < deadline ->
+          Unix.close fd;
+          Unix.sleepf 0.05;
+          connect ()
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          or_die
+            (Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e)))
+    in
+    let fd = connect () in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let saw_error = ref false and saw_degraded = ref false in
+    let send line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | resp -> (
+          print_endline resp;
+          let module Json = Flowtrace_analysis.Json in
+          match Json.parse resp with
+          | Ok j -> (
+              match Option.bind (Json.member "exit" j) Json.to_int_opt with
+              | Some 0 | None -> ()
+              | Some 3 -> saw_degraded := true
+              | Some _ -> saw_error := true)
+          | Error _ -> saw_error := true)
+      | exception End_of_file -> or_die (Error "daemon closed the connection")
+    in
+    (match requests with
+    | [] -> ( try
+        while true do
+          send (input_line stdin)
+        done
+      with End_of_file -> ())
+    | requests -> List.iter send requests);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if !saw_error then exit 1 else if !saw_degraded then exit 3
+  in
+  let doc =
+    "Send request lines to a running $(b,flowtrace serve) daemon and print each response \
+     (exit 0 when all ok, 3 when any response was degraded/busy, 1 on any error)."
+  in
+  Cmd.v (Cmd.info "call" ~doc) Term.(const run $ socket_arg $ requests_arg $ wait_arg)
+
 let scenarios_cmd =
   let run () =
     let open Flowtrace_soc in
@@ -932,4 +1097,4 @@ let () =
   let doc = "application-level hardware trace message selection" in
   let info = Cmd.info "flowtrace" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; check_cmd; mine_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd ]))
+       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; check_cmd; mine_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd; serve_cmd; call_cmd ]))

@@ -1,0 +1,52 @@
+module Tel = Flowtrace_telemetry.Telemetry
+
+let c_backoff_ns = Tel.Counter.v "runtime.task.backoff_ns"
+
+type t = { base_ns : int; cap_ns : int; jitter : float; seed : int }
+
+let make ?(base_ns = 1_000_000) ?(cap_ns = 100_000_000) ?(jitter = 0.5) ~seed () =
+  if base_ns <= 0 then invalid_arg "Backoff.make: base_ns must be positive";
+  if cap_ns <= 0 then invalid_arg "Backoff.make: cap_ns must be positive";
+  if not (jitter >= 0.0 && jitter <= 1.0) then
+    invalid_arg "Backoff.make: jitter must lie in [0, 1]";
+  { base_ns; cap_ns; jitter; seed }
+
+let none = { base_ns = 1; cap_ns = 1; jitter = 0.0; seed = 0 }
+
+(* splitmix64 finalizer: one well-mixed word from the (seed, task, attempt)
+   triple. Same math as Rng's stream step, inlined so a policy value needs
+   no mutable generator state — the delay is a pure function. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let delay_ns t ~task ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay_ns: attempt is 1-based";
+  if t == none then 0
+  else begin
+    (* base * 2^(attempt-1), saturating at the cap without overflow *)
+    let exp =
+      if attempt - 1 >= 62 then t.cap_ns
+      else
+        let d = t.base_ns lsl (attempt - 1) in
+        if d <= 0 || d > t.cap_ns then t.cap_ns else d
+    in
+    let h =
+      mix
+        (Int64.logxor
+           (Int64.mul (Int64.of_int t.seed) 0x9e3779b97f4a7c15L)
+           (Int64.add
+              (Int64.mul (Int64.of_int task) 0xff51afd7ed558ccdL)
+              (Int64.of_int attempt)))
+    in
+    let unit_ = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0 in
+    exp + int_of_float (t.jitter *. unit_ *. float_of_int exp)
+  end
+
+let wait t ~task ~attempt =
+  let ns = delay_ns t ~task ~attempt in
+  if ns > 0 then begin
+    Unix.sleepf (float_of_int ns /. 1e9);
+    Tel.Counter.add c_backoff_ns ns
+  end

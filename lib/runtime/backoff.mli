@@ -1,0 +1,39 @@
+(** Bounded exponential retry backoff with deterministic seeded jitter.
+
+    A policy maps a (task, attempt) pair to a delay: the base doubles per
+    attempt up to a hard cap, and a jitter fraction of the exponential
+    delay is added or withheld pseudo-randomly. The jitter stream is a
+    pure function of [(seed, task, attempt)] — no wall clock, no global
+    state — so a retried schedule replays identically from the same seed,
+    which keeps supervised runs reproducible while still de-synchronizing
+    sibling workers that fail together (the thundering-herd case a fixed
+    delay invites).
+
+    Waiting only delays a retry, it never changes what the retry computes;
+    supervised results stay bit-identical with or without a policy. Time
+    actually slept is accumulated into the [runtime.task.backoff_ns]
+    telemetry counter. *)
+
+type t
+
+(** [make ~seed ()] builds a policy. [base_ns] (default 1ms) is the
+    first-retry delay, [cap_ns] (default 100ms) the ceiling the
+    exponential saturates at, [jitter] (default 0.5) the fraction of the
+    capped delay drawn uniformly from [[0, jitter]] and added. Raises
+    [Invalid_argument] on a non-positive base or cap, or a jitter outside
+    [[0, 1]]. *)
+val make : ?base_ns:int -> ?cap_ns:int -> ?jitter:float -> seed:int -> unit -> t
+
+(** [none] is the no-delay policy (every delay is 0ns) — retry timing
+    aside, supervised behaviour is exactly the pre-backoff one. *)
+val none : t
+
+(** [delay_ns t ~task ~attempt] is the nanoseconds to wait before retry
+    [attempt] (1-based: the delay after the first failed attempt) of
+    [task]. Pure and deterministic. *)
+val delay_ns : t -> task:int -> attempt:int -> int
+
+(** [wait t ~task ~attempt] sleeps for {!delay_ns} and adds the slept
+    nanoseconds to [runtime.task.backoff_ns]. A zero delay neither sleeps
+    nor counts. *)
+val wait : t -> task:int -> attempt:int -> unit

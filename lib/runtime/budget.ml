@@ -6,12 +6,24 @@ type t = {
   deadline : float option;
   max_candidates : int option;
   limit : int;
+  stride : int;
   count : int Atomic.t;
   stop : bool Atomic.t;
 }
 
-let make ?deadline ?max_candidates ?(limit = Combination.default_limit) () =
-  { deadline; max_candidates; limit; count = Atomic.make 0; stop = Atomic.make false }
+let default_stride = 256
+
+let make ?deadline ?max_candidates ?(limit = Combination.default_limit)
+    ?(stride = default_stride) () =
+  if stride < 1 then invalid_arg "Budget.make: stride must be at least 1";
+  {
+    deadline;
+    max_candidates;
+    limit;
+    stride;
+    count = Atomic.make 0;
+    stop = Atomic.make false;
+  }
 
 let deadline_passed b =
   match b.deadline with None -> false | Some d -> Unix.gettimeofday () > d
@@ -29,7 +41,7 @@ let tick b =
       Atomic.set b.stop true;
       raise Expired
   | _ -> ());
-  if c land 255 = 0 && deadline_passed b then begin
+  if c mod b.stride = 0 && deadline_passed b then begin
     Atomic.set b.stop true;
     raise Expired
   end

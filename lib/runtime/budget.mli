@@ -4,8 +4,13 @@
     candidate counter is atomic, so the [max_candidates] cap is enforced
     globally, and expiry is sticky — once any worker trips a budget, every
     subsequent {!tick} on any domain raises, so all workers stop at their
-    next candidate. The deadline is only consulted every 256 candidates;
-    the hot path costs one atomic increment and a couple of compares. *)
+    next candidate. The deadline is only consulted every [stride]
+    candidates (default {!default_stride}); the hot path costs one atomic
+    increment and a couple of compares. A smaller stride tightens the
+    worst-case overrun — expiry is always detected within one stride of
+    ticks past the deadline — at the price of more clock reads; the
+    service layer uses a small stride so per-request deadlines are honored
+    promptly. *)
 
 (** Raised by {!tick} when a budget has expired. Not an error: the engine
     catches it and degrades to an anytime result. *)
@@ -13,13 +18,19 @@ exception Expired
 
 type t
 
+(** How many {!tick}s may pass between deadline checks by default. *)
+val default_stride : int
+
 (** [make ()] builds a budget. [deadline] is an absolute
     [Unix.gettimeofday] time; [max_candidates] caps candidates explored by
     this run; [limit] (default {!Flowtrace_core.Combination.default_limit})
     is the hard enumeration guard — exceeding it raises
     [Combination.Too_many] from {!tick}, exactly like the unsupervised
-    engine. *)
-val make : ?deadline:float -> ?max_candidates:int -> ?limit:int -> unit -> t
+    engine. [stride] (default {!default_stride}) is the tick interval
+    between wall-clock deadline checks; raises [Invalid_argument] when it
+    is less than 1. *)
+val make :
+  ?deadline:float -> ?max_candidates:int -> ?limit:int -> ?stride:int -> unit -> t
 
 (** [tick b] counts one candidate. Raises {!Expired} on budget expiry
     (sticky) and [Combination.Too_many] past [limit]. *)

@@ -70,8 +70,8 @@ let rebuild_best ev pool path (b : Journal.best) =
   p
 
 let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(jobs = 1)
-    ?(retries = 2) ?deadline ?max_candidates ?checkpoint ?(resume = false) ?(checkpoint_every = 1)
-    ?pack ?scale_partial ?inject inter ~buffer_width =
+    ?(retries = 2) ?backoff ?deadline ?max_candidates ?stride ?checkpoint ?(resume = false)
+    ?(checkpoint_every = 1) ?pack ?scale_partial ?inject inter ~buffer_width =
   if resume && checkpoint = None then
     invalid_arg "Engine.select: ~resume needs a ~checkpoint path to load";
   let checkpoint_every = max 1 checkpoint_every in
@@ -142,7 +142,7 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
                 (List.filter (fun t -> not done_.(t)) (List.init ntasks (fun t -> t)))
             in
             (* -------- checkpointing -------- *)
-            let budget = Budget.make ?deadline ?max_candidates ~limit () in
+            let budget = Budget.make ?deadline ?max_candidates ~limit ?stride () in
             let mutex = Mutex.create () in
             let since = ref 0 in
             let ckpt_on = ref (checkpoint <> None) in
@@ -221,7 +221,7 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
                   stopped = Array.length pending > 0;
                 }
               else
-                Supervisor.run ~jobs ~retries
+                Supervisor.run ~jobs ~retries ?backoff
                   ~should_stop:(function
                     | Budget.Expired | Combination.Too_many _ -> true | _ -> false)
                   ?inject ~tasks:pending run_task

@@ -50,9 +50,12 @@ val pp_outcome : Format.formatter -> outcome -> unit
       what they mean in {!Flowtrace_core.Select.select}; [Greedy] is
       delegated to it directly (nothing to supervise).
     - [jobs] (default 1) worker domains; [retries] (default 2) extra
-      attempts per faulting task.
+      attempts per faulting task; [backoff] (default {!Backoff.none})
+      delays retries without changing any result bit.
     - [deadline] (absolute [Unix.gettimeofday] time) and [max_candidates]
-      degrade the run to an anytime result when exhausted.
+      degrade the run to an anytime result when exhausted; [stride] is
+      forwarded to {!Budget.make} (how many candidates may stream between
+      deadline checks).
     - [checkpoint] journals progress to the given path every
       [checkpoint_every] (default 1) completed tasks and once at the end.
     - [resume] loads [checkpoint] first (a missing file starts fresh) and
@@ -69,8 +72,10 @@ val select :
   ?limit:int ->
   ?jobs:int ->
   ?retries:int ->
+  ?backoff:Backoff.t ->
   ?deadline:float ->
   ?max_candidates:int ->
+  ?stride:int ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?checkpoint_every:int ->

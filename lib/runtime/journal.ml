@@ -236,3 +236,174 @@ let load ~path =
                         s_explored = !explored;
                       },
                       !warnings ))))
+
+(* ------------------------------------------------------------------ *)
+(* The generic record log: the same crash-safety discipline with opaque
+   payloads, used by the service layer as its session storage engine. *)
+
+module Log = struct
+  let header kind = Printf.sprintf "flowtrace-log v%d kind=%s" version kind
+
+  let check_kind kind =
+    if kind = "" then invalid_arg "Journal.Log: empty kind";
+    String.iter
+      (fun c ->
+        match c with
+        | ' ' | '\t' | '\n' | '\r' -> invalid_arg "Journal.Log: kind cannot contain whitespace"
+        | _ -> ())
+      kind
+
+  let render ~kind records =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (header kind);
+    Buffer.add_char buf '\n';
+    let count = ref 0 in
+    let record payload =
+      incr count;
+      Buffer.add_string buf (Crc32.to_hex (Crc32.string payload));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf payload;
+      Buffer.add_char buf '\n'
+    in
+    List.iter
+      (fun r ->
+        if String.contains r '\n' || String.contains r '\r' then
+          invalid_arg "Journal.Log.write: record contains a newline";
+        record ("r " ^ r))
+      records;
+    let body_crc = Crc32.string (Buffer.contents buf) in
+    let endp = Printf.sprintf "end %d %s" !count (Crc32.to_hex body_crc) in
+    Buffer.add_string buf (Crc32.to_hex (Crc32.string endp));
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf endp;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let write ~path ~kind records =
+    check_kind kind;
+    let text = render ~kind records in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    (try
+       output_string oc text;
+       flush oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    close_out oc;
+    Sys.rename tmp path
+
+  let load ~path ~kind =
+    check_kind kind;
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error m ->
+        Error [ Rt.v "RT001" (Srcspan.none path) "cannot read journal: %s" m ]
+    | text -> (
+        let complete_last_line = String.length text > 0 && text.[String.length text - 1] = '\n' in
+        let lines =
+          match List.rev (String.split_on_char '\n' text) with
+          | "" :: rest when complete_last_line -> List.rev rest
+          | rev -> List.rev rev
+        in
+        match lines with
+        | [] -> Error [ Rt.v "RT002" (span path 1) "empty file is not a flowtrace journal" ]
+        | hdr :: records -> (
+            match
+              Scanf.sscanf hdr "flowtrace-log v%d kind=%s" (fun v k -> (v, k))
+            with
+            | exception _ ->
+                Error
+                  [ Rt.v "RT002" (span path 1) "not a flowtrace record log (unrecognized header)" ]
+            | v, _ when v <> version ->
+                Error
+                  [
+                    Rt.v "RT003" (span path 1)
+                      "record log version v%d is not supported (this build reads v%d)" v version;
+                  ]
+            | _, k when k <> kind ->
+                Error
+                  [
+                    Rt.v "RT002" (span path 1) "record log kind %S is not the expected %S" k kind;
+                  ]
+            | _ ->
+                let payloads = ref [] in
+                let seen = ref 0 in
+                let body_crc = ref (Crc32.update 0l (hdr ^ "\n")) in
+                let warnings = ref [] in
+                let error = ref None in
+                let ended = ref false in
+                let n_lines = List.length records in
+                (try
+                   List.iteri
+                     (fun i line ->
+                       let lineno = i + 2 in
+                       let last = i = n_lines - 1 in
+                       let fail d =
+                         error := Some d;
+                         raise Exit
+                       in
+                       let truncated () =
+                         warnings :=
+                           [
+                             Rt.v "RT006" (span path lineno)
+                               "record log tail truncated at line %d; recovering the valid \
+                                %d-record prefix"
+                               lineno !seen;
+                           ];
+                         raise Exit
+                       in
+                       if !ended then
+                         fail (Rt.v "RT007" (span path lineno) "content after the end record");
+                       let payload =
+                         if String.length line > 9 && line.[8] = ' ' then
+                           let crc = String.sub line 0 8 in
+                           let payload = String.sub line 9 (String.length line - 9) in
+                           if String.equal crc (Crc32.to_hex (Crc32.string payload)) then
+                             Some payload
+                           else None
+                         else None
+                       in
+                       match payload with
+                       | None ->
+                           if last then truncated ()
+                           else fail (Rt.v "RT005" (span path lineno) "corrupt record")
+                       | Some p when String.length p >= 2 && String.sub p 0 2 = "r " ->
+                           incr seen;
+                           body_crc := Crc32.update !body_crc (line ^ "\n");
+                           payloads := String.sub p 2 (String.length p - 2) :: !payloads
+                       | Some p -> (
+                           match String.split_on_char ' ' p with
+                           | [ "end"; count; crc ] -> (
+                               match int_of_string_opt count with
+                               | None ->
+                                   if last then truncated ()
+                                   else fail (Rt.v "RT005" (span path lineno) "corrupt record")
+                               | Some count ->
+                                   if count <> !seen then
+                                     fail
+                                       (Rt.v "RT007" (span path lineno)
+                                          "end record expects %d records but %d are present"
+                                          count !seen);
+                                   if not (String.equal crc (Crc32.to_hex !body_crc)) then
+                                     fail
+                                       (Rt.v "RT007" (span path lineno)
+                                          "whole-file checksum mismatch (log was modified)");
+                                   ended := true)
+                           | _ ->
+                               if last then truncated ()
+                               else fail (Rt.v "RT005" (span path lineno) "corrupt record")))
+                     records
+                 with Exit -> ());
+                (match !error with
+                | Some d -> Error [ d ]
+                | None ->
+                    if (not !ended) && !warnings = [] then
+                      warnings :=
+                        [
+                          Rt.v "RT006" (span path (n_lines + 1))
+                            "record log has no end record (truncated); recovering the valid \
+                             %d-record prefix"
+                            !seen;
+                        ];
+                    Ok (List.rev !payloads, !warnings))))
+end

@@ -69,3 +69,34 @@ val load :
   ( snapshot * Flowtrace_analysis.Diagnostic.t list,
     Flowtrace_analysis.Diagnostic.t list )
   result
+
+(** The journal machinery as a generic storage engine: an opaque,
+    crash-safe, CRC-sealed record log.
+
+    Same on-disk discipline as the selection journal — atomic
+    temp-then-rename writes, a versioned [kind]-tagged header, CRC-32 per
+    record, a sealing end record over the whole body — but the payloads
+    are the caller's strings (anything newline-free). The service layer
+    stores every debug session through this: a [kill -9] at any byte
+    leaves either the previous complete file or the new complete file,
+    and {e external} damage maps onto the same RT codes ({!load} above):
+    a damaged or missing tail recovers the sealed record prefix with an
+    RT006 warning, mid-file corruption is a hard RT005, a lying end seal
+    RT007, a foreign or versioned-ahead file RT002/RT003. *)
+module Log : sig
+  (** [write ~path ~kind records] atomically replaces [path]. Raises
+      [Invalid_argument] if [kind] contains whitespace or a record
+      contains a newline; [Sys_error] on I/O failure. *)
+  val write : path:string -> kind:string -> string list -> unit
+
+  (** [load ~path ~kind] returns the records with RT006 warnings when a
+      truncated tail was recovered. A readable journal of a different
+      [kind] is rejected with RT002 — a session file is never confused
+      with a selection checkpoint. *)
+  val load :
+    path:string ->
+    kind:string ->
+    ( string list * Flowtrace_analysis.Diagnostic.t list,
+      Flowtrace_analysis.Diagnostic.t list )
+    result
+end

@@ -11,8 +11,8 @@ type task_status = Done | Gave_up of exn | Not_run
 
 type summary = { statuses : task_status array; retried : int; stopped : bool }
 
-let run ?(jobs = 1) ?(retries = 2) ?(should_stop = fun _ -> false)
-    ?(inject = fun ~task:_ ~attempt:_ -> ()) ~tasks f =
+let run ?(jobs = 1) ?(retries = 2) ?(backoff = Backoff.none)
+    ?(should_stop = fun _ -> false) ?(inject = fun ~task:_ ~attempt:_ -> ()) ~tasks f =
   let n = Array.length tasks in
   let statuses = Array.make n Not_run in
   let next = Atomic.make 0 in
@@ -43,6 +43,7 @@ let run ?(jobs = 1) ?(retries = 2) ?(should_stop = fun _ -> false)
                 if k <= retries then begin
                   Atomic.incr retried;
                   Tel.Counter.incr c_retried;
+                  Backoff.wait backoff ~task ~attempt:k;
                   attempt (k + 1)
                 end
                 else begin

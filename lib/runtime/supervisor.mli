@@ -30,15 +30,20 @@ type summary = {
 
 (** [run ~tasks f] executes [f id] for every [id] in [tasks] across
     [jobs] domains (default 1, i.e. in array order on the calling domain).
-    [retries] (default 2) bounds extra attempts per task. [should_stop]
-    classifies cooperative-stop exceptions (default: none). [inject] is a
-    test hook called before each attempt with the task id and 1-based
-    attempt number; anything it raises counts as that attempt's failure —
-    this is how the fault-recovery tests exercise the retry machinery
-    deterministically. *)
+    [retries] (default 2) bounds extra attempts per task. [backoff]
+    (default {!Backoff.none}, i.e. the historical immediate retry) delays
+    each retry by the policy's bounded exponential with deterministic
+    seeded jitter; the wait happens on the failing worker only, changes no
+    result bits, and is accounted in [runtime.task.backoff_ns].
+    [should_stop] classifies cooperative-stop exceptions (default: none).
+    [inject] is a test hook called before each attempt with the task id
+    and 1-based attempt number; anything it raises counts as that
+    attempt's failure — this is how the fault-recovery tests exercise the
+    retry machinery deterministically. *)
 val run :
   ?jobs:int ->
   ?retries:int ->
+  ?backoff:Backoff.t ->
   ?should_stop:(exn -> bool) ->
   ?inject:(task:int -> attempt:int -> unit) ->
   tasks:int array ->

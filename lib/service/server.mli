@@ -1,0 +1,55 @@
+(** The daemon event loop: a Unix-domain socket in front of {!Dispatch}.
+
+    One listening socket, newline-delimited JSON (see {!Proto}). The main
+    domain runs a [select] loop over nonblocking connections — reading
+    lines, answering cheap ops ([ping]/[status]/[shutdown] and malformed
+    lines) inline, and enqueueing session ops to one worker domain per
+    shard. Responses are written back strictly in request order per
+    connection, whatever order the shards finish in.
+
+    Robustness properties the chaos harness leans on:
+    - a malformed line is a per-request error response, never a crash;
+    - a line longer than [max_line] gets an error response and the
+      connection is closed after the response is flushed;
+    - a slow reader whose unread responses exceed [max_out] is dropped;
+    - a half-closed client (EOF sent, still reading) gets every response
+      for the complete lines it sent before the close;
+    - a client that stops reading causes backpressure (its socket is
+      just not read past [max_conn_queue] outstanding requests), never
+      unbounded queueing;
+    - admission past the dispatcher's in-flight cap answers ["busy"] at
+      enqueue time, so the shard queues themselves stay bounded, and
+      [queue_grace] sheds jobs that sat queued too long. *)
+
+module Diagnostic = Flowtrace_analysis.Diagnostic
+
+type config = {
+  socket : string;  (** path of the Unix-domain socket to listen on *)
+  state_dir : string option;  (** persist sessions here (see {!Store}) *)
+  shards : int;
+  max_inflight : int;
+  retries : int;
+  backoff_seed : int;
+  chaos : bool;  (** honor per-request chaos fields (tests only) *)
+  resume : bool;  (** reload persisted sessions from [state_dir] *)
+  queue_grace : float option;
+      (** shed session ops that waited longer than this many seconds in a
+          shard queue (default: no shedding by age) *)
+  max_line : int;
+  max_out : int;
+  max_conn_queue : int;
+}
+
+(** Defaults: 4 shards, 64 in flight, 2 retries, 1 MiB lines, 8 MiB of
+    unread responses, 64 outstanding requests per connection, no chaos,
+    no persistence. *)
+val default : config
+
+(** [run config] binds the socket and serves until a [shutdown] request
+    or SIGTERM/SIGINT, then drains in-flight work, flushes every
+    response, and removes the socket file. [ready] is called once the
+    socket is listening (the test harness synchronizes on it);
+    [on_diags] receives resume diagnostics (damaged session files).
+    Raises [Unix.Unix_error] if the socket cannot be bound. *)
+val run :
+  ?ready:(unit -> unit) -> ?on_diags:(Diagnostic.t list -> unit) -> config -> unit

@@ -1,0 +1,175 @@
+open Flowtrace_core
+module Diagnostic = Flowtrace_analysis.Diagnostic
+module Rt = Flowtrace_analysis.Rt
+module Journal = Flowtrace_runtime.Journal
+
+type session = {
+  se_id : string;
+  se_tenant : string;
+  se_width : int;
+  se_strategy : Select.strategy;
+  se_instances : (string * int) list;
+  se_spec : string;
+}
+
+let kind = "session"
+
+let file_of ~dir id = Filename.concat dir ("session-" ^ id ^ ".ckpt")
+
+(* Newlines cannot appear in a Log record; the spec and tenant are
+   arbitrary request text, so escape them. *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char b '\\'
+       | 'n' -> Buffer.add_char b '\n'
+       | 'r' -> Buffer.add_char b '\r'
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+       incr i
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+let strategy_name = function
+  | Select.Exact -> "exact"
+  | Select.Exact_maximal -> "exact-maximal"
+  | Select.Greedy -> "greedy"
+
+let strategy_of_name = function
+  | "exact" -> Some Select.Exact
+  | "exact-maximal" -> Some Select.Exact_maximal
+  | "greedy" -> Some Select.Greedy
+  | _ -> None
+
+let save ~dir s =
+  let records =
+    [
+      "id " ^ s.se_id;
+      "tenant " ^ escape s.se_tenant;
+      Printf.sprintf "width %d" s.se_width;
+      "strategy " ^ strategy_name s.se_strategy;
+    ]
+    @ List.map (fun (name, n) -> Printf.sprintf "inst %s %d" name n) s.se_instances
+    (* last on purpose: a torn tail loses the spec first, and a session
+       without its spec is dropped whole rather than resumed half-built *)
+    @ [ "spec " ^ escape s.se_spec ]
+  in
+  Journal.Log.write ~path:(file_of ~dir s.se_id) ~kind records
+
+let remove ~dir id =
+  let path = file_of ~dir id in
+  if Sys.file_exists path then Sys.remove path
+
+let split_record r =
+  match String.index_opt r ' ' with
+  | None -> (r, "")
+  | Some i -> (String.sub r 0 i, String.sub r (i + 1) (String.length r - i - 1))
+
+let of_records ~path records =
+  let id = ref None
+  and tenant = ref "default"
+  and width = ref 32
+  and strategy = ref Select.Exact
+  and instances = ref []
+  and spec = ref None
+  and bad = ref None in
+  List.iter
+    (fun r ->
+      if !bad = None then
+        let key, rest = split_record r in
+        match key with
+        | "id" -> id := Some rest
+        | "tenant" -> tenant := unescape rest
+        | "width" -> (
+            match int_of_string_opt rest with
+            | Some w when w > 0 -> width := w
+            | _ -> bad := Some (Printf.sprintf "bad width record %S" rest))
+        | "strategy" -> (
+            match strategy_of_name rest with
+            | Some s -> strategy := s
+            | None -> bad := Some (Printf.sprintf "bad strategy record %S" rest))
+        | "inst" -> (
+            match split_record rest with
+            | name, n when name <> "" -> (
+                match int_of_string_opt n with
+                | Some n when n > 0 -> instances := (name, n) :: !instances
+                | _ -> bad := Some (Printf.sprintf "bad instance record %S" rest))
+            | _ -> bad := Some (Printf.sprintf "bad instance record %S" rest))
+        | "spec" -> spec := Some (unescape rest)
+        | other -> bad := Some (Printf.sprintf "unknown session record %S" other))
+    records;
+  match (!bad, !id, !spec) with
+  | Some m, _, _ -> Error [ Rt.v "RT005" (Srcspan.none path) "%s" m ]
+  | None, Some id, Some spec ->
+      Ok
+        (Some
+           {
+             se_id = id;
+             se_tenant = !tenant;
+             se_width = !width;
+             se_strategy = !strategy;
+             se_instances = List.rev !instances;
+             se_spec = spec;
+           })
+  | None, _, _ ->
+      (* a recovered prefix that lost the id or spec record: the session
+         body is gone, drop it *)
+      Ok None
+
+let load ~path =
+  match Journal.Log.load ~path ~kind with
+  | Error diags -> Error diags
+  | Ok (records, warns) -> (
+      match of_records ~path records with
+      | Error diags -> Error (warns @ diags)
+      | Ok None ->
+          Ok
+            ( None,
+              warns
+              @ [
+                  Rt.v "RT006" (Srcspan.none path)
+                    "session body lost with the damaged tail; dropping this session";
+                ] )
+      | Ok (Some s) -> Ok (Some s, warns))
+
+let load_all ~dir =
+  let files =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> [||]
+    | entries ->
+        Array.of_list
+          (List.filter
+             (fun f ->
+               String.length f > String.length "session-.ckpt"
+               && String.starts_with ~prefix:"session-" f
+               && Filename.check_suffix f ".ckpt")
+             (Array.to_list entries))
+  in
+  Array.sort String.compare files;
+  Array.fold_left
+    (fun (sessions, diags) f ->
+      let path = Filename.concat dir f in
+      match load ~path with
+      | Ok (Some s, warns) -> (sessions @ [ s ], diags @ warns)
+      | Ok (None, warns) -> (sessions, diags @ warns)
+      | Error ds -> (sessions, diags @ ds))
+    ([], []) files

@@ -1,0 +1,58 @@
+(** Session persistence for the daemon, over {!Flowtrace_runtime.Journal.Log}.
+
+    Each open session lives in its own [session-<id>.ckpt] file inside the
+    daemon's state directory — one crash-safe, CRC-sealed record log of
+    kind ["session"]. Files are written whole and renamed into place, so a
+    [kill -9] at any byte leaves either the previous complete file or the
+    new one; a daemon restarted with [--resume] reopens every persisted
+    session and answers requests with the same bytes as an uninterrupted
+    daemon would have.
+
+    The spec text is stored as the {e last} record of the file (newlines
+    escaped), so external tail damage — the one shape torn writes take —
+    loses the spec record first: {!load} then reports the file as damaged
+    and the session is dropped cleanly instead of resurrected half-built. *)
+
+open Flowtrace_core
+module Diagnostic = Flowtrace_analysis.Diagnostic
+
+(** One persisted session. [se_spec] is the flow-spec text exactly as the
+    [open-session] request carried it; everything a request needs is
+    rebuilt from these fields on resume, which is what makes post-resume
+    answers bit-identical. *)
+type session = {
+  se_id : string;
+  se_tenant : string;
+  se_width : int;
+  se_strategy : Select.strategy;
+  se_instances : (string * int) list;
+  se_spec : string;
+}
+
+(** The wire name of a strategy ("exact", "exact-maximal", "greedy"). *)
+val strategy_name : Select.strategy -> string
+
+(** [file_of ~dir id] is the session's journal path,
+    [dir ^ "/session-" ^ id ^ ".ckpt"] (ids are path-safe by
+    {!Proto.valid_session_id}). *)
+val file_of : dir:string -> string -> string
+
+(** [save ~dir session] atomically persists the session. Raises
+    [Sys_error] on I/O failure. *)
+val save : dir:string -> session -> unit
+
+(** [remove ~dir id] deletes the session file if present. *)
+val remove : dir:string -> string -> unit
+
+(** [load ~path] reads one session file. [Ok None] means the file was
+    damaged in a recoverable way that lost the session body (truncated
+    tail) — the session is dropped with the returned warnings. [Error]
+    carries hard diagnostics (mid-file corruption, foreign file). *)
+val load :
+  path:string ->
+  (session option * Diagnostic.t list, Diagnostic.t list) result
+
+(** [load_all ~dir] loads every [session-*.ckpt] under [dir] in sorted
+    file order, collecting diagnostics for files that were damaged or
+    dropped. A missing directory is an empty store. *)
+val load_all : dir:string -> session list * Diagnostic.t list

@@ -1,0 +1,327 @@
+(* Chaos harness for the daemon event loop: a real Server.run on a real
+   Unix-domain socket, attacked by misbehaving clients — injected faults,
+   concurrent tenants, admission pressure, half-closed and oversized and
+   garbage-spewing connections. Every test asserts the daemon answers
+   honestly and keeps serving. The kill -9 / --resume half of the chaos
+   story drives the installed binary and lives in chaos_serve.sh. *)
+
+open Flowtrace_service
+module Json = Flowtrace_analysis.Json
+
+let spec_text =
+  "flow F\n\
+   state s0 init\n\
+   state s1\n\
+   state s2 stop\n\
+   msg m1 4 from A to B\n\
+   msg m2 4 from B to A\n\
+   trans s0 m1 s1\n\
+   trans s1 m2 s2\n"
+
+let spec_text2 =
+  "flow G\n\
+   state g0 init\n\
+   state g1 stop\n\
+   msg gm 6 from C to D\n\
+   trans g0 gm g1\n"
+
+let req fields = Json.to_string (Json.Obj fields)
+
+let open_req ~session ~spec =
+  req
+    [
+      ("op", Json.String "open-session");
+      ("session", Json.String session);
+      ("spec", Json.String spec);
+      ("width", Json.Int 8);
+    ]
+
+let select_req ?chaos ~session () =
+  let base =
+    [ ("op", Json.String "select"); ("session", Json.String session) ]
+  in
+  let chaos_field =
+    match chaos with
+    | None -> []
+    | Some (fail, delay) ->
+        [
+          ( "chaos",
+            Json.Obj [ ("fail", Json.Int fail); ("delay_ms", Json.Int delay) ]
+          );
+        ]
+  in
+  req (base @ chaos_field)
+
+let field name line =
+  match Json.parse line with
+  | Ok v -> Json.member name v
+  | Error m -> Alcotest.failf "response is not JSON (%s): %s" m line
+
+let str_field name line =
+  match Option.bind (field name line) Json.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.failf "response lacks string %S: %s" name line
+
+(* -- server lifecycle ---------------------------------------------------- *)
+
+let start config =
+  let socket = Filename.temp_file "flowtraced" ".sock" in
+  Sys.remove socket;
+  let config = { config with Server.socket } in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let up = ref false in
+  let dom =
+    Domain.spawn (fun () ->
+        Server.run
+          ~ready:(fun () ->
+            Mutex.protect mu (fun () ->
+                up := true;
+                Condition.signal cv))
+          config)
+  in
+  Mutex.protect mu (fun () ->
+      while not !up do
+        Condition.wait cv mu
+      done);
+  (socket, dom)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (fd, Unix.in_channel_of_descr fd)
+
+let send fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let recv ic = input_line ic
+
+let close_conn (fd, _ic) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One request, one response, over a throwaway connection. *)
+let call socket line =
+  let ((fd, ic) as conn) = connect socket in
+  Fun.protect
+    ~finally:(fun () -> close_conn conn)
+    (fun () ->
+      send fd line;
+      recv ic)
+
+let stop (socket, dom) =
+  (try ignore (call socket {|{"op":"shutdown"}|}) with _ -> ());
+  Domain.join dom;
+  Alcotest.(check bool)
+    "socket file removed on shutdown" false (Sys.file_exists socket)
+
+let with_server config f =
+  let ((socket, _dom) as server) = start config in
+  Fun.protect ~finally:(fun () -> stop server) (fun () -> f socket)
+
+(* -- tests --------------------------------------------------------------- *)
+
+let test_chaos_faults_are_invisible () =
+  with_server { Server.default with chaos = true; retries = 2 } @@ fun socket ->
+  let ping = call socket {|{"op":"ping"}|} in
+  Alcotest.(check string) "ping ok" "ok" (str_field "status" ping);
+  Alcotest.(check string) "open ok" "ok"
+    (str_field "status" (call socket (open_req ~session:"a" ~spec:spec_text)));
+  let plain = call socket (select_req ~session:"a" ()) in
+  Alcotest.(check string) "select ok" "ok" (str_field "status" plain);
+  (* Every fault count the supervisor can absorb answers with the exact
+     bytes of the undisturbed run — a client cannot tell a retried
+     request from a clean one. *)
+  for fail = 1 to 2 do
+    Alcotest.(check string)
+      (Printf.sprintf "fail=%d is byte-identical" fail)
+      plain
+      (call socket (select_req ~chaos:(fail, 0) ~session:"a" ()))
+  done;
+  Alcotest.(check string) "fail past the retry bound is an honest error"
+    "error"
+    (str_field "status" (call socket (select_req ~chaos:(3, 0) ~session:"a" ())));
+  Alcotest.(check string) "daemon serves on after exhaustion" plain
+    (call socket (select_req ~session:"a" ()))
+
+let test_cross_session_isolation () =
+  with_server { Server.default with shards = 2 } @@ fun socket ->
+  ignore (call socket (open_req ~session:"a" ~spec:spec_text));
+  ignore (call socket (open_req ~session:"b" ~spec:spec_text2));
+  let expect_a = call socket (select_req ~session:"a" ()) in
+  let expect_b = call socket (select_req ~session:"b" ()) in
+  Alcotest.(check bool)
+    "distinct specs give distinct answers" true (expect_a <> expect_b);
+  (* Two client domains hammer their own sessions concurrently; every
+     response must be the exact bytes of that session's reference
+     answer — zero contamination across shards or interleavings. *)
+  let rounds = 25 in
+  let client session expect () =
+    let ((fd, ic) as conn) = connect socket in
+    Fun.protect
+      ~finally:(fun () -> close_conn conn)
+      (fun () ->
+        let bad = ref 0 in
+        for _ = 1 to rounds do
+          send fd (select_req ~session ());
+          if recv ic <> expect then incr bad
+        done;
+        !bad)
+  in
+  let da = Domain.spawn (client "a" expect_a) in
+  let db = Domain.spawn (client "b" expect_b) in
+  Alcotest.(check int) "session a uncontaminated" 0 (Domain.join da);
+  Alcotest.(check int) "session b uncontaminated" 0 (Domain.join db)
+
+let test_admission_sheds_busy () =
+  with_server { Server.default with chaos = true; max_inflight = 1 }
+  @@ fun socket ->
+  ignore (call socket (open_req ~session:"a" ~spec:spec_text));
+  (* A slow request holds the only in-flight slot... *)
+  let ((slow_fd, slow_ic) as slow) = connect socket in
+  Fun.protect
+    ~finally:(fun () -> close_conn slow)
+    (fun () ->
+      send slow_fd (select_req ~chaos:(0, 600) ~session:"a" ());
+      Unix.sleepf 0.15;
+      (* ...so a second tenant is shed with busy, not queued without
+         bound. Non-session ops stay answerable throughout. *)
+      let busy = call socket (select_req ~session:"a" ()) in
+      Alcotest.(check string) "shed busy" "busy" (str_field "status" busy);
+      Alcotest.(check string) "ping during saturation" "ok"
+        (str_field "status" (call socket {|{"op":"ping"}|}));
+      let slow_resp = recv slow_ic in
+      Alcotest.(check string) "slow request completes ok" "ok"
+        (str_field "status" slow_resp));
+  Alcotest.(check string) "capacity recovers" "ok"
+    (str_field "status" (call socket (select_req ~session:"a" ())))
+
+let test_half_closed_client () =
+  with_server Server.default @@ fun socket ->
+  ignore (call socket (open_req ~session:"a" ~spec:spec_text));
+  let expect = call socket (select_req ~session:"a" ()) in
+  let ((fd, ic) as conn) = connect socket in
+  Fun.protect
+    ~finally:(fun () -> close_conn conn)
+    (fun () ->
+      for _ = 1 to 3 do
+        send fd (select_req ~session:"a" ())
+      done;
+      (* EOF before any response is read: the daemon still owes (and
+         delivers) one response per complete line it received. *)
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      for i = 1 to 3 do
+        Alcotest.(check string)
+          (Printf.sprintf "response %d after half-close" i)
+          expect (recv ic)
+      done;
+      match recv ic with
+      | _ -> Alcotest.fail "daemon kept the drained connection open"
+      | exception End_of_file -> ())
+
+let test_oversized_line_rejected () =
+  with_server { Server.default with max_line = 256 } @@ fun socket ->
+  let ((fd, ic) as conn) = connect socket in
+  Fun.protect
+    ~finally:(fun () -> close_conn conn)
+    (fun () ->
+      send fd (String.make 1024 'x');
+      let resp = recv ic in
+      Alcotest.(check string) "oversized line is an error" "error"
+        (str_field "status" resp);
+      (* ...and the connection is closed once the error is flushed. *)
+      match recv ic with
+      | _ -> Alcotest.fail "connection survived an oversized line"
+      | exception End_of_file -> ());
+  Alcotest.(check string) "daemon unharmed" "ok"
+    (str_field "status" (call socket {|{"op":"ping"}|}))
+
+let test_garbage_never_kills_the_daemon () =
+  with_server Server.default @@ fun socket ->
+  let garbage =
+    [
+      "";
+      "   ";
+      "}{";
+      "null";
+      "[1,2,3]";
+      "\"just a string\"";
+      "{\"op\":";
+      {|{"no":"op"}|};
+      {|{"op":42}|};
+      {|{"op":"no-such-op"}|};
+      {|{"op":"select"}|};
+      {|{"op":"select","session":"../etc"}|};
+      {|{"op":"open-session","session":"x"}|};
+      {|{"op":"open-session","session":"x","spec":12}|};
+      {|{"op":"localize","session":"x","trace":"not-a-list"}|};
+      "\x00\x01\x02 binary";
+      String.make 200 '{';
+    ]
+  in
+  let ((fd, ic) as conn) = connect socket in
+  Fun.protect
+    ~finally:(fun () -> close_conn conn)
+    (fun () ->
+      List.iteri
+        (fun i line ->
+          send fd line;
+          let resp = recv ic in
+          Alcotest.(check string)
+            (Printf.sprintf "garbage %d yields a JSON error envelope" i)
+            "error" (str_field "status" resp))
+        garbage);
+  Alcotest.(check string) "daemon alive after the fuzz" "ok"
+    (str_field "status" (call socket {|{"op":"ping"}|}))
+
+let test_pipelined_responses_stay_ordered () =
+  with_server Server.default @@ fun socket ->
+  ignore (call socket (open_req ~session:"a" ~spec:spec_text));
+  let ((fd, ic) as conn) = connect socket in
+  Fun.protect
+    ~finally:(fun () -> close_conn conn)
+    (fun () ->
+      (* A burst of distinct requests down one connection: responses come
+         back strictly in request order, ids matching, whatever order the
+         shard workers finish in. *)
+      let n = 20 in
+      for i = 1 to n do
+        send fd
+          (req
+             [
+               ("id", Json.String (string_of_int i));
+               ("op", Json.String (if i mod 3 = 0 then "ping" else "select"));
+               ("session", Json.String "a");
+             ])
+      done;
+      for i = 1 to n do
+        Alcotest.(check string)
+          (Printf.sprintf "response %d in order" i)
+          (string_of_int i)
+          (str_field "id" (recv ic))
+      done)
+
+let () =
+  Alcotest.run "chaos_serve"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "injected faults retry to identical bytes" `Quick
+            test_chaos_faults_are_invisible;
+          Alcotest.test_case "concurrent tenants never contaminate" `Quick
+            test_cross_session_isolation;
+          Alcotest.test_case "saturation sheds busy, then recovers" `Quick
+            test_admission_sheds_busy;
+          Alcotest.test_case "half-closed clients get every response" `Quick
+            test_half_closed_client;
+          Alcotest.test_case "oversized lines are rejected and cut" `Quick
+            test_oversized_line_rejected;
+          Alcotest.test_case "garbage never kills the daemon" `Quick
+            test_garbage_never_kills_the_daemon;
+          Alcotest.test_case "pipelined responses stay ordered" `Quick
+            test_pipelined_responses_stay_ordered;
+        ] );
+    ]

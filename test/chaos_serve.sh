@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Kill -9 / --resume half of the daemon chaos harness, driving the
+# installed binary end to end: a daemon with persisted sessions is
+# SIGKILLed mid-request, restarted with --resume over the same state
+# dir, and must answer the same bytes an uninterrupted daemon gives.
+# The in-process half (fault injection, isolation, shedding, protocol
+# abuse) lives in chaos_serve.ml.
+set -eu
+
+FT=$1
+d=$(mktemp -d)
+trap 'kill -9 $REF $PID 2>/dev/null || true; rm -rf "$d"' EXIT
+REF=
+PID=
+
+SPEC='flow F\nstate s0 init\nstate s1\nstate s2 stop\nmsg m1 4 from A to B\nmsg m2 4 from B to A\ntrans s0 m1 s1\ntrans s1 m2 s2\n'
+OPEN="{\"op\":\"open-session\",\"session\":\"a\",\"width\":8,\"spec\":\"$SPEC\"}"
+SEL='{"op":"select","session":"a"}'
+STATUS='{"op":"status","session":"a"}'
+SHUT='{"op":"shutdown"}'
+
+# Reference run: an uninterrupted daemon over its own state dir.
+"$FT" serve --socket "$d/ref.sock" --state-dir "$d/ref" 2>/dev/null &
+REF=$!
+"$FT" call --socket "$d/ref.sock" "$OPEN" >/dev/null
+"$FT" call --socket "$d/ref.sock" "$SEL" "$STATUS" > "$d/ref.out"
+"$FT" call --socket "$d/ref.sock" "$SHUT" >/dev/null
+wait $REF || { echo "reference daemon did not exit cleanly"; exit 1; }
+REF=
+
+# Chaos run: same session, then SIGKILL while a slow request is in
+# flight (--chaos honors the request's delay_ms).
+"$FT" serve --socket "$d/a.sock" --state-dir "$d/st" --chaos 2>/dev/null &
+PID=$!
+"$FT" call --socket "$d/a.sock" "$OPEN" >/dev/null
+"$FT" call --socket "$d/a.sock" \
+  '{"op":"select","session":"a","chaos":{"delay_ms":2000}}' >/dev/null 2>&1 &
+CALL=$!
+sleep 0.4
+kill -9 $PID
+wait $PID 2>/dev/null || true
+PID=
+wait $CALL 2>/dev/null || true
+rm -f "$d/a.sock"
+
+# Restart with --resume over the torn state dir: the persisted session
+# must answer bit-identically to the uninterrupted reference.
+"$FT" serve --socket "$d/a.sock" --state-dir "$d/st" --resume 2>/dev/null &
+PID=$!
+"$FT" call --socket "$d/a.sock" "$SEL" "$STATUS" > "$d/resumed.out"
+
+# While it is up, the resumed daemon must also survive protocol abuse:
+# malformed lines come back as error envelopes, exit 1, daemon alive.
+printf 'not json at all\n{"op":"no-such-op"}\n' | \
+  "$FT" call --socket "$d/a.sock" > "$d/garbage.out" && \
+  { echo "garbage lines must exit 1"; exit 1; } || [ $? -eq 1 ]
+[ "$(grep -c '"status":"error"' "$d/garbage.out")" -eq 2 ] || {
+  echo "garbage lines did not yield error envelopes:"; cat "$d/garbage.out"; exit 1; }
+
+"$FT" call --socket "$d/a.sock" "$SHUT" >/dev/null
+wait $PID || { echo "resumed daemon did not exit cleanly"; exit 1; }
+PID=
+
+cmp -s "$d/ref.out" "$d/resumed.out" || {
+  echo "resumed answers differ from the uninterrupted reference:"
+  diff "$d/ref.out" "$d/resumed.out" || true
+  exit 1
+}
+echo "chaos serve: kill -9 + --resume is bit-identical"

@@ -392,6 +392,226 @@ let test_crc32_vectors () =
     (Crc32.string (a ^ b))
     (Crc32.update (Crc32.string a) b)
 
+(* ------------------------------------------------------------------ *)
+(* Retry backoff (satellite of the service PR) *)
+
+module Backoff = Flowtrace_runtime.Backoff
+module Budget = Flowtrace_runtime.Budget
+module Tel = Flowtrace_telemetry.Telemetry
+
+let test_backoff_deterministic () =
+  let t = Backoff.make ~seed:42 () in
+  for task = 0 to 5 do
+    for attempt = 1 to 6 do
+      let a = Backoff.delay_ns t ~task ~attempt in
+      let b = Backoff.delay_ns t ~task ~attempt in
+      Alcotest.(check int) "pure in (seed, task, attempt)" a b;
+      Alcotest.(check bool) "positive" true (a > 0)
+    done
+  done;
+  (* different seeds must not replay the same jitter schedule *)
+  let schedule seed =
+    let t = Backoff.make ~seed () in
+    List.concat_map
+      (fun task -> List.map (fun a -> Backoff.delay_ns t ~task ~attempt:a) [ 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "seeds diverge" true (schedule 0 <> schedule 1);
+  (match Backoff.delay_ns t ~task:0 ~attempt:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "attempt 0 accepted");
+  List.iter
+    (fun attempt ->
+      Alcotest.(check int) "none is zero delay" 0
+        (Backoff.delay_ns Backoff.none ~task:3 ~attempt))
+    [ 1; 2; 10 ]
+
+let test_backoff_exponential_capped () =
+  (* with jitter 0 the policy is the bare bounded exponential *)
+  let base = 1_000 and cap = 50_000 in
+  let t = Backoff.make ~base_ns:base ~cap_ns:cap ~jitter:0.0 ~seed:7 () in
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "attempt %d" (i + 1))
+        expected
+        (Backoff.delay_ns t ~task:0 ~attempt:(i + 1)))
+    [ 1_000; 2_000; 4_000; 8_000; 16_000; 32_000; 50_000; 50_000 ];
+  (* jitter only ever adds, and at most the jitter fraction *)
+  let j = Backoff.make ~base_ns:base ~cap_ns:cap ~jitter:0.5 ~seed:7 () in
+  for attempt = 1 to 8 do
+    let bare = Backoff.delay_ns t ~task:1 ~attempt in
+    let with_j = Backoff.delay_ns j ~task:1 ~attempt in
+    Alcotest.(check bool) "jitter adds" true (with_j >= bare);
+    Alcotest.(check bool) "jitter bounded" true
+      (float_of_int with_j <= float_of_int bare *. 1.5 +. 1.0)
+  done;
+  (match Backoff.make ~base_ns:0 ~seed:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "base 0 accepted");
+  match Backoff.make ~jitter:1.5 ~seed:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jitter > 1 accepted"
+
+(* Retried runs under a backoff policy: same bits as an undisturbed run,
+   and the wait shows up in the runtime.task.backoff_ns counter. *)
+let test_supervised_backoff_bit_identical () =
+  let inter = Scenario.interleave (List.hd Scenario.all) in
+  let plain = Select.select ~pack:false inter ~buffer_width:32 in
+  let backoff = Backoff.make ~base_ns:10_000 ~cap_ns:100_000 ~seed:1 () in
+  (* counters only count while a sink is installed *)
+  Tel.install Flowtrace_telemetry.Sink.null;
+  Fun.protect ~finally:Tel.shutdown @@ fun () ->
+  let c = Tel.Counter.v "runtime.task.backoff_ns" in
+  let before = Tel.Counter.value c in
+  let inject ~task ~attempt = if task mod 2 = 0 && attempt = 1 then failwith "transient" in
+  let o =
+    outcome_ok (Engine.select ~jobs:2 ~pack:false ~backoff ~inject inter ~buffer_width:32)
+  in
+  check_same "backoff" plain o;
+  Alcotest.(check bool) "retried" true (o.Engine.o_retries > 0);
+  Alcotest.(check bool) "backoff time counted" true (Tel.Counter.value c > before)
+
+(* ------------------------------------------------------------------ *)
+(* Budget deadline stride (satellite) *)
+
+let test_budget_stride_bound () =
+  List.iter
+    (fun stride ->
+      let b = Budget.make ~deadline:(Unix.gettimeofday () -. 1.0) ~stride () in
+      let ticks = ref 0 in
+      (try
+         while !ticks <= stride do
+           Budget.tick b;
+           incr ticks
+         done;
+         Alcotest.fail
+           (Printf.sprintf "stride %d: no expiry within %d ticks" stride !ticks)
+       with Budget.Expired -> ());
+      Alcotest.(check bool)
+        (Printf.sprintf "stride %d: expired within one stride" stride)
+        true (!ticks < stride))
+    [ 1; 7; 64; Budget.default_stride ];
+  match Budget.make ~stride:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stride 0 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive torn-write recovery (satellite): truncate the journal at
+   EVERY byte offset past the header. Each cut must either load whole
+   (no cut) or recover a done-subset prefix with only RT006 warnings —
+   never a hard error, never a superset. *)
+
+let test_journal_truncation_exhaustive () =
+  let snap =
+    {
+      Journal.s_fingerprint = "00deadbeef00cafe";
+      s_total_tasks = 6;
+      s_done = [| true; false; true; true; false; true |];
+      s_best = Some { Journal.b_names = [ "GntE"; "ReqE" ]; b_gain = 4607182418800017408L; b_bits = 12 };
+      s_task_bests =
+        [
+          (0, { Journal.b_names = [ "ReqE" ]; b_gain = 4602678819172646912L; b_bits = 8 });
+          (2, { Journal.b_names = [ "GntE" ]; b_gain = 4607182418800017408L; b_bits = 4 });
+        ];
+      s_explored = 123;
+    }
+  in
+  let path = tmp_journal () in
+  Journal.write ~path snap;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let header_end = String.index full '\n' + 1 in
+  for keep = header_end to String.length full do
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (String.sub full 0 keep));
+    match Journal.load ~path with
+    | Error ds ->
+        Alcotest.fail
+          (Printf.sprintf "keep=%d: hard error: %s" keep (Diag.render_all ds))
+    | Ok (got, warnings) ->
+        (* a cut may land exactly on a record boundary (e.g. removing only
+           the final newline), in which case the parse is still complete
+           and silence is correct — otherwise the cut must warn RT006 *)
+        if warnings = [] then
+          Alcotest.(check bool)
+            (Printf.sprintf "keep=%d: silent load is complete" keep)
+            true
+            (got.Journal.s_done = snap.Journal.s_done
+            && got.Journal.s_best = snap.Journal.s_best
+            && got.Journal.s_explored = snap.Journal.s_explored)
+        else
+          List.iter
+            (fun c ->
+              Alcotest.(check string) (Printf.sprintf "keep=%d: RT006 only" keep) "RT006" c)
+            (codes warnings);
+        Alcotest.(check int)
+          (Printf.sprintf "keep=%d: task count" keep)
+          snap.Journal.s_total_tasks got.Journal.s_total_tasks;
+        Array.iteri
+          (fun i g ->
+            if g && not snap.Journal.s_done.(i) then
+              Alcotest.fail (Printf.sprintf "keep=%d: task %d done out of nowhere" keep i))
+          got.Journal.s_done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Journal.Log: the journal machinery as a generic record log *)
+
+let test_log_roundtrip () =
+  let path = tmp_journal () in
+  let records = [ "id a"; "tenant team-\\x"; "spec flow F"; "" ] in
+  Journal.Log.write ~path ~kind:"session" records;
+  (match Journal.Log.load ~path ~kind:"session" with
+  | Ok (got, warnings) ->
+      Alcotest.(check (list string)) "records round-trip" records got;
+      Alcotest.(check (list string)) "clean" [] (codes warnings)
+  | Error ds -> Alcotest.fail (Diag.render_all ds));
+  (* a readable log of another kind must be refused, not confused *)
+  (match Journal.Log.load ~path ~kind:"checkpoint" with
+  | Error ds -> Alcotest.(check (list string)) "wrong kind is RT002" [ "RT002" ] (codes ds)
+  | Ok _ -> Alcotest.fail "wrong-kind log loaded");
+  (match Journal.Log.write ~path ~kind:"bad kind" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "whitespace kind accepted");
+  match Journal.Log.write ~path ~kind:"k" [ "a\nb" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "newline record accepted"
+
+let test_log_truncation_exhaustive () =
+  let path = tmp_journal () in
+  let records = [ "one"; "two two"; "three three three" ] in
+  Journal.Log.write ~path ~kind:"k" records;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let header_end = String.index full '\n' + 1 in
+  for keep = header_end to String.length full do
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (String.sub full 0 keep));
+    match Journal.Log.load ~path ~kind:"k" with
+    | Error ds ->
+        Alcotest.fail (Printf.sprintf "keep=%d: hard error: %s" keep (Diag.render_all ds))
+    | Ok (got, warnings) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "keep=%d: record prefix" keep)
+          true
+          (List.length got <= List.length records
+          && got = List.filteri (fun i _ -> i < List.length got) records);
+        if warnings = [] then
+          Alcotest.(check (list string))
+            (Printf.sprintf "keep=%d: silent load is complete" keep)
+            records got
+        else
+          Alcotest.(check bool) "cut warns RT006" true (List.mem "RT006" (codes warnings))
+  done;
+  (* mid-file damage stays a hard RT005 *)
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc full);
+  let body = Bytes.of_string full in
+  Bytes.set body (header_end + 1) 'X';
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc body);
+  match Journal.Log.load ~path ~kind:"k" with
+  | Error ds -> Alcotest.(check bool) "RT005" true (List.mem "RT005" (codes ds))
+  | Ok _ -> Alcotest.fail "bit-flipped log loaded"
+
 let test_sample_zero_rejected () =
   let inter = Scenario.interleave (List.hd Scenario.all) in
   let sel = Select.select ~strategy:Select.Greedy inter ~buffer_width:16 in
@@ -401,9 +621,12 @@ let test_sample_zero_rejected () =
       | exception Invalid_argument _ -> ()
       | _ -> Alcotest.fail (Printf.sprintf "Sample %d accepted" k))
     [ 0; -1; -100 ];
-  (match Trace_buffer.parse_policy "sample:0" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "sample:0 parsed");
+  List.iter
+    (fun s ->
+      match Trace_buffer.parse_policy s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (s ^ " parsed"))
+    [ "sample:0"; "sample:-3"; "sample:"; "sample:x" ];
   match Trace_buffer.create ~policy:(Trace_buffer.Sample 1) ~depth:8 sel with
   | _ -> ()
 
@@ -417,9 +640,23 @@ let () =
           Alcotest.test_case "garbage is RT002" `Quick test_journal_not_a_journal;
           Alcotest.test_case "unreadable is RT001" `Quick test_journal_unreadable;
           Alcotest.test_case "lying end record is RT007" `Quick test_journal_broken_seal;
+          Alcotest.test_case "truncation at every offset recovers (RT006)" `Quick
+            test_journal_truncation_exhaustive;
+          Alcotest.test_case "Log round-trips and rejects wrong kind" `Quick test_log_roundtrip;
+          Alcotest.test_case "Log truncation at every offset recovers" `Quick
+            test_log_truncation_exhaustive;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_journal_roundtrip; prop_journal_truncation_recovers ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "delay is pure in (seed, task, attempt)" `Quick
+            test_backoff_deterministic;
+          Alcotest.test_case "bounded exponential with additive jitter" `Quick
+            test_backoff_exponential_capped;
+          Alcotest.test_case "retries under backoff stay bit-identical" `Quick
+            test_supervised_backoff_bit_identical;
+        ] );
       ( "supervision",
         [
           Alcotest.test_case "supervised = plain (jobs 1/2/4)" `Quick
@@ -441,6 +678,8 @@ let () =
             test_expired_deadline_greedy_fallback;
           Alcotest.test_case "max-candidates degrades to anytime" `Quick
             test_core_max_candidates_anytime;
+          Alcotest.test_case "deadline expiry detected within one stride" `Quick
+            test_budget_stride_bound;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_unexpired_budget_identical ] );
       ( "guards",

@@ -142,6 +142,33 @@ let serve_tests =
       (Staged.stage (fun () -> ignore (Service.Dispatch.handle disp line)));
   ]
 
+(* fsck over a populated state dir: 32 sealed session files classified
+   through the fault vfs, so the timing isolates the scan/parse kernel
+   from physical disk cost. The CI gate holds its ratio over
+   kernel_serve_select — integrity checking must stay in the same cost
+   class as serving one request, or resume-time repair would become the
+   daemon's startup bottleneck. *)
+let fsck_tests =
+  let module Vfs = Flowtrace_runtime.Vfs in
+  let fs = Vfs.Fault.create () in
+  let vfs = Vfs.Fault.vfs fs in
+  let spec = Spec_parser.print_flows (Scenario.flows Scenario.scenario1) in
+  for i = 1 to 32 do
+    Service.Store.save ~vfs ~dir:"/state"
+      {
+        Service.Store.se_id = Printf.sprintf "s%02d" i;
+        se_tenant = "bench";
+        se_width = 32;
+        se_strategy = Select.Greedy;
+        se_instances = Scenario.scenario1.Scenario.analysis_counts;
+        se_spec = spec;
+      }
+  done;
+  [
+    Test.make ~name:"kernel_fsck_scan"
+      (Staged.stage (fun () -> ignore (Service.Fsck.scan ~vfs "/state")));
+  ]
+
 (* Saturation: requests/sec against one dispatcher as concurrent sessions
    grow. One client domain per session drives Dispatch.handle directly
    (no sockets), so the curve isolates the serving layer — shard locking,
@@ -201,7 +228,7 @@ let stress_tests =
 let benchmark ~quota =
   let test =
     Test.make_grouped ~name:"flowtrace"
-      (experiment_tests @ kernel_tests @ serve_tests @ stress_tests)
+      (experiment_tests @ kernel_tests @ serve_tests @ fsck_tests @ stress_tests)
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:None () in

@@ -258,7 +258,7 @@ let select_cmd =
           (* deliberately no fingerprint check: the journal came from a
              prior revision of the scenario, which is the whole point *)
           let snap =
-            match Journal.load ~path:file with
+            match Journal.load file with
             | Error diags ->
                 Printf.eprintf "%s%!" (Flowtrace_analysis.Diagnostic.render_all diags);
                 Printf.eprintf "flowtrace: cannot use journal %s\n" file;
@@ -989,6 +989,13 @@ let serve_cmd =
         cfg
     with
     | () -> ()
+    | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+        or_die
+          (Error
+             (Printf.sprintf
+                "cannot serve on %s: another daemon is already listening there (shut it down \
+                 first, or use a different --socket)"
+                socket))
     | exception Unix.Unix_error (e, _, arg) ->
         or_die
           (Error
@@ -998,7 +1005,7 @@ let serve_cmd =
   let doc =
     "Run the trace-analysis daemon: a long-lived multi-tenant service over a Unix socket \
      speaking newline-delimited JSON (ops: open-session, select, localize, mine, status, \
-     close, ping, shutdown)."
+     health, close, ping, shutdown)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
@@ -1035,6 +1042,23 @@ let call_cmd =
           Unix.close fd;
           Unix.sleepf 0.05;
           connect ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+          Unix.close fd;
+          or_die
+            (Error
+               (Printf.sprintf
+                  "no daemon is listening on %s (no socket file); start one with 'flowtrace \
+                   serve --socket %s'"
+                  socket socket))
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+          Unix.close fd;
+          or_die
+            (Error
+               (Printf.sprintf
+                  "connection refused on %s: the socket file exists but no daemon is \
+                   accepting — likely a stale socket left by a crashed daemon; restart \
+                   'flowtrace serve' (it clears stale sockets on startup)"
+                  socket))
       | exception Unix.Unix_error (e, _, _) ->
           Unix.close fd;
           or_die
@@ -1077,6 +1101,37 @@ let call_cmd =
   in
   Cmd.v (Cmd.info "call" ~doc) Term.(const run $ socket_arg $ requests_arg $ wait_arg)
 
+let fsck_cmd =
+  let module Fsck = Flowtrace_service.Fsck in
+  let state_dir_arg =
+    let doc = "The daemon state directory to check (the $(b,serve --state-dir) value)." in
+    Arg.(required & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let repair_arg =
+    let doc =
+      "Heal what can be proven safe: sweep stale $(b,*.tmp) files, compact sessions \
+       recovered from a damaged tail back to sealed files, and quarantine corrupt files as \
+       $(b,*.quarantine) (a rename — nothing that could carry evidence is deleted)."
+    in
+    Arg.(value & flag & info [ "repair" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the report as a single JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run dir repair json =
+    let report = if repair then Fsck.repair dir else Fsck.scan dir in
+    if json then print_endline (Flowtrace_analysis.Json.to_string (Fsck.to_json report))
+    else print_string (Fsck.render report);
+    exit (Fsck.exit_code report)
+  in
+  let doc =
+    "Check (and with $(b,--repair), heal) a daemon state directory: classify every session \
+     file as intact, recovered or corrupt, report stale temp files and quarantined damage \
+     with RT diagnostics, exit 0 clean / 1 hard damage / 3 recovered-or-repaired."
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ state_dir_arg $ repair_arg $ json_arg)
+
 let scenarios_cmd =
   let run () =
     let open Flowtrace_soc in
@@ -1097,4 +1152,4 @@ let () =
   let doc = "application-level hardware trace message selection" in
   let info = Cmd.info "flowtrace" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; check_cmd; mine_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd; serve_cmd; call_cmd ]))
+       [ select_cmd; interleave_cmd; localize_cmd; explain_cmd; lint_cmd; check_cmd; mine_cmd; simulate_cmd; debug_cmd; dot_cmd; tables_cmd; scenarios_cmd; stats_cmd; serve_cmd; call_cmd; fsck_cmd ]))

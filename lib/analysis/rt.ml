@@ -11,6 +11,10 @@ let table =
     ("RT005", Diagnostic.Error, "corrupt journal record");
     ("RT006", Diagnostic.Warning, "journal tail truncated; valid prefix recovered");
     ("RT007", Diagnostic.Error, "journal integrity check failed");
+    ("RT008", Diagnostic.Warning, "corrupt session file quarantined");
+    ("RT009", Diagnostic.Info, "stale temp file swept");
+    ("RT010", Diagnostic.Info, "recovered journal compacted");
+    ("RT011", Diagnostic.Error, "state directory unreadable");
   ]
 
 let severity code =

@@ -112,7 +112,7 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
             let diags = ref [] in
             (match checkpoint with
             | Some path when resume && Sys.file_exists path -> (
-                match Journal.load ~path with
+                match Journal.load path with
                 | Error ds -> raise (Reject ds)
                 | Ok (snap, warns) ->
                     if snap.Journal.s_fingerprint <> fp || snap.Journal.s_total_tasks <> ntasks
@@ -175,7 +175,7 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
                   try
                     Journal.write ~path snap;
                     Tel.Counter.incr c_ckpt_writes
-                  with Sys_error m ->
+                  with Vfs.Io_error { e_msg; _ } ->
                     (* a dead checkpoint target must not kill the
                        selection: report it and carry on un-journalled *)
                     ckpt_on := false;
@@ -183,10 +183,27 @@ let select ?(strategy = Select.Exact) ?(limit = Combination.default_limit) ?(job
                       !diags
                       @ [
                           Rt.v "RT001" (Srcspan.none path)
-                            "cannot write checkpoint (%s); checkpointing disabled for this run" m;
+                            "cannot write checkpoint (%s); checkpointing disabled for this run"
+                            e_msg;
                         ])
               | _ -> ()
             in
+            (* compaction: a journal resumed from a recovered (truncated)
+               tail is rewritten sealed before any new work, so the next
+               crash recovers from a clean file instead of compounding
+               damage *)
+            if !diags <> [] && !ckpt_on then begin
+              Mutex.protect mutex write_ckpt;
+              diags :=
+                !diags
+                @ [
+                    (match checkpoint with
+                    | Some path ->
+                        Rt.v "RT010" (Srcspan.none path)
+                          "recovered journal compacted (sealed prefix rewritten)"
+                    | None -> assert false);
+                  ]
+            end;
             let publish t p =
               Mutex.protect mutex (fun () ->
                   best := Select.Path.merge !best p;

@@ -64,20 +64,10 @@ let render snap =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
-let write ~path snap =
+let write ?(vfs = Vfs.passthrough) ~path snap =
   if Array.length snap.s_done <> snap.s_total_tasks then
     invalid_arg "Journal.write: done array does not match the task count";
-  let text = render snap in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     output_string oc text;
-     flush oc
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+  Vfs.atomic_replace vfs ~path (render snap)
 
 (* ------------------------------------------------------------------ *)
 (* Parsing *)
@@ -106,9 +96,10 @@ let parse_payload payload =
   | [ "end"; count; crc ] -> Option.map (fun c -> End (c, crc)) (int_of_string_opt count)
   | _ -> None
 
-let load ~path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error m -> Error [ Rt.v "RT001" (Srcspan.none path) "cannot read journal: %s" m ]
+let load ?(vfs = Vfs.passthrough) path =
+  match vfs.Vfs.read_file path with
+  | exception Vfs.Io_error { e_msg; _ } ->
+      Error [ Rt.v "RT001" (Srcspan.none path) "cannot read journal: %s" e_msg ]
   | text -> (
       let complete_last_line = String.length text > 0 && text.[String.length text - 1] = '\n' in
       let lines =
@@ -279,25 +270,15 @@ module Log = struct
     Buffer.add_char buf '\n';
     Buffer.contents buf
 
-  let write ~path ~kind records =
+  let write ?(vfs = Vfs.passthrough) ~path ~kind records =
     check_kind kind;
-    let text = render ~kind records in
-    let tmp = path ^ ".tmp" in
-    let oc = open_out tmp in
-    (try
-       output_string oc text;
-       flush oc
-     with e ->
-       close_out_noerr oc;
-       raise e);
-    close_out oc;
-    Sys.rename tmp path
+    Vfs.atomic_replace vfs ~path (render ~kind records)
 
-  let load ~path ~kind =
+  let load ?(vfs = Vfs.passthrough) ~kind path =
     check_kind kind;
-    match In_channel.with_open_bin path In_channel.input_all with
-    | exception Sys_error m ->
-        Error [ Rt.v "RT001" (Srcspan.none path) "cannot read journal: %s" m ]
+    match vfs.Vfs.read_file path with
+    | exception Vfs.Io_error { e_msg; _ } ->
+        Error [ Rt.v "RT001" (Srcspan.none path) "cannot read journal: %s" e_msg ]
     | text -> (
         let complete_last_line = String.length text > 0 && text.[String.length text - 1] = '\n' in
         let lines =

@@ -53,19 +53,22 @@ type snapshot = {
 
 val version : int
 
-(** [write ~path snap] atomically replaces [path] with the snapshot
-    (write to [path ^ ".tmp"], then rename). Raises [Sys_error] on I/O
-    failure and [Invalid_argument] if a message name cannot be stored
-    verbatim (contains a comma, whitespace or newline). *)
-val write : path:string -> snapshot -> unit
+(** [write ~path snap] atomically replaces [path] with the snapshot via
+    {!Vfs.atomic_replace} (write to [path ^ ".tmp"], fsync, then
+    rename). [vfs] defaults to {!Vfs.passthrough}. Raises
+    {!Vfs.Io_error} on I/O failure and [Invalid_argument] if a message
+    name cannot be stored verbatim (contains a comma, whitespace or
+    newline). *)
+val write : ?vfs:Vfs.t -> path:string -> snapshot -> unit
 
-(** [load ~path] parses a journal. [Ok (snap, warnings)] carries RT006
+(** [load path] parses a journal. [Ok (snap, warnings)] carries RT006
     warnings when a truncated tail was recovered; [Error diags] carries
     the positioned hard errors above. Fingerprint/task-count compatibility
     with the resuming run is the caller's check (RT004) — the journal
     itself cannot know the run it is being resumed into. *)
 val load :
-  path:string ->
+  ?vfs:Vfs.t ->
+  string ->
   ( snapshot * Flowtrace_analysis.Diagnostic.t list,
     Flowtrace_analysis.Diagnostic.t list )
   result
@@ -86,16 +89,17 @@ val load :
 module Log : sig
   (** [write ~path ~kind records] atomically replaces [path]. Raises
       [Invalid_argument] if [kind] contains whitespace or a record
-      contains a newline; [Sys_error] on I/O failure. *)
-  val write : path:string -> kind:string -> string list -> unit
+      contains a newline; {!Vfs.Io_error} on I/O failure. *)
+  val write : ?vfs:Vfs.t -> path:string -> kind:string -> string list -> unit
 
-  (** [load ~path ~kind] returns the records with RT006 warnings when a
+  (** [load ~kind path] returns the records with RT006 warnings when a
       truncated tail was recovered. A readable journal of a different
       [kind] is rejected with RT002 — a session file is never confused
       with a selection checkpoint. *)
   val load :
-    path:string ->
+    ?vfs:Vfs.t ->
     kind:string ->
+    string ->
     ( string list * Flowtrace_analysis.Diagnostic.t list,
       Flowtrace_analysis.Diagnostic.t list )
     result

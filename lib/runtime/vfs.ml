@@ -1,0 +1,332 @@
+module Tel = Flowtrace_telemetry.Telemetry
+
+let c_stale_tmp = Tel.Counter.v "runtime.vfs.stale_tmp"
+
+type error = { e_op : string; e_path : string; e_msg : string; e_enospc : bool }
+
+exception Io_error of error
+exception Crash of int
+
+type fd = int
+
+type t = {
+  openw : string -> fd;
+  write : fd -> string -> int -> int -> int;
+  fsync : fd -> unit;
+  close : fd -> unit;
+  rename : string -> string -> unit;
+  unlink : string -> unit;
+  exists : string -> bool;
+  readdir : string -> string array;
+  read_file : string -> string;
+  mkdir : string -> unit;
+}
+
+let io_error ~op ~path ?(enospc = false) msg =
+  raise (Io_error { e_op = op; e_path = path; e_msg = msg; e_enospc = enospc })
+
+(* ------------------------------------------------------------------ *)
+(* Passthrough: the production path. Unix/Sys failures are rewrapped so
+   callers see one exception type with a reliable ENOSPC flag. *)
+
+let wrap op path f =
+  try f () with
+  | Unix.Unix_error (code, _, arg) ->
+      let where = if arg = "" then path else arg in
+      io_error ~op ~path:where ~enospc:(code = Unix.ENOSPC) (Unix.error_message code)
+  | Sys_error m -> io_error ~op ~path m
+
+let passthrough =
+  let table : (fd, Unix.file_descr) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 0 in
+  let lock = Mutex.create () in
+  let register ufd =
+    Mutex.lock lock;
+    incr next;
+    let id = !next in
+    Hashtbl.replace table id ufd;
+    Mutex.unlock lock;
+    id
+  in
+  let resolve op id =
+    Mutex.lock lock;
+    let ufd = Hashtbl.find_opt table id in
+    Mutex.unlock lock;
+    match ufd with
+    | Some ufd -> ufd
+    | None -> io_error ~op ~path:"<fd>" "Bad file descriptor"
+  in
+  {
+    openw =
+      (fun path ->
+        wrap "open" path (fun () ->
+            register (Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644)));
+    write =
+      (fun id buf off len ->
+        wrap "write" "<fd>" (fun () -> Unix.write_substring (resolve "write" id) buf off len));
+    fsync = (fun id -> wrap "fsync" "<fd>" (fun () -> Unix.fsync (resolve "fsync" id)));
+    close =
+      (fun id ->
+        let ufd = resolve "close" id in
+        Mutex.lock lock;
+        Hashtbl.remove table id;
+        Mutex.unlock lock;
+        wrap "close" "<fd>" (fun () -> Unix.close ufd));
+    rename = (fun src dst -> wrap "rename" src (fun () -> Sys.rename src dst));
+    unlink = (fun path -> wrap "unlink" path (fun () -> Sys.remove path));
+    exists = (fun path -> wrap "stat" path (fun () -> Sys.file_exists path));
+    readdir = (fun dir -> wrap "readdir" dir (fun () -> Sys.readdir dir));
+    read_file =
+      (fun path -> wrap "read" path (fun () -> In_channel.with_open_bin path In_channel.input_all));
+    mkdir =
+      (fun path ->
+        wrap "mkdir" path (fun () ->
+            try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let write_all t fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    let w = t.write fd s !off (n - !off) in
+    if w <= 0 then io_error ~op:"write" ~path:"<fd>" "write made no progress";
+    off := !off + w
+  done
+
+let tmp_suffix = ".tmp"
+let is_tmp name = Filename.check_suffix name tmp_suffix
+
+let atomic_replace t ~path text =
+  let tmp = path ^ tmp_suffix in
+  let fd = t.openw tmp in
+  (try
+     write_all t fd text;
+     (* fsync before rename, or a power cut after the rename can leave
+        a durable name pointing at data that never reached the disk *)
+     t.fsync fd;
+     t.close fd
+   with
+  | Crash _ as c -> raise c
+  | e ->
+      (try t.close fd with Crash _ as c -> raise c | _ -> ());
+      (try t.unlink tmp with Crash _ as c -> raise c | _ -> ());
+      raise e);
+  t.rename tmp path
+
+let sweep_tmp t ~dir =
+  let entries = t.readdir dir in
+  let stale = List.sort String.compare (List.filter is_tmp (Array.to_list entries)) in
+  List.iter
+    (fun name ->
+      t.unlink (Filename.concat dir name);
+      Tel.Counter.incr c_stale_tmp)
+    stale;
+  stale
+
+(* ------------------------------------------------------------------ *)
+(* Fault: deterministic in-memory filesystem.
+
+   Two maps keyed by path: [cur] is what reads observe, [dur] is what a
+   power cut preserves. Namespace edits touch both; data lands in [cur]
+   and is promoted to [dur] only by fsync. *)
+
+module Fault = struct
+  type ofile = { o_path : string; o_gen : int }
+
+  type fs = {
+    cur : (string, string) Hashtbl.t;
+    dur : (string, string) Hashtbl.t;
+    dirs : (string, unit) Hashtbl.t;
+    opens : (fd, ofile) Hashtbl.t;
+    mutable next_fd : int;
+    mutable gen : int;  (* bumped at every power cut; stale fds die *)
+    mutable calls : int;
+    mutable crash_at : int option;
+    mutable crashed : bool;
+    mutable short_writes : bool;
+    mutable disk_budget : int option;
+    mutable eio_at : int option;
+    mutable drop_fsync : bool;
+    seed : int;
+    lock : Mutex.t;
+  }
+
+  let create ?(seed = 0) () =
+    {
+      cur = Hashtbl.create 16;
+      dur = Hashtbl.create 16;
+      dirs = Hashtbl.create 4;
+      opens = Hashtbl.create 4;
+      next_fd = 0;
+      gen = 0;
+      calls = 0;
+      crash_at = None;
+      crashed = false;
+      short_writes = false;
+      disk_budget = None;
+      eio_at = None;
+      drop_fsync = false;
+      seed;
+      lock = Mutex.create ();
+    }
+
+  let set_crash_at fs k =
+    fs.crash_at <- k;
+    fs.crashed <- false
+
+  let set_short_writes fs b = fs.short_writes <- b
+  let set_disk_budget fs b = fs.disk_budget <- b
+  let set_eio_at fs k = fs.eio_at <- k
+  let set_drop_fsync fs b = fs.drop_fsync <- b
+  let syscalls fs = fs.calls
+  let reset_syscalls fs = fs.calls <- 0
+
+  let cut fs =
+    Hashtbl.reset fs.cur;
+    Hashtbl.iter (fun k v -> Hashtbl.replace fs.cur k v) fs.dur;
+    Hashtbl.reset fs.opens;
+    fs.gen <- fs.gen + 1
+
+  let power_cut fs =
+    Mutex.lock fs.lock;
+    cut fs;
+    Mutex.unlock fs.lock
+
+  let dump fs =
+    Mutex.lock fs.lock;
+    let files = Hashtbl.fold (fun k v acc -> (k, v) :: acc) fs.dur [] in
+    Mutex.unlock fs.lock;
+    List.sort compare files
+
+  let mem fs path =
+    Mutex.lock fs.lock;
+    let v = Hashtbl.find_opt fs.cur path in
+    Mutex.unlock fs.lock;
+    v
+
+  let install fs ~path text =
+    Mutex.lock fs.lock;
+    Hashtbl.replace fs.cur path text;
+    Hashtbl.replace fs.dur path text;
+    Mutex.unlock fs.lock
+
+  (* Syscall boundary: crash check, then count, then (maybe) EIO. Holds
+     the lock for the duration of [f]. *)
+  let step fs op path f =
+    Mutex.lock fs.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock fs.lock) @@ fun () ->
+    if fs.crashed then raise (Crash fs.calls);
+    (match fs.crash_at with
+    | Some k when fs.calls >= k ->
+        fs.crashed <- true;
+        cut fs;
+        raise (Crash k)
+    | _ -> ());
+    let i = fs.calls in
+    fs.calls <- fs.calls + 1;
+    (match fs.eio_at with
+    | Some k when i = k -> io_error ~op ~path "Input/output error"
+    | _ -> ());
+    f i
+
+  let usage fs = Hashtbl.fold (fun _ v acc -> acc + String.length v) fs.cur 0
+
+  let mix seed i =
+    let x = ((seed * 0x9E3779B1) + (i * 0x85EBCA6B)) land 0x3FFFFFFF in
+    let x = x lxor (x lsr 13) in
+    let x = x * 0xC2B2AE35 land 0x3FFFFFFF in
+    x lxor (x lsr 11)
+
+  let resolve fs op id =
+    match Hashtbl.find_opt fs.opens id with
+    | Some o when o.o_gen = fs.gen -> o
+    | _ -> io_error ~op ~path:"<fd>" "Bad file descriptor"
+
+  let vfs fs =
+    {
+      openw =
+        (fun path ->
+          step fs "open" path @@ fun _ ->
+          (* creation is a namespace op: durable immediately, data empty *)
+          Hashtbl.replace fs.cur path "";
+          if not (Hashtbl.mem fs.dur path) then Hashtbl.replace fs.dur path "";
+          fs.next_fd <- fs.next_fd + 1;
+          Hashtbl.replace fs.opens fs.next_fd { o_path = path; o_gen = fs.gen };
+          fs.next_fd);
+      write =
+        (fun id buf off len ->
+          step fs "write" "<fd>" @@ fun i ->
+          let o = resolve fs "write" id in
+          if len = 0 then 0
+          else begin
+            let avail =
+              match fs.disk_budget with
+              | None -> len
+              | Some budget -> min len (budget - usage fs)
+            in
+            if avail <= 0 then
+              io_error ~op:"write" ~path:o.o_path ~enospc:true "No space left on device";
+            let n = if fs.short_writes then max 1 (1 + (mix fs.seed i mod len)) else len in
+            let n = min n avail in
+            let prev = try Hashtbl.find fs.cur o.o_path with Not_found -> "" in
+            Hashtbl.replace fs.cur o.o_path (prev ^ String.sub buf off n);
+            n
+          end);
+      fsync =
+        (fun id ->
+          step fs "fsync" "<fd>" @@ fun _ ->
+          let o = resolve fs "fsync" id in
+          if not fs.drop_fsync then
+            Hashtbl.replace fs.dur o.o_path
+              (try Hashtbl.find fs.cur o.o_path with Not_found -> ""));
+      close =
+        (fun id ->
+          step fs "close" "<fd>" @@ fun _ ->
+          let _ = resolve fs "close" id in
+          Hashtbl.remove fs.opens id);
+      rename =
+        (fun src dst ->
+          step fs "rename" src @@ fun _ ->
+          match Hashtbl.find_opt fs.cur src with
+          | None -> io_error ~op:"rename" ~path:src "No such file or directory"
+          | Some data ->
+              Hashtbl.replace fs.cur dst data;
+              Hashtbl.remove fs.cur src;
+              (* the rename itself is durable; the data it exposes at
+                 [dst] is whatever the source inode had durably *)
+              let ddata = try Hashtbl.find fs.dur src with Not_found -> "" in
+              Hashtbl.replace fs.dur dst ddata;
+              Hashtbl.remove fs.dur src);
+      unlink =
+        (fun path ->
+          step fs "unlink" path @@ fun _ ->
+          if not (Hashtbl.mem fs.cur path) then
+            io_error ~op:"unlink" ~path "No such file or directory";
+          Hashtbl.remove fs.cur path;
+          Hashtbl.remove fs.dur path);
+      exists = (fun path -> step fs "stat" path @@ fun _ -> Hashtbl.mem fs.cur path);
+      readdir =
+        (fun dir ->
+          step fs "readdir" dir @@ fun _ ->
+          let entries =
+            Hashtbl.fold
+              (fun path _ acc -> if Filename.dirname path = dir then Filename.basename path :: acc else acc)
+              fs.cur []
+          in
+          let entries = List.sort String.compare entries in
+          Array.of_list entries);
+      read_file =
+        (fun path ->
+          step fs "read" path @@ fun _ ->
+          match Hashtbl.find_opt fs.cur path with
+          | Some data -> data
+          | None -> io_error ~op:"read" ~path (path ^ ": No such file or directory"));
+      mkdir =
+        (fun path ->
+          step fs "mkdir" path @@ fun _ ->
+          Hashtbl.replace fs.dirs path ());
+    }
+end

@@ -1,0 +1,127 @@
+(** Narrow file-IO interface the persistence layer is written against.
+
+    Everything [Journal] and [Store] do to the filesystem goes through a
+    {!t}: open-for-write, (possibly short) write, fsync, close, rename,
+    unlink, exists, readdir, whole-file read and mkdir. Two
+    implementations exist:
+
+    - {!passthrough} forwards to the real filesystem ([Unix] / [Sys])
+      and is the production path; it must be byte-for-byte transparent.
+    - {!Fault} is a deterministic in-memory filesystem that injects
+      short writes, [ENOSPC], [EIO], fsync-drop and simulated power
+      cuts at any syscall boundary, so crash consistency can be proven
+      by enumeration instead of hoped for.
+
+    The model distinguishes a {e current} view (what reads observe) from
+    a {e durable} view (what survives a power cut). Namespace operations
+    (create/rename/unlink/mkdir) are durable immediately; file {e data}
+    becomes durable only at [fsync]. A power cut resets current to
+    durable — exactly the discipline journaling filesystems give
+    applications, including the classic zero-length-file trap when a
+    rename is not preceded by an fsync. *)
+
+(** IO failure raised by every operation instead of [Unix_error] /
+    [Sys_error], so callers can branch on [e_enospc] without parsing
+    message text. *)
+type error = { e_op : string; e_path : string; e_msg : string; e_enospc : bool }
+
+exception Io_error of error
+
+(** Simulated power cut: raised by the fault implementation when the
+    configured crash point is reached. The payload is the syscall index
+    at which power was lost. Code between the persistence layer and the
+    torture harness must never swallow it — a real power cut does not
+    run exception handlers. *)
+exception Crash of int
+
+type fd = int
+
+type t = {
+  openw : string -> fd;  (** create/truncate for writing (O_WRONLY|O_CREAT|O_TRUNC) *)
+  write : fd -> string -> int -> int -> int;  (** may write fewer bytes than asked *)
+  fsync : fd -> unit;
+  close : fd -> unit;
+  rename : string -> string -> unit;  (** [rename src dst]: atomic replace *)
+  unlink : string -> unit;
+  exists : string -> bool;
+  readdir : string -> string array;
+  read_file : string -> string;  (** whole-file read *)
+  mkdir : string -> unit;  (** single level; an existing directory is not an error *)
+}
+
+val passthrough : t
+
+(** [write_all t fd s] loops over short writes until all of [s] is
+    written. *)
+val write_all : t -> fd -> string -> unit
+
+(** [atomic_replace t ~path text] writes [text] to [path ^ ".tmp"],
+    fsyncs, closes, then renames over [path] — the only crash-safe
+    whole-file update discipline this codebase uses. On failure the
+    temp file is unlinked (best effort); a {!Crash} always propagates
+    untouched. *)
+val atomic_replace : t -> path:string -> string -> unit
+
+val tmp_suffix : string
+
+(** [is_tmp name] is true for in-flight temp files left by a crashed
+    {!atomic_replace}. *)
+val is_tmp : string -> bool
+
+(** [sweep_tmp t ~dir] unlinks every stale [*.tmp] entry under [dir],
+    bumps the [runtime.vfs.stale_tmp] counter per file and returns the
+    swept basenames, sorted. *)
+val sweep_tmp : t -> dir:string -> string list
+
+(** Deterministic fault-injecting in-memory filesystem. *)
+module Fault : sig
+  type fs
+
+  (** [create ?seed ()] builds an empty filesystem. [seed] (default 0)
+      drives short-write split points. *)
+  val create : ?seed:int -> unit -> fs
+
+  val vfs : fs -> t
+
+  (** Crash before executing syscall [k] (0-based): the first [k]
+      operations run, the next raises {!Crash} after reverting the
+      current view to the durable one. [None] disables. *)
+  val set_crash_at : fs -> int option -> unit
+
+  (** Every write is split at a seeded point (at least one byte still
+      lands), so multi-write tails become reachable crash states. *)
+  val set_short_writes : fs -> bool -> unit
+
+  (** Total bytes of current file data the disk will hold; writes past
+      it are short, then fail with an [ENOSPC] {!Io_error}. Unlinking
+      files frees space. [None] = unbounded. *)
+  val set_disk_budget : fs -> int option -> unit
+
+  (** Fail syscall [k] with an [EIO] {!Io_error} (the op is counted but
+      has no effect). *)
+  val set_eio_at : fs -> int option -> unit
+
+  (** When set, [fsync] is silently a no-op: written bytes never become
+      durable and vanish at the next power cut — the pathological
+      firmware lie. *)
+  val set_drop_fsync : fs -> bool -> unit
+
+  (** Number of syscalls executed so far (every {!t} operation counts as
+      one). *)
+  val syscalls : fs -> int
+
+  val reset_syscalls : fs -> unit
+
+  (** Revert the current view to the durable view and invalidate open
+      fds, without raising. *)
+  val power_cut : fs -> unit
+
+  (** Durable view: [(path, contents)] sorted by path. *)
+  val dump : fs -> (string * string) list
+
+  (** Current view of one file, if it exists. *)
+  val mem : fs -> string -> string option
+
+  (** Test setup: seed a file in both views without counting syscalls. *)
+  val install : fs -> path:string -> string -> unit
+end

@@ -5,6 +5,7 @@ module Rt = Flowtrace_analysis.Rt
 module Supervisor = Flowtrace_runtime.Supervisor
 module Backoff = Flowtrace_runtime.Backoff
 module Budget = Flowtrace_runtime.Budget
+module Vfs = Flowtrace_runtime.Vfs
 module Tel = Flowtrace_telemetry.Telemetry
 
 let c_requests = Tel.Counter.v "serve.requests"
@@ -27,11 +28,16 @@ type shard = { mu : Mutex.t; sessions : (string, entry) Hashtbl.t }
 type t = {
   shards : shard array;
   state_dir : string option;
+  vfs : Vfs.t;
   max_inflight : int;
   inflight : int Atomic.t;
   retries : int;
   backoff : Backoff.t;
   chaos : bool;
+  (* [None] = store healthy; [Some msg] = last session save failed (disk
+     full, IO error) and sessions are being held in memory only *)
+  store_error : string option Atomic.t;
+  stale_swept : int;  (** stale temp files swept by this process's resume *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -77,26 +83,39 @@ let entry_of_session (s : Store.session) =
           e_pool = List.length (Interleave.messages inter);
         }
 
-let create ?state_dir ?(shards = 4) ?(max_inflight = 64) ?(retries = 2) ?(backoff_seed = 0)
-    ?(chaos = false) ?(resume = false) () =
+let create ?state_dir ?(vfs = Vfs.passthrough) ?(shards = 4) ?(max_inflight = 64) ?(retries = 2)
+    ?(backoff_seed = 0) ?(chaos = false) ?(resume = false) () =
   if shards < 1 then invalid_arg "Dispatch.create: shards must be positive";
   if max_inflight < 1 then invalid_arg "Dispatch.create: max_inflight must be positive";
+  let resume_diags =
+    match (state_dir, resume) with
+    | Some dir, true -> Some (Store.load_all ~vfs ~repair:true dir)
+    | _ -> None
+  in
+  let swept =
+    match resume_diags with
+    | None -> 0
+    | Some (_, ds) ->
+        List.length (List.filter (fun (d : Diagnostic.t) -> d.Diagnostic.code = "RT009") ds)
+  in
   let t =
     {
       shards =
         Array.init shards (fun _ -> { mu = Mutex.create (); sessions = Hashtbl.create 16 });
       state_dir;
+      vfs;
       max_inflight;
       inflight = Atomic.make 0;
       retries;
       backoff = Backoff.make ~seed:backoff_seed ();
       chaos;
+      store_error = Atomic.make None;
+      stale_swept = swept;
     }
   in
   let diags =
-    match (state_dir, resume) with
-    | Some dir, true ->
-        let sessions, diags = Store.load_all ~dir in
+    match resume_diags with
+    | Some (sessions, diags) ->
         List.fold_left
           (fun diags (s : Store.session) ->
             match entry_of_session s with
@@ -105,6 +124,7 @@ let create ?state_dir ?(shards = 4) ?(max_inflight = 64) ?(retries = 2) ?(backof
                 Hashtbl.replace shard.sessions s.Store.se_id e;
                 diags
             | Error m ->
+                let dir = Option.value ~default:"" state_dir in
                 diags
                 @ [
                     Rt.v "RT005"
@@ -369,11 +389,40 @@ let run_session_op t (rq : Proto.request) =
             match entry_of_session session with
             | Error m -> err "%s" m
             | Ok e -> (
-                match
-                  Option.iter (fun dir -> Store.save ~dir session) t.state_dir
-                with
-                | exception Sys_error m -> err "cannot persist session: %s" m
+                let persist dir =
+                  (* --chaos + {"enospc":true} fails the save exactly the
+                     way a full disk does, without needing a full disk *)
+                  (match rq.Proto.rq_chaos with
+                  | Some c when t.chaos && c.Proto.c_enospc ->
+                      raise
+                        (Vfs.Io_error
+                           {
+                             Vfs.e_op = "write";
+                             e_path = Store.file_of ~dir id;
+                             e_msg = "No space left on device";
+                             e_enospc = true;
+                           })
+                  | _ -> ());
+                  Store.save ~vfs:t.vfs ~dir session
+                in
+                match Option.iter persist t.state_dir with
+                | exception Vfs.Io_error { e_msg; _ } ->
+                    (* shed to degraded, never die: the session stays
+                       open in memory and the store is flagged unhealthy
+                       until a later save succeeds *)
+                    Atomic.set t.store_error (Some e_msg);
+                    Hashtbl.replace shard.sessions id e;
+                    ( Proto.Sdegraded,
+                      session_fields e
+                      @ [
+                          ("persisted", Json.Bool false);
+                          ( "warning",
+                            Json.String
+                              (Printf.sprintf "session not persisted (%s); held in memory only"
+                                 e_msg) );
+                        ] )
                 | () ->
+                    if t.state_dir <> None then Atomic.set t.store_error None;
                     Hashtbl.replace shard.sessions id e;
                     (Proto.Sok, session_fields e)))
   | Proto.Close ->
@@ -382,7 +431,7 @@ let run_session_op t (rq : Proto.request) =
           else begin
             Hashtbl.remove shard.sessions id;
             (match t.state_dir with
-            | Some dir -> ( try Store.remove ~dir id with Sys_error _ -> ())
+            | Some dir -> ( try Store.remove ~vfs:t.vfs ~dir id with Vfs.Io_error _ -> ())
             | None -> ());
             (Proto.Sok, [ ("session", Json.String id) ])
           end)
@@ -400,7 +449,26 @@ let run_session_op t (rq : Proto.request) =
       with_shard t id (fun shard ->
           if not (Hashtbl.mem shard.sessions id) then err "unknown session %S" id
           else run_mine ~trace_text ~support ~min_count)
-  | Proto.Ping | Proto.Status | Proto.Shutdown -> assert false
+  | Proto.Ping | Proto.Status | Proto.Health | Proto.Shutdown -> assert false
+
+let run_health t =
+  let n = List.length (session_ids t) in
+  let store_fields =
+    match t.state_dir with
+    | None -> [ ("store", Json.String "none") ]
+    | Some _ -> (
+        match Atomic.get t.store_error with
+        | None -> [ ("store", Json.String "ok") ]
+        | Some msg ->
+            [ ("store", Json.String "degraded"); ("store_error", Json.String msg) ])
+  in
+  let status =
+    if Atomic.get t.store_error <> None then Proto.Sdegraded else Proto.Sok
+  in
+  ( status,
+    [ ("sessions", Json.Int n) ]
+    @ store_fields
+    @ [ ("stale_tmp_swept", Json.Int t.stale_swept) ] )
 
 let run_status t (rq : Proto.request) =
   match rq.Proto.rq_session with
@@ -444,6 +512,9 @@ let handle ?drop_deadline ?(admitted = false) t line =
       | Proto.Status ->
           if admitted then release t;
           (finish ?id ~op (run_status t rq), false)
+      | Proto.Health ->
+          if admitted then release t;
+          (finish ?id ~op (run_health t), false)
       | _ ->
           let shed =
             match drop_deadline with

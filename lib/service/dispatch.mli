@@ -17,21 +17,30 @@
     to an undisturbed run. *)
 
 module Diagnostic = Flowtrace_analysis.Diagnostic
+module Vfs = Flowtrace_runtime.Vfs
 
 type t
 
 (** [create ()] builds the dispatcher. [state_dir], when given, persists
     every open session through {!Store} (and [resume] reloads the
-    sessions found there, collecting diagnostics for damaged files).
-    [shards] (default 4) is the session-table shard count; [max_inflight]
-    (default 64) the global admission cap; [retries] (default 2) the
-    per-request supervision retry bound with [backoff_seed] (default 0)
-    seeding the deterministic retry jitter. [chaos] (default false)
-    honors per-request [chaos] fields — fault injection is opt-in at the
-    daemon level, a client can never inject faults into a production
-    daemon. *)
+    sessions found there with [Store.load_all ~repair:true]: stale temp
+    files swept, recovered files compacted, corrupt files quarantined —
+    damage is contained per session, never daemon-wide). All store IO
+    goes through [vfs] (default {!Vfs.passthrough}); tests pass a
+    {!Vfs.Fault} filesystem to drive ENOSPC and power cuts through the
+    whole dispatcher. A failed session save does not kill the request:
+    the session opens in memory with a ["degraded"] response and the
+    store is flagged unhealthy (see the [health] op) until a save
+    succeeds again. [shards] (default 4) is the session-table shard
+    count; [max_inflight] (default 64) the global admission cap;
+    [retries] (default 2) the per-request supervision retry bound with
+    [backoff_seed] (default 0) seeding the deterministic retry jitter.
+    [chaos] (default false) honors per-request [chaos] fields — fault
+    injection is opt-in at the daemon level, a client can never inject
+    faults into a production daemon. *)
 val create :
   ?state_dir:string ->
+  ?vfs:Vfs.t ->
   ?shards:int ->
   ?max_inflight:int ->
   ?retries:int ->

@@ -1,11 +1,12 @@
 open Flowtrace_core
 module Json = Flowtrace_analysis.Json
 
-type chaos = { c_fail : int; c_delay_ms : int }
+type chaos = { c_fail : int; c_delay_ms : int; c_enospc : bool }
 
 type op =
   | Ping
   | Status
+  | Health
   | Shutdown
   | Open_session of {
       tenant : string;
@@ -34,6 +35,7 @@ type request = {
 let op_name = function
   | Ping -> "ping"
   | Status -> "status"
+  | Health -> "health"
   | Shutdown -> "shutdown"
   | Open_session _ -> "open-session"
   | Select_op _ -> "select"
@@ -43,7 +45,7 @@ let op_name = function
 
 let needs_session = function
   | Open_session _ | Select_op _ | Localize_op _ | Mine_op _ | Close -> true
-  | Ping | Status | Shutdown -> false
+  | Ping | Status | Health | Shutdown -> false
 
 let valid_session_id s =
   let n = String.length s in
@@ -126,13 +128,15 @@ let get_chaos obj =
   | Some (Json.Obj _ as c) ->
       let fail_n = Option.value ~default:0 (get_int c "fail") in
       let delay = Option.value ~default:0 (get_int c "delay_ms") in
+      let enospc = Option.value ~default:false (get_bool c "enospc") in
       if fail_n < 0 || delay < 0 then fail "chaos fields must be non-negative";
-      Some { c_fail = fail_n; c_delay_ms = delay }
+      Some { c_fail = fail_n; c_delay_ms = delay; c_enospc = enospc }
   | Some _ -> fail "field \"chaos\" must be an object"
 
 let decode_op obj = function
   | "ping" -> Ping
   | "status" -> Status
+  | "health" -> Health
   | "shutdown" -> Shutdown
   | "open-session" ->
       let spec =

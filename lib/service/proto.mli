@@ -27,12 +27,15 @@ module Json = Flowtrace_analysis.Json
     the daemon runs with [--chaos]. [c_fail] makes the first [c_fail]
     attempts of the request's supervised body raise (exercising retry +
     backoff); [c_delay_ms] sleeps before the body (occupying a shard so
-    admission control can be driven into shedding on demand). *)
-type chaos = { c_fail : int; c_delay_ms : int }
+    admission control can be driven into shedding on demand); [c_enospc]
+    makes the session save fail as if the disk were full (driving the
+    degraded-store path end to end over the wire). *)
+type chaos = { c_fail : int; c_delay_ms : int; c_enospc : bool }
 
 type op =
   | Ping
   | Status
+  | Health  (** store health, session count, stale-temp sweep total *)
   | Shutdown
   | Open_session of {
       tenant : string;

@@ -96,7 +96,22 @@ let run ?(ready = fun () -> ()) ?(on_diags = fun _ -> ()) cfg =
   in
   on_diags diags;
   (* ---- socket ---- *)
-  if Sys.file_exists cfg.socket then Sys.remove cfg.socket;
+  (* A socket file left behind by a crashed daemon must not block restart,
+     but a live daemon's socket must never be stolen out from under it.
+     Probe: a listener answering means the address is genuinely in use; a
+     refused connection means the file is stale and safe to unlink. *)
+  (if Sys.file_exists cfg.socket then
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     match Unix.connect probe (Unix.ADDR_UNIX cfg.socket) with
+     | () ->
+         (try Unix.close probe with Unix.Unix_error _ -> ());
+         raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", cfg.socket))
+     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+         (try Unix.close probe with Unix.Unix_error _ -> ());
+         if Sys.file_exists cfg.socket then Sys.remove cfg.socket
+     | exception e ->
+         (try Unix.close probe with Unix.Unix_error _ -> ());
+         raise e);
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
   Unix.listen listen_fd 64;

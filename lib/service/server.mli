@@ -50,6 +50,11 @@ val default : config
     response, and removes the socket file. [ready] is called once the
     socket is listening (the test harness synchronizes on it);
     [on_diags] receives resume diagnostics (damaged session files).
+    A pre-existing socket file is probed before binding: if a listener
+    answers, [run] raises [Unix.Unix_error (EADDRINUSE, _, _)] rather
+    than steal a live daemon's address; if nothing answers (a crashed
+    daemon's leftover), the stale file is unlinked and startup proceeds.
+
     Raises [Unix.Unix_error] if the socket cannot be bound. *)
 val run :
   ?ready:(unit -> unit) -> ?on_diags:(Diagnostic.t list -> unit) -> config -> unit

@@ -2,6 +2,7 @@ open Flowtrace_core
 module Diagnostic = Flowtrace_analysis.Diagnostic
 module Rt = Flowtrace_analysis.Rt
 module Journal = Flowtrace_runtime.Journal
+module Vfs = Flowtrace_runtime.Vfs
 
 type session = {
   se_id : string;
@@ -60,7 +61,7 @@ let strategy_of_name = function
   | "greedy" -> Some Select.Greedy
   | _ -> None
 
-let save ~dir s =
+let save ?(vfs = Vfs.passthrough) ~dir s =
   let records =
     [
       "id " ^ s.se_id;
@@ -73,11 +74,11 @@ let save ~dir s =
        without its spec is dropped whole rather than resumed half-built *)
     @ [ "spec " ^ escape s.se_spec ]
   in
-  Journal.Log.write ~path:(file_of ~dir s.se_id) ~kind records
+  Journal.Log.write ~vfs ~path:(file_of ~dir s.se_id) ~kind records
 
-let remove ~dir id =
+let remove ?(vfs = Vfs.passthrough) ~dir id =
   let path = file_of ~dir id in
-  if Sys.file_exists path then Sys.remove path
+  if vfs.Vfs.exists path then vfs.Vfs.unlink path
 
 let split_record r =
   match String.index_opt r ' ' with
@@ -135,8 +136,8 @@ let of_records ~path records =
          body is gone, drop it *)
       Ok None
 
-let load ~path =
-  match Journal.Log.load ~path ~kind with
+let load ?(vfs = Vfs.passthrough) path =
+  match Journal.Log.load ~vfs ~kind path with
   | Error diags -> Error diags
   | Ok (records, warns) -> (
       match of_records ~path records with
@@ -151,25 +152,76 @@ let load ~path =
                 ] )
       | Ok (Some s) -> Ok (Some s, warns))
 
-let load_all ~dir =
-  let files =
-    match Sys.readdir dir with
-    | exception Sys_error _ -> [||]
-    | entries ->
-        Array.of_list
-          (List.filter
-             (fun f ->
-               String.length f > String.length "session-.ckpt"
-               && String.starts_with ~prefix:"session-" f
-               && Filename.check_suffix f ".ckpt")
-             (Array.to_list entries))
+let quarantine_suffix = ".quarantine"
+
+let quarantine ?(vfs = Vfs.passthrough) ~reason path =
+  match vfs.Vfs.rename path (path ^ quarantine_suffix) with
+  | () ->
+      Rt.v "RT008" (Srcspan.none path) "corrupt session file quarantined as %s: %s"
+        (Filename.basename path ^ quarantine_suffix)
+        reason
+  | exception Vfs.Io_error { e_msg; _ } ->
+      Rt.v "RT008" (Srcspan.none path) "corrupt session file could not be quarantined (%s): %s"
+        e_msg reason
+
+let is_session_file f =
+  String.length f > String.length "session-.ckpt"
+  && String.starts_with ~prefix:"session-" f
+  && Filename.check_suffix f ".ckpt"
+
+(* The first line of a diagnostic set, as a one-line quarantine reason. *)
+let reason_of = function
+  | [] -> "unreadable"
+  | (d : Diagnostic.t) :: _ -> Printf.sprintf "%s: %s" d.Diagnostic.code d.Diagnostic.message
+
+let load_all ?(vfs = Vfs.passthrough) ?(repair = false) dir =
+  let entries = match vfs.Vfs.readdir dir with exception Vfs.Io_error _ -> [||] | e -> e in
+  let swept =
+    if repair then
+      match Vfs.sweep_tmp vfs ~dir with exception Vfs.Io_error _ -> [] | swept -> swept
+    else List.sort String.compare (List.filter Vfs.is_tmp (Array.to_list entries))
   in
+  let tmp_diags =
+    List.map
+      (fun f ->
+        Rt.v "RT009"
+          (Srcspan.none (Filename.concat dir f))
+          "stale temp file from an interrupted write%s"
+          (if repair then " swept" else ""))
+      swept
+  in
+  let files = Array.of_list (List.filter is_session_file (Array.to_list entries)) in
   Array.sort String.compare files;
   Array.fold_left
     (fun (sessions, diags) f ->
       let path = Filename.concat dir f in
-      match load ~path with
-      | Ok (Some s, warns) -> (sessions @ [ s ], diags @ warns)
-      | Ok (None, warns) -> (sessions, diags @ warns)
-      | Error ds -> (sessions, diags @ ds))
-    ([], []) files
+      match load ~vfs path with
+      | Ok (Some s, []) -> (sessions @ [ s ], diags)
+      | Ok (Some s, warns) ->
+          (* recovered with a damaged tail but the body is whole: compact
+             it back to a sealed file so the damage does not compound *)
+          if repair then (
+            match save ~vfs ~dir s with
+            | () ->
+                ( sessions @ [ s ],
+                  diags @ warns
+                  @ [
+                      Rt.v "RT010" (Srcspan.none path)
+                        "recovered session compacted (sealed file rewritten)";
+                    ] )
+            | exception Vfs.Io_error { e_msg; _ } ->
+                ( sessions @ [ s ],
+                  diags @ warns
+                  @ [
+                      Rt.v "RT001" (Srcspan.none path)
+                        "cannot compact recovered session: %s" e_msg;
+                    ] ))
+          else (sessions @ [ s ], diags @ warns)
+      | Ok (None, warns) ->
+          (* the session body is gone: the file is damage with no value *)
+          if repair then (sessions, diags @ [ quarantine ~vfs ~reason:(reason_of warns) path ])
+          else (sessions, diags @ warns)
+      | Error ds ->
+          if repair then (sessions, diags @ [ quarantine ~vfs ~reason:(reason_of ds) path ])
+          else (sessions, diags @ ds))
+    ([], tmp_diags) files

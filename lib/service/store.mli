@@ -15,6 +15,7 @@
 
 open Flowtrace_core
 module Diagnostic = Flowtrace_analysis.Diagnostic
+module Vfs = Flowtrace_runtime.Vfs
 
 (** One persisted session. [se_spec] is the flow-spec text exactly as the
     [open-session] request carried it; everything a request needs is
@@ -37,22 +38,44 @@ val strategy_name : Select.strategy -> string
     {!Proto.valid_session_id}). *)
 val file_of : dir:string -> string -> string
 
-(** [save ~dir session] atomically persists the session. Raises
-    [Sys_error] on I/O failure. *)
-val save : dir:string -> session -> unit
+(** [save ~dir session] atomically persists the session
+    (temp-write/fsync/rename via {!Vfs.atomic_replace}). Raises
+    {!Vfs.Io_error} on I/O failure — [e_enospc] distinguishes a full
+    disk so the daemon can shed to degraded instead of dying. All IO
+    goes through [vfs] (default {!Vfs.passthrough}). *)
+val save : ?vfs:Vfs.t -> dir:string -> session -> unit
 
 (** [remove ~dir id] deletes the session file if present. *)
-val remove : dir:string -> string -> unit
+val remove : ?vfs:Vfs.t -> dir:string -> string -> unit
 
-(** [load ~path] reads one session file. [Ok None] means the file was
+(** [load path] reads one session file. [Ok None] means the file was
     damaged in a recoverable way that lost the session body (truncated
     tail) — the session is dropped with the returned warnings. [Error]
     carries hard diagnostics (mid-file corruption, foreign file). *)
 val load :
-  path:string ->
+  ?vfs:Vfs.t ->
+  string ->
   (session option * Diagnostic.t list, Diagnostic.t list) result
 
-(** [load_all ~dir] loads every [session-*.ckpt] under [dir] in sorted
+val quarantine_suffix : string
+
+(** [quarantine ~reason path] renames a damaged session file to
+    [path ^ ".quarantine"] so it stops poisoning every resume, and
+    returns the RT008 warning describing what happened. Never raises:
+    a failed rename is reported inside the diagnostic. *)
+val quarantine : ?vfs:Vfs.t -> reason:string -> string -> Diagnostic.t
+
+(** [load_all dir] loads every [session-*.ckpt] under [dir] in sorted
     file order, collecting diagnostics for files that were damaged or
-    dropped. A missing directory is an empty store. *)
-val load_all : dir:string -> session list * Diagnostic.t list
+    dropped; stale [*.tmp] files are reported with RT009. A missing
+    directory is an empty store.
+
+    With [~repair:true] (the daemon's [--resume] path and
+    [flowtrace fsck --repair]) the store is also healed: stale temp
+    files are swept (counted in the [runtime.vfs.stale_tmp] telemetry
+    counter), sessions recovered from a damaged tail are compacted back
+    to sealed files (RT010), and files whose session body is lost are
+    quarantined (RT008) instead of left to fail again — damage is
+    contained per session, never daemon-wide. *)
+val load_all :
+  ?vfs:Vfs.t -> ?repair:bool -> string -> session list * Diagnostic.t list

@@ -33,6 +33,37 @@ REF=
 "$FT" serve --socket "$d/a.sock" --state-dir "$d/st" --chaos 2>/dev/null &
 PID=$!
 "$FT" call --socket "$d/a.sock" "$OPEN" >/dev/null
+
+# ENOSPC chaos: an injected full disk degrades the one request (the
+# session is held in memory, not persisted), health reports the store
+# degraded, and the next clean save heals it.
+out=$("$FT" call --socket "$d/a.sock" \
+  "{\"op\":\"open-session\",\"session\":\"e\",\"width\":8,\"spec\":\"$SPEC\",\"chaos\":{\"enospc\":true}}" \
+  ; true)
+case "$out" in
+  *'"status":"degraded"'*) ;;
+  *) echo "injected ENOSPC did not degrade: $out"; exit 1;;
+esac
+case "$out" in
+  *'"persisted":false'*) ;;
+  *) echo "degraded open lacks persisted:false: $out"; exit 1;;
+esac
+[ ! -e "$d/st/session-e.ckpt" ] || { echo "degraded open still persisted"; exit 1; }
+out=$("$FT" call --socket "$d/a.sock" '{"op":"health"}'; true)
+case "$out" in
+  *'"store":"degraded"'*) ;;
+  *) echo "health did not report a degraded store: $out"; exit 1;;
+esac
+"$FT" call --socket "$d/a.sock" '{"op":"close","session":"e"}' >/dev/null
+out=$("$FT" call --socket "$d/a.sock" \
+  "{\"op\":\"open-session\",\"session\":\"e\",\"width\":8,\"spec\":\"$SPEC\"}")
+"$FT" call --socket "$d/a.sock" '{"op":"close","session":"e"}' >/dev/null
+out=$("$FT" call --socket "$d/a.sock" '{"op":"health"}')
+case "$out" in
+  *'"store":"ok"'*) ;;
+  *) echo "store did not heal after a clean save: $out"; exit 1;;
+esac
+
 "$FT" call --socket "$d/a.sock" \
   '{"op":"select","session":"a","chaos":{"delay_ms":2000}}' >/dev/null 2>&1 &
 CALL=$!
@@ -41,13 +72,26 @@ kill -9 $PID
 wait $PID 2>/dev/null || true
 PID=
 wait $CALL 2>/dev/null || true
-rm -f "$d/a.sock"
+
+# The SIGKILLed daemon left its socket file behind — deliberately NOT
+# removed here: the restarting daemon must detect the stale socket
+# (nothing answers) and sweep it itself.
+[ -e "$d/a.sock" ] || { echo "expected a stale socket file after kill -9"; exit 1; }
 
 # Restart with --resume over the torn state dir: the persisted session
 # must answer bit-identically to the uninterrupted reference.
 "$FT" serve --socket "$d/a.sock" --state-dir "$d/st" --resume 2>/dev/null &
 PID=$!
 "$FT" call --socket "$d/a.sock" "$SEL" "$STATUS" > "$d/resumed.out"
+
+# While it is up, its socket must never be stolen: a second daemon on
+# the same path must refuse to start, and the first keeps answering.
+"$FT" serve --socket "$d/a.sock" --state-dir "$d/st2" > "$d/steal.out" 2>&1 && \
+  { echo "second daemon stole a live socket"; exit 1; } || [ $? -eq 1 ]
+grep -q "already listening" "$d/steal.out" || {
+  echo "live-socket refusal lacks a clear error:"; cat "$d/steal.out"; exit 1; }
+"$FT" call --socket "$d/a.sock" '{"op":"ping"}' >/dev/null || {
+  echo "first daemon died after the steal attempt"; exit 1; }
 
 # While it is up, the resumed daemon must also survive protocol abuse:
 # malformed lines come back as error envelopes, exit 1, daemon alive.
@@ -66,4 +110,28 @@ cmp -s "$d/ref.out" "$d/resumed.out" || {
   diff "$d/ref.out" "$d/resumed.out" || true
   exit 1
 }
+
+# fsck over the shut-down state dir: clean is exit 0; planted damage
+# (a garbage session file, a stale temp) is exit 1 on scan; --repair
+# quarantines and sweeps (exit 3: damage was found); a rescan is clean
+# again and the quarantined bytes still exist for the post-mortem.
+"$FT" fsck --state-dir "$d/st" >/dev/null || {
+  echo "fsck on a clean state dir must exit 0"; exit 1; }
+printf 'not a session journal\n' > "$d/st/session-zz.ckpt"
+printf 'x' > "$d/st/session-a.ckpt.tmp"
+"$FT" fsck --state-dir "$d/st" > "$d/fsck.out" && \
+  { echo "fsck must exit 1 on hard damage"; exit 1; } || [ $? -eq 1 ]
+grep -q "corrupt" "$d/fsck.out" || {
+  echo "fsck scan did not classify the damage:"; cat "$d/fsck.out"; exit 1; }
+"$FT" fsck --state-dir "$d/st" --repair --json > "$d/fsck.json" && \
+  { echo "fsck --repair must exit 3 when it repaired"; exit 1; } || [ $? -eq 3 ]
+grep -q '"exit":3' "$d/fsck.json" || {
+  echo "fsck --json lacks the exit field:"; cat "$d/fsck.json"; exit 1; }
+"$FT" fsck --state-dir "$d/st" >/dev/null || {
+  echo "fsck after --repair must be clean"; exit 1; }
+[ -e "$d/st/session-zz.ckpt.quarantine" ] || {
+  echo "repair deleted evidence instead of quarantining"; exit 1; }
+[ ! -e "$d/st/session-a.ckpt.tmp" ] || {
+  echo "repair left the stale temp file"; exit 1; }
+
 echo "chaos serve: kill -9 + --resume is bit-identical"

@@ -91,7 +91,7 @@ let tmp_journal () =
   f
 
 let seeds_of_journal path =
-  match Journal.load ~path with
+  match Journal.load path with
   | Error ds ->
       Alcotest.failf "journal load failed: %s" (Flowtrace_analysis.Diagnostic.render_all ds)
   | Ok (snap, _) ->

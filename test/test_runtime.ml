@@ -74,7 +74,7 @@ let prop_journal_roundtrip =
       let snap = snapshot_of_seed seed in
       let path = tmp_journal () in
       Journal.write ~path snap;
-      match Journal.load ~path with
+      match Journal.load path with
       | Error ds -> QCheck.Test.fail_reportf "load failed: %s" (Diag.render_all ds)
       | Ok (got, warnings) ->
           warnings = []
@@ -105,9 +105,9 @@ let prop_journal_truncation_recovers =
            parseable-but-shorter header (e.g. "tasks=30" cut to
            "tasks=3") — the engine's fingerprint/task-count check (RT004)
            refuses to resume from it either way *)
-        match Journal.load ~path with Error ds -> codes ds = [ "RT002" ] | Ok _ -> true
+        match Journal.load path with Error ds -> codes ds = [ "RT002" ] | Ok _ -> true
       else
-        match Journal.load ~path with
+        match Journal.load path with
         | Error ds -> QCheck.Test.fail_reportf "hard error: %s" (Diag.render_all ds)
         | Ok (got, warnings) ->
             let subset =
@@ -156,26 +156,26 @@ let test_journal_bitflip_is_error () =
   in
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc (String.concat "\n" flipped));
-  match Journal.load ~path with
+  match Journal.load path with
   | Error ds -> Alcotest.(check (list string)) "RT005 on mid-file damage" [ "RT005" ] (codes ds)
   | Ok _ -> Alcotest.fail "bit-flipped journal loaded"
 
 let test_journal_wrong_version () =
   let path = tmp_journal () in
   write_lines path [ "flowtrace-journal v9 fp=0123456789abcdef tasks=4" ];
-  match Journal.load ~path with
+  match Journal.load path with
   | Error ds -> Alcotest.(check (list string)) "RT003" [ "RT003" ] (codes ds)
   | Ok _ -> Alcotest.fail "future-version journal loaded"
 
 let test_journal_not_a_journal () =
   let path = tmp_journal () in
   write_lines path [ "just some text"; "more text" ];
-  match Journal.load ~path with
+  match Journal.load path with
   | Error ds -> Alcotest.(check (list string)) "RT002" [ "RT002" ] (codes ds)
   | Ok _ -> Alcotest.fail "garbage loaded as a journal"
 
 let test_journal_unreadable () =
-  match Journal.load ~path:"/nonexistent/dir/j.ckpt" with
+  match Journal.load "/nonexistent/dir/j.ckpt" with
   | Error ds -> Alcotest.(check (list string)) "RT001" [ "RT001" ] (codes ds)
   | Ok _ -> Alcotest.fail "nonexistent journal loaded"
 
@@ -197,7 +197,7 @@ let test_journal_broken_seal () =
   let lines = List.filter (fun l -> l = "" || not (String.length l > 10 && l.[9] = 'd' && l.[11] = '1')) (String.split_on_char '\n' full) in
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc (String.concat "\n" lines));
-  match Journal.load ~path with
+  match Journal.load path with
   | Error ds -> Alcotest.(check (list string)) "RT007" [ "RT007" ] (codes ds)
   | Ok _ -> Alcotest.fail "journal with a lying end record loaded"
 
@@ -524,7 +524,7 @@ let test_journal_truncation_exhaustive () =
   for keep = header_end to String.length full do
     Out_channel.with_open_bin path (fun oc ->
         Out_channel.output_string oc (String.sub full 0 keep));
-    match Journal.load ~path with
+    match Journal.load path with
     | Error ds ->
         Alcotest.fail
           (Printf.sprintf "keep=%d: hard error: %s" keep (Diag.render_all ds))
@@ -561,13 +561,13 @@ let test_log_roundtrip () =
   let path = tmp_journal () in
   let records = [ "id a"; "tenant team-\\x"; "spec flow F"; "" ] in
   Journal.Log.write ~path ~kind:"session" records;
-  (match Journal.Log.load ~path ~kind:"session" with
+  (match Journal.Log.load ~kind:"session" path with
   | Ok (got, warnings) ->
       Alcotest.(check (list string)) "records round-trip" records got;
       Alcotest.(check (list string)) "clean" [] (codes warnings)
   | Error ds -> Alcotest.fail (Diag.render_all ds));
   (* a readable log of another kind must be refused, not confused *)
-  (match Journal.Log.load ~path ~kind:"checkpoint" with
+  (match Journal.Log.load ~kind:"checkpoint" path with
   | Error ds -> Alcotest.(check (list string)) "wrong kind is RT002" [ "RT002" ] (codes ds)
   | Ok _ -> Alcotest.fail "wrong-kind log loaded");
   (match Journal.Log.write ~path ~kind:"bad kind" [] with
@@ -586,7 +586,7 @@ let test_log_truncation_exhaustive () =
   for keep = header_end to String.length full do
     Out_channel.with_open_bin path (fun oc ->
         Out_channel.output_string oc (String.sub full 0 keep));
-    match Journal.Log.load ~path ~kind:"k" with
+    match Journal.Log.load ~kind:"k" path with
     | Error ds ->
         Alcotest.fail (Printf.sprintf "keep=%d: hard error: %s" keep (Diag.render_all ds))
     | Ok (got, warnings) ->
@@ -608,7 +608,7 @@ let test_log_truncation_exhaustive () =
   Bytes.set body (header_end + 1) 'X';
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_bytes oc body);
-  match Journal.Log.load ~path ~kind:"k" with
+  match Journal.Log.load ~kind:"k" path with
   | Error ds -> Alcotest.(check bool) "RT005" true (List.mem "RT005" (codes ds))
   | Ok _ -> Alcotest.fail "bit-flipped log loaded"
 

@@ -76,7 +76,7 @@ let test_proto_parse () =
       Alcotest.(check (option string)) "id" (Some "2") r.Proto.rq_id;
       Alcotest.(check (option string)) "session" (Some "a") r.Proto.rq_session;
       (match r.Proto.rq_chaos with
-      | Some { Proto.c_fail; c_delay_ms } ->
+      | Some { Proto.c_fail; c_delay_ms; _ } ->
           Alcotest.(check int) "chaos fail" 2 c_fail;
           Alcotest.(check int) "chaos delay" 5 c_delay_ms
       | None -> Alcotest.fail "chaos field lost");
@@ -157,20 +157,20 @@ let test_store_roundtrip () =
     }
   in
   Store.save ~dir session;
-  (match Store.load ~path:(Store.file_of ~dir "s-1.x") with
+  (match Store.load (Store.file_of ~dir "s-1.x") with
   | Ok (Some got, warns) ->
       Alcotest.(check bool) "no warnings" true (warns = []);
       Alcotest.(check bool) "round-trips exactly" true (got = session)
   | Ok (None, _) -> Alcotest.fail "session dropped"
   | Error _ -> Alcotest.fail "load failed");
-  let sessions, diags = Store.load_all ~dir in
+  let sessions, diags = Store.load_all dir in
   Alcotest.(check int) "load_all finds it" 1 (List.length sessions);
   Alcotest.(check bool) "load_all clean" true (diags = []);
   Store.remove ~dir "s-1.x";
   Alcotest.(check bool)
     "removed" false
     (Sys.file_exists (Store.file_of ~dir "s-1.x"));
-  let none, _ = Store.load_all ~dir:(Filename.concat dir "missing") in
+  let none, _ = Store.load_all (Filename.concat dir "missing") in
   Alcotest.(check int) "missing dir is empty store" 0 (List.length none)
 
 let test_store_torn_tail_drops_session () =
@@ -197,12 +197,12 @@ let test_store_torn_tail_drops_session () =
   let spec_line = List.nth lines (n - 3) in
   let torn = prefix ^ String.sub spec_line 0 (String.length spec_line / 2) in
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc torn);
-  (match Store.load ~path with
+  (match Store.load path with
   | Ok (Some _, _) -> Alcotest.fail "torn session resurrected"
   | Ok (None, warns) ->
       Alcotest.(check bool) "drop carries warnings" true (warns <> [])
   | Error _ -> Alcotest.fail "torn tail must recover, not hard-fail");
-  let sessions, diags = Store.load_all ~dir in
+  let sessions, diags = Store.load_all dir in
   Alcotest.(check int) "load_all drops it" 0 (List.length sessions);
   Alcotest.(check bool) "load_all reports it" true (diags <> [])
 
@@ -345,6 +345,104 @@ let test_dispatch_resume_bit_identical () =
   Alcotest.(check string) "intact session still bit-identical" before_a
     (handle t3 (select_req ()))
 
+module Vfs = Flowtrace_runtime.Vfs
+
+let test_dispatch_health_and_degraded_store () =
+  (* no store configured: healthy, store "none" *)
+  let t0, _ = Dispatch.create () in
+  let h = handle t0 {|{"op":"health"}|} in
+  check_status ~what:"health without store" ~status:"ok" ~exit:0 h;
+  Alcotest.(check int) "no sessions yet" 0 (int_field "sessions" h);
+  Alcotest.(check string) "store none" "none" (str_field "store" h);
+  (* a fault-vfs store: the disk fills, the daemon degrades instead of
+     dying, the disk drains, the next save heals it *)
+  let fs = Vfs.Fault.create () in
+  let t, diags = Dispatch.create ~state_dir:"/state" ~vfs:(Vfs.Fault.vfs fs) () in
+  Alcotest.(check bool) "clean create" true (diags = []);
+  check_status ~what:"open on healthy store" ~status:"ok" ~exit:0
+    (handle t (open_req ()));
+  Vfs.Fault.set_disk_budget fs (Some 0);
+  let resp = handle t (open_req ~id:"9" ~session:"b" ()) in
+  check_status ~what:"open on a full disk" ~status:"degraded" ~exit:3 resp;
+  (match field "persisted" resp with
+  | Some (Json.Bool false) -> ()
+  | _ -> Alcotest.failf "persisted:false missing: %s" resp);
+  (* the unpersisted session is held in memory and fully usable *)
+  check_status ~what:"unpersisted session works" ~status:"ok" ~exit:0
+    (handle t (select_req ~session:"b" ()));
+  let h = handle t {|{"op":"health"}|} in
+  check_status ~what:"health while degraded" ~status:"degraded" ~exit:3 h;
+  Alcotest.(check string) "store degraded" "degraded" (str_field "store" h);
+  Alcotest.(check int) "both sessions live" 2 (int_field "sessions" h);
+  Vfs.Fault.set_disk_budget fs None;
+  check_status ~what:"open after the disk drains" ~status:"ok" ~exit:0
+    (handle t (open_req ~id:"10" ~session:"c" ()));
+  let h = handle t {|{"op":"health"}|} in
+  check_status ~what:"health healed" ~status:"ok" ~exit:0 h;
+  Alcotest.(check string) "store ok again" "ok" (str_field "store" h)
+
+let test_dispatch_chaos_enospc () =
+  with_tmpdir @@ fun dir ->
+  let t, _ = Dispatch.create ~state_dir:dir ~chaos:true () in
+  let open_chaos =
+    req
+      [
+        ("op", Json.String "open-session");
+        ("session", Json.String "a");
+        ("spec", Json.String spec_text);
+        ("width", Json.Int 8);
+        ("chaos", Json.Obj [ ("enospc", Json.Bool true) ]);
+      ]
+  in
+  check_status ~what:"injected ENOSPC" ~status:"degraded" ~exit:3
+    (handle t open_chaos);
+  Alcotest.(check bool) "nothing persisted" false
+    (Sys.file_exists (Store.file_of ~dir "a"));
+  (* the injected failure is per-request: the next save succeeds and
+     heals the store flag *)
+  check_status ~what:"open after injection" ~status:"ok" ~exit:0
+    (handle t (open_req ~id:"2" ~session:"b" ()));
+  Alcotest.(check bool) "b persisted" true
+    (Sys.file_exists (Store.file_of ~dir "b"));
+  let h = handle t {|{"op":"health"}|} in
+  check_status ~what:"healed after injection" ~status:"ok" ~exit:0 h;
+  (* without --chaos the field is inert for ENOSPC too: the same request
+     against a non-chaos daemon persists normally *)
+  let t2, _ = Dispatch.create ~state_dir:dir ~chaos:false () in
+  check_status ~what:"chaos ignored without --chaos" ~status:"ok" ~exit:0
+    (handle t2 open_chaos);
+  Alcotest.(check bool) "a persisted this time" true
+    (Sys.file_exists (Store.file_of ~dir "a"))
+
+let test_dispatch_resume_quarantines_corrupt () =
+  with_tmpdir @@ fun dir ->
+  let t1, _ = Dispatch.create ~state_dir:dir () in
+  check_status ~what:"open a" ~status:"ok" ~exit:0 (handle t1 (open_req ()));
+  check_status ~what:"open b" ~status:"ok" ~exit:0
+    (handle t1 (open_req ~id:"2" ~session:"b" ()));
+  let before_a = handle t1 (select_req ()) in
+  (* b's file is destroyed wholesale (not torn — garbage), and an
+     interrupted write left a temp file behind *)
+  Out_channel.with_open_bin (Store.file_of ~dir "b") (fun oc ->
+      Out_channel.output_string oc "total garbage\n");
+  Out_channel.with_open_bin (Store.file_of ~dir "a" ^ Vfs.tmp_suffix) (fun oc ->
+      Out_channel.output_string oc "x");
+  let t2, diags = Dispatch.create ~state_dir:dir ~resume:true () in
+  Alcotest.(check bool) "damage reported" true (diags <> []);
+  Alcotest.(check (list string))
+    "only the intact session resumes" [ "a" ] (Dispatch.session_ids t2);
+  Alcotest.(check string) "and answers bit-identically" before_a
+    (handle t2 (select_req ()));
+  Alcotest.(check bool) "corrupt file quarantined, not deleted" true
+    (Sys.file_exists (Store.file_of ~dir "b" ^ Store.quarantine_suffix));
+  Alcotest.(check bool) "stale temp swept" false
+    (Sys.file_exists (Store.file_of ~dir "a" ^ Vfs.tmp_suffix));
+  let h = handle t2 {|{"op":"health"}|} in
+  Alcotest.(check int) "sweep surfaced in health" 1 (int_field "stale_tmp_swept" h);
+  (* repair-on-resume converges: a second resume finds nothing wrong *)
+  let _t3, diags = Dispatch.create ~state_dir:dir ~resume:true () in
+  Alcotest.(check bool) "second resume is clean" true (diags = [])
+
 let test_dispatch_sharding () =
   let t, _ = Dispatch.create ~shards:4 () in
   Alcotest.(check int) "shard count" 4 (Dispatch.n_shards t);
@@ -384,6 +482,12 @@ let () =
             test_dispatch_chaos_supervision;
           Alcotest.test_case "resume answers bit-identically" `Quick
             test_dispatch_resume_bit_identical;
+          Alcotest.test_case "health reports the store; ENOSPC degrades, then heals"
+            `Quick test_dispatch_health_and_degraded_store;
+          Alcotest.test_case "injected ENOSPC degrades one request only" `Quick
+            test_dispatch_chaos_enospc;
+          Alcotest.test_case "resume quarantines damage and sweeps temp files"
+            `Quick test_dispatch_resume_quarantines_corrupt;
           Alcotest.test_case "sharding is stable and bounded" `Quick
             test_dispatch_sharding;
         ] );

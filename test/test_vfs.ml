@@ -1,0 +1,216 @@
+(* Tests for the Vfs file-IO shim: the passthrough implementation must
+   be byte-for-byte transparent (the production path rides on it), and
+   the fault implementation must inject exactly the failures it claims —
+   ENOSPC with the [e_enospc] flag, EIO at a chosen syscall, short
+   writes that [write_all] absorbs, power cuts that revert to the
+   durable view, and stale-temp sweeping. *)
+
+module Vfs = Flowtrace_runtime.Vfs
+module Journal = Flowtrace_runtime.Journal
+module Tel = Flowtrace_telemetry.Telemetry
+
+let seed_arb = QCheck.make (QCheck.Gen.int_bound 100_000)
+
+let tmp_file () =
+  let f = Filename.temp_file "flowtrace-vfs" ".log" in
+  at_exit (fun () -> try Sys.remove f with Sys_error _ -> ());
+  f
+
+let records_of_seed seed =
+  let st = Random.State.make [| seed |] in
+  let record _ =
+    String.init
+      (Random.State.int st 40)
+      (fun _ ->
+        (* printable-ish plus the escaping-sensitive characters *)
+        match Random.State.int st 6 with
+        | 0 -> '\\'
+        | 1 -> '\t'
+        | 2 -> ' '
+        | _ -> Char.chr (33 + Random.State.int st 94))
+  in
+  List.init (Random.State.int st 12) record
+
+(* The shim-transparency property behind the whole refactor: a journal
+   written through the fault vfs with every fault disabled is
+   byte-identical to one written through passthrough to a real file. *)
+let prop_fault_vfs_transparent =
+  QCheck.Test.make ~name:"fault vfs with no faults is byte-identical to passthrough"
+    ~count:100 seed_arb (fun seed ->
+      let records = records_of_seed seed in
+      let path = tmp_file () in
+      Journal.Log.write ~path ~kind:"vfs-test" records;
+      let real = In_channel.with_open_bin path In_channel.input_all in
+      let fs = Vfs.Fault.create ~seed () in
+      Journal.Log.write ~vfs:(Vfs.Fault.vfs fs) ~path:"/j/x.log" ~kind:"vfs-test"
+        records;
+      (match Vfs.Fault.mem fs "/j/x.log" with
+      | Some bytes -> bytes = real
+      | None -> false)
+      &&
+      (* and short writes change how the bytes land, never which bytes *)
+      let fs2 = Vfs.Fault.create ~seed () in
+      Vfs.Fault.set_short_writes fs2 true;
+      Journal.Log.write ~vfs:(Vfs.Fault.vfs fs2) ~path:"/j/x.log" ~kind:"vfs-test"
+        records;
+      match Vfs.Fault.mem fs2 "/j/x.log" with
+      | Some bytes -> bytes = real
+      | None -> false)
+
+let test_enospc_vector () =
+  let fs = Vfs.Fault.create () in
+  let v = Vfs.Fault.vfs fs in
+  Vfs.Fault.set_disk_budget fs (Some 10);
+  let fd = v.Vfs.openw "/a" in
+  (match Vfs.write_all v fd (String.make 32 'x') with
+  | () -> Alcotest.fail "write past the budget must fail"
+  | exception Vfs.Io_error e ->
+      Alcotest.(check bool) "e_enospc set" true e.Vfs.e_enospc;
+      Alcotest.(check string) "op" "write" e.Vfs.e_op;
+      Alcotest.(check string) "path" "/a" e.Vfs.e_path);
+  (* the disk filled up: a partial prefix landed, nothing more *)
+  (match Vfs.Fault.mem fs "/a" with
+  | Some data ->
+      Alcotest.(check int) "partial write clipped at the budget" 10
+        (String.length data);
+      Alcotest.(check bool) "prefix of the payload" true
+        (data = String.make 10 'x')
+  | None -> Alcotest.fail "file vanished");
+  (* freeing space makes the same write succeed *)
+  v.Vfs.unlink "/a";
+  let fd = v.Vfs.openw "/a" in
+  Vfs.write_all v fd "12345678";
+  v.Vfs.fsync fd;
+  v.Vfs.close fd;
+  Alcotest.(check (option string)) "fits after unlink" (Some "12345678")
+    (Vfs.Fault.mem fs "/a")
+
+let test_eio_vector () =
+  let fs = Vfs.Fault.create () in
+  let v = Vfs.Fault.vfs fs in
+  Vfs.Fault.set_eio_at fs (Some 1);
+  let fd = v.Vfs.openw "/a" in
+  (* syscall 1 is this write *)
+  (match v.Vfs.write fd "hi" 0 2 with
+  | _ -> Alcotest.fail "EIO at syscall 1 must fail the write"
+  | exception Vfs.Io_error e ->
+      Alcotest.(check bool) "EIO is not ENOSPC" false e.Vfs.e_enospc;
+      Alcotest.(check string) "message" "Input/output error" e.Vfs.e_msg);
+  (* only that one syscall fails; the retry goes through *)
+  Vfs.write_all v fd "hi";
+  Alcotest.(check (option string)) "retry lands" (Some "hi") (Vfs.Fault.mem fs "/a")
+
+let test_short_writes_vector () =
+  let fs = Vfs.Fault.create ~seed:7 () in
+  let v = Vfs.Fault.vfs fs in
+  Vfs.Fault.set_short_writes fs true;
+  let payload = String.init 200 (fun i -> Char.chr (33 + (i mod 90))) in
+  let fd = v.Vfs.openw "/a" in
+  (* a single raw write is genuinely short for a long payload... *)
+  let n = v.Vfs.write fd payload 0 (String.length payload) in
+  Alcotest.(check bool) "raw write is short" true (n < String.length payload);
+  Alcotest.(check bool) "but never empty" true (n >= 1);
+  (* ...and write_all loops until every byte lands *)
+  v.Vfs.close fd;
+  let fd = v.Vfs.openw "/a" in
+  Vfs.write_all v fd payload;
+  Alcotest.(check (option string)) "write_all completes" (Some payload)
+    (Vfs.Fault.mem fs "/a")
+
+let test_power_cut_reverts_to_durable () =
+  let fs = Vfs.Fault.create () in
+  let v = Vfs.Fault.vfs fs in
+  Vfs.Fault.install fs ~path:"/a" "old";
+  let fd = v.Vfs.openw "/a" in
+  Vfs.write_all v fd "new-but-never-synced";
+  Vfs.Fault.power_cut fs;
+  Alcotest.(check (option string)) "unsynced data is gone" (Some "old")
+    (Vfs.Fault.mem fs "/a");
+  (match v.Vfs.write fd "x" 0 1 with
+  | _ -> Alcotest.fail "fd must not survive a power cut"
+  | exception Vfs.Io_error e ->
+      Alcotest.(check string) "stale fd" "Bad file descriptor" e.Vfs.e_msg);
+  (* the zero-length-file trap: rename without fsync exposes empty
+     durable data, exactly like a journaling filesystem *)
+  let fd = v.Vfs.openw "/b.tmp" in
+  Vfs.write_all v fd "payload";
+  v.Vfs.close fd;
+  v.Vfs.rename "/b.tmp" "/b";
+  Vfs.Fault.power_cut fs;
+  Alcotest.(check (option string)) "rename without fsync = empty file" (Some "")
+    (Vfs.Fault.mem fs "/b");
+  (* atomic_replace fsyncs before the rename, so it never hits the trap *)
+  Vfs.atomic_replace v ~path:"/c" "payload";
+  Vfs.Fault.power_cut fs;
+  Alcotest.(check (option string)) "atomic_replace survives the cut"
+    (Some "payload") (Vfs.Fault.mem fs "/c")
+
+let test_crash_at_boundary () =
+  let fs = Vfs.Fault.create () in
+  let v = Vfs.Fault.vfs fs in
+  Vfs.Fault.install fs ~path:"/d/f" "old";
+  Vfs.Fault.set_crash_at fs (Some 3);
+  (* open=0 write=1 fsync=2, crash on close=3: data synced but the temp
+     file still exists — recovery must sweep it *)
+  (match Vfs.atomic_replace v ~path:"/d/f" "new" with
+  | () -> Alcotest.fail "crash point 3 must interrupt the replace"
+  | exception Vfs.Crash k -> Alcotest.(check int) "crash index" 3 k);
+  Alcotest.(check (option string)) "old content durable" (Some "old")
+    (Vfs.Fault.mem fs "/d/f");
+  Alcotest.(check (option string)) "temp file left behind"
+    (Some "new") (Vfs.Fault.mem fs ("/d/f" ^ Vfs.tmp_suffix));
+  (* recovery: faults off, sweep the orphan, counted in telemetry *)
+  Vfs.Fault.set_crash_at fs None;
+  Tel.install Flowtrace_telemetry.Sink.null;
+  let before = Tel.Counter.value (Tel.Counter.v "runtime.vfs.stale_tmp") in
+  let swept = Vfs.sweep_tmp v ~dir:"/d" in
+  Alcotest.(check (list string)) "swept basenames" [ "f" ^ Vfs.tmp_suffix ] swept;
+  Alcotest.(check int) "stale_tmp counter bumped" (before + 1)
+    (Tel.Counter.value (Tel.Counter.v "runtime.vfs.stale_tmp"));
+  Alcotest.(check (option string)) "orphan gone" None
+    (Vfs.Fault.mem fs ("/d/f" ^ Vfs.tmp_suffix));
+  (* a crashed filesystem refuses every further op until re-armed *)
+  Vfs.Fault.set_crash_at fs (Some 0);
+  (match v.Vfs.exists "/d/f" with
+  | _ -> Alcotest.fail "crash at 0 must fire immediately"
+  | exception Vfs.Crash _ -> ());
+  (match v.Vfs.exists "/d/f" with
+  | _ -> Alcotest.fail "a crashed fs must stay crashed"
+  | exception Vfs.Crash _ -> ())
+
+let test_passthrough_roundtrip () =
+  let v = Vfs.passthrough in
+  let path = tmp_file () in
+  Vfs.atomic_replace v ~path "first";
+  Alcotest.(check string) "replace writes through" "first" (v.Vfs.read_file path);
+  Vfs.atomic_replace v ~path "second longer content";
+  Alcotest.(check string) "replace replaces" "second longer content"
+    (v.Vfs.read_file path);
+  Alcotest.(check bool) "exists" true (v.Vfs.exists path);
+  Alcotest.(check bool) "tmp cleaned up" false (v.Vfs.exists (path ^ Vfs.tmp_suffix));
+  (match v.Vfs.read_file (path ^ ".nope") with
+  | _ -> Alcotest.fail "missing file must raise"
+  | exception Vfs.Io_error e -> Alcotest.(check string) "op" "read" e.Vfs.e_op)
+
+let () =
+  Alcotest.run "vfs"
+    [
+      ( "transparency",
+        [
+          Alcotest.test_case "passthrough atomic_replace round-trips" `Quick
+            test_passthrough_roundtrip;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_fault_vfs_transparent ] );
+      ( "fault vectors",
+        [
+          Alcotest.test_case "ENOSPC: short-then-fail with e_enospc" `Quick
+            test_enospc_vector;
+          Alcotest.test_case "EIO at a chosen syscall" `Quick test_eio_vector;
+          Alcotest.test_case "short writes complete under write_all" `Quick
+            test_short_writes_vector;
+          Alcotest.test_case "power cut reverts to the durable view" `Quick
+            test_power_cut_reverts_to_durable;
+          Alcotest.test_case "crash points interrupt and sweep recovers" `Quick
+            test_crash_at_boundary;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+(* Power-cut-at-every-boundary torture harness for the persistence
+   layer.
+
+   A fixed workload of session saves/removes runs against the fault
+   filesystem; a fault-free reference run records how many syscalls the
+   workload costs and which syscall range each step spans. Then the
+   whole workload is replayed once per syscall boundary k = 0, 1, …,
+   N-1 with a simulated power cut at k, recovery runs
+   ([Store.load_all ~repair:true]), and the recovered state is checked
+   against the crash-consistency contract:
+
+   - every recovered session is bit-identical to a version the workload
+     actually wrote — never a torn or merged hybrid;
+   - a session whose save completed before the cut is present (with
+     fsync honored) or, under the drop-fsync lie, present or quarantined
+     with a diagnostic — never silently lost;
+   - a second repair pass is a no-op and [Fsck.scan] reports the
+     repaired directory clean.
+
+   The same enumeration runs three ways: plain, with short writes (every
+   write splits, multiplying the boundaries inside a file body), and
+   with fsync dropped (the pathological firmware that acks sync without
+   persisting). *)
+
+open Flowtrace_service
+module Vfs = Flowtrace_runtime.Vfs
+module Select = Flowtrace_core.Select
+
+let dir = "/state"
+
+let spec_text =
+  "flow F\n\
+   state s0 init\n\
+   state s1 stop\n\
+   msg m 4 from A to B\n\
+   trans s0 m s1\n"
+
+let mk id width =
+  {
+    Store.se_id = id;
+    se_tenant = "default";
+    se_width = width;
+    se_strategy = Select.Greedy;
+    se_instances = [ ("F", 1) ];
+    se_spec = spec_text;
+  }
+
+type step = Save of Store.session | Remove of string
+
+let id_of = function Save s -> s.Store.se_id | Remove id -> id
+
+(* The workload: create, overwrite-in-place, and delete — the three
+   namespace transitions a daemon's store performs. *)
+let steps =
+  [
+    Save (mk "alpha" 8);
+    Save (mk "beta" 16);
+    Save (mk "alpha" 12);
+    (* replace an existing sealed file *)
+    Save (mk "gamma" 4);
+    Remove "beta";
+  ]
+
+let versions = [ mk "alpha" 8; mk "alpha" 12; mk "beta" 16; mk "gamma" 4 ]
+let all_ids = [ "alpha"; "beta"; "gamma" ]
+
+let run_step vfs = function
+  | Save s -> Store.save ~vfs ~dir s
+  | Remove id -> Store.remove ~vfs ~dir id
+
+type config = { c_name : string; c_short : bool; c_drop_fsync : bool }
+
+let configs =
+  [
+    { c_name = "plain"; c_short = false; c_drop_fsync = false };
+    { c_name = "short-writes"; c_short = true; c_drop_fsync = false };
+    { c_name = "drop-fsync"; c_short = false; c_drop_fsync = true };
+  ]
+
+let make_fs cfg =
+  let fs = Vfs.Fault.create ~seed:1 () in
+  Vfs.Fault.set_short_writes fs cfg.c_short;
+  Vfs.Fault.set_drop_fsync fs cfg.c_drop_fsync;
+  fs
+
+(* Fault-free reference: per-step syscall ranges [(a, b)) and the total. *)
+let reference cfg =
+  let fs = make_fs cfg in
+  let v = Vfs.Fault.vfs fs in
+  let ranges =
+    List.map
+      (fun st ->
+        let a = Vfs.Fault.syscalls fs in
+        run_step v st;
+        (st, (a, Vfs.Fault.syscalls fs)))
+      steps
+  in
+  (ranges, Vfs.Fault.syscalls fs)
+
+(* What each session id must look like after a cut at syscall k:
+   [`Known None] (must be absent), [`Known (Some s)] (the save
+   completed), or [`Ambiguous] (the cut landed inside a step touching
+   this id — any consistent outcome is legal). *)
+let expected_after ranges k =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (st, (a, b)) ->
+      if b <= k then
+        Hashtbl.replace tbl (id_of st)
+          (match st with Save s -> `Known (Some s) | Remove _ -> `Known None)
+      else if a < k then Hashtbl.replace tbl (id_of st) `Ambiguous)
+    ranges;
+  fun id -> Option.value ~default:(`Known None) (Hashtbl.find_opt tbl id)
+
+let quarantined fs id =
+  Vfs.Fault.mem fs (Store.file_of ~dir id ^ Store.quarantine_suffix) <> None
+
+let find_session sessions id =
+  List.find_opt (fun s -> s.Store.se_id = id) sessions
+
+let check_crash_point cfg ranges total k =
+  let fail fmt = Alcotest.failf ("%s, crash at %d: " ^^ fmt) cfg.c_name k in
+  let fs = make_fs cfg in
+  let v = Vfs.Fault.vfs fs in
+  Vfs.Fault.set_crash_at fs (Some k);
+  (match List.iter (run_step v) steps with
+  | () -> fail "workload survived a crash point below its total %d" total
+  | exception Vfs.Crash _ -> ()
+  | exception Vfs.Io_error e -> fail "unexpected Io_error: %s" e.Vfs.e_msg);
+  (* power is back: same disk, no further faults *)
+  Vfs.Fault.set_crash_at fs None;
+  let sessions, diags = Store.load_all ~vfs:v ~repair:true dir in
+  (* 1: nothing recovered is a hybrid — every body is a real version *)
+  List.iter
+    (fun s ->
+      if not (List.mem s versions) then
+        fail "recovered a session that was never written: %s" s.Store.se_id)
+    sessions;
+  (* 2: per-id accounting — nothing is ever silently lost *)
+  let expect = expected_after ranges k in
+  List.iter
+    (fun id ->
+      let got = find_session sessions id in
+      match expect id with
+      | `Ambiguous -> ()
+      | `Known None ->
+          if got <> None then fail "%s should be absent but resumed" id
+      | `Known (Some sv) -> (
+          match got with
+          | Some s when s = sv -> ()
+          | Some s ->
+              fail "%s resumed with the wrong body (width %d, wanted %d)" id
+                s.Store.se_width sv.Store.se_width
+          | None ->
+              if cfg.c_drop_fsync then begin
+                (* the firmware lied about fsync: losing the body is
+                   permitted, losing it *silently* is not *)
+                if not (quarantined fs id) then
+                  fail "%s lost without a quarantine file" id;
+                if diags = [] then fail "%s lost without a diagnostic" id
+              end
+              else fail "%s lost although its save completed and fsync held" id))
+    all_ids;
+  (* 3: repair converges — a second pass finds nothing left to do *)
+  let sessions2, diags2 = Store.load_all ~vfs:v ~repair:true dir in
+  if diags2 <> [] then
+    fail "second repair still reports damage: %s"
+      (Flowtrace_analysis.Diagnostic.render_all diags2);
+  if
+    List.sort compare (List.map (fun s -> s.Store.se_id) sessions2)
+    <> List.sort compare (List.map (fun s -> s.Store.se_id) sessions)
+  then fail "repair is not idempotent";
+  let report = Fsck.scan ~vfs:v dir in
+  if Fsck.exit_code report <> 0 then
+    fail "fsck still dirty after repair:\n%s" (Fsck.render report)
+
+let test_enumeration cfg () =
+  let ranges, total = reference cfg in
+  Alcotest.(check bool)
+    "workload is non-trivial" true
+    (total > 20 && List.length ranges = List.length steps);
+  for k = 0 to total - 1 do
+    check_crash_point cfg ranges total k
+  done;
+  (* and the boundary case: no cut at all must equal the reference *)
+  let fs = make_fs cfg in
+  let v = Vfs.Fault.vfs fs in
+  List.iter (run_step v) steps;
+  let sessions, diags = Store.load_all ~vfs:v ~repair:true dir in
+  Alcotest.(check bool) (cfg.c_name ^ " fault-free load is clean") true (diags = []);
+  Alcotest.(check (list string))
+    (cfg.c_name ^ " fault-free final state")
+    [ "alpha"; "gamma" ]
+    (List.sort compare (List.map (fun s -> s.Store.se_id) sessions));
+  Alcotest.(check bool)
+    (cfg.c_name ^ " final bodies exact") true
+    (find_session sessions "alpha" = Some (mk "alpha" 12)
+    && find_session sessions "gamma" = Some (mk "gamma" 4))
+
+let test_enospc_mid_workload () =
+  (* measure how much disk one session costs, then make the second not fit *)
+  let probe = Vfs.Fault.create () in
+  Store.save ~vfs:(Vfs.Fault.vfs probe) ~dir (mk "alpha" 8);
+  let size =
+    match Vfs.Fault.mem probe (Store.file_of ~dir "alpha") with
+    | Some data -> String.length data
+    | None -> Alcotest.fail "probe save vanished"
+  in
+  let fs = Vfs.Fault.create () in
+  let v = Vfs.Fault.vfs fs in
+  Vfs.Fault.set_disk_budget fs (Some (size + (size / 2)));
+  Store.save ~vfs:v ~dir (mk "alpha" 8);
+  (match Store.save ~vfs:v ~dir (mk "beta" 16) with
+  | () -> Alcotest.fail "second save must hit ENOSPC"
+  | exception Vfs.Io_error e ->
+      Alcotest.(check bool) "flagged as ENOSPC" true e.Vfs.e_enospc);
+  (* the full disk tore nothing: alpha still loads bit-identically *)
+  let sessions, _ = Store.load_all ~vfs:v ~repair:true dir in
+  Alcotest.(check bool)
+    "alpha intact after ENOSPC" true
+    (find_session sessions "alpha" = Some (mk "alpha" 8));
+  Alcotest.(check bool) "beta not half-written" true
+    (find_session sessions "beta" = None);
+  (* space freed: the same save now succeeds *)
+  Vfs.Fault.set_disk_budget fs None;
+  Store.save ~vfs:v ~dir (mk "beta" 16);
+  let sessions, diags = Store.load_all ~vfs:v ~repair:true dir in
+  Alcotest.(check bool) "clean after retry" true (diags = []);
+  Alcotest.(check int) "both sessions" 2 (List.length sessions)
+
+let test_fsck_scan_and_repair () =
+  let fs = Vfs.Fault.create () in
+  let v = Vfs.Fault.vfs fs in
+  Store.save ~vfs:v ~dir (mk "alpha" 8);
+  Store.save ~vfs:v ~dir (mk "beta" 16);
+  Store.save ~vfs:v ~dir (mk "gamma" 4);
+  (* damage: gamma loses the tail of its end record (recoverable), a
+     file of garbage appears (corrupt), and an interrupted write leaves
+     a temp file *)
+  let gamma_path = Store.file_of ~dir "gamma" in
+  (match Vfs.Fault.mem fs gamma_path with
+  | Some data ->
+      Vfs.Fault.install fs ~path:gamma_path
+        (String.sub data 0 (String.length data - 5))
+  | None -> Alcotest.fail "gamma vanished");
+  Vfs.Fault.install fs ~path:(Store.file_of ~dir "bad") "not a session journal\n";
+  Vfs.Fault.install fs ~path:(Store.file_of ~dir "alpha" ^ Vfs.tmp_suffix) "x";
+  (* scan: sees everything, touches nothing; the unreadable file is
+     hard damage, so the exit code is 1 *)
+  let r = Fsck.scan ~vfs:v dir in
+  Alcotest.(check int) "scan exit" 1 (Fsck.exit_code r);
+  Alcotest.(check int) "scan stale tmp" 1 (List.length r.Fsck.r_stale_tmp);
+  let states =
+    List.map (fun e -> (e.Fsck.f_file, Fsck.state_name e.Fsck.f_state)) r.Fsck.r_entries
+  in
+  Alcotest.(check (list (pair string string)))
+    "scan classification"
+    [
+      ("session-alpha.ckpt", "intact");
+      ("session-bad.ckpt", "corrupt");
+      ("session-beta.ckpt", "intact");
+      ("session-gamma.ckpt", "recovered");
+    ]
+    states;
+  Alcotest.(check bool) "scan does not sweep" true
+    (Vfs.Fault.mem fs (Store.file_of ~dir "alpha" ^ Vfs.tmp_suffix) <> None);
+  (* repair: sweep, compact, quarantine *)
+  let r = Fsck.repair ~vfs:v dir in
+  Alcotest.(check int) "repair exit (damage was found)" 3 (Fsck.exit_code r);
+  Alcotest.(check bool) "tmp swept" true
+    (Vfs.Fault.mem fs (Store.file_of ~dir "alpha" ^ Vfs.tmp_suffix) = None);
+  Alcotest.(check bool) "corrupt quarantined, not deleted" true
+    (Vfs.Fault.mem fs (Store.file_of ~dir "bad" ^ Store.quarantine_suffix) <> None);
+  (* a second scan is clean: gamma compacted, bad out of the way *)
+  let r = Fsck.scan ~vfs:v dir in
+  Alcotest.(check int) "post-repair exit" 0 (Fsck.exit_code r);
+  Alcotest.(check int) "post-repair sessions" 3 (List.length r.Fsck.r_entries);
+  Alcotest.(check int) "quarantine listed" 1 (List.length r.Fsck.r_quarantined);
+  (* and the compacted gamma still carries the exact original body *)
+  let sessions, diags = Store.load_all ~vfs:v dir in
+  Alcotest.(check bool) "store clean" true (diags = []);
+  Alcotest.(check bool) "gamma bit-identical after compaction" true
+    (find_session sessions "gamma" = Some (mk "gamma" 4))
+
+let () =
+  Alcotest.run "torture_store"
+    [
+      ( "crash-point enumeration",
+        List.map
+          (fun cfg ->
+            Alcotest.test_case
+              (Printf.sprintf "every boundary recovers (%s)" cfg.c_name)
+              `Quick (test_enumeration cfg))
+          configs );
+      ( "disk pressure",
+        [
+          Alcotest.test_case "ENOSPC mid-workload tears nothing" `Quick
+            test_enospc_mid_workload;
+        ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "scan classifies, repair heals, rescan is clean"
+            `Quick test_fsck_scan_and_repair;
+        ] );
+    ]
